@@ -1,0 +1,21 @@
+//! Bench for the Figure 2 experiment (growing-scenario dynamics) at
+//! reduced scale — same workload shape as `experiments fig2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pss_bench::bench_scale_small;
+use pss_experiments::fig2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    let mut config = fig2::Fig2Config::at_scale(bench_scale_small());
+    config.connect_attempts = 1;
+    group.bench_function("growing_dynamics", |b| {
+        b.iter(|| black_box(fig2::run(&config).dynamics.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench for the Figure 3 experiment (lattice/random convergence) at
+//! reduced scale — same workload shape as `experiments fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pss_bench::bench_scale_small;
+use pss_experiments::fig3;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    let mut config = fig3::Fig3Config::at_scale(bench_scale_small());
+    config.protocols = vec![
+        "(rand,head,pushpull)".parse().expect("valid"),
+        "(rand,rand,push)".parse().expect("valid"),
+    ];
+    group.bench_function("lattice_and_random_convergence", |b| {
+        b.iter(|| black_box(fig3::run(&config).lattice.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench for the Figure 4 experiment (degree distribution evolution) at
+//! reduced scale — same workload shape as `experiments fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pss_bench::bench_scale;
+use pss_experiments::fig4;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    let scale = bench_scale();
+    let config = fig4::Fig4Config {
+        scale,
+        capture_at: vec![0, scale.cycles / 10, scale.cycles],
+        protocols: vec![
+            "(rand,head,pushpull)".parse().expect("valid"),
+            "(rand,rand,pushpull)".parse().expect("valid"),
+        ],
+    };
+    group.bench_function("degree_distribution_evolution", |b| {
+        b.iter(|| black_box(fig4::run(&config).evolutions.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

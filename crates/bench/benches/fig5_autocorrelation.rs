@@ -1,0 +1,25 @@
+//! Bench for the Figure 5 experiment (degree autocorrelation) at reduced
+//! scale — same workload shape as `experiments fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pss_bench::bench_scale;
+use pss_experiments::fig5;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    let mut config = fig5::Fig5Config::at_scale(bench_scale());
+    config.max_lag = 20;
+    config.protocols = vec![
+        "(rand,head,pushpull)".parse().expect("valid"),
+        "(rand,rand,pushpull)".parse().expect("valid"),
+    ];
+    group.bench_function("degree_autocorrelation", |b| {
+        b.iter(|| black_box(fig5::run(&config).band));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench for the Figure 6 experiment (node-removal robustness) at reduced
+//! scale — same workload shape as `experiments fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pss_bench::bench_scale;
+use pss_experiments::fig6;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    let mut config = fig6::Fig6Config::at_scale(bench_scale());
+    config.repetitions = 5;
+    config.removal_percents = vec![65.0, 80.0, 95.0];
+    config.protocols = vec!["(rand,head,pushpull)".parse().expect("valid")];
+    group.bench_function("removal_robustness", |b| {
+        b.iter(|| black_box(fig6::run(&config).curves.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

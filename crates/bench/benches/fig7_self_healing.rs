@@ -1,0 +1,25 @@
+//! Bench for the Figure 7 experiment (self-healing after mass failure) at
+//! reduced scale — same workload shape as `experiments fig7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pss_bench::bench_scale;
+use pss_experiments::fig7;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    let mut config = fig7::Fig7Config::at_scale(bench_scale());
+    config.recovery_cycles = 30;
+    config.protocols = vec![
+        "(rand,head,pushpull)".parse().expect("valid"),
+        "(rand,rand,pushpull)".parse().expect("valid"),
+    ];
+    group.bench_function("self_healing", |b| {
+        b.iter(|| black_box(fig7::run(&config).curves.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

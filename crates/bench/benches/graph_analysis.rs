@@ -1,0 +1,54 @@
+//! Graph-analysis throughput: the per-cycle measurement cost of the
+//! evaluation methodology (components, clustering, path lengths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pss_graph::{clustering, components, gen, paths};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn graphs() -> Vec<(usize, pss_graph::UGraph)> {
+    let mut rng = SmallRng::seed_from_u64(3);
+    [1000usize, 5000]
+        .iter()
+        .map(|&n| (n, gen::uniform_view_digraph(n, 30, &mut rng).to_undirected()))
+        .collect()
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connected_components");
+    for (n, g) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |bencher, g| {
+            bencher.iter(|| black_box(components::connected_components(g).count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    for (n, g) in graphs() {
+        group.bench_with_input(BenchmarkId::new("sampled_1000", n), &g, |bencher, g| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            bencher.iter(|| black_box(clustering::estimate_clustering(g, 1000, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("avg_path_length");
+    group.sample_size(10);
+    for (n, g) in graphs() {
+        group.bench_with_input(BenchmarkId::new("sampled_50", n), &g, |bencher, g| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            bencher.iter(|| {
+                black_box(paths::estimate_average_path_length(g, 50, &mut rng).average)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components, bench_clustering, bench_path_length);
+criterion_main!(benches);

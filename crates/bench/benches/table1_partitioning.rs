@@ -1,0 +1,25 @@
+//! Bench for the Table 1 experiment (growing-overlay partitioning) at
+//! reduced scale — same workload shape as `experiments table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pss_bench::bench_scale_small;
+use pss_experiments::table1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let mut config = table1::Table1Config::at_scale(bench_scale_small());
+    config.runs = 2;
+    config.protocols = vec![
+        "(rand,rand,push)".parse().expect("valid"),
+        "(rand,head,pushpull)".parse().expect("valid"),
+    ];
+    group.bench_function("growing_partitioning", |b| {
+        b.iter(|| black_box(table1::run(&config).rows.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench for the Table 2 experiment (traced degree statistics) at reduced
+//! scale — same workload shape as `experiments table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pss_bench::bench_scale;
+use pss_experiments::table2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let mut config = table2::Table2Config::at_scale(bench_scale());
+    config.traced_nodes = 20;
+    config.protocols = vec![
+        "(rand,head,pushpull)".parse().expect("valid"),
+        "(rand,rand,pushpull)".parse().expect("valid"),
+    ];
+    group.bench_function("traced_degree_stats", |b| {
+        b.iter(|| black_box(table2::run(&config).rows.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the core view algebra: merge, select, aging.
+//! These operations run ~3N times per simulated cycle, so their cost
+//! dominates simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pss_core::{NodeDescriptor, NodeId, View, ViewSelection};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn view_of(n: usize, offset: u64) -> View {
+    (0..n as u64)
+        .map(|i| NodeDescriptor::new(NodeId::new(i + offset), (i % 17) as u32))
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_merge");
+    for &size in &[15usize, 30, 60] {
+        let a = view_of(size, 0);
+        let b = view_of(size, (size / 2) as u64); // half overlapping
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bencher, _| {
+            bencher.iter(|| black_box(a.merge(&b, Some(NodeId::new(1)))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_select");
+    let merged = view_of(61, 0);
+    for policy in [ViewSelection::Head, ViewSelection::Tail, ViewSelection::Rand] {
+        group.bench_function(format!("{policy}"), |bencher| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            bencher.iter(|| {
+                let mut v = merged.clone();
+                v.select(policy, 30, &mut rng);
+                black_box(v)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_aging_and_insert(c: &mut Criterion) {
+    c.bench_function("view_increase_hop_counts_30", |bencher| {
+        let v = view_of(30, 0);
+        bencher.iter(|| {
+            let mut v = v.clone();
+            v.increase_hop_counts();
+            black_box(v)
+        });
+    });
+    c.bench_function("view_insert_into_30", |bencher| {
+        let v = view_of(30, 0);
+        bencher.iter(|| {
+            let mut v = v.clone();
+            v.insert(NodeDescriptor::new(NodeId::new(999), 3));
+            black_box(v)
+        });
+    });
+}
+
+criterion_group!(benches, bench_merge, bench_select, bench_aging_and_insert);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Each paper table/figure has a bench target that calls the same
+//! `pss-experiments` entry point the CLI uses, at a reduced scale chosen so
+//! a full `cargo bench` pass stays in the minutes range while preserving
+//! the workload shape (same scenario, same protocols, fewer nodes/cycles).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pss_experiments::Scale;
+
+/// The scale used by the per-experiment benches.
+pub fn bench_scale() -> Scale {
+    Scale {
+        nodes: 500,
+        cycles: 50,
+        view_size: 20,
+        seed: 7,
+    }
+}
+
+/// A smaller scale for the quadratic-ish experiments (full metric sweeps).
+pub fn bench_scale_small() -> Scale {
+    Scale {
+        nodes: 250,
+        cycles: 30,
+        view_size: 15,
+        seed: 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_modest() {
+        assert!(bench_scale().nodes <= 1000);
+        assert!(bench_scale_small().nodes < bench_scale().nodes);
+    }
+}

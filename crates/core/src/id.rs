@@ -1,0 +1,100 @@
+//! Node identifiers.
+
+use core::fmt;
+
+/// Opaque identifier of a node, standing in for its network address.
+///
+/// The paper's system model gives every node "an address that is needed for
+/// sending a message to that node"; in this library the address is an opaque
+/// 64-bit identifier, which drivers map to whatever transport they use (the
+/// simulators use it directly as an index).
+///
+/// # Examples
+///
+/// ```
+/// use pss_core::NodeId;
+///
+/// let id = NodeId::new(7);
+/// assert_eq!(id.as_u64(), 7);
+/// assert_eq!(id.to_string(), "n7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node identifier from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The raw value as a `usize` index (for simulator node tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the value does not fit in `usize` (only
+    /// possible on 32-bit targets with huge identifiers).
+    pub fn as_index(self) -> usize {
+        debug_assert!(self.0 <= usize::MAX as u64);
+        self.0 as usize
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let id = NodeId::new(42);
+        assert_eq!(id.as_u64(), 42);
+        assert_eq!(id.as_index(), 42);
+    }
+
+    #[test]
+    fn conversions() {
+        let id: NodeId = 9u64.into();
+        let raw: u64 = id.into();
+        assert_eq!(raw, 9);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(3), NodeId::new(3));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::new(0).to_string(), "n0");
+        assert_eq!(NodeId::new(123).to_string(), "n123");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+}

@@ -1,0 +1,468 @@
+//! The protocol state machine: the paper's Figure 1 skeleton.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{
+    Exchange, NodeDescriptor, NodeId, PeerSelection, ProtocolConfig, Reply, Request, View,
+};
+
+/// A gossip membership protocol participant, as seen by a driver.
+///
+/// Drivers (cycle simulator, event simulator, or a real transport) move
+/// messages between nodes:
+///
+/// 1. periodically call [`GossipNode::initiate`] on a node; deliver the
+///    produced [`Exchange::request`] to [`Exchange::peer`],
+/// 2. on delivery call [`GossipNode::handle_request`] on the peer; if it
+///    returns a reply, deliver it back,
+/// 3. on delivery of the reply call [`GossipNode::handle_reply`] on the
+///    initiator.
+///
+/// If the peer is unreachable the driver simply drops the messages: the
+/// protocol has no failure detector and heals only through view selection,
+/// exactly as in the paper.
+pub trait GossipNode {
+    /// This node's address.
+    fn id(&self) -> NodeId;
+
+    /// Read access to the current view (for observers building the overlay
+    /// graph).
+    fn view(&self) -> &View;
+
+    /// (Re)initializes the view from bootstrap descriptors, the `init()`
+    /// method of the service API.
+    fn init(&mut self, seeds: &mut dyn Iterator<Item = NodeDescriptor>);
+
+    /// Runs one step of the active thread: selects a peer and produces the
+    /// request to send, or `None` if the view is empty.
+    ///
+    /// Equivalent to [`GossipNode::initiate_filtered`] with every peer
+    /// eligible.
+    fn initiate(&mut self) -> Option<Exchange> {
+        self.initiate_filtered(&mut |_| true)
+    }
+
+    /// Runs one step of the active thread, selecting a peer only among view
+    /// entries for which `eligible` returns true.
+    ///
+    /// The paper specifies that `selectPeer()` "returns the address of a
+    /// **live** node as found in the caller's current view": cycle drivers
+    /// pass a liveness predicate here, modeling the timeout-and-retry a real
+    /// deployment performs within one period. Returns `None` when no
+    /// eligible entry exists. Side effects that happen once per cycle (view
+    /// aging) still apply even when `None` is returned.
+    fn initiate_filtered(
+        &mut self,
+        eligible: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<Exchange>;
+
+    /// Runs the passive thread on an incoming request, returning the reply
+    /// to send back if the request wants one.
+    fn handle_request(&mut self, from: NodeId, request: Request) -> Option<Reply>;
+
+    /// Completes an exchange on the active side with the received reply.
+    fn handle_reply(&mut self, from: NodeId, reply: Reply);
+}
+
+/// The generic gossip-based peer sampling node of the paper (Figure 1),
+/// parameterized by a [`ProtocolConfig`].
+///
+/// Hop-count bookkeeping follows the skeleton exactly:
+///
+/// * the sender merges its own fresh descriptor `(self, 0)` into outgoing
+///   content,
+/// * every receiver increments the hop counts of all received descriptors
+///   before merging,
+/// * `merge` keeps the lowest hop count per node and never stores the
+///   node's own descriptor,
+/// * `selectView` truncates to `c` entries by the view selection policy.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct PeerSamplingNode {
+    id: NodeId,
+    config: ProtocolConfig,
+    view: View,
+    rng: SmallRng,
+}
+
+impl PeerSamplingNode {
+    /// Creates a node with a deterministic RNG seed. All stochastic choices
+    /// (rand peer/view selection, `getPeer` sampling) derive from this seed.
+    pub fn with_seed(id: NodeId, config: ProtocolConfig, seed: u64) -> Self {
+        PeerSamplingNode {
+            id,
+            config,
+            view: View::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Convenience [`GossipNode::init`] accepting any descriptor collection.
+    pub fn init(&mut self, seeds: impl IntoIterator<Item = NodeDescriptor>) {
+        GossipNode::init(self, &mut seeds.into_iter());
+    }
+
+    /// The node's static configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Selects the exchange partner among eligible view entries per the
+    /// peer selection policy. `None` if no eligible entry exists.
+    fn select_exchange_peer(
+        &mut self,
+        eligible: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        match self.config.policy().peer_selection {
+            PeerSelection::Head => self.view.ids().find(|&id| eligible(id)),
+            PeerSelection::Tail => {
+                let mut last = None;
+                for id in self.view.ids() {
+                    if eligible(id) {
+                        last = Some(id);
+                    }
+                }
+                last
+            }
+            PeerSelection::Rand => {
+                let candidates: Vec<NodeId> =
+                    self.view.ids().filter(|&id| eligible(id)).collect();
+                if candidates.is_empty() {
+                    None
+                } else {
+                    Some(candidates[self.rng.random_range(0..candidates.len())])
+                }
+            }
+        }
+    }
+
+    /// The content pushed to a peer: `merge(view, {(self, 0)})`.
+    fn outgoing_descriptors(&self) -> Vec<NodeDescriptor> {
+        let own = View::from_descriptors([NodeDescriptor::fresh(self.id)]);
+        self.view.merge(&own, None).descriptors().to_vec()
+    }
+
+    /// Merges received descriptors (already hop-incremented) into the view
+    /// and truncates: `view ← selectView(merge(view_p, view))`.
+    fn absorb(&mut self, received: View) {
+        let merged = received.merge(&self.view, Some(self.id));
+        self.view = merged;
+        self.view
+            .select(self.config.policy().view_selection, self.config.view_size(), &mut self.rng);
+        debug_assert!(self.view.invariants_hold());
+    }
+
+    /// Uniform random peer from the view — the `getPeer()` implementation
+    /// (see also the [`crate::PeerSampler`] trait).
+    pub fn sample_peer(&mut self) -> Option<NodeId> {
+        self.view.sample(&mut self.rng).map(|d| d.id())
+    }
+
+    /// Exposes the RNG for drivers needing auxiliary deterministic choices.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+impl GossipNode for PeerSamplingNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn view(&self) -> &View {
+        &self.view
+    }
+
+    fn init(&mut self, seeds: &mut dyn Iterator<Item = NodeDescriptor>) {
+        self.view = View::from_descriptors(seeds.filter(|d| d.id() != self.id));
+        let vs = self.config.policy().view_selection;
+        let c = self.config.view_size();
+        self.view.select(vs, c, &mut self.rng);
+    }
+
+    fn initiate_filtered(
+        &mut self,
+        eligible: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<Exchange> {
+        // Age the stored view once per cycle. The paper's pseudocode only
+        // shows hop counts incremented on receipt, but its published
+        // dynamics (e.g. exponential dead-link removal under head view
+        // selection, Figure 7) require stored descriptors to age as well —
+        // taken literally, never-aging entries freeze the topology under
+        // head selection. The authors' follow-up formalization (TOCS 2007)
+        // makes this explicit as `view.increaseAge()` once per cycle; we do
+        // the same here, at the start of the active thread.
+        self.view.increase_hop_counts();
+        let peer = self.select_exchange_peer(eligible)?;
+        let propagation = self.config.policy().propagation;
+        let descriptors = if propagation.is_push() {
+            self.outgoing_descriptors()
+        } else {
+            Vec::new() // "empty view to trigger response"
+        };
+        Some(Exchange {
+            peer,
+            request: Request {
+                descriptors,
+                wants_reply: propagation.is_pull(),
+            },
+        })
+    }
+
+    fn handle_request(&mut self, _from: NodeId, request: Request) -> Option<Reply> {
+        // Build the reply from the *pre-merge* view, as in the skeleton.
+        let reply = request.wants_reply.then(|| Reply {
+            descriptors: self.outgoing_descriptors(),
+        });
+        let mut received = View::from_descriptors(request.descriptors);
+        received.increase_hop_counts();
+        self.absorb(received);
+        reply
+    }
+
+    fn handle_reply(&mut self, _from: NodeId, reply: Reply) {
+        let mut received = View::from_descriptors(reply.descriptors);
+        received.increase_hop_counts();
+        self.absorb(received);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PolicyTriple, ViewPropagation, ViewSelection};
+
+    fn config(policy: &str, c: usize) -> ProtocolConfig {
+        ProtocolConfig::new(policy.parse().unwrap(), c).unwrap()
+    }
+
+    fn node(id: u64, policy: &str, c: usize) -> PeerSamplingNode {
+        PeerSamplingNode::with_seed(NodeId::new(id), config(policy, c), id.wrapping_mul(7) + 1)
+    }
+
+    fn seeded(id: u64, policy: &str, c: usize, seeds: &[(u64, u32)]) -> PeerSamplingNode {
+        let mut n = node(id, policy, c);
+        n.init(
+            seeds
+                .iter()
+                .map(|&(i, h)| NodeDescriptor::new(NodeId::new(i), h)),
+        );
+        n
+    }
+
+    #[test]
+    fn init_drops_self_and_truncates() {
+        let n = seeded(0, "(rand,head,pushpull)", 2, &[(0, 0), (1, 1), (2, 2), (3, 3)]);
+        assert!(!n.view().contains(NodeId::new(0)));
+        assert_eq!(n.view().len(), 2);
+        // Head selection keeps the freshest two.
+        assert!(n.view().contains(NodeId::new(1)));
+        assert!(n.view().contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn initiate_with_empty_view_is_none() {
+        let mut n = node(0, "(rand,head,pushpull)", 30);
+        assert!(n.initiate().is_none());
+    }
+
+    #[test]
+    fn push_request_carries_view_plus_self() {
+        let mut n = seeded(0, "(rand,head,push)", 30, &[(1, 4), (2, 2)]);
+        let ex = n.initiate().unwrap();
+        assert!(!ex.request.wants_reply);
+        assert_eq!(ex.request.len(), 3);
+        let own = ex
+            .request
+            .descriptors
+            .iter()
+            .find(|d| d.id() == NodeId::new(0))
+            .expect("own descriptor included");
+        assert_eq!(own.hop_count(), 0);
+    }
+
+    #[test]
+    fn pull_request_is_empty_and_wants_reply() {
+        let mut n = seeded(0, "(rand,head,pull)", 30, &[(1, 4)]);
+        let ex = n.initiate().unwrap();
+        assert!(ex.request.is_empty());
+        assert!(ex.request.wants_reply);
+    }
+
+    #[test]
+    fn pushpull_request_carries_view_and_wants_reply() {
+        let mut n = seeded(0, "(rand,head,pushpull)", 30, &[(1, 4)]);
+        let ex = n.initiate().unwrap();
+        assert_eq!(ex.request.len(), 2);
+        assert!(ex.request.wants_reply);
+    }
+
+    #[test]
+    fn head_peer_selection_picks_freshest() {
+        let mut n = seeded(0, "(head,head,pushpull)", 30, &[(1, 4), (2, 1), (3, 9)]);
+        let ex = n.initiate().unwrap();
+        assert_eq!(ex.peer, NodeId::new(2));
+    }
+
+    #[test]
+    fn tail_peer_selection_picks_stalest() {
+        let mut n = seeded(0, "(tail,head,pushpull)", 30, &[(1, 4), (2, 1), (3, 9)]);
+        let ex = n.initiate().unwrap();
+        assert_eq!(ex.peer, NodeId::new(3));
+    }
+
+    #[test]
+    fn rand_peer_selection_stays_in_view() {
+        let mut n = seeded(0, "(rand,head,pushpull)", 30, &[(1, 1), (2, 2), (3, 3)]);
+        for _ in 0..50 {
+            let ex = n.initiate().unwrap();
+            assert!(n.view().contains(ex.peer));
+        }
+    }
+
+    #[test]
+    fn handle_request_increments_hop_counts() {
+        let mut receiver = seeded(1, "(rand,head,pushpull)", 30, &[(2, 5)]);
+        let request = Request {
+            descriptors: vec![NodeDescriptor::fresh(NodeId::new(0))],
+            wants_reply: false,
+        };
+        receiver.handle_request(NodeId::new(0), request);
+        // Received at hop 0, stored at hop 1.
+        assert_eq!(receiver.view().hop_count_of(NodeId::new(0)), Some(1));
+    }
+
+    #[test]
+    fn handle_request_reply_is_pre_merge_view() {
+        let mut receiver = seeded(1, "(rand,head,pushpull)", 30, &[(2, 5)]);
+        let request = Request {
+            descriptors: vec![NodeDescriptor::fresh(NodeId::new(0))],
+            wants_reply: true,
+        };
+        let reply = receiver.handle_request(NodeId::new(0), request).unwrap();
+        // Reply contains the old view (n2) plus self (n1), but NOT the just
+        // received n0.
+        let ids: Vec<NodeId> = reply.descriptors.iter().map(|d| d.id()).collect();
+        assert!(ids.contains(&NodeId::new(1)));
+        assert!(ids.contains(&NodeId::new(2)));
+        assert!(!ids.contains(&NodeId::new(0)));
+    }
+
+    #[test]
+    fn push_request_gets_no_reply() {
+        let mut receiver = seeded(1, "(rand,head,push)", 30, &[(2, 5)]);
+        let request = Request {
+            descriptors: vec![NodeDescriptor::fresh(NodeId::new(0))],
+            wants_reply: false,
+        };
+        assert!(receiver.handle_request(NodeId::new(0), request).is_none());
+    }
+
+    #[test]
+    fn handle_reply_merges_and_ages() {
+        let mut n = seeded(0, "(rand,head,pushpull)", 30, &[(1, 3)]);
+        n.handle_reply(
+            NodeId::new(1),
+            Reply {
+                descriptors: vec![
+                    NodeDescriptor::fresh(NodeId::new(1)),
+                    NodeDescriptor::new(NodeId::new(2), 7),
+                ],
+            },
+        );
+        // Fresh n1@0 arrives as n1@1, beating the stored n1@3.
+        assert_eq!(n.view().hop_count_of(NodeId::new(1)), Some(1));
+        assert_eq!(n.view().hop_count_of(NodeId::new(2)), Some(8));
+    }
+
+    #[test]
+    fn own_descriptor_never_enters_own_view() {
+        let mut n = seeded(0, "(rand,head,pushpull)", 30, &[(1, 3)]);
+        n.handle_reply(
+            NodeId::new(1),
+            Reply {
+                descriptors: vec![NodeDescriptor::new(NodeId::new(0), 2)],
+            },
+        );
+        assert!(!n.view().contains(NodeId::new(0)));
+    }
+
+    #[test]
+    fn view_never_exceeds_capacity() {
+        let mut n = seeded(0, "(rand,rand,pushpull)", 3, &[(1, 1), (2, 2), (3, 3)]);
+        let reply = Reply {
+            descriptors: (10..30)
+                .map(|i| NodeDescriptor::new(NodeId::new(i), i as u32))
+                .collect(),
+        };
+        n.handle_reply(NodeId::new(1), reply);
+        assert_eq!(n.view().len(), 3);
+        assert!(n.view().invariants_hold());
+    }
+
+    #[test]
+    fn full_pushpull_exchange_symmetric_learning() {
+        let cfg = config("(rand,head,pushpull)", 30);
+        let mut a = PeerSamplingNode::with_seed(NodeId::new(0), cfg.clone(), 1);
+        let mut b = PeerSamplingNode::with_seed(NodeId::new(1), cfg, 2);
+        a.init([NodeDescriptor::fresh(NodeId::new(1))]);
+        b.init([NodeDescriptor::fresh(NodeId::new(2))]);
+
+        let ex = a.initiate().unwrap();
+        assert_eq!(ex.peer, NodeId::new(1));
+        let reply = b.handle_request(NodeId::new(0), ex.request).unwrap();
+        a.handle_reply(NodeId::new(1), reply);
+
+        // b learned about a; a learned about node 2 via b.
+        assert!(b.view().contains(NodeId::new(0)));
+        assert!(a.view().contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let make = || {
+            let mut n = seeded(0, "(rand,rand,pushpull)", 5, &[(1, 1), (2, 2), (3, 3), (4, 4)]);
+            let mut trace = Vec::new();
+            for _ in 0..10 {
+                let ex = n.initiate().unwrap();
+                trace.push(ex.peer);
+                n.handle_reply(
+                    ex.peer,
+                    Reply {
+                        descriptors: vec![NodeDescriptor::fresh(ex.peer)],
+                    },
+                );
+            }
+            trace
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn sample_peer_returns_view_member() {
+        let mut n = seeded(0, "(rand,head,pushpull)", 30, &[(1, 1), (2, 2)]);
+        for _ in 0..20 {
+            let p = n.sample_peer().unwrap();
+            assert!(n.view().contains(p));
+        }
+        let mut empty = node(5, "(rand,head,pushpull)", 30);
+        assert!(empty.sample_peer().is_none());
+    }
+
+    #[test]
+    fn config_accessor() {
+        let n = node(0, "(rand,head,push)", 7);
+        assert_eq!(n.config().view_size(), 7);
+        assert_eq!(n.config().policy().propagation, ViewPropagation::Push);
+        assert_eq!(n.config().policy().view_selection, ViewSelection::Head);
+        assert_eq!(n.config().policy(), PolicyTriple::new(
+            crate::PeerSelection::Rand,
+            ViewSelection::Head,
+            ViewPropagation::Push,
+        ));
+    }
+}

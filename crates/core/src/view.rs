@@ -1,0 +1,468 @@
+//! Partial views: hop-count-ordered sets of node descriptors.
+
+use core::fmt;
+
+use rand::seq::index::sample;
+use rand::Rng;
+
+use crate::{NodeDescriptor, NodeId, ViewSelection};
+
+/// A partial view: "a list with at most one descriptor per node and ordered
+/// according to increasing hop count" (paper, Section 3).
+///
+/// Invariants maintained by every operation:
+///
+/// 1. at most one descriptor per node,
+/// 2. entries sorted by increasing hop count,
+/// 3. ties in hop count keep their insertion order (stable).
+///
+/// The tie rule matters more than it looks. The paper notes the first/last
+/// `k` elements are "not always uniquely defined" under ties — incidental
+/// list order, varying per node. A *globally consistent* tie-break (e.g. by
+/// node id) instead injects systematic selection pressure: under `head`
+/// view selection every node then prefers the same low-id descriptors,
+/// views concentrate on a few hubs, and small overlays even partition. We
+/// verified this experimentally; stable insertion order reproduces the
+/// paper's balanced behavior while staying fully deterministic.
+///
+/// The view does **not** enforce a size bound itself: the protocol merges
+/// freely and then truncates with [`View::select`], matching the
+/// `merge`/`selectView` split of the paper's skeleton.
+///
+/// # Examples
+///
+/// ```
+/// use pss_core::{NodeDescriptor, NodeId, View};
+///
+/// let mut view = View::new();
+/// view.insert(NodeDescriptor::new(NodeId::new(5), 2));
+/// view.insert(NodeDescriptor::new(NodeId::new(9), 0));
+/// // Ordered by hop count: n9@0 first.
+/// assert_eq!(view.head().unwrap().id(), NodeId::new(9));
+/// // Re-inserting the same node keeps the freshest descriptor.
+/// view.insert(NodeDescriptor::new(NodeId::new(5), 1));
+/// assert_eq!(view.hop_count_of(NodeId::new(5)), Some(1));
+/// assert_eq!(view.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct View {
+    /// Sorted by hop count; ties keep insertion order.
+    entries: Vec<NodeDescriptor>,
+}
+
+impl View {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        View::default()
+    }
+
+    /// Builds a view from arbitrary descriptors, deduplicating per node
+    /// (keeping the lowest hop count) and sorting by hop count.
+    pub fn from_descriptors(descriptors: impl IntoIterator<Item = NodeDescriptor>) -> Self {
+        let mut view = View::new();
+        for d in descriptors {
+            view.insert(d);
+        }
+        view
+    }
+
+    /// Number of descriptors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the view holds no descriptors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The descriptors in hop-count order.
+    pub fn descriptors(&self) -> &[NodeDescriptor] {
+        &self.entries
+    }
+
+    /// Iterator over the descriptors in hop-count order.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeDescriptor> {
+        self.entries.iter()
+    }
+
+    /// Iterator over the node ids in hop-count order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|d| d.id())
+    }
+
+    /// The freshest descriptor (lowest hop count), if any.
+    pub fn head(&self) -> Option<&NodeDescriptor> {
+        self.entries.first()
+    }
+
+    /// The stalest descriptor (highest hop count), if any.
+    pub fn tail(&self) -> Option<&NodeDescriptor> {
+        self.entries.last()
+    }
+
+    /// True if the view holds a descriptor for `id`.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.entries.iter().any(|d| d.id() == id)
+    }
+
+    /// Hop count of the descriptor for `id`, if present.
+    pub fn hop_count_of(&self, id: NodeId) -> Option<u32> {
+        self.entries.iter().find(|d| d.id() == id).map(|d| d.hop_count())
+    }
+
+    /// Inserts `d`, keeping the lower hop count if a descriptor for the same
+    /// node already exists. New entries go after existing ones with the
+    /// same hop count (stable).
+    pub fn insert(&mut self, d: NodeDescriptor) {
+        if let Some(pos) = self.entries.iter().position(|e| e.id() == d.id()) {
+            if self.entries[pos].hop_count() <= d.hop_count() {
+                return;
+            }
+            self.entries.remove(pos);
+        }
+        let at = self
+            .entries
+            .partition_point(|e| e.hop_count() <= d.hop_count());
+        self.entries.insert(at, d);
+    }
+
+    /// Removes and returns the descriptor for `id`, if present.
+    pub fn remove(&mut self, id: NodeId) -> Option<NodeDescriptor> {
+        let pos = self.entries.iter().position(|d| d.id() == id)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Keeps only descriptors matching the predicate.
+    pub fn retain(&mut self, f: impl FnMut(&NodeDescriptor) -> bool) {
+        self.entries.retain(f);
+    }
+
+    /// Increments every descriptor's hop count (saturating), as
+    /// `increaseHopCount(view)` does to a received view.
+    pub fn increase_hop_counts(&mut self) {
+        for d in &mut self.entries {
+            *d = d.aged();
+        }
+        // Saturation at u32::MAX could merge previously distinct keys but
+        // never breaks the (hop, id) order.
+    }
+
+    /// The paper's `merge(view1, view2)`: the union of both views, with the
+    /// lowest-hop-count descriptor kept when both contain the same node.
+    /// `self`'s entries precede `other`'s on equal hop counts (the paper's
+    /// active thread calls `merge(view_p, view)` — received entries first).
+    ///
+    /// Descriptors of `excluded` (the merging node itself) are dropped — a
+    /// node never stores its own descriptor in its own view.
+    #[must_use]
+    pub fn merge(&self, other: &View, excluded: Option<NodeId>) -> View {
+        let mut merged: Vec<NodeDescriptor> = Vec::with_capacity(self.len() + other.len());
+        for d in self
+            .entries
+            .iter()
+            .chain(other.entries.iter())
+            .filter(|d| Some(d.id()) != excluded)
+        {
+            // Per-node dedup keeping the lower hop count; the surviving
+            // occurrence keeps its concatenation position, the stable sort
+            // below then orders purely by hop count.
+            match merged.iter().position(|e| e.id() == d.id()) {
+                Some(pos) if merged[pos].hop_count() <= d.hop_count() => {}
+                Some(pos) => merged[pos] = *d,
+                None => merged.push(*d),
+            }
+        }
+        merged.sort_by_key(|d| d.hop_count()); // stable
+        View { entries: merged }
+    }
+
+    /// The paper's `selectView`: truncates to at most `c` descriptors
+    /// according to the view selection policy. The surviving descriptors
+    /// remain in hop-count order.
+    pub fn select(&mut self, policy: ViewSelection, c: usize, rng: &mut impl Rng) {
+        if self.entries.len() <= c {
+            return;
+        }
+        match policy {
+            ViewSelection::Head => self.entries.truncate(c),
+            ViewSelection::Tail => {
+                self.entries.drain(..self.entries.len() - c);
+            }
+            ViewSelection::Rand => {
+                let mut chosen: Vec<usize> = sample(rng, self.entries.len(), c).into_iter().collect();
+                chosen.sort_unstable();
+                self.entries = chosen.into_iter().map(|i| self.entries[i]).collect();
+            }
+        }
+    }
+
+    /// Uniform random descriptor from the view, if any. This is the paper's
+    /// "simplest possible implementation" of `getPeer()`.
+    pub fn sample(&self, rng: &mut impl Rng) -> Option<&NodeDescriptor> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(&self.entries[rng.random_range(0..self.entries.len())])
+        }
+    }
+
+    /// Checks the structural invariants; used by tests and debug assertions.
+    pub fn invariants_hold(&self) -> bool {
+        let sorted = self
+            .entries
+            .windows(2)
+            .all(|w| w[0].hop_count() <= w[1].hop_count());
+        let mut ids: Vec<u64> = self.entries.iter().map(|d| d.id().as_u64()).collect();
+        ids.sort_unstable();
+        let unique = ids.windows(2).all(|w| w[0] != w[1]);
+        sorted && unique
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<NodeDescriptor> for View {
+    fn from_iter<I: IntoIterator<Item = NodeDescriptor>>(iter: I) -> Self {
+        View::from_descriptors(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a View {
+    type Item = &'a NodeDescriptor;
+    type IntoIter = std::slice::Iter<'a, NodeDescriptor>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn d(id: u64, hops: u32) -> NodeDescriptor {
+        NodeDescriptor::new(NodeId::new(id), hops)
+    }
+
+    #[test]
+    fn empty_view() {
+        let v = View::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.head(), None);
+        assert_eq!(v.tail(), None);
+        assert!(v.invariants_hold());
+        assert_eq!(v.to_string(), "[]");
+    }
+
+    #[test]
+    fn insert_keeps_hop_order() {
+        let mut v = View::new();
+        v.insert(d(1, 5));
+        v.insert(d(2, 1));
+        v.insert(d(3, 3));
+        let hops: Vec<u32> = v.iter().map(|x| x.hop_count()).collect();
+        assert_eq!(hops, vec![1, 3, 5]);
+        assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn insert_dedups_keeping_freshest() {
+        let mut v = View::new();
+        v.insert(d(1, 5));
+        v.insert(d(1, 2));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.hop_count_of(NodeId::new(1)), Some(2));
+        // Staler duplicate is ignored.
+        v.insert(d(1, 9));
+        assert_eq!(v.hop_count_of(NodeId::new(1)), Some(2));
+    }
+
+    #[test]
+    fn ties_preserve_insertion_order() {
+        let mut v = View::new();
+        v.insert(d(9, 3));
+        v.insert(d(1, 3));
+        v.insert(d(5, 3));
+        let ids: Vec<u64> = v.ids().map(|i| i.as_u64()).collect();
+        assert_eq!(ids, vec![9, 1, 5]);
+    }
+
+    #[test]
+    fn tied_insert_goes_after_equal_hops_but_before_higher() {
+        let mut v = View::new();
+        v.insert(d(1, 2));
+        v.insert(d(2, 4));
+        v.insert(d(3, 2));
+        let ids: Vec<u64> = v.ids().map(|i| i.as_u64()).collect();
+        assert_eq!(ids, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn merge_tie_order_puts_self_entries_first() {
+        let a: View = [d(10, 3)].into_iter().collect();
+        let b: View = [d(20, 3)].into_iter().collect();
+        let m = a.merge(&b, None);
+        let ids: Vec<u64> = m.ids().map(|i| i.as_u64()).collect();
+        assert_eq!(ids, vec![10, 20]);
+        let m2 = b.merge(&a, None);
+        let ids2: Vec<u64> = m2.ids().map(|i| i.as_u64()).collect();
+        assert_eq!(ids2, vec![20, 10]);
+    }
+
+    #[test]
+    fn head_and_tail() {
+        let v: View = [d(1, 7), d(2, 0), d(3, 4)].into_iter().collect();
+        assert_eq!(v.head().unwrap().id(), NodeId::new(2));
+        assert_eq!(v.tail().unwrap().id(), NodeId::new(1));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut v: View = [d(1, 1), d(2, 2)].into_iter().collect();
+        assert!(v.contains(NodeId::new(1)));
+        let removed = v.remove(NodeId::new(1)).unwrap();
+        assert_eq!(removed, d(1, 1));
+        assert!(!v.contains(NodeId::new(1)));
+        assert_eq!(v.remove(NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut v: View = [d(1, 1), d(2, 2), d(3, 3)].into_iter().collect();
+        v.retain(|x| x.hop_count() < 3);
+        assert_eq!(v.len(), 2);
+        assert!(!v.contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn increase_hop_counts_ages_everything() {
+        let mut v: View = [d(1, 0), d(2, 7)].into_iter().collect();
+        v.increase_hop_counts();
+        assert_eq!(v.hop_count_of(NodeId::new(1)), Some(1));
+        assert_eq!(v.hop_count_of(NodeId::new(2)), Some(8));
+        assert!(v.invariants_hold());
+    }
+
+    #[test]
+    fn merge_keeps_lowest_hop_count() {
+        let a: View = [d(1, 5), d(2, 3)].into_iter().collect();
+        let b: View = [d(1, 2), d(3, 4)].into_iter().collect();
+        let m = a.merge(&b, None);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.hop_count_of(NodeId::new(1)), Some(2));
+        assert_eq!(m.hop_count_of(NodeId::new(2)), Some(3));
+        assert_eq!(m.hop_count_of(NodeId::new(3)), Some(4));
+        assert!(m.invariants_hold());
+    }
+
+    #[test]
+    fn merge_excludes_self() {
+        let a: View = [d(1, 5)].into_iter().collect();
+        let b: View = [d(7, 0), d(2, 1)].into_iter().collect();
+        let m = a.merge(&b, Some(NodeId::new(7)));
+        assert!(!m.contains(NodeId::new(7)));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a: View = [d(1, 1), d(2, 2)].into_iter().collect();
+        let m = a.merge(&View::new(), None);
+        assert_eq!(m, a);
+        let m2 = View::new().merge(&a, None);
+        assert_eq!(m2, a);
+    }
+
+    #[test]
+    fn select_head_keeps_freshest() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut v: View = (0..10).map(|i| d(i, i as u32)).collect();
+        v.select(ViewSelection::Head, 3, &mut rng);
+        let hops: Vec<u32> = v.iter().map(|x| x.hop_count()).collect();
+        assert_eq!(hops, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn select_tail_keeps_stalest() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut v: View = (0..10).map(|i| d(i, i as u32)).collect();
+        v.select(ViewSelection::Tail, 3, &mut rng);
+        let hops: Vec<u32> = v.iter().map(|x| x.hop_count()).collect();
+        assert_eq!(hops, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn select_rand_keeps_subset_in_order() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let original: View = (0..20).map(|i| d(i, i as u32)).collect();
+        let mut v = original.clone();
+        v.select(ViewSelection::Rand, 8, &mut rng);
+        assert_eq!(v.len(), 8);
+        assert!(v.invariants_hold());
+        for x in v.iter() {
+            assert!(original.contains(x.id()));
+        }
+    }
+
+    #[test]
+    fn select_no_op_when_small_enough() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let original: View = (0..3).map(|i| d(i, i as u32)).collect();
+        for policy in [ViewSelection::Head, ViewSelection::Tail, ViewSelection::Rand] {
+            let mut v = original.clone();
+            v.select(policy, 3, &mut rng);
+            assert_eq!(v, original);
+            let mut v = original.clone();
+            v.select(policy, 10, &mut rng);
+            assert_eq!(v, original);
+        }
+    }
+
+    #[test]
+    fn sample_is_some_iff_non_empty() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(View::new().sample(&mut rng).is_none());
+        let v: View = [d(1, 0)].into_iter().collect();
+        assert_eq!(v.sample(&mut rng).unwrap().id(), NodeId::new(1));
+    }
+
+    #[test]
+    fn sample_covers_all_entries() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let v: View = (0..5).map(|i| d(i, 0)).collect();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(v.sample(&mut rng).unwrap().id());
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn display_lists_descriptors() {
+        let v: View = [d(1, 0), d(2, 3)].into_iter().collect();
+        assert_eq!(v.to_string(), "[n1@0 n2@3]");
+    }
+
+    #[test]
+    fn into_iterator_for_reference() {
+        let v: View = [d(1, 0), d(2, 3)].into_iter().collect();
+        let count = (&v).into_iter().count();
+        assert_eq!(count, 2);
+    }
+}

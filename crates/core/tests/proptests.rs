@@ -1,0 +1,205 @@
+//! Property-based tests for view algebra and the protocol state machine.
+
+use proptest::prelude::*;
+use pss_core::{
+    GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, PolicyTriple, ProtocolConfig, Reply,
+    View, ViewSelection,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn descriptor_strategy() -> impl Strategy<Value = NodeDescriptor> {
+    (0u64..50, 0u32..100).prop_map(|(id, hops)| NodeDescriptor::new(NodeId::new(id), hops))
+}
+
+fn descriptors(max: usize) -> impl Strategy<Value = Vec<NodeDescriptor>> {
+    prop::collection::vec(descriptor_strategy(), 0..max)
+}
+
+fn policies() -> impl Strategy<Value = PolicyTriple> {
+    prop::sample::select(PolicyTriple::all())
+}
+
+proptest! {
+    #[test]
+    fn view_construction_holds_invariants(ds in descriptors(60)) {
+        let v = View::from_descriptors(ds.clone());
+        prop_assert!(v.invariants_hold());
+        // Every distinct id appears exactly once with its minimal hop count.
+        for d in &ds {
+            let min = ds
+                .iter()
+                .filter(|x| x.id() == d.id())
+                .map(|x| x.hop_count())
+                .min()
+                .unwrap();
+            prop_assert_eq!(v.hop_count_of(d.id()), Some(min));
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_as_a_set(a in descriptors(40), b in descriptors(40)) {
+        let va = View::from_descriptors(a);
+        let vb = View::from_descriptors(b);
+        let ab = va.merge(&vb, None);
+        let ba = vb.merge(&va, None);
+        // Tie order depends on argument order (stable list semantics), but
+        // the *content* — (id, hop count) pairs — must be identical.
+        let as_set = |v: &View| {
+            let mut pairs: Vec<(u64, u32)> =
+                v.iter().map(|d| (d.id().as_u64(), d.hop_count())).collect();
+            pairs.sort_unstable();
+            pairs
+        };
+        prop_assert_eq!(as_set(&ab), as_set(&ba));
+    }
+
+    #[test]
+    fn merge_is_idempotent(a in descriptors(40)) {
+        let v = View::from_descriptors(a);
+        prop_assert_eq!(v.merge(&v, None), v.clone());
+    }
+
+    #[test]
+    fn merge_keeps_minimum_hop_count(a in descriptors(40), b in descriptors(40)) {
+        let va = View::from_descriptors(a.clone());
+        let vb = View::from_descriptors(b.clone());
+        let m = va.merge(&vb, None);
+        prop_assert!(m.invariants_hold());
+        for d in a.iter().chain(b.iter()) {
+            let min = a
+                .iter()
+                .chain(b.iter())
+                .filter(|x| x.id() == d.id())
+                .map(|x| x.hop_count())
+                .min()
+                .unwrap();
+            prop_assert_eq!(m.hop_count_of(d.id()), Some(min));
+        }
+    }
+
+    #[test]
+    fn merge_exclusion_removes_id(a in descriptors(40), b in descriptors(40), excluded in 0u64..50) {
+        let va = View::from_descriptors(a);
+        let vb = View::from_descriptors(b);
+        let m = va.merge(&vb, Some(NodeId::new(excluded)));
+        prop_assert!(!m.contains(NodeId::new(excluded)));
+    }
+
+    #[test]
+    fn select_truncates_to_capacity(ds in descriptors(80), c in 1usize..40, seed in 0u64..100) {
+        for policy in [ViewSelection::Head, ViewSelection::Tail, ViewSelection::Rand] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut v = View::from_descriptors(ds.clone());
+            let before = v.clone();
+            v.select(policy, c, &mut rng);
+            prop_assert!(v.len() <= c.max(before.len().min(c)));
+            prop_assert!(v.len() == before.len().min(c));
+            prop_assert!(v.invariants_hold());
+            // Selection returns a subset.
+            for d in v.iter() {
+                prop_assert_eq!(before.hop_count_of(d.id()), Some(d.hop_count()));
+            }
+        }
+    }
+
+    #[test]
+    fn select_head_keeps_minimal_hops(ds in descriptors(80), c in 1usize..20) {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut v = View::from_descriptors(ds);
+        let before = v.clone();
+        v.select(ViewSelection::Head, c, &mut rng);
+        if let (Some(kept_max), true) = (v.tail().map(|d| d.hop_count()), v.len() < before.len()) {
+            // Every dropped entry has hop count >= every kept entry.
+            for d in before.iter() {
+                if !v.contains(d.id()) {
+                    prop_assert!(d.hop_count() >= kept_max);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aging_preserves_order_and_ids(ds in descriptors(50)) {
+        let mut v = View::from_descriptors(ds);
+        let ids_before: Vec<NodeId> = v.ids().collect();
+        let hops_before: Vec<u32> = v.iter().map(|d| d.hop_count()).collect();
+        v.increase_hop_counts();
+        prop_assert!(v.invariants_hold());
+        let ids_after: Vec<NodeId> = v.ids().collect();
+        prop_assert_eq!(ids_before, ids_after);
+        for (before, after) in hops_before.iter().zip(v.iter()) {
+            prop_assert_eq!(after.hop_count(), before.saturating_add(1));
+        }
+    }
+
+    #[test]
+    fn node_view_respects_capacity_after_any_reply(
+        policy in policies(),
+        c in 1usize..20,
+        seeds in descriptors(30),
+        incoming in descriptors(30),
+        seed in 0u64..1000,
+    ) {
+        let config = ProtocolConfig::new(policy, c).unwrap();
+        let mut node = PeerSamplingNode::with_seed(NodeId::new(999), config, seed);
+        node.init(seeds);
+        prop_assert!(node.view().len() <= c);
+        node.handle_reply(NodeId::new(0), Reply { descriptors: incoming });
+        prop_assert!(node.view().len() <= c);
+        prop_assert!(node.view().invariants_hold());
+        prop_assert!(!node.view().contains(NodeId::new(999)));
+    }
+
+    #[test]
+    fn initiated_requests_match_policy(
+        policy in policies(),
+        seeds in descriptors(30),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(!seeds.is_empty());
+        let config = ProtocolConfig::new(policy, 10).unwrap();
+        let mut node = PeerSamplingNode::with_seed(NodeId::new(999), config, seed);
+        node.init(seeds);
+        prop_assume!(!node.view().is_empty());
+        let ex = node.initiate().unwrap();
+        prop_assert!(node.view().contains(ex.peer));
+        prop_assert_eq!(ex.request.wants_reply, policy.propagation.is_pull());
+        if policy.propagation.is_push() {
+            // Own fresh descriptor is always carried.
+            prop_assert!(ex
+                .request
+                .descriptors
+                .iter()
+                .any(|d| d.id() == NodeId::new(999) && d.hop_count() == 0));
+        } else {
+            prop_assert!(ex.request.is_empty());
+        }
+    }
+
+    #[test]
+    fn exchanges_are_deterministic_per_seed(
+        policy in policies(),
+        seeds in descriptors(30),
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let config = ProtocolConfig::new(policy, 10).unwrap();
+            let mut a = PeerSamplingNode::with_seed(NodeId::new(0), config.clone(), seed);
+            let mut b = PeerSamplingNode::with_seed(NodeId::new(1), config, seed + 1);
+            a.init(seeds.clone().into_iter().chain([NodeDescriptor::fresh(NodeId::new(1))]));
+            b.init(seeds.clone());
+            for _ in 0..5 {
+                if let Some(ex) = a.initiate() {
+                    if ex.peer == b.id() {
+                        if let Some(reply) = b.handle_request(a.id(), ex.request) {
+                            a.handle_reply(b.id(), reply);
+                        }
+                    }
+                }
+            }
+            (a.view().clone(), b.view().clone())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,186 @@
+//! **Extension X3** — sampling quality as seen by applications.
+//!
+//! The paper's motivation: gossip applications assume uniform sampling.
+//! This experiment runs the two canonical consumers — epidemic broadcast
+//! and push-pull averaging — over (a) the ideal uniform oracle and (b)
+//! gossip overlays maintained by representative protocols, and compares
+//! dissemination speed and aggregation convergence.
+
+use pss_core::{NodeId, PolicyTriple};
+use pss_protocols::broadcast::{self, BroadcastConfig};
+use pss_protocols::{aggregation, OracleSource, SimSampleSource};
+use pss_sim::scenario;
+
+use crate::parallel::parallel_map;
+use crate::report::{fmt_f64, Table};
+use crate::Scale;
+
+/// Configuration for the applications experiment.
+#[derive(Debug, Clone)]
+pub struct AppsConfig {
+    /// Common scale (cycles = overlay convergence budget before the
+    /// workload starts).
+    pub scale: Scale,
+    /// Broadcast fanout.
+    pub fanout: usize,
+    /// Aggregation rounds.
+    pub aggregation_rounds: usize,
+    /// Gossip protocols to compare against the oracle.
+    pub protocols: Vec<PolicyTriple>,
+}
+
+impl AppsConfig {
+    /// Default configuration at the given scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        AppsConfig {
+            scale,
+            fanout: 2,
+            aggregation_rounds: 30,
+            protocols: vec![
+                PolicyTriple::newscast(),
+                "(rand,rand,pushpull)".parse().expect("valid"),
+                PolicyTriple::lpbcast(),
+            ],
+        }
+    }
+}
+
+/// Application-level quality metrics of one sampler.
+#[derive(Debug, Clone)]
+pub struct SamplerQuality {
+    /// Sampler label (`oracle` or the protocol triple).
+    pub sampler: String,
+    /// Broadcast coverage in `[0, 1]`.
+    pub coverage: f64,
+    /// Rounds to inform 99 % of the population, if reached.
+    pub rounds_to_99: Option<usize>,
+    /// Aggregation variance decay factor per round (lower = faster;
+    /// uniform sampling theory gives ≈ 0.303).
+    pub aggregation_decay: f64,
+}
+
+/// Result of the applications experiment.
+#[derive(Debug, Clone)]
+pub struct AppsResult {
+    /// One row per sampler; the oracle row comes first.
+    pub rows: Vec<SamplerQuality>,
+}
+
+impl AppsResult {
+    /// Renders the comparison table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "sampler",
+            "broadcast coverage",
+            "rounds to 99%",
+            "aggregation decay/round",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.sampler.clone(),
+                fmt_f64(r.coverage, 4),
+                r.rounds_to_99.map_or("-".into(), |x| x.to_string()),
+                fmt_f64(r.aggregation_decay, 3),
+            ]);
+        }
+        t
+    }
+}
+
+fn initial_values(n: usize) -> Vec<f64> {
+    // A bimodal load: half the nodes at 0, half at 100 — variance 2500.
+    (0..n).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect()
+}
+
+/// Runs the applications experiment.
+pub fn run(config: &AppsConfig) -> AppsResult {
+    let scale = config.scale;
+    let fanout = config.fanout;
+    let rounds = config.aggregation_rounds;
+    let broadcast_config = BroadcastConfig {
+        fanout,
+        max_rounds: 200,
+        stop_when_quiescent: true,
+    };
+
+    // Jobs: None = oracle, Some(policy) = gossip overlay.
+    let mut jobs: Vec<Option<PolicyTriple>> = vec![None];
+    jobs.extend(config.protocols.iter().copied().map(Some));
+
+    let rows = parallel_map(jobs, move |job| match job {
+        None => {
+            let mut oracle = OracleSource::new(scale.nodes, scale.seed ^ 0xa991);
+            let report =
+                broadcast::run(&mut oracle, scale.nodes, NodeId::new(0), &broadcast_config);
+            let mut values = initial_values(scale.nodes);
+            let mut oracle2 = OracleSource::new(scale.nodes, scale.seed ^ 0xa992);
+            let agg = aggregation::run(&mut oracle2, &mut values, rounds);
+            SamplerQuality {
+                sampler: "uniform oracle".into(),
+                coverage: report.coverage(),
+                rounds_to_99: report.rounds_to_reach(0.99),
+                aggregation_decay: agg.decay_factor(),
+            }
+        }
+        Some(policy) => {
+            let protocol = scale.protocol(policy);
+            let mut sim = scenario::random_overlay(&protocol, scale.nodes, scale.seed ^ 0xa993);
+            sim.run_cycles(scale.cycles);
+            let report = broadcast::run(
+                &mut SimSampleSource::new(&mut sim),
+                scale.nodes,
+                NodeId::new(0),
+                &broadcast_config,
+            );
+            let mut values = initial_values(scale.nodes);
+            let agg =
+                aggregation::run(&mut SimSampleSource::new(&mut sim), &mut values, rounds);
+            SamplerQuality {
+                sampler: policy.to_string(),
+                coverage: report.coverage(),
+                rounds_to_99: report.rounds_to_reach(0.99),
+                aggregation_decay: agg.decay_factor(),
+            }
+        }
+    });
+
+    AppsResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossip_samplers_approach_oracle_quality() {
+        let scale = Scale {
+            nodes: 300,
+            cycles: 30,
+            view_size: 15,
+            seed: 81,
+        };
+        let config = AppsConfig {
+            scale,
+            fanout: 2,
+            aggregation_rounds: 25,
+            protocols: vec![PolicyTriple::newscast()],
+        };
+        let result = run(&config);
+        assert_eq!(result.rows.len(), 2);
+        let oracle = &result.rows[0];
+        let newscast = &result.rows[1];
+        assert_eq!(oracle.sampler, "uniform oracle");
+        assert!(oracle.coverage > 0.999);
+        assert!(newscast.coverage > 0.95, "coverage {}", newscast.coverage);
+        // Both converge; the oracle is at least as fast.
+        assert!(oracle.aggregation_decay < 0.5);
+        assert!(newscast.aggregation_decay < 0.7);
+        assert!(
+            oracle.aggregation_decay <= newscast.aggregation_decay + 0.1,
+            "oracle {} vs newscast {}",
+            oracle.aggregation_decay,
+            newscast.aggregation_decay
+        );
+        assert!(!result.table().is_empty());
+    }
+}

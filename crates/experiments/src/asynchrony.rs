@@ -1,0 +1,215 @@
+//! **Extension X2** — do the cycle-model conclusions survive asynchrony?
+//!
+//! The paper simulates an idealized synchronous cycle model. This
+//! experiment reruns representative protocols on the event-driven engine —
+//! timer jitter, message latency, message loss — and compares the converged
+//! overlay properties against the cycle-driven run at the same scale.
+
+use pss_core::PolicyTriple;
+use pss_graph::{GraphMetrics, MetricsConfig};
+use pss_sim::{scenario, EventConfig, EventSimulation, LatencyModel};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::parallel::parallel_map;
+use crate::report::{fmt_f64, Table};
+use crate::Scale;
+
+/// Configuration for the asynchrony experiment.
+#[derive(Debug, Clone)]
+pub struct AsyncConfig {
+    /// Common scale (cycles ≈ gossip periods for the event engine).
+    pub scale: Scale,
+    /// Relative timer jitter (fraction of the period).
+    pub jitter_fraction: f64,
+    /// Message latency as a fraction of the period (uniform up to this).
+    pub latency_fraction: f64,
+    /// Message loss probabilities to test.
+    pub loss_levels: Vec<f64>,
+    /// Protocols to test (default: one per view-selection × propagation
+    /// corner).
+    pub protocols: Vec<PolicyTriple>,
+}
+
+impl AsyncConfig {
+    /// Default configuration at the given scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        AsyncConfig {
+            scale,
+            jitter_fraction: 0.2,
+            latency_fraction: 0.1,
+            loss_levels: vec![0.0, 0.05],
+            protocols: vec![
+                PolicyTriple::newscast(),
+                "(rand,rand,pushpull)".parse().expect("valid"),
+                PolicyTriple::lpbcast(),
+            ],
+        }
+    }
+}
+
+/// One comparison row: a protocol under one engine/loss setting.
+#[derive(Debug, Clone)]
+pub struct EngineComparison {
+    /// The protocol.
+    pub policy: PolicyTriple,
+    /// Engine label (`cycle` or `event`).
+    pub engine: &'static str,
+    /// Loss probability used (0 for the cycle engine).
+    pub loss: f64,
+    /// Converged overlay metrics.
+    pub metrics: GraphMetrics,
+}
+
+/// Result of the asynchrony experiment.
+#[derive(Debug, Clone)]
+pub struct AsyncResult {
+    /// All comparison rows.
+    pub rows: Vec<EngineComparison>,
+}
+
+impl AsyncResult {
+    /// Renders the comparison table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "protocol",
+            "engine",
+            "loss",
+            "avg degree",
+            "clustering",
+            "path length",
+            "connected",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.policy.to_string(),
+                r.engine.into(),
+                fmt_f64(r.loss, 2),
+                fmt_f64(r.metrics.average_degree, 2),
+                fmt_f64(r.metrics.clustering_coefficient, 4),
+                fmt_f64(r.metrics.path_lengths.average, 3),
+                if r.metrics.is_connected() { "yes" } else { "NO" }.into(),
+            ]);
+        }
+        t
+    }
+}
+
+enum Job {
+    Cycle(PolicyTriple),
+    Event(PolicyTriple, f64),
+}
+
+/// Runs the asynchrony experiment.
+pub fn run(config: &AsyncConfig) -> AsyncResult {
+    let scale = config.scale;
+    let period = 1000u64;
+    let event_config_for = {
+        let jitter = (config.jitter_fraction * period as f64) as u64;
+        let latency = (config.latency_fraction * period as f64) as u64;
+        move |loss: f64| EventConfig {
+            period,
+            jitter: jitter.min(period - 1),
+            latency: LatencyModel::Uniform {
+                min: 1,
+                max: latency.max(1),
+            },
+            loss_probability: loss,
+        }
+    };
+
+    let mut jobs: Vec<Job> = Vec::new();
+    for &policy in &config.protocols {
+        jobs.push(Job::Cycle(policy));
+        for &loss in &config.loss_levels {
+            jobs.push(Job::Event(policy, loss));
+        }
+    }
+
+    let measure = move |graph: &pss_graph::UGraph, seed: u64| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        GraphMetrics::measure(
+            graph,
+            &MetricsConfig {
+                clustering_samples: Some(1000.min(graph.node_count())),
+                path_sources: Some(50.min(graph.node_count())),
+            },
+            &mut rng,
+        )
+    };
+
+    let rows = parallel_map(jobs, move |job| match job {
+        Job::Cycle(policy) => {
+            let protocol = scale.protocol(policy);
+            let mut sim = scenario::random_overlay(&protocol, scale.nodes, scale.seed ^ 0xa51);
+            sim.run_cycles(scale.cycles);
+            let graph = sim.snapshot().undirected();
+            EngineComparison {
+                policy,
+                engine: "cycle",
+                loss: 0.0,
+                metrics: measure(&graph, scale.seed),
+            }
+        }
+        Job::Event(policy, loss) => {
+            let protocol = scale.protocol(policy);
+            let mut sim =
+                EventSimulation::new(protocol, event_config_for(loss), scale.seed ^ 0xa52);
+            // Same random bootstrap graph as the cycle scenario.
+            let mut topo_rng = SmallRng::seed_from_u64(scale.seed ^ 0xa53);
+            let digraph =
+                pss_graph::gen::uniform_view_digraph(scale.nodes, scale.view_size, &mut topo_rng);
+            for v in 0..scale.nodes as u32 {
+                sim.add_node(
+                    digraph
+                        .out_neighbors(v)
+                        .iter()
+                        .map(|&t| pss_core::NodeDescriptor::fresh(pss_core::NodeId::new(t as u64))),
+                );
+            }
+            sim.run_for(scale.cycles * period);
+            let graph = sim.snapshot().undirected();
+            EngineComparison {
+                policy,
+                engine: "event",
+                loss,
+                metrics: measure(&graph, scale.seed ^ 1),
+            }
+        }
+    });
+
+    AsyncResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_engine_matches_cycle_engine_shape() {
+        let scale = Scale {
+            nodes: 250,
+            cycles: 40,
+            view_size: 12,
+            seed: 71,
+        };
+        let config = AsyncConfig {
+            scale,
+            jitter_fraction: 0.2,
+            latency_fraction: 0.1,
+            loss_levels: vec![0.0],
+            protocols: vec![PolicyTriple::newscast()],
+        };
+        let result = run(&config);
+        assert_eq!(result.rows.len(), 2);
+        let cycle = result.rows.iter().find(|r| r.engine == "cycle").unwrap();
+        let event = result.rows.iter().find(|r| r.engine == "event").unwrap();
+        assert!(cycle.metrics.is_connected());
+        assert!(event.metrics.is_connected());
+        // Converged degree within 25% between engines.
+        let rel = (cycle.metrics.average_degree - event.metrics.average_degree).abs()
+            / cycle.metrics.average_degree;
+        assert!(rel < 0.25, "engines disagree on degree: {rel}");
+        assert!(!result.table().is_empty());
+    }
+}

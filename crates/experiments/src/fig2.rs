@@ -1,0 +1,168 @@
+//! **Figure 2** — dynamics of graph properties in the growing scenario.
+//!
+//! Six protocols are plotted (the four pushpull variants plus
+//! non-partitioned runs of `(rand,rand,push)` and `(tail,rand,push)`;
+//! `(rand,head,push)` and `(tail,head,push)` are excluded because they
+//! partition in this scenario, see Table 1). Each subplot shows one
+//! property per cycle against the uniform random baseline.
+
+use pss_core::PolicyTriple;
+use pss_graph::GraphMetrics;
+
+use crate::dynamics::{random_baseline, run_dynamics, ProtocolDynamics, ScenarioKind};
+use crate::parallel::parallel_map;
+use crate::report::{fmt_f64, Table};
+use crate::Scale;
+
+/// Configuration for the Figure 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig2Config {
+    /// Common scale; `cycles` is the full run length (paper: 300).
+    pub scale: Scale,
+    /// Joiners per cycle (paper: 100).
+    pub per_cycle: usize,
+    /// Seeds to retry for the partitioning push protocols until a connected
+    /// run is found.
+    pub connect_attempts: u32,
+}
+
+impl Fig2Config {
+    /// Default configuration at the given scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        Fig2Config {
+            scale,
+            per_cycle: (scale.nodes / 100).max(1),
+            connect_attempts: 5,
+        }
+    }
+
+    /// The six protocols of Figure 2, in the paper's legend order.
+    pub fn protocols() -> [PolicyTriple; 6] {
+        [
+            "(rand,rand,push)".parse().expect("valid"),
+            "(tail,rand,push)".parse().expect("valid"),
+            "(rand,rand,pushpull)".parse().expect("valid"),
+            "(tail,rand,pushpull)".parse().expect("valid"),
+            "(rand,head,pushpull)".parse().expect("valid"),
+            "(tail,head,pushpull)".parse().expect("valid"),
+        ]
+    }
+}
+
+/// Result of the Figure 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Per-protocol property series.
+    pub dynamics: Vec<ProtocolDynamics>,
+    /// Uniform random baseline at the same scale.
+    pub baseline: GraphMetrics,
+}
+
+impl Fig2Result {
+    /// Summary table: final values vs the random baseline.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "protocol",
+            "clustering coeff",
+            "avg degree",
+            "avg path length",
+            "connected",
+        ]);
+        t.row(vec![
+            "uniform random baseline".into(),
+            fmt_f64(self.baseline.clustering_coefficient, 4),
+            fmt_f64(self.baseline.average_degree, 2),
+            fmt_f64(self.baseline.path_lengths.average, 3),
+            "yes".into(),
+        ]);
+        for d in &self.dynamics {
+            t.row(vec![
+                d.policy.to_string(),
+                fmt_f64(d.clustering.values().last().copied().unwrap_or(f64::NAN), 4),
+                fmt_f64(d.degree.values().last().copied().unwrap_or(f64::NAN), 2),
+                fmt_f64(d.path_length.values().last().copied().unwrap_or(f64::NAN), 3),
+                if d.connected_at_end { "yes" } else { "NO" }.into(),
+            ]);
+        }
+        t
+    }
+
+    /// Long-format series table (CSV-friendly): one row per
+    /// (protocol, cycle).
+    pub fn series_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "protocol",
+            "cycle",
+            "clustering",
+            "avg_degree",
+            "avg_path_length",
+        ]);
+        for d in &self.dynamics {
+            for ((cycle, cc), (deg, apl)) in d
+                .clustering
+                .iter()
+                .zip(d.degree.values().iter().zip(d.path_length.values()))
+            {
+                t.row(vec![
+                    d.policy.to_string(),
+                    cycle.to_string(),
+                    fmt_f64(cc, 6),
+                    fmt_f64(*deg, 4),
+                    fmt_f64(*apl, 4),
+                ]);
+            }
+        }
+        t
+    }
+}
+
+/// Runs the Figure 2 experiment (protocols in parallel).
+pub fn run(config: &Fig2Config) -> Fig2Result {
+    let scale = config.scale;
+    let per_cycle = config.per_cycle;
+    let attempts = config.connect_attempts;
+    let dynamics = parallel_map(Fig2Config::protocols().to_vec(), move |policy| {
+        run_dynamics(
+            policy,
+            scale,
+            ScenarioKind::Growing { per_cycle },
+            scale.cycles,
+            attempts,
+        )
+    });
+    Fig2Result {
+        dynamics,
+        baseline: random_baseline(scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_tiny_scale() {
+        let mut scale = Scale::tiny();
+        scale.nodes = 150;
+        scale.cycles = 25;
+        let mut config = Fig2Config::at_scale(scale);
+        config.connect_attempts = 2;
+        let result = run(&config);
+        assert_eq!(result.dynamics.len(), 6);
+        for d in &result.dynamics {
+            assert_eq!(d.clustering.len(), 25);
+        }
+        // Pushpull protocols converge and stay connected at this scale.
+        for d in result
+            .dynamics
+            .iter()
+            .filter(|d| d.policy.propagation == pss_core::ViewPropagation::PushPull)
+        {
+            assert!(d.connected_at_end, "{} disconnected", d.policy);
+        }
+        let text = result.table().to_string();
+        assert!(text.contains("uniform random baseline"));
+        let series = result.series_table();
+        assert_eq!(series.len(), 6 * 25);
+    }
+}

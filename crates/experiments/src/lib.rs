@@ -1,0 +1,46 @@
+//! Reproduction harness for every table and figure of the peer sampling
+//! paper (Jelasity et al., Middleware 2004), plus extension experiments.
+//!
+//! Each experiment is a plain function from a configuration to a typed
+//! result; the `experiments` binary wraps them in a CLI, and the bench crate
+//! calls the same functions at reduced scale. The mapping to the paper:
+//!
+//! | module       | paper artifact | content |
+//! |--------------|----------------|---------|
+//! | [`table1`]   | Table 1        | partitioning of push protocols in the growing scenario |
+//! | [`fig2`]     | Figure 2       | property dynamics while the overlay grows |
+//! | [`fig3`]     | Figure 3       | convergence from lattice and random starts |
+//! | [`fig4`]     | Figure 4       | degree distribution evolution (log-log) |
+//! | [`table2`]   | Table 2        | degree statistics of traced nodes |
+//! | [`fig5`]     | Figure 5       | autocorrelation of a node's degree series |
+//! | [`fig6`]     | Figure 6       | connectivity under massive node removal |
+//! | [`fig7`]     | Figure 7       | dead-link healing after 50 % node failure |
+//! | [`policies`] | Section 4.3    | why `(head,*,*)`, `(*,tail,*)`, `(*,*,pull)` are degenerate |
+//! | [`asynchrony`] | extension    | conclusions under the event-driven engine |
+//! | [`apps`]     | extension      | broadcast & aggregation vs sampling quality |
+//!
+//! All experiments are deterministic given their seed and parallelize
+//! across protocols/runs with `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod asynchrony;
+pub mod dynamics;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod hs_ablation;
+pub mod policies;
+pub mod report;
+pub mod table1;
+pub mod table2;
+
+mod parallel;
+mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,331 @@
+//! `experiments` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! experiments <command> [options]
+//!
+//! commands:
+//!   table1   partitioning of push protocols (growing overlay)
+//!   fig2     property dynamics in the growing scenario
+//!   fig3     convergence from lattice and random starts
+//!   fig4     degree distribution evolution
+//!   table2   degree statistics of traced nodes
+//!   fig5     degree autocorrelation of a fixed node
+//!   fig6     robustness to massive node removal
+//!   fig7     self-healing after 50% node failure
+//!   policies sweep of all 27 policy combinations (Section 4.3)
+//!   async    event-driven engine comparison (extension)
+//!   apps     broadcast/aggregation sampling-quality comparison (extension)
+//!   hs       healer/swapper (H,S) ablation (extension)
+//!   all      everything above, in order
+//!
+//! options:
+//!   --scale paper|small|tiny   preset scale            [default: paper]
+//!   --nodes N                  override population size
+//!   --cycles N                 override cycle budget
+//!   --view-size C              override view size
+//!   --runs R                   override runs/repetitions (table1, fig6)
+//!   --seed S                   override master seed
+//!   --out DIR                  also write CSV series under DIR
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pss_experiments::report::Table;
+use pss_experiments::{
+    apps, asynchrony, fig2, fig3, fig4, fig5, fig6, fig7, hs_ablation, policies, table1, table2,
+    Scale,
+};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    command: String,
+    scale: Scale,
+    runs: Option<usize>,
+    out: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut command = None;
+    let mut scale = Scale::paper();
+    let mut nodes = None;
+    let mut cycles = None;
+    let mut view_size = None;
+    let mut seed = None;
+    let mut runs = None;
+    let mut out = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                scale = match grab("--scale")?.as_str() {
+                    "paper" => Scale::paper(),
+                    "small" => Scale::small(),
+                    "tiny" => Scale::tiny(),
+                    other => return Err(format!("unknown scale preset `{other}`")),
+                }
+            }
+            "--nodes" => nodes = Some(parse_num(&grab("--nodes")?)?),
+            "--cycles" => cycles = Some(parse_num(&grab("--cycles")?)? as u64),
+            "--view-size" => view_size = Some(parse_num(&grab("--view-size")?)?),
+            "--seed" => seed = Some(parse_num(&grab("--seed")?)? as u64),
+            "--runs" => runs = Some(parse_num(&grab("--runs")?)?),
+            "--out" => out = Some(PathBuf::from(grab("--out")?)),
+            "--help" | "-h" => return Err("help".into()),
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other => {
+                if command.is_some() {
+                    return Err(format!("unexpected extra argument `{other}`"));
+                }
+                command = Some(other.to_owned());
+            }
+        }
+    }
+
+    if let Some(n) = nodes {
+        scale.nodes = n;
+    }
+    if let Some(c) = cycles {
+        scale.cycles = c;
+    }
+    if let Some(v) = view_size {
+        scale.view_size = v;
+    }
+    if let Some(s) = seed {
+        scale.seed = s;
+    }
+    if scale.nodes < 2 || scale.view_size == 0 {
+        return Err("need at least 2 nodes and a positive view size".into());
+    }
+
+    Ok(Options {
+        command: command.ok_or_else(|| "no command given (try --help)".to_owned())?,
+        scale,
+        runs,
+        out,
+    })
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.replace('_', "")
+        .parse()
+        .map_err(|_| format!("invalid number `{s}`"))
+}
+
+fn emit(opts: &Options, name: &str, summary: &Table, series: Option<&Table>) {
+    println!("== {name} ==");
+    print!("{summary}");
+    println!();
+    if let Some(dir) = &opts.out {
+        let write = |suffix: &str, table: &Table| {
+            let path = dir.join(format!("{name}{suffix}.csv"));
+            match table.write_csv(&path) {
+                Ok(()) => println!("   wrote {}", path.display()),
+                Err(e) => eprintln!("   failed to write {}: {e}", path.display()),
+            }
+        };
+        write("", summary);
+        if let Some(series) = series {
+            write("_series", series);
+        }
+    }
+}
+
+fn run_command(opts: &Options, command: &str) -> Result<(), String> {
+    let scale = opts.scale;
+    let started = Instant::now();
+    match command {
+        "table1" => {
+            let mut config = table1::Table1Config::at_scale(scale);
+            if let Some(r) = opts.runs {
+                config.runs = r;
+            }
+            let result = table1::run(&config);
+            emit(opts, "table1", &result.table(), None);
+        }
+        "fig2" => {
+            let config = fig2::Fig2Config::at_scale(scale);
+            let result = fig2::run(&config);
+            emit(opts, "fig2", &result.table(), Some(&result.series_table()));
+        }
+        "fig3" => {
+            let config = fig3::Fig3Config::at_scale(scale);
+            let result = fig3::run(&config);
+            emit(opts, "fig3", &result.table(), Some(&result.series_table()));
+        }
+        "fig4" => {
+            let config = fig4::Fig4Config::at_scale(scale);
+            let result = fig4::run(&config);
+            emit(opts, "fig4", &result.table(), Some(&result.series_table()));
+        }
+        "table2" => {
+            let config = table2::Table2Config::at_scale(scale);
+            let result = table2::run(&config);
+            emit(opts, "table2", &result.table(), None);
+        }
+        "fig5" => {
+            let config = fig5::Fig5Config::at_scale(scale);
+            let result = fig5::run(&config);
+            emit(opts, "fig5", &result.table(), Some(&result.series_table()));
+        }
+        "fig6" => {
+            let mut config = fig6::Fig6Config::at_scale(scale);
+            if let Some(r) = opts.runs {
+                config.repetitions = r;
+            }
+            let result = fig6::run(&config);
+            emit(opts, "fig6", &result.table(), Some(&result.series_table()));
+        }
+        "fig7" => {
+            let config = fig7::Fig7Config::at_scale(scale);
+            let result = fig7::run(&config);
+            emit(opts, "fig7", &result.table(), Some(&result.series_table()));
+        }
+        "policies" => {
+            // The sweep runs 27 simulations; cap the default cost.
+            let mut sweep_scale = scale;
+            sweep_scale.nodes = sweep_scale.nodes.min(1000);
+            sweep_scale.cycles = sweep_scale.cycles.min(100);
+            let config = policies::PoliciesConfig::at_scale(sweep_scale);
+            let result = policies::run(&config);
+            emit(opts, "policies", &result.table(), None);
+        }
+        "async" => {
+            let mut async_scale = scale;
+            async_scale.nodes = async_scale.nodes.min(2000);
+            async_scale.cycles = async_scale.cycles.min(100);
+            let config = asynchrony::AsyncConfig::at_scale(async_scale);
+            let result = asynchrony::run(&config);
+            emit(opts, "async", &result.table(), None);
+        }
+        "apps" => {
+            let mut apps_scale = scale;
+            apps_scale.nodes = apps_scale.nodes.min(2000);
+            apps_scale.cycles = apps_scale.cycles.min(100);
+            let config = apps::AppsConfig::at_scale(apps_scale);
+            let result = apps::run(&config);
+            emit(opts, "apps", &result.table(), None);
+        }
+        "hs" => {
+            let mut hs_scale = scale;
+            hs_scale.nodes = hs_scale.nodes.min(2000);
+            hs_scale.cycles = hs_scale.cycles.min(100);
+            let config = hs_ablation::HsAblationConfig::at_scale(hs_scale);
+            let result = hs_ablation::run(&config);
+            emit(opts, "hs", &result.table(), None);
+        }
+        "all" => {
+            for c in [
+                "table1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "policies",
+                "async", "apps", "hs",
+            ] {
+                run_command(opts, c)?;
+            }
+            return Ok(());
+        }
+        other => return Err(format!("unknown command `{other}` (try --help)")),
+    }
+    eprintln!("[{command} finished in {:.1?}]", started.elapsed());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg == "help" {
+                eprintln!("{}", USAGE);
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_command(&opts, &opts.command.clone()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: experiments <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|all>
+       [--scale paper|small|tiny] [--nodes N] [--cycles N] [--view-size C]
+       [--runs R] [--seed S] [--out DIR]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_defaults() {
+        let o = parse_args(&args("table1")).unwrap();
+        assert_eq!(o.command, "table1");
+        assert_eq!(o.scale, Scale::paper());
+        assert_eq!(o.runs, None);
+        assert_eq!(o.out, None);
+    }
+
+    #[test]
+    fn parses_scale_presets_and_overrides() {
+        let o = parse_args(&args("fig7 --scale tiny --nodes 500 --cycles 70 --seed 9")).unwrap();
+        assert_eq!(o.scale.nodes, 500);
+        assert_eq!(o.scale.cycles, 70);
+        assert_eq!(o.scale.seed, 9);
+        assert_eq!(o.scale.view_size, Scale::tiny().view_size);
+    }
+
+    #[test]
+    fn parses_runs_and_out() {
+        let o = parse_args(&args("fig6 --runs 100 --out /tmp/results")).unwrap();
+        assert_eq!(o.runs, Some(100));
+        assert_eq!(o.out, Some(PathBuf::from("/tmp/results")));
+    }
+
+    #[test]
+    fn numbers_allow_underscores() {
+        let o = parse_args(&args("fig2 --nodes 10_000")).unwrap();
+        assert_eq!(o.scale.nodes, 10_000);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args("")).is_err());
+        assert!(parse_args(&args("--scale tiny")).is_err()); // no command
+        assert!(parse_args(&args("fig2 --scale huge")).is_err());
+        assert!(parse_args(&args("fig2 --nodes abc")).is_err());
+        assert!(parse_args(&args("fig2 extra")).is_err());
+        assert!(parse_args(&args("fig2 --nodes")).is_err());
+        assert!(parse_args(&args("fig2 --bogus 1")).is_err());
+        assert!(parse_args(&args("fig2 --nodes 1")).is_err()); // too small
+    }
+
+    #[test]
+    fn unknown_command_is_rejected_late() {
+        let o = parse_args(&args("nonsense --scale tiny")).unwrap();
+        assert!(run_command(&o, "nonsense").is_err());
+    }
+
+    #[test]
+    fn tiny_end_to_end_policies() {
+        // Smoke: run the cheapest real command end-to-end.
+        let mut o = parse_args(&args("apps --scale tiny")).unwrap();
+        o.scale.nodes = 120;
+        o.scale.cycles = 15;
+        assert!(run_command(&o, "apps").is_ok());
+    }
+}

@@ -1,0 +1,110 @@
+//! Experiment scale: the knobs shared by all experiments.
+
+use pss_core::{PolicyTriple, ProtocolConfig};
+
+/// The shared experiment scale: population, cycle budget, view size, seed.
+///
+/// [`Scale::paper`] reproduces the published setup (N = 10⁴, c = 30,
+/// 300 cycles). Smaller presets keep the same shape at lower cost for
+/// benches and CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of nodes N.
+    pub nodes: usize,
+    /// Cycles to run before measuring (the paper's 300).
+    pub cycles: u64,
+    /// View size c.
+    pub view_size: usize,
+    /// Master seed; every derived run seed is a deterministic function of
+    /// this and the run index.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's setup: N = 10⁴, 300 cycles, c = 30.
+    pub fn paper() -> Self {
+        Scale {
+            nodes: 10_000,
+            cycles: 300,
+            view_size: 30,
+            seed: 20040601,
+        }
+    }
+
+    /// A laptop-friendly scale preserving the qualitative shape:
+    /// N = 2000, 150 cycles, c = 30.
+    pub fn small() -> Self {
+        Scale {
+            nodes: 2000,
+            cycles: 150,
+            view_size: 30,
+            seed: 20040601,
+        }
+    }
+
+    /// A smoke-test scale for CI and benches: N = 300, 60 cycles, c = 15.
+    pub fn tiny() -> Self {
+        Scale {
+            nodes: 300,
+            cycles: 60,
+            view_size: 15,
+            seed: 20040601,
+        }
+    }
+
+    /// Protocol configuration for `policy` at this scale's view size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view size is 0 (scales are assumed validated).
+    pub fn protocol(&self, policy: PolicyTriple) -> ProtocolConfig {
+        ProtocolConfig::new(policy, self.view_size).expect("non-zero view size")
+    }
+
+    /// Deterministically derives an independent seed for run `index`
+    /// (SplitMix64 of `seed ⊕ index`).
+    pub fn run_seed(&self, index: u64) -> u64 {
+        let mut z = self.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(Scale::paper().nodes, 10_000);
+        assert_eq!(Scale::paper().view_size, 30);
+        assert_eq!(Scale::paper().cycles, 300);
+        assert!(Scale::small().nodes < Scale::paper().nodes);
+        assert!(Scale::tiny().nodes < Scale::small().nodes);
+        assert_eq!(Scale::default(), Scale::paper());
+    }
+
+    #[test]
+    fn run_seeds_are_distinct_and_deterministic() {
+        let s = Scale::tiny();
+        assert_eq!(s.run_seed(3), s.run_seed(3));
+        let mut seeds: Vec<u64> = (0..100).map(|i| s.run_seed(i)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 100);
+    }
+
+    #[test]
+    fn protocol_uses_scale_view_size() {
+        let s = Scale::tiny();
+        let c = s.protocol(PolicyTriple::newscast());
+        assert_eq!(c.view_size(), 15);
+    }
+}

@@ -1,0 +1,142 @@
+//! Degree assortativity: do high-degree nodes attach to high-degree nodes?
+//!
+//! The paper places gossip overlays "on the long list of complex networks
+//! observable in nature" (Section 8); degree mixing is one of the standard
+//! lenses on such networks (Newman's assortativity coefficient). Social
+//! networks are assortative (r > 0), technological networks typically
+//! disassortative (r < 0); the coefficient helps characterize where the
+//! peer-sampling overlays fall.
+
+use crate::UGraph;
+
+/// Newman's degree assortativity coefficient `r ∈ [−1, 1]`.
+///
+/// Defined as the Pearson correlation of the degrees at the two ends of
+/// every edge. Returns `None` for graphs where the correlation is
+/// undefined: no edges, or all edge-endpoint degrees equal (zero variance —
+/// e.g. regular graphs).
+///
+/// # Examples
+///
+/// ```
+/// use pss_graph::{assortativity::degree_assortativity, UGraph};
+///
+/// // A star is maximally disassortative: the hub only touches leaves.
+/// let star = UGraph::from_edges(5, (1..5).map(|v| (0u32, v)))?;
+/// let r = degree_assortativity(&star).unwrap();
+/// assert!((r + 1.0).abs() < 1e-9);
+///
+/// // A path of 4 nodes mixes degrees 1 and 2.
+/// let path = UGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+/// let r = degree_assortativity(&path).unwrap();
+/// assert!(r < 0.0, "paths are disassortative, got {r}");
+/// # Ok::<(), pss_graph::GraphError>(())
+/// ```
+pub fn degree_assortativity(g: &UGraph) -> Option<f64> {
+    // Accumulate over both orientations of every edge, per Newman's
+    // formulation for undirected graphs.
+    let mut n = 0u64;
+    let (mut sum_xy, mut sum_x, mut sum_x2) = (0f64, 0f64, 0f64);
+    for (u, v) in g.edges() {
+        let (du, dv) = (g.degree(u) as f64, g.degree(v) as f64);
+        // Both orientations: (du, dv) and (dv, du).
+        n += 2;
+        sum_xy += 2.0 * du * dv;
+        sum_x += du + dv;
+        sum_x2 += du * du + dv * dv;
+    }
+    if n == 0 {
+        return None;
+    }
+    let n = n as f64;
+    let mean = sum_x / n;
+    let var = sum_x2 / n - mean * mean;
+    if var <= f64::EPSILON * mean.max(1.0) {
+        return None;
+    }
+    let cov = sum_xy / n - mean * mean;
+    Some(cov / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> UGraph {
+        UGraph::from_edges(n, edges.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs_are_undefined() {
+        assert_eq!(degree_assortativity(&graph(0, &[])), None);
+        assert_eq!(degree_assortativity(&graph(5, &[])), None);
+    }
+
+    #[test]
+    fn regular_graphs_are_undefined() {
+        // Triangle: all degrees 2, zero variance.
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(degree_assortativity(&g), None);
+        // Cycle of 6 likewise.
+        let c6 = graph(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(degree_assortativity(&c6), None);
+    }
+
+    #[test]
+    fn path_graph_is_disassortative() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r < 0.0, "got {r}");
+        assert!(r >= -1.0 - 1e-9);
+    }
+
+    #[test]
+    fn double_star_is_strongly_disassortative() {
+        // Two hubs joined, each with 3 leaves: hub-leaf edges dominate.
+        let g = graph(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (4, 6), (4, 7)],
+        );
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r < -0.5, "got {r}");
+    }
+
+    #[test]
+    fn two_joined_cliques_are_assortative_free_of_nan() {
+        // Clique of 4 + clique of 3 connected by one bridge edge: degrees
+        // mix mildly; coefficient is finite and within [-1, 1].
+        let mut edges = vec![];
+        for u in 0..4u32 {
+            for v in u + 1..4 {
+                edges.push((u, v));
+            }
+        }
+        for u in 4..7u32 {
+            for v in u + 1..7 {
+                edges.push((u, v));
+            }
+        }
+        edges.push((0, 4));
+        let g = graph(7, &edges);
+        let r = degree_assortativity(&g).unwrap();
+        assert!((-1.0..=1.0).contains(&r), "got {r}");
+    }
+
+    #[test]
+    fn random_uniform_view_graph_is_weakly_mixed() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = crate::gen::uniform_view_digraph(800, 20, &mut rng).to_undirected();
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r.abs() < 0.15, "random baseline should be near zero, got {r}");
+    }
+
+    #[test]
+    fn erdos_renyi_is_nearly_neutral() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let g = crate::gen::erdos_renyi(600, 0.03, &mut rng);
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r.abs() < 0.12, "G(n,p) should be near zero, got {r}");
+    }
+}

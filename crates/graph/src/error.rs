@@ -1,0 +1,43 @@
+//! Error type for graph construction.
+
+use core::fmt;
+
+/// Error returned when constructing a graph from invalid input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a node index `>= node_count`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node index {node} out of range for graph of {node_count} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_index_and_size() {
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            node_count: 5,
+        };
+        let text = e.to_string();
+        assert!(text.contains('9'));
+        assert!(text.contains('5'));
+    }
+}

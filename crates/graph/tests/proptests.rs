@@ -1,0 +1,154 @@
+//! Property-based tests for the graph toolkit.
+
+use proptest::prelude::*;
+use pss_graph::{clustering, components, gen, paths, DiGraph, UGraph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy producing a random edge list over `n` nodes.
+fn edge_list(max_n: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..max_edges);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn undirected_degree_sum_is_twice_edges((n, edges) in edge_list(60, 200)) {
+        let g = UGraph::from_edges(n, edges).unwrap();
+        let degree_sum: usize = (0..n as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn undirected_adjacency_is_symmetric((n, edges) in edge_list(40, 120)) {
+        let g = UGraph::from_edges(n, edges).unwrap();
+        for u in 0..n as u32 {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u), "asymmetric edge {}-{}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_nodes((n, edges) in edge_list(60, 150)) {
+        let g = UGraph::from_edges(n, edges).unwrap();
+        let r = components::connected_components(&g);
+        prop_assert_eq!(r.sizes().iter().sum::<usize>(), n);
+        prop_assert_eq!(r.assignment().len(), n);
+        // Sizes are sorted decreasing and consistent with the assignment.
+        for w in r.sizes().windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        for comp in 0..r.count() as u32 {
+            let count = r.assignment().iter().filter(|&&c| c == comp).count();
+            prop_assert_eq!(count, r.sizes()[comp as usize]);
+        }
+    }
+
+    #[test]
+    fn connected_nodes_share_components((n, edges) in edge_list(40, 100)) {
+        let g = UGraph::from_edges(n, edges.clone()).unwrap();
+        let r = components::connected_components(&g);
+        for (u, v) in edges {
+            if u != v {
+                prop_assert!(r.same_component(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_on_edges((n, edges) in edge_list(40, 100)) {
+        let g = UGraph::from_edges(n, edges).unwrap();
+        let dist = paths::bfs_distances(&g, 0);
+        // Adjacent nodes differ by at most one hop.
+        for (u, v) in g.edges() {
+            let (du, dv) = (dist[u as usize], dist[v as usize]);
+            if du != paths::UNREACHABLE && dv != paths::UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                prop_assert_eq!(du, dv); // both unreachable
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_is_symmetric_between_node_pairs((n, edges) in edge_list(30, 80)) {
+        let g = UGraph::from_edges(n, edges).unwrap();
+        let d0 = paths::bfs_distances(&g, 0);
+        for v in 1..n as u32 {
+            let dv = paths::bfs_distances(&g, v);
+            prop_assert_eq!(d0[v as usize], dv[0]);
+        }
+    }
+
+    #[test]
+    fn local_clustering_in_unit_interval((n, edges) in edge_list(40, 150)) {
+        let g = UGraph::from_edges(n, edges).unwrap();
+        for v in 0..n as u32 {
+            let c = clustering::local_clustering(&g, v);
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+        let cc = clustering::clustering_coefficient(&g);
+        prop_assert!((0.0..=1.0).contains(&cc));
+        let t = clustering::transitivity(&g);
+        prop_assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn digraph_roundtrip_preserves_views(views in prop::collection::vec(prop::collection::vec(0u32..20, 0..10), 20)) {
+        let g = DiGraph::from_views(20, views.clone()).unwrap();
+        for (v, view) in views.iter().enumerate() {
+            let mut expected: Vec<u32> = view
+                .iter()
+                .copied()
+                .filter(|&d| d as usize != v)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(g.out_neighbors(v as u32), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_never_gains_edges((n, edges) in edge_list(40, 120), seed in 0u64..1000) {
+        let g = UGraph::from_edges(n, edges).unwrap();
+        let keep: Vec<bool> = (0..n).map(|i| !(i as u64 + seed).is_multiple_of(3)).collect();
+        let sub = g.induced_subgraph(&keep);
+        prop_assert!(sub.edge_count() <= g.edge_count());
+        prop_assert_eq!(sub.node_count(), keep.iter().filter(|&&k| k).count());
+    }
+
+    #[test]
+    fn uniform_view_digraph_has_requested_degree(n in 2usize..100, c in 1usize..40, seed in 0u64..100) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::uniform_view_digraph(n, c, &mut rng);
+        let want = c.min(n - 1);
+        for v in 0..n as u32 {
+            prop_assert_eq!(g.out_degree(v), want);
+        }
+        prop_assert_eq!(g.edge_count(), n * want);
+    }
+
+    #[test]
+    fn ring_lattice_is_regular_and_connected(n in 3usize..120, k in 2usize..8) {
+        let k = k.min(n - 1);
+        let g = gen::ring_lattice(n, k);
+        for v in 0..n as u32 {
+            prop_assert_eq!(g.out_degree(v), k);
+        }
+        let u = g.to_undirected();
+        prop_assert!(components::connected_components(&u).is_connected());
+    }
+
+    #[test]
+    fn sampled_path_length_within_tolerance(seed in 0u64..30) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::uniform_view_digraph(300, 8, &mut rng).to_undirected();
+        let exact = paths::average_path_length(&g);
+        let est = paths::estimate_average_path_length(&g, 60, &mut rng);
+        prop_assert!((exact.average - est.average).abs() < 0.25,
+            "exact {} vs est {}", exact.average, est.average);
+    }
+}

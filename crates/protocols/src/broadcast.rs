@@ -1,0 +1,219 @@
+//! Epidemic broadcast (rumor spreading) over a peer sampling service.
+//!
+//! The classic push-infect model: every informed node pushes the rumor to
+//! `fanout` sampled peers per round. With a uniform sampler this floods the
+//! group in `O(log N)` rounds with high probability; with a gossip sampler
+//! the speed and final coverage depend on the overlay's properties — exactly
+//! the dependence the paper's evaluation quantifies.
+
+use pss_core::NodeId;
+
+use crate::SampleSource;
+
+/// Broadcast workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastConfig {
+    /// Peers each informed node pushes to per round.
+    pub fanout: usize,
+    /// Hard stop, in rounds.
+    pub max_rounds: usize,
+    /// Stop as soon as a round infects nobody new.
+    pub stop_when_quiescent: bool,
+}
+
+impl Default for BroadcastConfig {
+    fn default() -> Self {
+        BroadcastConfig {
+            fanout: 2,
+            max_rounds: 100,
+            stop_when_quiescent: true,
+        }
+    }
+}
+
+/// Result of a broadcast run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastReport {
+    informed_per_round: Vec<usize>,
+    population: usize,
+}
+
+impl BroadcastReport {
+    /// Cumulative number of informed nodes after each round; index 0 is the
+    /// state before the first round (always 1, the origin).
+    pub fn informed_per_round(&self) -> &[usize] {
+        &self.informed_per_round
+    }
+
+    /// Rounds actually executed.
+    pub fn rounds(&self) -> usize {
+        self.informed_per_round.len().saturating_sub(1)
+    }
+
+    /// Final fraction of the population informed, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.population == 0 {
+            return 0.0;
+        }
+        *self.informed_per_round.last().unwrap_or(&0) as f64 / self.population as f64
+    }
+
+    /// First round by which at least `fraction` of the population was
+    /// informed, if ever.
+    pub fn rounds_to_reach(&self, fraction: f64) -> Option<usize> {
+        let target = (fraction * self.population as f64).ceil() as usize;
+        self.informed_per_round.iter().position(|&i| i >= target)
+    }
+}
+
+/// Runs a push broadcast from `origin` over a population of `n` nodes
+/// (`NodeId` 0..n), drawing peers from `source`.
+///
+/// Each round: every currently informed node draws `config.fanout` peers and
+/// informs them; then the source's membership layer advances one round.
+///
+/// # Examples
+///
+/// ```
+/// use pss_core::NodeId;
+/// use pss_protocols::{broadcast, OracleSource};
+///
+/// let mut oracle = OracleSource::new(1000, 7);
+/// let report = broadcast::run(
+///     &mut oracle,
+///     1000,
+///     NodeId::new(0),
+///     &broadcast::BroadcastConfig::default(),
+/// );
+/// assert_eq!(report.coverage(), 1.0);
+/// assert!(report.rounds() < 30);
+/// ```
+pub fn run(
+    source: &mut impl SampleSource,
+    n: usize,
+    origin: NodeId,
+    config: &BroadcastConfig,
+) -> BroadcastReport {
+    let mut informed = vec![false; n];
+    let mut informed_count = 0usize;
+    if origin.as_index() < n {
+        informed[origin.as_index()] = true;
+        informed_count = 1;
+    }
+    let mut history = vec![informed_count];
+
+    for _ in 0..config.max_rounds {
+        if informed_count == n {
+            break;
+        }
+        let senders: Vec<NodeId> = informed
+            .iter()
+            .enumerate()
+            .filter(|(_, &inf)| inf)
+            .map(|(i, _)| NodeId::new(i as u64))
+            .collect();
+        let mut newly = 0usize;
+        for sender in senders {
+            for _ in 0..config.fanout {
+                if let Some(peer) = source.sample_for(sender) {
+                    let idx = peer.as_index();
+                    if idx < n && !informed[idx] {
+                        informed[idx] = true;
+                        informed_count += 1;
+                        newly += 1;
+                    }
+                }
+            }
+        }
+        source.advance_round();
+        history.push(informed_count);
+        if config.stop_when_quiescent && newly == 0 {
+            break;
+        }
+    }
+
+    BroadcastReport {
+        informed_per_round: history,
+        population: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OracleSource, SimSampleSource};
+    use pss_core::{PolicyTriple, ProtocolConfig};
+    use pss_sim::scenario;
+
+    #[test]
+    fn oracle_broadcast_reaches_everyone() {
+        let mut oracle = OracleSource::new(500, 1);
+        let report = run(&mut oracle, 500, NodeId::new(3), &BroadcastConfig::default());
+        assert_eq!(report.coverage(), 1.0);
+        // log-time dissemination: fanout 2 should finish way below 50 rounds.
+        assert!(report.rounds() < 30, "took {} rounds", report.rounds());
+        // Monotone non-decreasing history starting at 1.
+        assert_eq!(report.informed_per_round()[0], 1);
+        assert!(report
+            .informed_per_round()
+            .windows(2)
+            .all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn gossip_overlay_broadcast_covers_population() {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 15).unwrap();
+        let mut sim = scenario::random_overlay(&config, 300, 2);
+        sim.run_cycles(10);
+        let report = run(
+            &mut SimSampleSource::new(&mut sim),
+            300,
+            NodeId::new(0),
+            &BroadcastConfig::default(),
+        );
+        assert!(report.coverage() > 0.99, "coverage {}", report.coverage());
+    }
+
+    #[test]
+    fn zero_fanout_never_spreads() {
+        let mut oracle = OracleSource::new(100, 1);
+        let config = BroadcastConfig {
+            fanout: 0,
+            max_rounds: 10,
+            stop_when_quiescent: true,
+        };
+        let report = run(&mut oracle, 100, NodeId::new(0), &config);
+        assert_eq!(report.coverage(), 0.01);
+        assert_eq!(report.rounds(), 1); // stops immediately: nothing new
+    }
+
+    #[test]
+    fn rounds_to_reach_fractions() {
+        let mut oracle = OracleSource::new(200, 5);
+        let report = run(&mut oracle, 200, NodeId::new(0), &BroadcastConfig::default());
+        let half = report.rounds_to_reach(0.5).unwrap();
+        let full = report.rounds_to_reach(1.0).unwrap();
+        assert!(half <= full);
+        assert_eq!(report.rounds_to_reach(0.0), Some(0));
+    }
+
+    #[test]
+    fn empty_population() {
+        let mut oracle = OracleSource::new(0, 1);
+        let report = run(&mut oracle, 0, NodeId::new(0), &BroadcastConfig::default());
+        assert_eq!(report.coverage(), 0.0);
+    }
+
+    #[test]
+    fn max_rounds_is_respected() {
+        let mut oracle = OracleSource::new(100_000, 1);
+        let config = BroadcastConfig {
+            fanout: 1,
+            max_rounds: 3,
+            stop_when_quiescent: false,
+        };
+        let report = run(&mut oracle, 100_000, NodeId::new(0), &config);
+        assert_eq!(report.rounds(), 3);
+        assert!(report.coverage() < 1.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Gossip applications built on the peer sampling service.
+//!
+//! The paper motivates the peer sampling service with the protocols that
+//! consume it: epidemic information dissemination, aggregation, topology
+//! management. This crate implements the two canonical consumers —
+//! [`broadcast`] (SIR-style rumor spreading) and [`aggregation`] (push-pull
+//! averaging) — against *any* sampler, so the effect of sampling quality can
+//! be measured directly: run the same workload over a gossip overlay
+//! ([`SimSampleSource`]) and over the ideal uniform oracle
+//! ([`OracleSource`]) and compare.
+//!
+//! # Examples
+//!
+//! ```
+//! use pss_core::{PolicyTriple, ProtocolConfig};
+//! use pss_protocols::{broadcast, OracleSource, SimSampleSource};
+//! use pss_sim::scenario;
+//!
+//! let config = ProtocolConfig::new(PolicyTriple::newscast(), 15)?;
+//! let mut sim = scenario::random_overlay(&config, 200, 9);
+//! sim.run_cycles(10);
+//!
+//! let report = broadcast::run(
+//!     &mut SimSampleSource::new(&mut sim),
+//!     200,
+//!     pss_core::NodeId::new(0),
+//!     &broadcast::BroadcastConfig::default(),
+//! );
+//! assert!(report.coverage() > 0.95);
+//! # Ok::<(), pss_core::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregation;
+pub mod broadcast;
+
+mod source;
+
+pub use source::{OracleSource, SampleSource, SimSampleSource};

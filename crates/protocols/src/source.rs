@@ -1,0 +1,113 @@
+//! Peer sources: where applications get their gossip partners from.
+
+use pss_core::NodeId;
+use pss_sim::Simulation;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-node peer supply, the application-side face of the peer sampling
+/// service: "provide a participating node … with a subset of peers … to send
+/// gossip messages to".
+pub trait SampleSource {
+    /// Draws a peer for `node`, or `None` if the service knows none.
+    fn sample_for(&mut self, node: NodeId) -> Option<NodeId>;
+
+    /// Advances the underlying membership layer by one round, if it has one.
+    /// The default does nothing (static sources).
+    fn advance_round(&mut self) {}
+}
+
+/// The gossip-based service: peers come from each node's partial view in a
+/// live [`Simulation`], and the overlay keeps evolving one cycle per
+/// application round.
+pub struct SimSampleSource<'a> {
+    sim: &'a mut Simulation,
+}
+
+impl<'a> SimSampleSource<'a> {
+    /// Wraps a simulation as a peer source.
+    pub fn new(sim: &'a mut Simulation) -> Self {
+        SimSampleSource { sim }
+    }
+}
+
+impl SampleSource for SimSampleSource<'_> {
+    fn sample_for(&mut self, node: NodeId) -> Option<NodeId> {
+        self.sim.get_peer(node)
+    }
+
+    fn advance_round(&mut self) {
+        self.sim.run_cycle();
+    }
+}
+
+/// The ideal service: independent uniform samples over the full membership
+/// `0..n`, excluding the asking node. The baseline all gossip theory
+/// assumes.
+#[derive(Debug, Clone)]
+pub struct OracleSource {
+    n: u64,
+    rng: SmallRng,
+}
+
+impl OracleSource {
+    /// Creates an oracle over nodes `0..n`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        OracleSource {
+            n: n as u64,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SampleSource for OracleSource {
+    fn sample_for(&mut self, node: NodeId) -> Option<NodeId> {
+        if self.n <= 1 {
+            return None;
+        }
+        // Uniform over the other n-1 nodes.
+        let r = self.rng.random_range(0..self.n - 1);
+        Some(NodeId::new(if r >= node.as_u64() { r + 1 } else { r }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_core::{PolicyTriple, ProtocolConfig};
+    use pss_sim::scenario;
+
+    #[test]
+    fn oracle_excludes_self_and_covers_all() {
+        let mut o = OracleSource::new(10, 3);
+        let asker = NodeId::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let p = o.sample_for(asker).unwrap();
+            assert_ne!(p, asker);
+            assert!(p.as_u64() < 10);
+            seen.insert(p);
+        }
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn oracle_trivial_group() {
+        let mut o = OracleSource::new(1, 3);
+        assert!(o.sample_for(NodeId::new(0)).is_none());
+        let mut o = OracleSource::new(0, 3);
+        assert!(o.sample_for(NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn sim_source_draws_from_views_and_advances() {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 5).unwrap();
+        let mut sim = scenario::random_overlay(&config, 30, 4);
+        let before = sim.cycle();
+        let mut src = SimSampleSource::new(&mut sim);
+        let p = src.sample_for(NodeId::new(0)).unwrap();
+        assert!(p.as_u64() < 30);
+        src.advance_round();
+        assert_eq!(sim.cycle(), before + 1);
+    }
+}

@@ -1,0 +1,653 @@
+//! The cycle-driven simulation engine (the paper's execution model).
+
+use pss_core::{NodeDescriptor, NodeId, ProtocolConfig, PeerSamplingNode, View};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::population::{BoxedNode, Population};
+use crate::Snapshot;
+
+/// Per-cycle accounting returned by [`Simulation::run_cycle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CycleReport {
+    /// Exchanges that ran to completion.
+    pub completed: u64,
+    /// Exchanges aimed at a dead peer (message silently lost).
+    pub failed_dead_peer: u64,
+    /// Nodes that could not initiate (empty view).
+    pub empty_view: u64,
+    /// Requests or replies dropped by the loss model.
+    pub dropped_messages: u64,
+}
+
+impl CycleReport {
+    /// Total initiation attempts in the cycle.
+    pub fn initiated(&self) -> u64 {
+        self.completed + self.failed_dead_peer + self.empty_view + self.dropped_messages
+    }
+}
+
+/// How the simulator treats exchange attempts with dead peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FailureMode {
+    /// Peer selection only considers live view entries — the paper's model:
+    /// "selectPeer() … returns the address of a live node as found in the
+    /// caller's current view". This abstracts the timeout-and-retry a real
+    /// implementation performs within one period. Dead descriptors stay in
+    /// views as dead links; they are just never *selected*.
+    #[default]
+    SkipDead,
+    /// Peer selection is liveness-blind; an exchange aimed at a dead peer is
+    /// silently lost and the initiator's cycle is wasted. Under `tail` peer
+    /// selection this model lets nodes wedge on a dead stalest entry and
+    /// re-select it forever — a failure mode worth studying (see the
+    /// extension experiments), but not what the paper simulated.
+    AttemptAndLose,
+}
+
+/// Automatic population growth, reproducing the paper's *growing overlay*
+/// scenario: at the beginning of each cycle, `nodes_per_cycle` fresh nodes
+/// join (until `target` is reached), each knowing only the oldest node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GrowthPlan {
+    /// Nodes added per cycle.
+    pub nodes_per_cycle: usize,
+    /// Population size at which growth stops.
+    pub target: usize,
+}
+
+/// The cycle-driven simulator.
+///
+/// In each cycle every live node initiates exactly one exchange, in a fresh
+/// uniform-random order; each exchange runs atomically (initiate →
+/// handle_request → handle_reply). An exchange whose peer is dead does
+/// nothing at all on the initiator side — push messages are lost, pull
+/// requests time out — matching the paper's model where self-healing comes
+/// exclusively from view selection.
+///
+/// All randomness derives from the construction seed, so runs are exactly
+/// reproducible.
+pub struct Simulation {
+    pop: Population,
+    factory: Box<dyn FnMut(NodeId, u64) -> BoxedNode + Send>,
+    rng: SmallRng,
+    cycle: u64,
+    growth: Option<GrowthPlan>,
+    message_loss: f64,
+    failure_mode: FailureMode,
+}
+
+impl Simulation {
+    /// Creates an empty simulation whose nodes run the generic protocol of
+    /// the paper under `config`.
+    pub fn new(config: ProtocolConfig, seed: u64) -> Self {
+        Simulation::with_factory(seed, move |id, node_seed| {
+            Box::new(PeerSamplingNode::with_seed(id, config.clone(), node_seed))
+        })
+    }
+
+    /// Creates an empty simulation with a custom node factory (e.g. for
+    /// [`pss_core::hs::HsNode`] or user protocols). The factory receives the
+    /// assigned node id and a derived RNG seed.
+    pub fn with_factory(
+        seed: u64,
+        factory: impl FnMut(NodeId, u64) -> BoxedNode + Send + 'static,
+    ) -> Self {
+        Simulation {
+            pop: Population::new(),
+            factory: Box::new(factory),
+            rng: SmallRng::seed_from_u64(seed),
+            cycle: 0,
+            growth: None,
+            message_loss: 0.0,
+            failure_mode: FailureMode::default(),
+        }
+    }
+
+    /// Selects how exchanges with dead peers are handled (default:
+    /// [`FailureMode::SkipDead`], the paper's model).
+    pub fn set_failure_mode(&mut self, mode: FailureMode) {
+        self.failure_mode = mode;
+    }
+
+    /// Installs a growth plan (see [`GrowthPlan`]). Growth happens at the
+    /// beginning of each subsequent cycle.
+    pub fn set_growth(&mut self, plan: GrowthPlan) {
+        self.growth = Some(plan);
+    }
+
+    /// Sets a per-message loss probability (0.0 = the paper's lossless
+    /// model). Both requests and replies are subject to loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn set_message_loss(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        self.message_loss = p;
+    }
+
+    /// Adds one node bootstrapped from `seeds` and returns its id.
+    pub fn add_node(&mut self, seeds: impl IntoIterator<Item = NodeDescriptor>) -> NodeId {
+        let node_seed = self.rng.random();
+        let factory = &mut self.factory;
+        let id = self.pop.add_with(|id| factory(id, node_seed));
+        let entry = self.pop.get_mut(id).expect("just added");
+        entry.node.init(&mut seeds.into_iter());
+        id
+    }
+
+    /// Adds `count` nodes, each bootstrapped with `contacts` uniform-random
+    /// live contacts (join under churn). Contacts are drawn from the
+    /// members that existed *before* this batch — fresh joiners never
+    /// bootstrap off each other, which would risk isolated joiner islands.
+    /// Returns the new ids.
+    pub fn add_nodes_with_random_contacts(&mut self, count: usize, contacts: usize) -> Vec<NodeId> {
+        let existing: Vec<NodeId> = self.pop.alive_ids().collect();
+        let mut new_ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            let seeds: Vec<NodeDescriptor> = if existing.is_empty() {
+                Vec::new()
+            } else {
+                (0..contacts)
+                    .map(|_| {
+                        let pick = existing[self.rng.random_range(0..existing.len())];
+                        NodeDescriptor::fresh(pick)
+                    })
+                    .collect()
+            };
+            new_ids.push(self.add_node(seeds));
+        }
+        new_ids
+    }
+
+    /// Runs one full cycle and reports what happened.
+    pub fn run_cycle(&mut self) -> CycleReport {
+        self.apply_growth();
+        self.cycle += 1;
+        let mut order: Vec<NodeId> = self.pop.alive_ids().collect();
+        order.shuffle(&mut self.rng);
+
+        // Liveness cannot change mid-cycle, so snapshot it once: peer
+        // selection filters consult this bitmap without re-borrowing the
+        // population.
+        let alive: Vec<bool> = (0..self.pop.len())
+            .map(|i| self.pop.is_alive(NodeId::new(i as u64)))
+            .collect();
+        let is_live = |id: NodeId| alive.get(id.as_index()).copied().unwrap_or(false);
+
+        let mut report = CycleReport::default();
+        for id in order {
+            // Nodes cannot die mid-cycle, but guard anyway.
+            if !self.pop.is_alive(id) {
+                continue;
+            }
+            let entry = self.pop.get_mut(id).expect("alive");
+            let had_view = !entry.node.view().is_empty();
+            let exchange = match self.failure_mode {
+                FailureMode::SkipDead => {
+                    entry.node.initiate_filtered(&mut |peer| is_live(peer))
+                }
+                FailureMode::AttemptAndLose => entry.node.initiate(),
+            };
+            let Some(exchange) = exchange else {
+                if had_view {
+                    report.failed_dead_peer += 1; // view held only dead links
+                } else {
+                    report.empty_view += 1;
+                }
+                continue;
+            };
+            let peer = exchange.peer;
+            if !self.pop.is_alive(peer) {
+                report.failed_dead_peer += 1;
+                continue;
+            }
+            if self.lose_message() {
+                report.dropped_messages += 1;
+                continue;
+            }
+            let reply = self
+                .pop
+                .get_mut(peer)
+                .expect("alive")
+                .node
+                .handle_request(id, exchange.request);
+            if let Some(reply) = reply {
+                if self.lose_message() {
+                    report.dropped_messages += 1;
+                    continue;
+                }
+                self.pop
+                    .get_mut(id)
+                    .expect("alive")
+                    .node
+                    .handle_reply(peer, reply);
+            }
+            report.completed += 1;
+        }
+        report
+    }
+
+    /// Runs `n` cycles, discarding the per-cycle reports.
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.run_cycle();
+        }
+    }
+
+    fn lose_message(&mut self) -> bool {
+        self.message_loss > 0.0 && self.rng.random::<f64>() < self.message_loss
+    }
+
+    fn apply_growth(&mut self) {
+        let Some(plan) = self.growth else { return };
+        if self.pop.len() >= plan.target {
+            return;
+        }
+        let missing = plan.target - self.pop.len();
+        let joining = plan.nodes_per_cycle.min(missing);
+        // "The view of these nodes is initialized with only a single node
+        // descriptor, which belongs to the oldest, initial node."
+        let oldest = NodeId::new(0);
+        for _ in 0..joining {
+            self.add_node([NodeDescriptor::fresh(oldest)]);
+        }
+    }
+
+    /// Number of cycles run so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Total nodes ever added (dead slots included).
+    pub fn node_count(&self) -> usize {
+        self.pop.len()
+    }
+
+    /// Number of live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.pop.alive_count()
+    }
+
+    /// True if `id` exists and is alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.pop.is_alive(id)
+    }
+
+    /// Ids of all live nodes, in increasing order.
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        self.pop.alive_ids().collect()
+    }
+
+    /// The view of a live node.
+    pub fn view_of(&self, id: NodeId) -> Option<&View> {
+        self.pop.view_of(id)
+    }
+
+    /// Calls the peer sampling service (`getPeer()`) on a live node.
+    pub fn get_peer(&mut self, id: NodeId) -> Option<NodeId> {
+        let entry = self.pop.get_mut(id)?;
+        if !entry.alive {
+            return None;
+        }
+        // getPeer is a uniform sample of the view, per the paper's simplest
+        // implementation; drive it with the simulation RNG for determinism.
+        let view = entry.node.view();
+        if view.is_empty() {
+            return None;
+        }
+        let idx = self.rng.random_range(0..view.len());
+        Some(view.descriptors()[idx].id())
+    }
+
+    /// Re-initializes a live node's view from fresh seed descriptors (the
+    /// service's `init()` called again). Returns false for dead/unknown
+    /// nodes.
+    pub fn reinit_node(
+        &mut self,
+        id: NodeId,
+        seeds: impl IntoIterator<Item = NodeDescriptor>,
+    ) -> bool {
+        match self.pop.get_mut(id) {
+            Some(entry) if entry.alive => {
+                entry.node.init(&mut seeds.into_iter());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Kills one node (crash-stop). Returns false if already dead/unknown.
+    pub fn kill(&mut self, id: NodeId) -> bool {
+        self.pop.kill(id)
+    }
+
+    /// Kills a uniform-random set of `count` live nodes and returns them.
+    pub fn kill_random(&mut self, count: usize) -> Vec<NodeId> {
+        let mut alive: Vec<NodeId> = self.pop.alive_ids().collect();
+        alive.shuffle(&mut self.rng);
+        let victims: Vec<NodeId> = alive.into_iter().take(count).collect();
+        for &v in &victims {
+            self.pop.kill(v);
+        }
+        victims
+    }
+
+    /// Kills `fraction` (0..=1) of the live population at random.
+    pub fn kill_random_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let count = (self.pop.alive_count() as f64 * fraction).round() as usize;
+        self.kill_random(count)
+    }
+
+    /// Descriptors in live views that point to dead nodes (Figure 7's
+    /// y-axis).
+    pub fn dead_link_count(&self) -> usize {
+        self.pop.dead_link_count()
+    }
+
+    /// Builds the communication-graph snapshot over live nodes.
+    pub fn snapshot(&self) -> Snapshot {
+        self.pop.snapshot()
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("cycle", &self.cycle)
+            .field("nodes", &self.pop.len())
+            .field("alive", &self.pop.alive_count())
+            .field("growth", &self.growth)
+            .field("message_loss", &self.message_loss)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_core::PolicyTriple;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig::new(PolicyTriple::newscast(), 5).unwrap()
+    }
+
+    fn two_node_sim() -> Simulation {
+        let mut sim = Simulation::new(config(), 7);
+        let a = sim.add_node([]);
+        let b = sim.add_node([NodeDescriptor::fresh(a)]);
+        // Give a knowledge of b too.
+        let _ = sim;
+        let mut sim2 = Simulation::new(config(), 7);
+        let a = sim2.add_node([NodeDescriptor::fresh(NodeId::new(1))]);
+        let b2 = sim2.add_node([NodeDescriptor::fresh(a)]);
+        assert_eq!(b, b2);
+        sim2
+    }
+
+    #[test]
+    fn add_node_assigns_sequential_ids() {
+        let mut sim = Simulation::new(config(), 1);
+        assert_eq!(sim.add_node([]), NodeId::new(0));
+        assert_eq!(sim.add_node([]), NodeId::new(1));
+        assert_eq!(sim.node_count(), 2);
+        assert_eq!(sim.alive_count(), 2);
+    }
+
+    #[test]
+    fn seeds_initialize_views() {
+        let mut sim = Simulation::new(config(), 1);
+        let a = sim.add_node([]);
+        let b = sim.add_node([NodeDescriptor::fresh(a)]);
+        assert!(sim.view_of(b).unwrap().contains(a));
+        assert!(sim.view_of(a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cycle_completes_exchanges() {
+        let mut sim = two_node_sim();
+        let report = sim.run_cycle();
+        assert_eq!(sim.cycle(), 1);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.empty_view, 0);
+        // After one pushpull cycle both know each other.
+        assert!(sim.view_of(NodeId::new(0)).unwrap().contains(NodeId::new(1)));
+        assert!(sim.view_of(NodeId::new(1)).unwrap().contains(NodeId::new(0)));
+    }
+
+    #[test]
+    fn empty_views_are_reported() {
+        let mut sim = Simulation::new(config(), 1);
+        sim.add_node([]);
+        let report = sim.run_cycle();
+        assert_eq!(report.empty_view, 1);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn dead_peer_exchanges_fail_silently() {
+        let mut sim = two_node_sim();
+        sim.kill(NodeId::new(1));
+        let report = sim.run_cycle();
+        assert_eq!(report.failed_dead_peer, 1);
+        assert_eq!(report.completed, 0);
+        // Initiator's view content unchanged (the dead link stays; entries
+        // only aged).
+        let view = sim.view_of(NodeId::new(0)).unwrap();
+        assert!(view.contains(NodeId::new(1)));
+        assert_eq!(view.len(), 1);
+    }
+
+    #[test]
+    fn attempt_and_lose_mode_targets_dead_peers() {
+        let mut sim = two_node_sim();
+        sim.set_failure_mode(FailureMode::AttemptAndLose);
+        sim.kill(NodeId::new(1));
+        let report = sim.run_cycle();
+        // Node 0 blindly selects its only (dead) entry and loses the cycle.
+        assert_eq!(report.failed_dead_peer, 1);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn skip_dead_mode_finds_live_alternatives() {
+        // Node 0 knows a dead node and a live one; SkipDead must pick the
+        // live one every cycle.
+        let mut sim = Simulation::new(config(), 13);
+        let a = sim.add_node([]); // will die
+        let b = sim.add_node([]); // stays
+        let c = sim.add_node([NodeDescriptor::fresh(a), NodeDescriptor::fresh(b)]);
+        sim.kill(a);
+        let report = sim.run_cycle();
+        // c's exchange went to b (never the dead a); b may then have
+        // initiated its own exchange in the same cycle.
+        assert!(report.completed >= 1, "{report:?}");
+        assert_eq!(report.failed_dead_peer, 0, "{report:?}");
+        assert!(sim.view_of(b).unwrap().contains(c));
+    }
+
+    #[test]
+    fn kill_bookkeeping() {
+        let mut sim = two_node_sim();
+        assert!(sim.is_alive(NodeId::new(1)));
+        assert!(sim.kill(NodeId::new(1)));
+        assert!(!sim.kill(NodeId::new(1)));
+        assert!(!sim.is_alive(NodeId::new(1)));
+        assert_eq!(sim.alive_count(), 1);
+        assert_eq!(sim.node_count(), 2);
+        assert_eq!(sim.alive_ids(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn kill_random_fraction_halves() {
+        let mut sim = Simulation::new(config(), 3);
+        for _ in 0..100 {
+            sim.add_node([]);
+        }
+        let victims = sim.kill_random_fraction(0.5);
+        assert_eq!(victims.len(), 50);
+        assert_eq!(sim.alive_count(), 50);
+        // Victims are distinct.
+        let mut v = victims.clone();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 50);
+    }
+
+    #[test]
+    fn dead_links_counted() {
+        let mut sim = two_node_sim();
+        assert_eq!(sim.dead_link_count(), 0);
+        sim.kill(NodeId::new(0));
+        // b's view points at dead a.
+        assert_eq!(sim.dead_link_count(), 1);
+    }
+
+    #[test]
+    fn growth_plan_adds_nodes_each_cycle() {
+        let mut sim = Simulation::new(config(), 5);
+        sim.add_node([]);
+        sim.set_growth(GrowthPlan {
+            nodes_per_cycle: 10,
+            target: 25,
+        });
+        sim.run_cycle();
+        assert_eq!(sim.node_count(), 11);
+        sim.run_cycle();
+        assert_eq!(sim.node_count(), 21);
+        sim.run_cycle();
+        assert_eq!(sim.node_count(), 25); // clamped at target
+        sim.run_cycle();
+        assert_eq!(sim.node_count(), 25);
+    }
+
+    #[test]
+    fn growth_seeds_point_at_oldest() {
+        let mut sim = Simulation::new(config(), 5);
+        sim.add_node([]);
+        sim.set_growth(GrowthPlan {
+            nodes_per_cycle: 3,
+            target: 4,
+        });
+        sim.run_cycle();
+        // New nodes joined knowing node 0 (they may have gossiped since,
+        // but their views must be non-empty).
+        for id in 1..4 {
+            assert!(!sim.view_of(NodeId::new(id)).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn snapshot_excludes_dead() {
+        let mut sim = two_node_sim();
+        sim.run_cycle();
+        sim.kill(NodeId::new(1));
+        let snap = sim.snapshot();
+        assert_eq!(snap.node_count(), 1);
+        assert_eq!(snap.directed().edge_count(), 0); // link to dead dropped
+    }
+
+    #[test]
+    fn deterministic_runs_with_same_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(config(), seed);
+            let first = sim.add_node([]);
+            for _ in 0..19 {
+                sim.add_node([NodeDescriptor::fresh(first)]);
+            }
+            sim.run_cycles(10);
+            // Full view fingerprint: every node's view contents in order.
+            sim.alive_ids()
+                .into_iter()
+                .map(|id| {
+                    sim.view_of(id)
+                        .unwrap()
+                        .iter()
+                        .map(|d| (d.id().as_u64(), d.hop_count()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn message_loss_drops_exchanges() {
+        let mut sim = two_node_sim();
+        sim.set_message_loss(1.0);
+        let report = sim.run_cycle();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.dropped_messages, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_probability_panics() {
+        let mut sim = two_node_sim();
+        sim.set_message_loss(1.5);
+    }
+
+    #[test]
+    fn get_peer_service() {
+        let mut sim = two_node_sim();
+        sim.run_cycle();
+        let p = sim.get_peer(NodeId::new(0)).unwrap();
+        assert_eq!(p, NodeId::new(1));
+        sim.kill(NodeId::new(1));
+        assert!(sim.get_peer(NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn reinit_node_replaces_view() {
+        let mut sim = two_node_sim();
+        assert!(sim.reinit_node(NodeId::new(1), [NodeDescriptor::fresh(NodeId::new(0))]));
+        let view = sim.view_of(NodeId::new(1)).unwrap();
+        assert_eq!(view.len(), 1);
+        assert!(view.contains(NodeId::new(0)));
+        sim.kill(NodeId::new(1));
+        assert!(!sim.reinit_node(NodeId::new(1), []));
+        assert!(!sim.reinit_node(NodeId::new(99), []));
+    }
+
+    #[test]
+    fn add_nodes_with_random_contacts_yields_live_seeds() {
+        let mut sim = Simulation::new(config(), 9);
+        sim.add_node([]);
+        sim.add_node([NodeDescriptor::fresh(NodeId::new(0))]);
+        let ids = sim.add_nodes_with_random_contacts(5, 2);
+        assert_eq!(ids.len(), 5);
+        for id in ids {
+            let view = sim.view_of(id).unwrap();
+            assert!(!view.is_empty());
+            for d in view.iter() {
+                assert!(d.id().as_u64() < id.as_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn debug_format_mentions_state() {
+        let sim = two_node_sim();
+        let text = format!("{sim:?}");
+        assert!(text.contains("cycle"));
+        assert!(text.contains("alive"));
+    }
+
+    #[test]
+    fn report_initiated_totals() {
+        let r = CycleReport {
+            completed: 3,
+            failed_dead_peer: 2,
+            empty_view: 1,
+            dropped_messages: 4,
+        };
+        assert_eq!(r.initiated(), 10);
+    }
+}

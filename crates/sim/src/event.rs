@@ -1,0 +1,500 @@
+//! **Extension:** event-driven simulation with latency, jitter and loss.
+//!
+//! The paper's experiments use the idealized cycle model. This engine
+//! relaxes it: every node runs its own periodic timer with bounded jitter,
+//! messages take a random latency to arrive, and may be lost. Exchanges are
+//! no longer atomic — a node may receive requests while its own exchange is
+//! in flight. The extension experiments use this engine to check that the
+//! cycle-model conclusions survive asynchrony.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pss_core::{NodeDescriptor, NodeId, ProtocolConfig, PeerSamplingNode, Reply, Request, View};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::population::{BoxedNode, Population};
+use crate::Snapshot;
+
+/// Message latency model, in abstract time ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum LatencyModel {
+    /// Instant delivery.
+    Zero,
+    /// Uniform latency in `[min, max]` ticks.
+    Uniform {
+        /// Minimum latency.
+        min: u64,
+        /// Maximum latency (inclusive).
+        max: u64,
+    },
+}
+
+impl LatencyModel {
+    fn sample(self, rng: &mut impl Rng) -> u64 {
+        match self {
+            LatencyModel::Zero => 0,
+            LatencyModel::Uniform { min, max } => {
+                if min >= max {
+                    min
+                } else {
+                    rng.random_range(min..=max)
+                }
+            }
+        }
+    }
+}
+
+/// Parameters of the event-driven engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventConfig {
+    /// Gossip period `T` in ticks (the paper's "wait(T time units)").
+    pub period: u64,
+    /// Uniform timer jitter in ticks, applied as `±jitter` around the
+    /// period. Must be `< period`.
+    pub jitter: u64,
+    /// Message latency model.
+    pub latency: LatencyModel,
+    /// Probability that any message is lost in transit.
+    pub loss_probability: f64,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        EventConfig {
+            period: 1000,
+            jitter: 100,
+            latency: LatencyModel::Uniform { min: 10, max: 50 },
+            loss_probability: 0.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Timer(NodeId),
+    Request {
+        from: NodeId,
+        to: NodeId,
+        request: Request,
+    },
+    Reply {
+        from: NodeId,
+        to: NodeId,
+        reply: Reply,
+    },
+}
+
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Discrete-event simulator over the same node population type as
+/// [`crate::Simulation`].
+///
+/// # Examples
+///
+/// ```
+/// use pss_core::{PolicyTriple, ProtocolConfig};
+/// use pss_sim::{EventConfig, EventSimulation};
+///
+/// let protocol = ProtocolConfig::new(PolicyTriple::newscast(), 20)?;
+/// let mut sim = EventSimulation::new(protocol, EventConfig::default(), 7);
+/// sim.add_connected_nodes(100);
+/// sim.run_for(20_000); // ≈ 20 gossip periods
+/// assert!(sim.snapshot().undirected().average_degree() > 20.0);
+/// # Ok::<(), pss_core::ConfigError>(())
+/// ```
+pub struct EventSimulation {
+    pop: Population,
+    factory: Box<dyn FnMut(NodeId, u64) -> BoxedNode + Send>,
+    config: EventConfig,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: u64,
+    seq: u64,
+    rng: SmallRng,
+}
+
+impl EventSimulation {
+    /// Creates an empty event simulation for the paper's generic protocol.
+    pub fn new(protocol: ProtocolConfig, config: EventConfig, seed: u64) -> Self {
+        Self::with_factory(config, seed, move |id, node_seed| {
+            Box::new(PeerSamplingNode::with_seed(id, protocol.clone(), node_seed))
+                as BoxedNode
+        })
+    }
+
+    /// Creates an empty event simulation with a custom node factory.
+    pub fn with_factory(
+        config: EventConfig,
+        seed: u64,
+        factory: impl FnMut(NodeId, u64) -> BoxedNode + Send + 'static,
+    ) -> Self {
+        assert!(config.jitter < config.period, "jitter must be below period");
+        EventSimulation {
+            pop: Population::new(),
+            factory: Box::new(factory),
+            config,
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current simulation time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.pop.alive_count()
+    }
+
+    /// The view of a live node.
+    pub fn view_of(&self, id: NodeId) -> Option<&View> {
+        self.pop.view_of(id)
+    }
+
+    /// Adds a node bootstrapped from `seeds`; its first timer fires at a
+    /// uniform-random phase within one period (nodes are not synchronized).
+    pub fn add_node(&mut self, seeds: impl IntoIterator<Item = NodeDescriptor>) -> NodeId {
+        let node_seed = self.rng.random();
+        let factory = &mut self.factory;
+        let id = self.pop.add_with(|id| factory(id, node_seed));
+        self.pop
+            .get_mut(id)
+            .expect("just added")
+            .node
+            .init(&mut seeds.into_iter());
+        let phase = self.rng.random_range(0..self.config.period);
+        self.schedule(self.now + phase, EventKind::Timer(id));
+        id
+    }
+
+    /// Adds `n` nodes where node `i` bootstraps off node `i − 1` (a simple
+    /// connected chain, convenient for tests and examples).
+    pub fn add_connected_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        let mut ids = Vec::with_capacity(n);
+        let mut prev: Option<NodeId> = None;
+        for _ in 0..n {
+            let seeds: Vec<NodeDescriptor> = prev.into_iter().map(NodeDescriptor::fresh).collect();
+            let id = self.add_node(seeds);
+            prev = Some(id);
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Kills one node (crash-stop): pending deliveries to it are dropped at
+    /// delivery time.
+    pub fn kill(&mut self, id: NodeId) -> bool {
+        self.pop.kill(id)
+    }
+
+    /// Runs until the queue is empty or simulation time exceeds `deadline`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: u64) -> u64 {
+        let mut processed = 0;
+        while let Some(Reverse(event)) = self.queue.peek().map(|e| Reverse(&e.0)) {
+            if event.time > deadline {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked");
+            self.now = event.time;
+            self.dispatch(event.kind);
+            processed += 1;
+        }
+        self.now = self.now.max(deadline);
+        processed
+    }
+
+    /// Runs for `duration` ticks from the current time.
+    pub fn run_for(&mut self, duration: u64) -> u64 {
+        self.run_until(self.now.saturating_add(duration))
+    }
+
+    /// Descriptors in live views pointing at dead nodes.
+    pub fn dead_link_count(&self) -> usize {
+        self.pop.dead_link_count()
+    }
+
+    /// Builds the communication-graph snapshot over live nodes.
+    pub fn snapshot(&self) -> Snapshot {
+        self.pop.snapshot()
+    }
+
+    fn schedule(&mut self, time: u64, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn send_latency(&mut self) -> u64 {
+        self.config.latency.sample(&mut self.rng)
+    }
+
+    fn lost(&mut self) -> bool {
+        self.config.loss_probability > 0.0
+            && self.rng.random::<f64>() < self.config.loss_probability
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Timer(id) => {
+                if self.pop.is_alive(id) {
+                    if let Some(exchange) = self.pop.get_mut(id).expect("alive").node.initiate() {
+                        if !self.lost() {
+                            let at = self.now + self.send_latency();
+                            self.schedule(
+                                at,
+                                EventKind::Request {
+                                    from: id,
+                                    to: exchange.peer,
+                                    request: exchange.request,
+                                },
+                            );
+                        }
+                    }
+                    // Re-arm the timer with jitter regardless.
+                    let jitter = if self.config.jitter == 0 {
+                        0
+                    } else {
+                        self.rng
+                            .random_range(0..=2 * self.config.jitter)
+                    };
+                    let next = self.now + self.config.period - self.config.jitter + jitter;
+                    self.schedule(next, EventKind::Timer(id));
+                }
+            }
+            EventKind::Request { from, to, request } => {
+                if !self.pop.is_alive(to) {
+                    return;
+                }
+                let reply = self
+                    .pop
+                    .get_mut(to)
+                    .expect("alive")
+                    .node
+                    .handle_request(from, request);
+                if let Some(reply) = reply {
+                    if !self.lost() {
+                        let at = self.now + self.send_latency();
+                        self.schedule(
+                            at,
+                            EventKind::Reply {
+                                from: to,
+                                to: from,
+                                reply,
+                            },
+                        );
+                    }
+                }
+            }
+            EventKind::Reply { from, to, reply } => {
+                if self.pop.is_alive(to) {
+                    self.pop
+                        .get_mut(to)
+                        .expect("alive")
+                        .node
+                        .handle_reply(from, reply);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for EventSimulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSimulation")
+            .field("now", &self.now)
+            .field("nodes", &self.pop.len())
+            .field("alive", &self.pop.alive_count())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_core::PolicyTriple;
+
+    fn protocol() -> ProtocolConfig {
+        ProtocolConfig::new(PolicyTriple::newscast(), 8).unwrap()
+    }
+
+    fn sim(config: EventConfig) -> EventSimulation {
+        EventSimulation::new(protocol(), config, 11)
+    }
+
+    #[test]
+    fn latency_model_sampling() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(LatencyModel::Zero.sample(&mut rng), 0);
+        for _ in 0..100 {
+            let l = LatencyModel::Uniform { min: 5, max: 9 }.sample(&mut rng);
+            assert!((5..=9).contains(&l));
+        }
+        // Degenerate range.
+        assert_eq!(
+            LatencyModel::Uniform { min: 7, max: 7 }.sample(&mut rng),
+            7
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn jitter_must_be_below_period() {
+        let _ = sim(EventConfig {
+            period: 100,
+            jitter: 100,
+            latency: LatencyModel::Zero,
+            loss_probability: 0.0,
+        });
+    }
+
+    #[test]
+    fn timers_fire_and_rearm() {
+        let mut s = sim(EventConfig {
+            period: 100,
+            jitter: 0,
+            latency: LatencyModel::Zero,
+            loss_probability: 0.0,
+        });
+        s.add_connected_nodes(2);
+        let processed = s.run_for(1000);
+        // ~10 periods × 2 nodes × (timer + request + reply) events.
+        assert!(processed >= 40, "only {processed} events");
+        // Both learned each other.
+        assert!(s.view_of(NodeId::new(0)).unwrap().contains(NodeId::new(1)));
+        assert!(s.view_of(NodeId::new(1)).unwrap().contains(NodeId::new(0)));
+    }
+
+    #[test]
+    fn overlay_converges_under_jitter_and_latency() {
+        // View size 16: comfortably above the small-overlay connectivity
+        // threshold (tiny views can genuinely partition, see Section 4.3
+        // experiments).
+        let protocol = ProtocolConfig::new(PolicyTriple::newscast(), 16).unwrap();
+        let mut s = EventSimulation::new(
+            protocol,
+            EventConfig {
+                period: 1000,
+                jitter: 300,
+                latency: LatencyModel::Uniform { min: 10, max: 200 },
+                loss_probability: 0.0,
+            },
+            11,
+        );
+        // Tree bootstrap (every joiner knows an introducer): a bare chain
+        // can genuinely be cut into two self-reinforcing communities under
+        // concurrent exchanges.
+        s.add_node([]);
+        for i in 1..80u64 {
+            s.add_node([NodeDescriptor::fresh(NodeId::new(i / 2))]);
+        }
+        s.run_for(30_000);
+        let g = s.snapshot().undirected();
+        assert!(pss_graph::components::is_connected(&g));
+        assert!(g.average_degree() > 16.0);
+    }
+
+    #[test]
+    fn dead_nodes_stop_participating() {
+        let mut s = sim(EventConfig {
+            period: 100,
+            jitter: 0,
+            latency: LatencyModel::Zero,
+            loss_probability: 0.0,
+        });
+        s.add_connected_nodes(3);
+        s.run_for(500);
+        assert!(s.kill(NodeId::new(2)));
+        assert_eq!(s.alive_count(), 2);
+        s.run_for(500);
+        assert!(s.dead_link_count() <= 16); // bounded by views, no panic
+        let snap = s.snapshot();
+        assert_eq!(snap.node_count(), 2);
+    }
+
+    #[test]
+    fn total_loss_freezes_view_membership() {
+        let mut s = sim(EventConfig {
+            period: 100,
+            jitter: 0,
+            latency: LatencyModel::Zero,
+            loss_probability: 1.0,
+        });
+        s.add_connected_nodes(4);
+        let ids = |s: &EventSimulation, i: u64| -> Vec<NodeId> {
+            s.view_of(NodeId::new(i)).unwrap().ids().collect()
+        };
+        let before: Vec<_> = (0..4).map(|i| ids(&s, i)).collect();
+        s.run_for(2000);
+        // No message ever arrives, so nobody learns anything; views only
+        // age in place.
+        let after: Vec<_> = (0..4).map(|i| ids(&s, i)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed: u64| {
+            let mut s = EventSimulation::new(protocol(), EventConfig::default(), seed);
+            s.add_connected_nodes(30);
+            s.run_for(20_000);
+            let g = s.snapshot().undirected();
+            (g.edge_count(), g.max_degree())
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut s = sim(EventConfig {
+            period: 100,
+            jitter: 0,
+            latency: LatencyModel::Zero,
+            loss_probability: 0.0,
+        });
+        s.add_connected_nodes(2);
+        s.run_until(250);
+        assert_eq!(s.now(), 250);
+        // Events beyond the deadline remain queued.
+        let more = s.run_until(1000);
+        assert!(more > 0);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = sim(EventConfig::default());
+        assert!(format!("{s:?}").contains("pending_events"));
+    }
+}

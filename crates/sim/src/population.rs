@@ -1,0 +1,115 @@
+//! The node population shared by both simulation engines.
+
+use pss_core::{GossipNode, NodeId, View};
+
+use crate::Snapshot;
+
+/// A heap-allocated protocol node usable by the simulators.
+///
+/// Any [`GossipNode`] implementation works: the paper's
+/// [`pss_core::PeerSamplingNode`], the H&S extension
+/// [`pss_core::hs::HsNode`], or custom user protocols.
+pub type BoxedNode = Box<dyn GossipNode + Send>;
+
+pub(crate) struct Entry {
+    pub(crate) node: BoxedNode,
+    pub(crate) alive: bool,
+}
+
+/// Dense table of nodes indexed by [`NodeId`]; ids are assigned
+/// sequentially and never reused, so a dead node's slot stays dead.
+#[derive(Default)]
+pub(crate) struct Population {
+    entries: Vec<Entry>,
+    alive_count: usize,
+}
+
+impl Population {
+    pub(crate) fn new() -> Self {
+        Population::default()
+    }
+
+    /// Adds a node built by `make` from its assigned id.
+    pub(crate) fn add_with(&mut self, make: impl FnOnce(NodeId) -> BoxedNode) -> NodeId {
+        let id = NodeId::new(self.entries.len() as u64);
+        let node = make(id);
+        debug_assert_eq!(node.id(), id, "factory must honor the assigned id");
+        self.entries.push(Entry { node, alive: true });
+        self.alive_count += 1;
+        id
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    pub(crate) fn is_alive(&self, id: NodeId) -> bool {
+        self.entries
+            .get(id.as_index())
+            .map(|e| e.alive)
+            .unwrap_or(false)
+    }
+
+    pub(crate) fn kill(&mut self, id: NodeId) -> bool {
+        match self.entries.get_mut(id.as_index()) {
+            Some(e) if e.alive => {
+                e.alive = false;
+                self.alive_count -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    pub(crate) fn get(&self, id: NodeId) -> Option<&Entry> {
+        self.entries.get(id.as_index())
+    }
+
+    pub(crate) fn get_mut(&mut self, id: NodeId) -> Option<&mut Entry> {
+        self.entries.get_mut(id.as_index())
+    }
+
+    pub(crate) fn alive_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(i, _)| NodeId::new(i as u64))
+    }
+
+    pub(crate) fn view_of(&self, id: NodeId) -> Option<&View> {
+        let e = self.get(id)?;
+        e.alive.then(|| e.node.view())
+    }
+
+    /// Descriptors held by live nodes that point at dead nodes.
+    pub(crate) fn dead_link_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.alive)
+            .map(|e| {
+                e.node
+                    .view()
+                    .ids()
+                    .filter(|&target| !self.is_alive(target))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Builds the communication-graph snapshot over live nodes.
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        Snapshot::build(
+            self.entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.alive)
+                .map(|(i, e)| (NodeId::new(i as u64), e.node.view())),
+            |id| self.is_alive(id),
+        )
+    }
+}

@@ -1,0 +1,173 @@
+//! The paper's three bootstrap scenarios, plus generic graph-seeded setup.
+//!
+//! Section 5 of the paper evaluates convergence from three initial
+//! conditions:
+//!
+//! * **growing overlay** ([`growing_overlay`]) — start from a single node;
+//!   100 nodes join per cycle knowing only the oldest node, until N = 10⁴
+//!   (reached at cycle 100),
+//! * **ring lattice** ([`lattice_overlay`]) — a structured, large-diameter
+//!   start,
+//! * **random** ([`random_overlay`]) — views are uniform random samples
+//!   (the baseline topology itself).
+
+use pss_core::{NodeDescriptor, NodeId, ProtocolConfig};
+use pss_graph::{gen, DiGraph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{GrowthPlan, Simulation};
+
+/// Builds a simulation whose initial views replicate a directed graph:
+/// node `i`'s view holds a fresh descriptor per out-neighbor of `i`.
+///
+/// # Panics
+///
+/// Panics if any out-degree exceeds the configured view size (the scenario
+/// would silently truncate otherwise).
+pub fn from_digraph(config: &ProtocolConfig, graph: &DiGraph, seed: u64) -> Simulation {
+    let mut sim = Simulation::new(config.clone(), seed);
+    for v in 0..graph.node_count() as u32 {
+        let out = graph.out_neighbors(v);
+        assert!(
+            out.len() <= config.view_size(),
+            "initial out-degree {} exceeds view size {}",
+            out.len(),
+            config.view_size()
+        );
+        sim.add_node(
+            out.iter()
+                .map(|&t| NodeDescriptor::fresh(NodeId::new(t as u64))),
+        );
+    }
+    sim
+}
+
+/// The growing-overlay scenario: one initial node, `per_cycle` joiners per
+/// cycle (each knowing only node 0) until `target` nodes exist.
+///
+/// The paper uses `per_cycle = 100` and `target = 10_000`; growth then
+/// completes at cycle 100 and the run continues to cycle 300.
+pub fn growing_overlay(
+    config: &ProtocolConfig,
+    target: usize,
+    per_cycle: usize,
+    seed: u64,
+) -> Simulation {
+    let mut sim = Simulation::new(config.clone(), seed);
+    sim.add_node([]);
+    sim.set_growth(GrowthPlan {
+        nodes_per_cycle: per_cycle,
+        target,
+    });
+    sim
+}
+
+/// The ring-lattice scenario: views hold the `c` nearest ring neighbors.
+pub fn lattice_overlay(config: &ProtocolConfig, n: usize, seed: u64) -> Simulation {
+    let lattice = gen::ring_lattice(n, config.view_size());
+    from_digraph(config, &lattice, seed)
+}
+
+/// The random scenario: views are independent uniform samples of the other
+/// nodes — the paper's baseline topology as the starting point.
+pub fn random_overlay(config: &ProtocolConfig, n: usize, seed: u64) -> Simulation {
+    // Derive the topology RNG from the run seed but keep it distinct from
+    // the simulation RNG stream.
+    let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let graph = gen::uniform_view_digraph(n, config.view_size(), &mut topo_rng);
+    from_digraph(config, &graph, seed)
+}
+
+/// A star bootstrap: every node knows only node 0 (and node 0 knows node 1).
+/// The pathological topology pull-only protocols collapse to.
+pub fn star_overlay(config: &ProtocolConfig, n: usize, seed: u64) -> Simulation {
+    let graph = gen::star(n);
+    from_digraph(config, &graph, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_core::PolicyTriple;
+    use pss_graph::components;
+
+    fn config(c: usize) -> ProtocolConfig {
+        ProtocolConfig::new(PolicyTriple::newscast(), c).unwrap()
+    }
+
+    #[test]
+    fn from_digraph_replicates_views() {
+        let g = DiGraph::from_views(3, vec![vec![1, 2], vec![2], vec![]]).unwrap();
+        let sim = from_digraph(&config(5), &g, 1);
+        assert_eq!(sim.node_count(), 3);
+        let v0 = sim.view_of(NodeId::new(0)).unwrap();
+        assert!(v0.contains(NodeId::new(1)));
+        assert!(v0.contains(NodeId::new(2)));
+        assert!(sim.view_of(NodeId::new(2)).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds view size")]
+    fn from_digraph_rejects_oversized_views() {
+        let g = DiGraph::from_views(4, vec![vec![1, 2, 3]]).unwrap();
+        let _ = from_digraph(&config(2), &g, 1);
+    }
+
+    #[test]
+    fn growing_reaches_target() {
+        let mut sim = growing_overlay(&config(5), 50, 10, 2);
+        assert_eq!(sim.node_count(), 1);
+        for _ in 0..5 {
+            sim.run_cycle();
+        }
+        assert_eq!(sim.node_count(), 50);
+        sim.run_cycle();
+        assert_eq!(sim.node_count(), 50);
+    }
+
+    #[test]
+    fn growing_overlay_becomes_connected() {
+        // c = 15 keeps a 60-node overlay above the connectivity threshold.
+        let mut sim = growing_overlay(&config(15), 60, 20, 3);
+        sim.run_cycles(25);
+        let g = sim.snapshot().undirected();
+        assert!(components::is_connected(&g));
+    }
+
+    #[test]
+    fn lattice_overlay_views_are_ring_neighbors() {
+        let sim = lattice_overlay(&config(4), 10, 4);
+        let v0 = sim.view_of(NodeId::new(0)).unwrap();
+        for id in [1u64, 2, 8, 9] {
+            assert!(v0.contains(NodeId::new(id)), "missing {id} in {v0}");
+        }
+    }
+
+    #[test]
+    fn random_overlay_has_full_views() {
+        let sim = random_overlay(&config(10), 50, 5);
+        for id in sim.alive_ids() {
+            assert_eq!(sim.view_of(id).unwrap().len(), 10);
+        }
+    }
+
+    #[test]
+    fn random_overlay_differs_per_seed_but_not_per_run() {
+        let degree = |seed: u64| {
+            let sim = random_overlay(&config(10), 50, seed);
+            sim.snapshot().undirected().degree(0)
+        };
+        assert_eq!(degree(7), degree(7));
+    }
+
+    #[test]
+    fn star_overlay_shape() {
+        let sim = star_overlay(&config(5), 6, 6);
+        for id in 1..6u64 {
+            let v = sim.view_of(NodeId::new(id)).unwrap();
+            assert_eq!(v.len(), 1);
+            assert!(v.contains(NodeId::new(0)));
+        }
+    }
+}

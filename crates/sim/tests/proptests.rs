@@ -1,0 +1,189 @@
+//! Property-based tests for the simulators.
+
+use proptest::prelude::*;
+use pss_core::{NodeDescriptor, NodeId, PolicyTriple, ProtocolConfig};
+use pss_sim::{scenario, EventConfig, EventSimulation, FailureMode, LatencyModel};
+
+fn policies() -> impl Strategy<Value = PolicyTriple> {
+    prop::sample::select(PolicyTriple::paper_eight().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn identical_seeds_give_identical_overlays(
+        policy in policies(),
+        n in 20usize..80,
+        cycles in 1u64..15,
+        seed in 0u64..1_000,
+    ) {
+        let fingerprint = |seed: u64| {
+            let config = ProtocolConfig::new(policy, 8).unwrap();
+            let mut sim = scenario::random_overlay(&config, n, seed);
+            sim.run_cycles(cycles);
+            let snap = sim.snapshot();
+            let g = snap.undirected();
+            (0..n as u32).map(|v| g.neighbors(v).to_vec()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(fingerprint(seed), fingerprint(seed));
+    }
+
+    #[test]
+    fn views_never_exceed_capacity_nor_contain_self(
+        policy in policies(),
+        n in 10usize..60,
+        cycles in 1u64..20,
+        c in 1usize..12,
+        seed in 0u64..1_000,
+    ) {
+        let config = ProtocolConfig::new(policy, c).unwrap();
+        let mut sim = scenario::random_overlay(&config, n, seed);
+        sim.run_cycles(cycles);
+        for id in sim.alive_ids() {
+            let view = sim.view_of(id).unwrap();
+            prop_assert!(view.len() <= c);
+            prop_assert!(!view.contains(id));
+            prop_assert!(view.invariants_hold());
+            for d in view.iter() {
+                prop_assert!(d.id().as_u64() < n as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn population_counts_are_conserved(
+        n in 5usize..50,
+        kills in 0usize..30,
+        joins in 0usize..20,
+        seed in 0u64..1_000,
+    ) {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 5).unwrap();
+        let mut sim = scenario::random_overlay(&config, n, seed);
+        let killed = sim.kill_random(kills).len();
+        prop_assert_eq!(sim.alive_count(), n - killed);
+        sim.add_nodes_with_random_contacts(joins, 2);
+        prop_assert_eq!(sim.alive_count(), n - killed + joins);
+        prop_assert_eq!(sim.node_count(), n + joins);
+        sim.run_cycle();
+        prop_assert_eq!(sim.alive_count(), n - killed + joins);
+    }
+
+    #[test]
+    fn snapshot_only_contains_live_nodes(
+        n in 10usize..60,
+        kill_fraction in 0.0f64..0.9,
+        seed in 0u64..1_000,
+    ) {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 8).unwrap();
+        let mut sim = scenario::random_overlay(&config, n, seed);
+        sim.run_cycles(3);
+        sim.kill_random_fraction(kill_fraction);
+        let snap = sim.snapshot();
+        prop_assert_eq!(snap.node_count(), sim.alive_count());
+        for &id in snap.node_ids() {
+            prop_assert!(sim.is_alive(id));
+        }
+    }
+
+    #[test]
+    fn dead_links_are_bounded_by_total_view_entries(
+        n in 10usize..60,
+        seed in 0u64..1_000,
+    ) {
+        let c = 6usize;
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), c).unwrap();
+        let mut sim = scenario::random_overlay(&config, n, seed);
+        sim.run_cycles(5);
+        sim.kill_random_fraction(0.5);
+        let bound = sim.alive_count() * c;
+        prop_assert!(sim.dead_link_count() <= bound);
+        sim.run_cycles(3);
+        prop_assert!(sim.dead_link_count() <= bound);
+    }
+
+    #[test]
+    fn failure_modes_agree_without_failures(
+        policy in policies(),
+        n in 10usize..50,
+        cycles in 1u64..10,
+        seed in 0u64..1_000,
+    ) {
+        // With no dead nodes the two failure modes are byte-identical.
+        let run = |mode: FailureMode| {
+            let config = ProtocolConfig::new(policy, 6).unwrap();
+            let mut sim = scenario::random_overlay(&config, n, seed);
+            sim.set_failure_mode(mode);
+            sim.run_cycles(cycles);
+            let snap = sim.snapshot();
+            let g = snap.undirected();
+            (0..n as u32).map(|v| g.neighbors(v).to_vec()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(FailureMode::SkipDead), run(FailureMode::AttemptAndLose));
+    }
+
+    #[test]
+    fn event_engine_is_deterministic(
+        n in 5usize..40,
+        duration in 1_000u64..20_000,
+        seed in 0u64..1_000,
+    ) {
+        let run = || {
+            let config = ProtocolConfig::new(PolicyTriple::newscast(), 6).unwrap();
+            let mut sim = EventSimulation::new(config, EventConfig::default(), seed);
+            sim.add_node([]);
+            for i in 1..n as u64 {
+                sim.add_node([NodeDescriptor::fresh(NodeId::new(i / 2))]);
+            }
+            sim.run_for(duration);
+            let snap = sim.snapshot();
+            let g = snap.undirected();
+            (0..n as u32).map(|v| g.neighbors(v).to_vec()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn event_engine_time_never_goes_backwards(
+        steps in prop::collection::vec(100u64..5_000, 1..8),
+        seed in 0u64..100,
+    ) {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 6).unwrap();
+        let mut sim = EventSimulation::new(
+            config,
+            EventConfig {
+                period: 500,
+                jitter: 100,
+                latency: LatencyModel::Uniform { min: 1, max: 50 },
+                loss_probability: 0.1,
+            },
+            seed,
+        );
+        sim.add_connected_nodes(10);
+        let mut last = sim.now();
+        for step in steps {
+            sim.run_for(step);
+            prop_assert!(sim.now() >= last);
+            prop_assert!(sim.now() >= last + step);
+            last = sim.now();
+        }
+    }
+
+    #[test]
+    fn growing_simulation_monotonically_reaches_target(
+        target in 10usize..80,
+        per_cycle in 1usize..20,
+        seed in 0u64..1_000,
+    ) {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 6).unwrap();
+        let mut sim = scenario::growing_overlay(&config, target, per_cycle, seed);
+        let mut previous = sim.node_count();
+        for _ in 0..(target / per_cycle + 2) as u64 {
+            sim.run_cycle();
+            prop_assert!(sim.node_count() >= previous);
+            prop_assert!(sim.node_count() <= target);
+            previous = sim.node_count();
+        }
+        prop_assert_eq!(sim.node_count(), target);
+    }
+}

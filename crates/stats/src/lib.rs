@@ -1,0 +1,43 @@
+//! Statistics toolkit used throughout the peer-sampling evaluation suite.
+//!
+//! The crate is deliberately small and dependency-free: it provides exactly
+//! the statistical machinery the Middleware 2004 peer-sampling paper relies
+//! on, implemented with numerically stable algorithms:
+//!
+//! * [`Summary`] — streaming count/mean/variance/min/max (Welford's method),
+//!   used for degree statistics (Table 2 of the paper).
+//! * [`autocorrelation`] — the sample autocorrelation function r_k exactly as
+//!   defined in Section 6 of the paper, plus the 99 % white-noise confidence
+//!   band used in Figure 5.
+//! * [`Histogram`] and [`LogHistogram`] — linear and logarithmic binning for
+//!   the degree distributions of Figure 4.
+//! * [`CountDistribution`] — exact integer frequency counts.
+//! * [`TimeSeries`] — a cycle-indexed recorder for per-cycle metrics.
+//! * [`quantile`] — quantile estimation on sorted data.
+//!
+//! # Examples
+//!
+//! ```
+//! use pss_stats::Summary;
+//!
+//! let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+//! assert_eq!(s.mean(), 5.0);
+//! assert_eq!(s.population_variance(), 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autocorr;
+mod distribution;
+mod histogram;
+mod quantiles;
+mod series;
+mod summary;
+
+pub use autocorr::{autocorrelation, autocorrelation_at, white_noise_band, Autocorrelation};
+pub use distribution::CountDistribution;
+pub use histogram::{Histogram, HistogramError, LogHistogram};
+pub use quantiles::{median, quantile, QuantileError};
+pub use series::TimeSeries;
+pub use summary::Summary;

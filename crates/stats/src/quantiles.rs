@@ -1,0 +1,165 @@
+//! Quantile estimation over floating-point samples.
+
+use core::fmt;
+
+/// Error returned by [`quantile`] and [`median`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantileError {
+    /// The sample set was empty.
+    EmptyData,
+    /// The requested probability was outside `[0, 1]` or not finite.
+    InvalidProbability,
+}
+
+impl fmt::Display for QuantileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantileError::EmptyData => write!(f, "cannot take a quantile of empty data"),
+            QuantileError::InvalidProbability => {
+                write!(f, "quantile probability must lie in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantileError {}
+
+/// Computes the p-quantile of `data` using linear interpolation (type 7,
+/// the R/NumPy default).
+///
+/// The input does **not** need to be sorted; a sorted copy is made
+/// internally. NaN values are removed first.
+///
+/// # Errors
+///
+/// Returns [`QuantileError::EmptyData`] if `data` contains no non-NaN values
+/// and [`QuantileError::InvalidProbability`] if `p` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), pss_stats::QuantileError> {
+/// use pss_stats::quantile;
+///
+/// let q = quantile(&[1.0, 2.0, 3.0, 4.0], 0.5)?;
+/// assert_eq!(q, 2.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn quantile(data: &[f64], p: f64) -> Result<f64, QuantileError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(QuantileError::InvalidProbability);
+    }
+    let mut sorted: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
+        return Err(QuantileError::EmptyData);
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = h - lo as f64;
+        Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+    }
+}
+
+/// Computes the median of `data`.
+///
+/// # Errors
+///
+/// Returns [`QuantileError::EmptyData`] if `data` contains no non-NaN values.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), pss_stats::QuantileError> {
+/// use pss_stats::median;
+///
+/// assert_eq!(median(&[3.0, 1.0, 2.0])?, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn median(data: &[f64]) -> Result<f64, QuantileError> {
+    quantile(data, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_data_errors() {
+        assert_eq!(quantile(&[], 0.5), Err(QuantileError::EmptyData));
+        assert_eq!(median(&[f64::NAN]), Err(QuantileError::EmptyData));
+    }
+
+    #[test]
+    fn invalid_probability_errors() {
+        assert_eq!(
+            quantile(&[1.0], -0.1),
+            Err(QuantileError::InvalidProbability)
+        );
+        assert_eq!(quantile(&[1.0], 1.1), Err(QuantileError::InvalidProbability));
+        assert_eq!(
+            quantile(&[1.0], f64::NAN),
+            Err(QuantileError::InvalidProbability)
+        );
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.0).unwrap(), 7.0);
+        assert_eq!(quantile(&[7.0], 0.5).unwrap(), 7.0);
+        assert_eq!(quantile(&[7.0], 1.0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn interpolated_median_of_even_count() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn exact_median_of_odd_count() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn extremes_are_min_and_max() {
+        let data = [9.0, 2.0, 7.0, 4.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 2.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn quartiles_match_numpy_type7() {
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!((quantile(&data, 0.75).unwrap() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nans_are_filtered_not_fatal() {
+        let data = [f64::NAN, 1.0, 2.0, f64::NAN, 3.0];
+        assert_eq!(median(&data).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let data = [10.0, -1.0, 5.0, 3.0, 8.0];
+        assert_eq!(median(&data).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(QuantileError::EmptyData.to_string().contains("empty"));
+        assert!(QuantileError::InvalidProbability.to_string().contains("[0, 1]"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Epidemic broadcast over different peer sampling services.
+//!
+//! Reproduces the paper's motivation: gossip dissemination speed depends on
+//! the quality of the underlying sampling service. Compares the ideal
+//! uniform oracle against overlays maintained by three protocol instances.
+//!
+//! ```sh
+//! cargo run --release --example broadcast
+//! ```
+
+use peer_sampling::protocols::broadcast::{run, BroadcastConfig};
+use peer_sampling::protocols::{OracleSource, SimSampleSource};
+use peer_sampling::{scenario, NodeId, PolicyTriple, ProtocolConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const N: usize = 2000;
+    let workload = BroadcastConfig {
+        fanout: 2,
+        max_rounds: 60,
+        stop_when_quiescent: true,
+    };
+
+    println!("push broadcast, fanout 2, {N} nodes");
+    println!("{:<24} {:>9} {:>14}", "sampler", "coverage", "rounds to 99%");
+
+    // The ideal service: uniform random over the whole group.
+    let mut oracle = OracleSource::new(N, 7);
+    let report = run(&mut oracle, N, NodeId::new(0), &workload);
+    print_row("uniform oracle", report.coverage(), report.rounds_to_reach(0.99));
+
+    // Gossip-based services.
+    for policy in [
+        PolicyTriple::newscast(),
+        "(rand,rand,pushpull)".parse::<PolicyTriple>()?,
+        PolicyTriple::lpbcast(),
+    ] {
+        let config = ProtocolConfig::new(policy, 30)?;
+        let mut sim = scenario::random_overlay(&config, N, 11);
+        sim.run_cycles(50); // converge the overlay first
+        let report = run(&mut SimSampleSource::new(&mut sim), N, NodeId::new(0), &workload);
+        print_row(
+            &policy.to_string(),
+            report.coverage(),
+            report.rounds_to_reach(0.99),
+        );
+    }
+    Ok(())
+}
+
+fn print_row(name: &str, coverage: f64, rounds: Option<usize>) {
+    println!(
+        "{:<24} {:>8.1}% {:>14}",
+        name,
+        coverage * 100.0,
+        rounds.map_or("-".into(), |r| r.to_string())
+    );
+}
