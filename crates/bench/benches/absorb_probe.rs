@@ -1,0 +1,58 @@
+//! The full receive-side pipeline (the per-exchange hot path), old vs new:
+//! seed algorithms (retained in `pss_core::view::reference`) against the
+//! optimized absorb (`View::merge_select_from_slice`), measured in-process
+//! so the ratio is robust to machine noise.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pss_core::view::reference;
+use pss_core::{MergeScratch, NodeDescriptor, NodeId, View, ViewSelection};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn descs(n: usize, offset: u64) -> Vec<NodeDescriptor> {
+    (0..n as u64)
+        .map(|i| NodeDescriptor::new(NodeId::new(i + offset), (i % 17) as u32))
+        .collect()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let incoming: Vec<NodeDescriptor> = View::from_descriptors(descs(31, 0)).descriptors().to_vec();
+    let base: View = descs(30, 15).into_iter().collect();
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    c.bench_function("absorb_reference", |b| {
+        b.iter(|| {
+            // Seed pipeline: from_descriptors (insert loop), age, quadratic
+            // merge, head-truncate.
+            let rx = reference::from_descriptors(incoming.iter().copied());
+            let rx: Vec<NodeDescriptor> = rx.iter().map(|d| d.aged()).collect();
+            let mut merged = reference::merge(&rx, base.descriptors(), Some(NodeId::new(5)));
+            merged.truncate(30);
+            black_box(merged.len())
+        })
+    });
+
+    c.bench_function("absorb_optimized", |b| {
+        let mut scratch = MergeScratch::default();
+        let mut buf: Vec<NodeDescriptor> = Vec::new();
+        let mut view = base.clone();
+        b.iter(|| {
+            view.clone_from(&base);
+            buf.clear();
+            buf.extend(incoming.iter().map(|d| d.aged()));
+            let ok = view.merge_select_from_slice(
+                &buf,
+                Some(NodeId::new(5)),
+                ViewSelection::Head,
+                30,
+                &mut rng,
+                &mut scratch,
+            );
+            assert!(ok);
+            black_box(view.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -11,7 +11,12 @@ fn graphs() -> Vec<(usize, pss_graph::UGraph)> {
     let mut rng = SmallRng::seed_from_u64(3);
     [1000usize, 5000]
         .iter()
-        .map(|&n| (n, gen::uniform_view_digraph(n, 30, &mut rng).to_undirected()))
+        .map(|&n| {
+            (
+                n,
+                gen::uniform_view_digraph(n, 30, &mut rng).to_undirected(),
+            )
+        })
         .collect()
 }
 
@@ -42,13 +47,17 @@ fn bench_path_length(c: &mut Criterion) {
     for (n, g) in graphs() {
         group.bench_with_input(BenchmarkId::new("sampled_50", n), &g, |bencher, g| {
             let mut rng = SmallRng::seed_from_u64(7);
-            bencher.iter(|| {
-                black_box(paths::estimate_average_path_length(g, 50, &mut rng).average)
-            });
+            bencher
+                .iter(|| black_box(paths::estimate_average_path_length(g, 50, &mut rng).average));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_components, bench_clustering, bench_path_length);
+criterion_group!(
+    benches,
+    bench_components,
+    bench_clustering,
+    bench_path_length
+);
 criterion_main!(benches);

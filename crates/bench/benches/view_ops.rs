@@ -26,10 +26,55 @@ fn bench_merge(c: &mut Criterion) {
     group.finish();
 }
 
+/// The retained pre-optimization algorithm (`pss_core::view::reference`),
+/// benchmarked in-process so the optimized/naive ratio is measured under
+/// identical machine conditions.
+fn bench_merge_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_merge_reference");
+    for &size in &[15usize, 30, 60] {
+        let a = view_of(size, 0);
+        let b = view_of(size, (size / 2) as u64); // half overlapping
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bencher, _| {
+            bencher.iter(|| {
+                black_box(pss_core::view::reference::merge(
+                    a.descriptors(),
+                    b.descriptors(),
+                    Some(NodeId::new(1)),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The allocation-free hot path the simulator actually runs
+/// ([`View::merge_from`] with a reused scratch).
+fn bench_merge_from(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_merge_from");
+    for &size in &[15usize, 30, 60] {
+        let received = view_of(size, 0);
+        let base = view_of(size, (size / 2) as u64); // half overlapping
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bencher, _| {
+            let mut scratch = pss_core::MergeScratch::default();
+            let mut view = base.clone();
+            bencher.iter(|| {
+                view.clone_from(&base);
+                view.merge_from(&received, Some(NodeId::new(1)), &mut scratch);
+                black_box(view.len())
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_select(c: &mut Criterion) {
     let mut group = c.benchmark_group("view_select");
     let merged = view_of(61, 0);
-    for policy in [ViewSelection::Head, ViewSelection::Tail, ViewSelection::Rand] {
+    for policy in [
+        ViewSelection::Head,
+        ViewSelection::Tail,
+        ViewSelection::Rand,
+    ] {
         group.bench_function(format!("{policy}"), |bencher| {
             let mut rng = SmallRng::seed_from_u64(1);
             bencher.iter(|| {
@@ -61,5 +106,12 @@ fn bench_aging_and_insert(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_merge, bench_select, bench_aging_and_insert);
+criterion_group!(
+    benches,
+    bench_merge,
+    bench_merge_reference,
+    bench_merge_from,
+    bench_select,
+    bench_aging_and_insert
+);
 criterion_main!(benches);

@@ -29,6 +29,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::view::MergeScratch;
 use crate::{Exchange, GossipNode, NodeDescriptor, NodeId, Reply, Request, View};
 
 /// Peer selection for the H&S protocol: TOCS 2007 considers uniform random
@@ -152,6 +153,14 @@ pub struct HsNode {
     rng: SmallRng,
 }
 
+std::thread_local! {
+    /// Shared staging buffers for the merge step (see the sibling
+    /// `ABSORB_BUFFERS` note in `node.rs` for why these are thread-local
+    /// rather than per-node).
+    static HS_BUFFERS: core::cell::RefCell<(View, MergeScratch)> =
+        core::cell::RefCell::new((View::new(), MergeScratch::default()));
+}
+
 impl HsNode {
     /// Creates a node with a deterministic RNG seed.
     pub fn with_seed(id: NodeId, config: HsConfig, seed: u64) -> Self {
@@ -200,16 +209,22 @@ impl HsNode {
 
     /// The TOCS 2007 `view.select(c, H, S, buffer)` step.
     fn select(&mut self, received: Vec<NodeDescriptor>) {
-        let mut incoming = View::from_descriptors(received);
-        incoming.increase_hop_counts();
-        let mut merged = incoming.merge(&self.view, Some(self.id));
+        HS_BUFFERS.with(|buffers| {
+            let (rx, scratch) = &mut *buffers.borrow_mut();
+            rx.assign_aged(received, 1, scratch);
+            self.view.merge_from(rx, Some(self.id), scratch);
+        });
+        let merged = &mut self.view;
         let c = self.config.view_size();
 
         // Healer: drop min(H, surplus) oldest entries.
         let surplus = merged.len().saturating_sub(c);
         let heal = self.config.healer.min(surplus);
         for _ in 0..heal {
-            let oldest = merged.tail().map(|d| d.id()).expect("nonempty under surplus");
+            let oldest = merged
+                .tail()
+                .map(|d| d.id())
+                .expect("nonempty under surplus");
             merged.remove(oldest);
         }
 
@@ -232,7 +247,6 @@ impl HsNode {
             let id = merged.descriptors()[idx].id();
             merged.remove(id);
         }
-        self.view = merged;
         debug_assert!(self.view.invariants_hold());
     }
 }
@@ -256,23 +270,12 @@ impl GossipNode for HsNode {
         }
     }
 
-    fn initiate_filtered(
-        &mut self,
-        eligible: &mut dyn FnMut(NodeId) -> bool,
-    ) -> Option<Exchange> {
+    fn initiate_filtered(&mut self, eligible: &mut dyn FnMut(NodeId) -> bool) -> Option<Exchange> {
         // Ages advance once per own cycle, whether or not the exchange
         // succeeds — they count cycles, not hops, in the H&S protocol.
         self.view.increase_hop_counts();
         let peer = match self.config.peer_selection {
-            HsPeerSelection::Rand => {
-                let candidates: Vec<NodeId> =
-                    self.view.ids().filter(|&id| eligible(id)).collect();
-                if candidates.is_empty() {
-                    None
-                } else {
-                    Some(candidates[self.rng.random_range(0..candidates.len())])
-                }
-            }
+            HsPeerSelection::Rand => self.view.sample_filtered(&mut self.rng, eligible),
             HsPeerSelection::Oldest => {
                 let mut last = None;
                 for id in self.view.ids() {
@@ -335,7 +338,9 @@ mod tests {
             Err(HsConfigError::ParametersExceedHalfView)
         );
         assert!(HsConfig::new(10, 3, 2, HsPeerSelection::Rand).is_ok());
-        assert!(HsConfigError::ViewSizeTooSmall.to_string().contains("at least 2"));
+        assert!(HsConfigError::ViewSizeTooSmall
+            .to_string()
+            .contains("at least 2"));
         assert!(HsConfigError::ParametersExceedHalfView
             .to_string()
             .contains("half"));
@@ -355,7 +360,10 @@ mod tests {
     fn buffer_has_own_fresh_descriptor_first() {
         let mut n = seeded(0, config(10, 1, 1), &[(1, 1), (2, 2), (3, 3)]);
         let ex = n.initiate().unwrap();
-        assert_eq!(ex.request.descriptors[0], NodeDescriptor::fresh(NodeId::new(0)));
+        assert_eq!(
+            ex.request.descriptors[0],
+            NodeDescriptor::fresh(NodeId::new(0))
+        );
         assert!(ex.request.wants_reply);
         // c/2 = 5 total max: self + up to 4 entries, but view has only 3.
         assert!(ex.request.len() <= 5);

@@ -61,9 +61,9 @@ mod message;
 mod node;
 mod policy;
 mod service;
-mod view;
 
 pub mod hs;
+pub mod view;
 
 pub use config::{ConfigError, ProtocolConfig};
 pub use descriptor::NodeDescriptor;
@@ -72,4 +72,4 @@ pub use message::{Exchange, Reply, Request};
 pub use node::{GossipNode, PeerSamplingNode};
 pub use policy::{ParsePolicyError, PeerSelection, PolicyTriple, ViewPropagation, ViewSelection};
 pub use service::{OracleSampler, PeerSampler};
-pub use view::View;
+pub use view::{MergeScratch, View};

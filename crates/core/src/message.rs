@@ -90,6 +90,9 @@ mod tests {
         };
         assert_eq!(r.len(), 3);
         assert!(!r.is_empty());
-        assert!(Reply { descriptors: vec![] }.is_empty());
+        assert!(Reply {
+            descriptors: vec![]
+        }
+        .is_empty());
     }
 }

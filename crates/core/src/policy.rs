@@ -93,7 +93,11 @@ impl PolicyTriple {
 
     /// The peer-sampling component of Lpbcast: `(rand,rand,push)`.
     pub const fn lpbcast() -> Self {
-        PolicyTriple::new(PeerSelection::Rand, ViewSelection::Rand, ViewPropagation::Push)
+        PolicyTriple::new(
+            PeerSelection::Rand,
+            ViewSelection::Rand,
+            ViewPropagation::Push,
+        )
     }
 
     /// Newscast: `(rand,head,pushpull)`.
@@ -129,8 +133,16 @@ impl PolicyTriple {
 
     /// All 27 combinations, in lexicographic (ps, vs, vp) order.
     pub fn all() -> Vec<PolicyTriple> {
-        let ps = [PeerSelection::Rand, PeerSelection::Head, PeerSelection::Tail];
-        let vs = [ViewSelection::Rand, ViewSelection::Head, ViewSelection::Tail];
+        let ps = [
+            PeerSelection::Rand,
+            PeerSelection::Head,
+            PeerSelection::Tail,
+        ];
+        let vs = [
+            ViewSelection::Rand,
+            ViewSelection::Head,
+            ViewSelection::Tail,
+        ];
         let vp = [
             ViewPropagation::Push,
             ViewPropagation::Pull,
@@ -358,14 +370,20 @@ mod tests {
         let p: PolicyTriple = "tail, rand, push".parse().unwrap();
         assert_eq!(
             p,
-            PolicyTriple::new(PeerSelection::Tail, ViewSelection::Rand, ViewPropagation::Push)
+            PolicyTriple::new(
+                PeerSelection::Tail,
+                ViewSelection::Rand,
+                ViewPropagation::Push
+            )
         );
     }
 
     #[test]
     fn parse_rejects_malformed() {
         assert!("(rand,head)".parse::<PolicyTriple>().is_err());
-        assert!("(rand,head,pushpull,extra)".parse::<PolicyTriple>().is_err());
+        assert!("(rand,head,pushpull,extra)"
+            .parse::<PolicyTriple>()
+            .is_err());
         assert!("(rnd,head,push)".parse::<PolicyTriple>().is_err());
         assert!("".parse::<PolicyTriple>().is_err());
         let err = "(x,y,z)".parse::<PolicyTriple>().unwrap_err();
@@ -374,8 +392,14 @@ mod tests {
 
     #[test]
     fn individual_policy_parsing() {
-        assert_eq!("rand".parse::<PeerSelection>().unwrap(), PeerSelection::Rand);
-        assert_eq!(" head ".parse::<ViewSelection>().unwrap(), ViewSelection::Head);
+        assert_eq!(
+            "rand".parse::<PeerSelection>().unwrap(),
+            PeerSelection::Rand
+        );
+        assert_eq!(
+            " head ".parse::<ViewSelection>().unwrap(),
+            ViewSelection::Head
+        );
         assert_eq!(
             "pushpull".parse::<ViewPropagation>().unwrap(),
             ViewPropagation::PushPull

@@ -189,7 +189,9 @@ mod tests {
         assert!(n.get_peer().is_none());
         PeerSampler::init(
             &mut n,
-            &mut [1u64, 2].into_iter().map(|i| NodeDescriptor::fresh(NodeId::new(i))),
+            &mut [1u64, 2]
+                .into_iter()
+                .map(|i| NodeDescriptor::fresh(NodeId::new(i))),
         );
         let p = n.get_peer().unwrap();
         assert!(p == NodeId::new(1) || p == NodeId::new(2));

@@ -203,3 +203,168 @@ proptest! {
         prop_assert_eq!(run(), run());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential properties: the optimized view algebra (id-indexed views,
+// hash-table duplicate resolution, fused merge+select, bulk construction)
+// must be byte-identical to the retained naive reference implementation
+// (`pss_core::view::reference`) — the seed's quadratic algorithms kept as an
+// executable specification.
+// ---------------------------------------------------------------------------
+
+use pss_core::view::reference;
+use pss_core::MergeScratch;
+
+fn view_selections() -> impl Strategy<Value = ViewSelection> {
+    prop::sample::select(vec![
+        ViewSelection::Head,
+        ViewSelection::Tail,
+        ViewSelection::Rand,
+    ])
+}
+
+proptest! {
+    #[test]
+    fn bulk_construction_matches_reference(ds in descriptors(60)) {
+        let bulk = View::from_descriptors(ds.clone());
+        prop_assert_eq!(
+            bulk.descriptors(),
+            reference::from_descriptors(ds.clone()).as_slice()
+        );
+        prop_assert!(bulk.invariants_hold());
+        // And both match sequential insertion through the indexed View.
+        let mut seq = View::new();
+        for d in ds {
+            seq.insert(d);
+        }
+        prop_assert_eq!(bulk.descriptors(), seq.descriptors());
+        prop_assert!(seq.invariants_hold());
+    }
+
+    #[test]
+    fn optimized_merge_matches_reference(
+        a in descriptors(40),
+        b in descriptors(40),
+        excl in 0u64..50,
+    ) {
+        let va = View::from_descriptors(a);
+        let vb = View::from_descriptors(b);
+        for excluded in [None, Some(NodeId::new(excl))] {
+            let merged = va.merge(&vb, excluded);
+            prop_assert_eq!(
+                merged.descriptors(),
+                reference::merge(va.descriptors(), vb.descriptors(), excluded).as_slice()
+            );
+            prop_assert!(merged.invariants_hold());
+        }
+    }
+
+    #[test]
+    fn merge_from_matches_merge(
+        received in descriptors(40),
+        own in descriptors(40),
+        excl in 0u64..50,
+    ) {
+        let rx = View::from_descriptors(received);
+        let base = View::from_descriptors(own);
+        let expected = rx.merge(&base, Some(NodeId::new(excl)));
+        let mut scratch = MergeScratch::default();
+        let mut target = base.clone();
+        target.merge_from(&rx, Some(NodeId::new(excl)), &mut scratch);
+        prop_assert_eq!(target.descriptors(), expected.descriptors());
+        prop_assert!(target.invariants_hold());
+    }
+
+    #[test]
+    fn fused_merge_select_matches_unfused(
+        received in descriptors(40),
+        own in descriptors(40),
+        policy in view_selections(),
+        c in 1usize..20,
+        excl in 0u64..50,
+        seed in 0u64..1000,
+    ) {
+        let rx = View::from_descriptors(received);
+        let base = View::from_descriptors(own);
+        let excluded = Some(NodeId::new(excl));
+        let mut scratch = MergeScratch::default();
+
+        let mut fused = base.clone();
+        let mut rng_fused = SmallRng::seed_from_u64(seed);
+        fused.merge_select_from(&rx, excluded, policy, c, &mut rng_fused, &mut scratch);
+
+        let mut unfused = base.clone();
+        let mut rng_unfused = SmallRng::seed_from_u64(seed);
+        unfused.merge_from(&rx, excluded, &mut scratch);
+        unfused.select(policy, c, &mut rng_unfused);
+
+        prop_assert_eq!(fused.descriptors(), unfused.descriptors());
+        prop_assert!(fused.invariants_hold());
+    }
+
+    #[test]
+    fn fused_absorb_matches_reference_pipeline(
+        own in descriptors(40),
+        incoming in descriptors(40),
+        policy in view_selections(),
+        c in 1usize..20,
+        excl in 0u64..50,
+        seed in 0u64..1000,
+    ) {
+        // The optimized receive side, exactly as PeerSamplingNode runs it:
+        // try the wire-buffer fast path, fall back to the general path on
+        // malformed content (the RNG is untouched by a failed attempt).
+        let excluded = Some(NodeId::new(excl));
+        let base = View::from_descriptors(own);
+        let mut optimized = base.clone();
+        let mut scratch = MergeScratch::default();
+        let mut rng_opt = SmallRng::seed_from_u64(seed);
+        let buf: Vec<NodeDescriptor> = incoming.iter().map(|d| d.aged()).collect();
+        let fast = optimized.merge_select_from_slice(
+            &buf, excluded, policy, c, &mut rng_opt, &mut scratch,
+        );
+        if !fast {
+            let mut rx = View::new();
+            rx.assign_aged(incoming.iter().copied(), 1, &mut scratch);
+            optimized.merge_select_from(&rx, excluded, policy, c, &mut rng_opt, &mut scratch);
+        }
+
+        // The seed pipeline: naive construction, aging, quadratic merge,
+        // then selectView with an identically seeded RNG.
+        let rx_ref: Vec<NodeDescriptor> = reference::from_descriptors(incoming.clone())
+            .iter()
+            .map(|d| d.aged())
+            .collect();
+        let merged = reference::merge(&rx_ref, base.descriptors(), excluded);
+        let mut ref_view = View::from_descriptors(merged);
+        let mut rng_ref = SmallRng::seed_from_u64(seed);
+        ref_view.select(policy, c, &mut rng_ref);
+
+        prop_assert_eq!(optimized.descriptors(), ref_view.descriptors());
+        prop_assert!(optimized.invariants_hold());
+    }
+
+    #[test]
+    fn lazy_index_lookups_match_entries(
+        own in descriptors(40),
+        incoming in descriptors(40),
+        probe in 0u64..60,
+    ) {
+        // Views produced by the absorb fast path are unindexed; lookups
+        // must behave identically before and after the index materializes.
+        let mut v = View::from_descriptors(own);
+        let rx = View::from_descriptors(incoming);
+        let mut scratch = MergeScratch::default();
+        v.merge_from(&rx, Some(NodeId::new(0)), &mut scratch);
+        let id = NodeId::new(probe);
+        let lazy_contains = v.contains(id);
+        let lazy_hops = v.hop_count_of(id);
+        prop_assert_eq!(lazy_contains, v.iter().any(|d| d.id() == id));
+        // `insert` materializes the index (id 10^6 never collides with
+        // generated ids); lookups must not change.
+        v.insert(NodeDescriptor::new(NodeId::new(1_000_000), 99));
+        prop_assert_eq!(v.contains(id), lazy_contains);
+        prop_assert_eq!(v.hop_count_of(id), lazy_hops);
+        prop_assert!(v.invariants_hold());
+    }
+}

@@ -89,7 +89,9 @@ impl AppsResult {
 
 fn initial_values(n: usize) -> Vec<f64> {
     // A bimodal load: half the nodes at 0, half at 100 — variance 2500.
-    (0..n).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect()
+    (0..n)
+        .map(|i| if i % 2 == 0 { 0.0 } else { 100.0 })
+        .collect()
 }
 
 /// Runs the applications experiment.
@@ -133,8 +135,7 @@ pub fn run(config: &AppsConfig) -> AppsResult {
                 &broadcast_config,
             );
             let mut values = initial_values(scale.nodes);
-            let agg =
-                aggregation::run(&mut SimSampleSource::new(&mut sim), &mut values, rounds);
+            let agg = aggregation::run(&mut SimSampleSource::new(&mut sim), &mut values, rounds);
             SamplerQuality {
                 sampler: policy.to_string(),
                 coverage: report.coverage(),

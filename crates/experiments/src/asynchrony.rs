@@ -88,7 +88,12 @@ impl AsyncResult {
                 fmt_f64(r.metrics.average_degree, 2),
                 fmt_f64(r.metrics.clustering_coefficient, 4),
                 fmt_f64(r.metrics.path_lengths.average, 3),
-                if r.metrics.is_connected() { "yes" } else { "NO" }.into(),
+                if r.metrics.is_connected() {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .into(),
             ]);
         }
         t

@@ -80,7 +80,10 @@ impl Fig2Result {
                 d.policy.to_string(),
                 fmt_f64(d.clustering.values().last().copied().unwrap_or(f64::NAN), 4),
                 fmt_f64(d.degree.values().last().copied().unwrap_or(f64::NAN), 2),
-                fmt_f64(d.path_length.values().last().copied().unwrap_or(f64::NAN), 3),
+                fmt_f64(
+                    d.path_length.values().last().copied().unwrap_or(f64::NAN),
+                    3,
+                ),
                 if d.connected_at_end { "yes" } else { "NO" }.into(),
             ]);
         }

@@ -164,7 +164,10 @@ mod tests {
             rand_r1 > head_r1,
             "rand r_1 {rand_r1} should exceed head r_1 {head_r1}"
         );
-        assert!(rand_r1 > 0.3, "rand r_1 {rand_r1} should be clearly positive");
+        assert!(
+            rand_r1 > 0.3,
+            "rand r_1 {rand_r1} should be clearly positive"
+        );
         assert!(!result.table().is_empty());
         assert_eq!(result.series_table().len(), 2 * 41);
     }

@@ -73,11 +73,7 @@ impl Fig6Result {
         ]);
         for c in &self.curves {
             for &(pct, avg) in &c.points {
-                t.row(vec![
-                    c.policy.to_string(),
-                    fmt_f64(pct, 1),
-                    fmt_f64(avg, 2),
-                ]);
+                t.row(vec![c.policy.to_string(), fmt_f64(pct, 1), fmt_f64(avg, 2)]);
             }
         }
         t
@@ -107,12 +103,7 @@ impl Fig6Result {
     }
 }
 
-fn damage_and_measure(
-    graph: &UGraph,
-    percent: f64,
-    repetitions: usize,
-    seed: u64,
-) -> (f64, bool) {
+fn damage_and_measure(graph: &UGraph, percent: f64, repetitions: usize, seed: u64) -> (f64, bool) {
     let n = graph.node_count();
     let remove = ((percent / 100.0) * n as f64).round() as usize;
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -84,7 +84,8 @@ impl Fig7Result {
             t.row(vec![
                 c.policy.to_string(),
                 c.initial_dead_links.to_string(),
-                c.healed_at_cycle.map_or("not healed".into(), |c| c.to_string()),
+                c.healed_at_cycle
+                    .map_or("not healed".into(), |c| c.to_string()),
                 fmt_f64(c.remaining(), 0),
             ]);
         }

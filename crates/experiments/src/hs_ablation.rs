@@ -40,9 +40,9 @@ impl HsAblationConfig {
         HsAblationConfig {
             scale,
             corners: vec![
-                (0, 0),            // blind: random removals only
-                (half, 0),         // healer corner
-                (0, half),         // swapper (shuffler) corner
+                (0, 0),               // blind: random removals only
+                (half, 0),            // healer corner
+                (0, half),            // swapper (shuffler) corner
                 (half / 2, half / 2), // balanced midpoint
             ],
             kill_fraction: 0.5,

@@ -259,7 +259,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: experiments <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|all>
+const USAGE: &str =
+    "usage: experiments <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|all>
        [--scale paper|small|tiny] [--nodes N] [--cycles N] [--view-size C]
        [--runs R] [--seed S] [--out DIR]";
 

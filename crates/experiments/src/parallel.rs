@@ -31,7 +31,11 @@ where
                 if i >= n {
                     break;
                 }
-                let item = slots[i].lock().expect("unpoisoned").take().expect("taken once");
+                let item = slots[i]
+                    .lock()
+                    .expect("unpoisoned")
+                    .take()
+                    .expect("taken once");
                 let out = f(item);
                 *results[i].lock().expect("unpoisoned") = Some(out);
             });
@@ -40,7 +44,11 @@ where
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("unpoisoned").expect("worker filled slot"))
+        .map(|m| {
+            m.into_inner()
+                .expect("unpoisoned")
+                .expect("worker filled slot")
+        })
         .collect()
 }
 

@@ -52,6 +52,19 @@ impl Scale {
         }
     }
 
+    /// The throughput-benchmark scale: the paper's population and view size
+    /// (N = 10⁴, c = 30) with a short cycle budget, for measuring
+    /// steady-state cycles/second (see `pss-bench`'s `throughput` bench and
+    /// `BENCH_throughput.json`).
+    pub fn throughput_bench() -> Self {
+        Scale {
+            nodes: 10_000,
+            cycles: 5,
+            view_size: 30,
+            seed: 42,
+        }
+    }
+
     /// Protocol configuration for `policy` at this scale's view size.
     ///
     /// # Panics

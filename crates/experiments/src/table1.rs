@@ -126,8 +126,10 @@ pub fn run(config: &Table1Config) -> Table1Result {
         .map(|(pi, &policy)| {
             let mine: Vec<&(usize, usize, usize)> =
                 outcomes.iter().filter(|(p, _, _)| *p == pi).collect();
-            let partitioned: Vec<&&(usize, usize, usize)> =
-                mine.iter().filter(|(_, clusters, _)| *clusters > 1).collect();
+            let partitioned: Vec<&&(usize, usize, usize)> = mine
+                .iter()
+                .filter(|(_, clusters, _)| *clusters > 1)
+                .collect();
             let (avg_clusters, avg_largest) = if partitioned.is_empty() {
                 (f64::NAN, f64::NAN)
             } else {

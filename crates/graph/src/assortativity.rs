@@ -95,10 +95,7 @@ mod tests {
     #[test]
     fn double_star_is_strongly_disassortative() {
         // Two hubs joined, each with 3 leaves: hub-leaf edges dominate.
-        let g = graph(
-            8,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (4, 6), (4, 7)],
-        );
+        let g = graph(8, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (4, 6), (4, 7)]);
         let r = degree_assortativity(&g).unwrap();
         assert!(r < -0.5, "got {r}");
     }
@@ -129,7 +126,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(13);
         let g = crate::gen::uniform_view_digraph(800, 20, &mut rng).to_undirected();
         let r = degree_assortativity(&g).unwrap();
-        assert!(r.abs() < 0.15, "random baseline should be near zero, got {r}");
+        assert!(
+            r.abs() < 0.15,
+            "random baseline should be near zero, got {r}"
+        );
     }
 
     #[test]

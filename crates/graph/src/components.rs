@@ -108,7 +108,10 @@ pub fn connected_components(g: &UGraph) -> ComponentReport {
     for (new_idx, &old_idx) in order.iter().enumerate() {
         rank[old_idx] = new_idx as u32;
     }
-    let assignment: Vec<u32> = raw_assignment.into_iter().map(|c| rank[c as usize]).collect();
+    let assignment: Vec<u32> = raw_assignment
+        .into_iter()
+        .map(|c| rank[c as usize])
+        .collect();
     let mut sizes: Vec<usize> = order.iter().map(|&i| raw_sizes[i]).collect();
     sizes.sort_unstable_by_key(|&s| std::cmp::Reverse(s));
 
@@ -186,10 +189,7 @@ mod tests {
 
     #[test]
     fn two_triangles_and_an_isolate() {
-        let g = graph(
-            7,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        );
+        let g = graph(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
         let r = connected_components(&g);
         assert_eq!(r.count(), 3);
         assert_eq!(r.sizes(), &[3, 3, 1]);

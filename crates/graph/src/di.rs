@@ -126,11 +126,12 @@ impl DiGraph {
     /// measures ("after initiating a connection the passive party will learn
     /// about the active party as well").
     pub fn to_undirected(&self) -> UGraph {
-        let edges = self.out.iter().enumerate().flat_map(|(src, list)| {
-            list.iter().map(move |&dst| (src as u32, dst))
-        });
-        UGraph::from_edges(self.out.len(), edges)
-            .expect("edges validated at DiGraph construction")
+        let edges = self
+            .out
+            .iter()
+            .enumerate()
+            .flat_map(|(src, list)| list.iter().map(move |&dst| (src as u32, dst)));
+        UGraph::from_edges(self.out.len(), edges).expect("edges validated at DiGraph construction")
     }
 
     /// Iterator over all directed edges `(src, dst)`.

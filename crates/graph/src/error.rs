@@ -18,7 +18,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node index {node} out of range for graph of {node_count} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for graph of {node_count} nodes"
+                )
             }
         }
     }

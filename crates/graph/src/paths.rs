@@ -81,7 +81,11 @@ fn accumulate_from_sources(g: &UGraph, sources: impl Iterator<Item = u32>) -> Pa
         unreachable += n.saturating_sub(1 + reached);
     }
     PathLengthStats {
-        average: if pairs > 0 { sum / pairs as f64 } else { f64::NAN },
+        average: if pairs > 0 {
+            sum / pairs as f64
+        } else {
+            f64::NAN
+        },
         max,
         pairs,
         unreachable_pairs: unreachable,

@@ -139,7 +139,10 @@ impl UGraph {
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, list)| {
             let u = u as u32;
-            list.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            list.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 

@@ -66,11 +66,7 @@ impl AggregationReport {
 /// assert!(report.variance_per_round().last().unwrap() < &1e-3);
 /// assert!((report.mean() - 499.5).abs() < 1e-6);
 /// ```
-pub fn run(
-    source: &mut impl SampleSource,
-    values: &mut [f64],
-    rounds: usize,
-) -> AggregationReport {
+pub fn run(source: &mut impl SampleSource, values: &mut [f64], rounds: usize) -> AggregationReport {
     let n = values.len();
     let mean = if n == 0 {
         0.0

@@ -148,16 +148,18 @@ mod tests {
     #[test]
     fn oracle_broadcast_reaches_everyone() {
         let mut oracle = OracleSource::new(500, 1);
-        let report = run(&mut oracle, 500, NodeId::new(3), &BroadcastConfig::default());
+        let report = run(
+            &mut oracle,
+            500,
+            NodeId::new(3),
+            &BroadcastConfig::default(),
+        );
         assert_eq!(report.coverage(), 1.0);
         // log-time dissemination: fanout 2 should finish way below 50 rounds.
         assert!(report.rounds() < 30, "took {} rounds", report.rounds());
         // Monotone non-decreasing history starting at 1.
         assert_eq!(report.informed_per_round()[0], 1);
-        assert!(report
-            .informed_per_round()
-            .windows(2)
-            .all(|w| w[0] <= w[1]));
+        assert!(report.informed_per_round().windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
@@ -190,7 +192,12 @@ mod tests {
     #[test]
     fn rounds_to_reach_fractions() {
         let mut oracle = OracleSource::new(200, 5);
-        let report = run(&mut oracle, 200, NodeId::new(0), &BroadcastConfig::default());
+        let report = run(
+            &mut oracle,
+            200,
+            NodeId::new(0),
+            &BroadcastConfig::default(),
+        );
         let half = report.rounds_to_reach(0.5).unwrap();
         let full = report.rounds_to_reach(1.0).unwrap();
         assert!(half <= full);

@@ -1,0 +1,417 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the API subset this workspace's benches
+//! use: `criterion_group!`/`criterion_main!`, benchmark groups, `iter` and
+//! `iter_batched`, `BenchmarkId`, and `Throughput`.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed over
+//! enough iterations to fill a fixed measurement window; the mean
+//! nanoseconds/iteration is reported on stdout. When `Throughput::Elements`
+//! is set, elements/second is reported as well.
+//!
+//! Extra over real criterion: pass `--bench-json <path>` (or set the
+//! `BENCH_JSON` environment variable) to append every measurement of the run
+//! as a JSON array written to `<path>`, so perf trajectories can be tracked
+//! in CI without parsing stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How long each benchmark's measurement phase runs.
+const MEASURE_WINDOW: Duration = Duration::from_millis(400);
+/// How long the warm-up phase runs.
+const WARMUP_WINDOW: Duration = Duration::from_millis(120);
+
+/// Per-benchmark throughput annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim times each
+/// setup/routine pair individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (e.g. whole simulations).
+    LargeInput,
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter, `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id from a parameter only (the group name provides context).
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id, `group/bench[/param]`.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iterations: u64,
+    /// Elements/second, when a [`Throughput`] was declared.
+    pub elements_per_sec: Option<f64>,
+}
+
+/// The benchmark runner handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let m = run_bench(&id.label, None, |b| f(b));
+        self.results.push(m);
+        self
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Serializes every recorded measurement as a JSON array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, m) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let eps = match m.elements_per_sec {
+                Some(v) => format!("{v:.1}"),
+                None => "null".into(),
+            };
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}, \"elements_per_sec\": {}}}",
+                m.id, m.ns_per_iter, m.iterations, eps
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Honors `--bench-json <path>` / `BENCH_JSON=<path>` by writing the
+    /// collected measurements. Called by [`criterion_main!`] at exit.
+    pub fn finalize(&self) {
+        let mut args = std::env::args();
+        let mut path = std::env::var("BENCH_JSON").ok();
+        while let Some(a) = args.next() {
+            if a == "--bench-json" {
+                path = args.next();
+            }
+        }
+        if let Some(path) = path {
+            match std::fs::write(&path, self.to_json()) {
+                Ok(()) => eprintln!("wrote {} measurements to {path}", self.results.len()),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sampling is time-boxed, so
+    /// the requested sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares how many elements each iteration processes; subsequent
+    /// benches report elements/second.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.label);
+        let m = run_bench(&full, self.throughput, |b| f(b));
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.label);
+        let m = run_bench(&full, self.throughput, |b| f(b, input));
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// Ends the group (measurements were recorded eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    mode: BenchMode,
+    /// (total measured nanoseconds, iterations) accumulated by `iter*`.
+    outcome: Option<(u128, u64)>,
+}
+
+enum BenchMode {
+    Warmup,
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let window = match self.mode {
+            BenchMode::Warmup => WARMUP_WINDOW,
+            BenchMode::Measure => MEASURE_WINDOW,
+        };
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        let mut spent = 0u128;
+        while iterations == 0 || started.elapsed() < window {
+            // Batches amortize clock reads for fast routines.
+            let batch = batch_size(iterations, spent);
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            spent += t.elapsed().as_nanos();
+            iterations += batch;
+        }
+        self.outcome = Some((spent, iterations));
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`; only the routine is
+    /// measured.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let window = match self.mode {
+            BenchMode::Warmup => WARMUP_WINDOW,
+            BenchMode::Measure => MEASURE_WINDOW,
+        };
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        let mut spent = 0u128;
+        while started.elapsed() < window || iterations == 0 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += t.elapsed().as_nanos();
+            iterations += 1;
+        }
+        self.outcome = Some((spent, iterations));
+    }
+}
+
+/// Picks how many iterations to run between clock reads.
+fn batch_size(iterations: u64, spent_ns: u128) -> u64 {
+    match (spent_ns as u64).checked_div(iterations) {
+        None => 1,
+        Some(per_iter) => {
+            // Aim for ~100µs batches, clamped to sane bounds.
+            (100_000 / per_iter.max(1)).clamp(1, 10_000)
+        }
+    }
+}
+
+fn run_bench(
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) -> Measurement {
+    let mut warm = Bencher {
+        mode: BenchMode::Warmup,
+        outcome: None,
+    };
+    f(&mut warm);
+    let mut bencher = Bencher {
+        mode: BenchMode::Measure,
+        outcome: None,
+    };
+    f(&mut bencher);
+    let (spent, iterations) = bencher.outcome.unwrap_or((0, 0));
+    let ns_per_iter = if iterations > 0 {
+        spent as f64 / iterations as f64
+    } else {
+        0.0
+    };
+    let elements_per_sec = match throughput {
+        Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => Some(n as f64 * 1e9 / ns_per_iter),
+        _ => None,
+    };
+    let m = Measurement {
+        id: id.to_string(),
+        ns_per_iter,
+        iterations,
+        elements_per_sec,
+    };
+    match m.elements_per_sec {
+        Some(eps) => println!(
+            "{id:<50} {:>14} ns/iter   {eps:>14.0} elem/s   ({iterations} iters)",
+            format_ns(ns_per_iter)
+        ),
+        None => println!(
+            "{id:<50} {:>14} ns/iter   ({iterations} iters)",
+            format_ns(ns_per_iter)
+        ),
+    }
+    m
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3e}", ns)
+    } else if ns >= 100.0 {
+        format!("{:.0}", ns)
+    } else {
+        format!("{:.1}", ns)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs every group and honors
+/// `--bench-json`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("merge", 60).label, "merge/60");
+        assert_eq!(BenchmarkId::from_parameter(500).label, "500");
+    }
+
+    #[test]
+    fn measurements_record_and_serialize() {
+        let mut c = Criterion::default();
+        c.bench_function("tiny", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements().len(), 1);
+        let m = &c.measurements()[0];
+        assert!(m.iterations > 0);
+        assert!(m.ns_per_iter >= 0.0);
+        let json = c.to_json();
+        assert!(json.contains("\"id\": \"tiny\""));
+        assert!(json.contains("ns_per_iter"));
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_compute_throughput() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(10);
+            g.throughput(Throughput::Elements(100));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        let m = &c.measurements()[0];
+        assert_eq!(m.id, "grp/7");
+        assert!(m.elements_per_sec.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_measures_routine() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(c.measurements()[0].iterations > 0);
+    }
+}

@@ -1,0 +1,499 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no network access, so this
+//! shim provides exactly the API subset the workspace uses, with the same
+//! module paths and method names as `rand` 0.9:
+//!
+//! * [`SeedableRng::seed_from_u64`] / [`rngs::SmallRng`] — xoshiro256++
+//!   seeded through SplitMix64 (the same generator family real `SmallRng`
+//!   uses on 64-bit targets),
+//! * [`Rng::random`], [`Rng::random_range`] — value and range sampling
+//!   (Lemire's widening-multiply method with rejection, so range draws are
+//!   exactly uniform),
+//! * [`seq::SliceRandom`] — `shuffle` / `partial_shuffle` (Fisher–Yates),
+//! * [`seq::index::sample`] — distinct index sampling (Floyd's algorithm
+//!   for sparse draws, partial Fisher–Yates otherwise).
+//!
+//! Streams are deterministic per seed but do **not** match the upstream
+//! crate value-for-value; everything in this workspace derives its
+//! randomness from explicit seeds routed through this shim, so results are
+//! self-consistent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A random number generator: the single entry point for all sampling.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniformly random value of `T` (integers over their full
+    /// range, floats uniform in `[0, 1)`, bools fair).
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a (half-open or inclusive) integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (via SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types with a canonical "standard" distribution for [`Rng::random`].
+pub trait StandardUniform: Sized {
+    /// Draws one value from the standard distribution.
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for bool {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Uniform draw from `[0, span)` by Lemire's multiply-shift with rejection
+/// (no modulo bias). `span` must be non-zero.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Threshold below which the low half of the 128-bit product falls in the
+    // biased zone and must be rejected: 2^64 mod span.
+    let zone = span.wrapping_neg() % span;
+    loop {
+        let wide = (rng.next_u64() as u128) * (span as u128);
+        if (wide as u64) >= zone {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return start + rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                if span == u64::MAX {
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit: f64 = f64::sample_standard(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange for core::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let unit: f64 = f64::sample_standard(rng);
+        start + unit * (end - start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++.
+    ///
+    /// This is the same generator family upstream `rand`'s `SmallRng` uses
+    /// on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical way to seed xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related sampling: slice shuffles and distinct index draws.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffle operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Uniformly shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Shuffles only the first `amount` elements into place — a uniform
+        /// random `amount`-subset in uniform random order — leaving the rest
+        /// arbitrary. Returns `(shuffled, rest)`. Much cheaper than a full
+        /// [`SliceRandom::shuffle`] when `amount` is small.
+        fn partial_shuffle<R: Rng + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn partial_shuffle<R: Rng + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let amount = amount.min(self.len());
+            for i in 0..amount {
+                let remaining = (self.len() - i) as u64;
+                let j = i + super::uniform_below(rng, remaining) as usize;
+                self.swap(i, j);
+            }
+            self.split_at_mut(amount)
+        }
+    }
+
+    /// Distinct-index sampling.
+    pub mod index {
+        use super::super::Rng;
+
+        /// A set of distinct indices in `0..length`, as produced by
+        /// [`sample`].
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// True if no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Iterates over the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Consumes into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices uniformly from `0..length`.
+        ///
+        /// Uses Floyd's algorithm when the draw is sparse (no `O(length)`
+        /// work) and a partial Fisher–Yates otherwise.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            let mut indices = Vec::new();
+            sample_into(rng, length, amount, &mut indices);
+            IndexVec(indices)
+        }
+
+        /// Allocation-free variant of [`sample`] (an extension over the real
+        /// `rand` API): writes the sampled indices into `out`, reusing its
+        /// capacity, with an RNG draw sequence identical to [`sample`].
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample_into<R: Rng + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+            out: &mut Vec<usize>,
+        ) {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} distinct indices from 0..{length}"
+            );
+            out.clear();
+            if amount * 4 >= length {
+                // Dense draw: partial Fisher-Yates over the full index range.
+                out.extend(0..length);
+                for i in 0..amount {
+                    let remaining = (length - i) as u64;
+                    let j = i + super::super::uniform_below(rng, remaining) as usize;
+                    out.swap(i, j);
+                }
+                out.truncate(amount);
+            } else {
+                // Sparse draw: Floyd's algorithm, O(amount) expected work.
+                out.reserve(amount);
+                for top in (length - amount)..length {
+                    let j = super::super::uniform_below(rng, top as u64 + 1) as usize;
+                    if out.contains(&j) {
+                        out.push(top);
+                    } else {
+                        out.push(j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::{index, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(5u64..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn random_range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn partial_shuffle_selects_distinct_prefix() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        let (chosen, rest) = v.partial_shuffle(&mut rng, 10);
+        assert_eq!(chosen.len(), 10);
+        assert_eq!(rest.len(), 40);
+        let mut all: Vec<u32> = chosen.to_vec();
+        all.extend_from_slice(rest);
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn partial_shuffle_beyond_len_is_full_shuffle() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..5).collect();
+        let (chosen, rest) = v.partial_shuffle(&mut rng, 99);
+        assert_eq!(chosen.len(), 5);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for &(length, amount) in &[(100usize, 5usize), (100, 80), (30, 30), (10, 0)] {
+            let idx = index::sample(&mut rng, length, amount);
+            assert_eq!(idx.len(), amount);
+            let mut v = idx.into_vec();
+            assert!(v.iter().all(|&i| i < length));
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), amount);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn index_sample_rejects_oversized_amount() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let _ = index::sample(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn index_sample_sparse_path_is_uniformish() {
+        // Every index should appear at least once across many sparse draws.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 64];
+        for _ in 0..2000 {
+            for i in index::sample(&mut rng, 64, 4) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

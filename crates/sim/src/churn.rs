@@ -9,6 +9,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use pss_core::GossipNode;
+
 use crate::Simulation;
 
 /// A sustained churn process: per-cycle departure and arrival rates.
@@ -94,7 +96,7 @@ impl ChurnProcess {
     /// Returns `(killed, joined)` counts.
     ///
     /// Call once per cycle, before or after [`Simulation::run_cycle`].
-    pub fn step(&mut self, sim: &mut Simulation) -> (usize, usize) {
+    pub fn step<N: GossipNode + Send>(&mut self, sim: &mut Simulation<N>) -> (usize, usize) {
         let live = sim.alive_count() as f64;
         let kills = self.stochastic_round(live * self.leave_rate);
         let joins = self.stochastic_round(live * self.join_rate);
@@ -150,10 +152,7 @@ mod tests {
             s.run_cycle();
         }
         let live = s.alive_count();
-        assert!(
-            (200..=400).contains(&live),
-            "population drifted to {live}"
-        );
+        assert!((200..=400).contains(&live), "population drifted to {live}");
     }
 
     #[test]

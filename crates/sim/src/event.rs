@@ -10,7 +10,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use pss_core::{NodeDescriptor, NodeId, ProtocolConfig, PeerSamplingNode, Reply, Request, View};
+use pss_core::{NodeDescriptor, NodeId, PeerSamplingNode, ProtocolConfig, Reply, Request, View};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -141,8 +141,7 @@ impl EventSimulation {
     /// Creates an empty event simulation for the paper's generic protocol.
     pub fn new(protocol: ProtocolConfig, config: EventConfig, seed: u64) -> Self {
         Self::with_factory(config, seed, move |id, node_seed| {
-            Box::new(PeerSamplingNode::with_seed(id, protocol.clone(), node_seed))
-                as BoxedNode
+            Box::new(PeerSamplingNode::with_seed(id, protocol.clone(), node_seed)) as BoxedNode
         })
     }
 
@@ -286,8 +285,7 @@ impl EventSimulation {
                     let jitter = if self.config.jitter == 0 {
                         0
                     } else {
-                        self.rng
-                            .random_range(0..=2 * self.config.jitter)
+                        self.rng.random_range(0..=2 * self.config.jitter)
                     };
                     let next = self.now + self.config.period - self.config.jitter + jitter;
                     self.schedule(next, EventKind::Timer(id));
@@ -363,10 +361,7 @@ mod tests {
             assert!((5..=9).contains(&l));
         }
         // Degenerate range.
-        assert_eq!(
-            LatencyModel::Uniform { min: 7, max: 7 }.sample(&mut rng),
-            7
-        );
+        assert_eq!(LatencyModel::Uniform { min: 7, max: 7 }.sample(&mut rng), 7);
     }
 
     #[test]

@@ -5,20 +5,23 @@
 //! directed snapshot, undirected graph), so expensive snapshots are built
 //! once per cycle regardless of how many metrics are recorded.
 
-use pss_core::NodeId;
+use pss_core::{GossipNode, NodeId};
 use pss_graph::{GraphMetrics, MetricsConfig, UGraph};
 use pss_stats::TimeSeries;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::{Simulation, Snapshot};
+use crate::{BoxedNode, Simulation, Snapshot};
 
 /// Everything an observer may look at after a cycle.
-pub struct CycleContext<'a> {
+///
+/// Generic over the simulation's node type (defaulting to the boxed
+/// engine), so observers work unchanged on the monomorphized fast path.
+pub struct CycleContext<'a, N: GossipNode + Send = BoxedNode> {
     /// The cycle that just completed.
     pub cycle: u64,
     /// The simulation (read-only).
-    pub sim: &'a Simulation,
+    pub sim: &'a Simulation<N>,
     /// Directed snapshot over live nodes.
     pub snapshot: &'a Snapshot,
     /// Undirected communication graph of the snapshot.
@@ -26,16 +29,20 @@ pub struct CycleContext<'a> {
 }
 
 /// A per-cycle metric recorder.
-pub trait Observer {
+pub trait Observer<N: GossipNode + Send = BoxedNode> {
     /// Called once after every completed cycle.
-    fn observe(&mut self, ctx: &CycleContext<'_>);
+    fn observe(&mut self, ctx: &CycleContext<'_, N>);
 }
 
 /// Runs `cycles` cycles of `sim`, invoking every observer after each cycle.
 ///
 /// Observation order follows the slice order. The snapshot/undirected graph
 /// are rebuilt once per cycle and shared.
-pub fn run_observed(sim: &mut Simulation, cycles: u64, observers: &mut [&mut dyn Observer]) {
+pub fn run_observed<N: GossipNode + Send>(
+    sim: &mut Simulation<N>,
+    cycles: u64,
+    observers: &mut [&mut dyn Observer<N>],
+) {
     for _ in 0..cycles {
         sim.run_cycle();
         let snapshot = sim.snapshot();
@@ -98,8 +105,8 @@ impl MetricsRecorder {
     }
 }
 
-impl Observer for MetricsRecorder {
-    fn observe(&mut self, ctx: &CycleContext<'_>) {
+impl<N: GossipNode + Send> Observer<N> for MetricsRecorder {
+    fn observe(&mut self, ctx: &CycleContext<'_, N>) {
         let m = GraphMetrics::measure(ctx.graph, &self.config, &mut self.rng);
         self.clustering.push(ctx.cycle, m.clustering_coefficient);
         self.average_degree.push(ctx.cycle, m.average_degree);
@@ -147,8 +154,8 @@ impl DegreeTracer {
     }
 }
 
-impl Observer for DegreeTracer {
-    fn observe(&mut self, ctx: &CycleContext<'_>) {
+impl<N: GossipNode + Send> Observer<N> for DegreeTracer {
+    fn observe(&mut self, ctx: &CycleContext<'_, N>) {
         for (id, series) in self.traced.iter().zip(&mut self.series) {
             if let Some(idx) = ctx.snapshot.index_of(*id) {
                 series.push(ctx.cycle, ctx.graph.degree(idx) as f64);
@@ -184,8 +191,8 @@ impl Default for DeadLinkCounter {
     }
 }
 
-impl Observer for DeadLinkCounter {
-    fn observe(&mut self, ctx: &CycleContext<'_>) {
+impl<N: GossipNode + Send> Observer<N> for DeadLinkCounter {
+    fn observe(&mut self, ctx: &CycleContext<'_, N>) {
         self.series
             .push(ctx.cycle, ctx.sim.dead_link_count() as f64);
     }

@@ -11,31 +11,52 @@ use crate::Snapshot;
 /// [`pss_core::hs::HsNode`], or custom user protocols.
 pub type BoxedNode = Box<dyn GossipNode + Send>;
 
-pub(crate) struct Entry {
-    pub(crate) node: BoxedNode,
+pub(crate) struct Entry<N> {
+    pub(crate) node: N,
     pub(crate) alive: bool,
 }
 
 /// Dense table of nodes indexed by [`NodeId`]; ids are assigned
 /// sequentially and never reused, so a dead node's slot stays dead.
-#[derive(Default)]
-pub(crate) struct Population {
-    entries: Vec<Entry>,
+///
+/// Generic over the node type: `Population<BoxedNode>` (the default) holds
+/// heterogeneous boxed nodes behind virtual dispatch; a concrete `N` gives
+/// the monomorphized fast path. Liveness is mirrored in a `u64` bitset so
+/// the per-cycle snapshot is a word copy instead of a per-node scan.
+pub(crate) struct Population<N = BoxedNode> {
+    entries: Vec<Entry<N>>,
     alive_count: usize,
+    /// Bit `i` set ⇔ node `i` is alive.
+    alive_bits: Vec<u64>,
 }
 
-impl Population {
+impl<N> Default for Population<N> {
+    fn default() -> Self {
+        Population {
+            entries: Vec::new(),
+            alive_count: 0,
+            alive_bits: Vec::new(),
+        }
+    }
+}
+
+impl<N: GossipNode> Population<N> {
     pub(crate) fn new() -> Self {
         Population::default()
     }
 
     /// Adds a node built by `make` from its assigned id.
-    pub(crate) fn add_with(&mut self, make: impl FnOnce(NodeId) -> BoxedNode) -> NodeId {
+    pub(crate) fn add_with(&mut self, make: impl FnOnce(NodeId) -> N) -> NodeId {
         let id = NodeId::new(self.entries.len() as u64);
         let node = make(id);
         debug_assert_eq!(node.id(), id, "factory must honor the assigned id");
         self.entries.push(Entry { node, alive: true });
         self.alive_count += 1;
+        let slot = id.as_index();
+        if slot / 64 >= self.alive_bits.len() {
+            self.alive_bits.push(0);
+        }
+        self.alive_bits[slot / 64] |= 1 << (slot % 64);
         id
     }
 
@@ -54,22 +75,30 @@ impl Population {
             .unwrap_or(false)
     }
 
+    /// The liveness bitset (bit `i` ⇔ node `i` alive), for cycle drivers
+    /// that snapshot liveness once per cycle.
+    pub(crate) fn alive_bits(&self) -> &[u64] {
+        &self.alive_bits
+    }
+
     pub(crate) fn kill(&mut self, id: NodeId) -> bool {
         match self.entries.get_mut(id.as_index()) {
             Some(e) if e.alive => {
                 e.alive = false;
                 self.alive_count -= 1;
+                let slot = id.as_index();
+                self.alive_bits[slot / 64] &= !(1 << (slot % 64));
                 true
             }
             _ => false,
         }
     }
 
-    pub(crate) fn get(&self, id: NodeId) -> Option<&Entry> {
+    pub(crate) fn get(&self, id: NodeId) -> Option<&Entry<N>> {
         self.entries.get(id.as_index())
     }
 
-    pub(crate) fn get_mut(&mut self, id: NodeId) -> Option<&mut Entry> {
+    pub(crate) fn get_mut(&mut self, id: NodeId) -> Option<&mut Entry<N>> {
         self.entries.get_mut(id.as_index())
     }
 

@@ -11,12 +11,39 @@
 //! * **random** ([`random_overlay`]) — views are uniform random samples
 //!   (the baseline topology itself).
 
-use pss_core::{NodeDescriptor, NodeId, ProtocolConfig};
+use pss_core::{GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, ProtocolConfig};
 use pss_graph::{gen, DiGraph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::{GrowthPlan, Simulation};
+
+/// Seeds an existing (empty) simulation so that node `i`'s view holds a
+/// fresh descriptor per out-neighbor of `i` in `graph`. Works for any node
+/// type, so boxed and monomorphized scenarios share one implementation.
+///
+/// # Panics
+///
+/// Panics if any out-degree exceeds `view_size`.
+fn seed_from_digraph<N: GossipNode + Send>(
+    sim: &mut Simulation<N>,
+    view_size: usize,
+    graph: &DiGraph,
+) {
+    for v in 0..graph.node_count() as u32 {
+        let out = graph.out_neighbors(v);
+        assert!(
+            out.len() <= view_size,
+            "initial out-degree {} exceeds view size {}",
+            out.len(),
+            view_size
+        );
+        sim.add_node(
+            out.iter()
+                .map(|&t| NodeDescriptor::fresh(NodeId::new(t as u64))),
+        );
+    }
+}
 
 /// Builds a simulation whose initial views replicate a directed graph:
 /// node `i`'s view holds a fresh descriptor per out-neighbor of `i`.
@@ -27,19 +54,19 @@ use crate::{GrowthPlan, Simulation};
 /// would silently truncate otherwise).
 pub fn from_digraph(config: &ProtocolConfig, graph: &DiGraph, seed: u64) -> Simulation {
     let mut sim = Simulation::new(config.clone(), seed);
-    for v in 0..graph.node_count() as u32 {
-        let out = graph.out_neighbors(v);
-        assert!(
-            out.len() <= config.view_size(),
-            "initial out-degree {} exceeds view size {}",
-            out.len(),
-            config.view_size()
-        );
-        sim.add_node(
-            out.iter()
-                .map(|&t| NodeDescriptor::fresh(NodeId::new(t as u64))),
-        );
-    }
+    seed_from_digraph(&mut sim, config.view_size(), graph);
+    sim
+}
+
+/// Monomorphized variant of [`from_digraph`]: same seeds, same exchanges,
+/// no virtual dispatch in the cycle loop (see [`Simulation::typed`]).
+pub fn from_digraph_fast(
+    config: &ProtocolConfig,
+    graph: &DiGraph,
+    seed: u64,
+) -> Simulation<PeerSamplingNode> {
+    let mut sim = Simulation::typed(config.clone(), seed);
+    seed_from_digraph(&mut sim, config.view_size(), graph);
     sim
 }
 
@@ -77,6 +104,18 @@ pub fn random_overlay(config: &ProtocolConfig, n: usize, seed: u64) -> Simulatio
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let graph = gen::uniform_view_digraph(n, config.view_size(), &mut topo_rng);
     from_digraph(config, &graph, seed)
+}
+
+/// Monomorphized variant of [`random_overlay`]: identical topology and
+/// protocol behavior for the same seed, minus the boxed dispatch.
+pub fn random_overlay_fast(
+    config: &ProtocolConfig,
+    n: usize,
+    seed: u64,
+) -> Simulation<PeerSamplingNode> {
+    let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let graph = gen::uniform_view_digraph(n, config.view_size(), &mut topo_rng);
+    from_digraph_fast(config, &graph, seed)
 }
 
 /// A star bootstrap: every node knows only node 0 (and node 0 knows node 1).

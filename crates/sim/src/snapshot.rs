@@ -23,7 +23,11 @@ impl Snapshot {
     ) -> Self {
         let collected: Vec<(NodeId, &View)> = nodes.into_iter().collect();
         let ids: Vec<NodeId> = collected.iter().map(|(id, _)| *id).collect();
-        let max_id = ids.iter().map(|id| id.as_index()).max().map_or(0, |m| m + 1);
+        let max_id = ids
+            .iter()
+            .map(|id| id.as_index())
+            .max()
+            .map_or(0, |m| m + 1);
         let mut index = vec![u32::MAX; max_id];
         for (i, id) in ids.iter().enumerate() {
             index[id.as_index()] = i as u32;
@@ -32,13 +36,14 @@ impl Snapshot {
             .iter()
             .map(|(_, view)| {
                 view.ids()
-                    .filter(|&t| is_live(t) && t.as_index() < max_id && index[t.as_index()] != u32::MAX)
+                    .filter(|&t| {
+                        is_live(t) && t.as_index() < max_id && index[t.as_index()] != u32::MAX
+                    })
                     .map(|t| index[t.as_index()])
                     .collect()
             })
             .collect();
-        let directed =
-            DiGraph::from_views(ids.len(), views).expect("compact indices are in range");
+        let directed = DiGraph::from_views(ids.len(), views).expect("compact indices are in range");
         Snapshot { directed, ids }
     }
 
@@ -123,10 +128,7 @@ mod tests {
     fn undirected_projection() {
         let v0 = view(&[1]);
         let v1 = view(&[]);
-        let snap = Snapshot::build(
-            vec![(NodeId::new(0), &v0), (NodeId::new(1), &v1)],
-            |_| true,
-        );
+        let snap = Snapshot::build(vec![(NodeId::new(0), &v0), (NodeId::new(1), &v1)], |_| true);
         let u = snap.undirected();
         assert_eq!(u.edge_count(), 1);
         assert!(u.has_edge(0, 1));

@@ -42,7 +42,9 @@ impl Autocorrelation {
     /// e.g. to contrast `(rand,head,pushpull)` (white-noise-like) with
     /// `(*,rand,*)` (long oscillations) as in the paper's Figure 5.
     pub fn last_significant_lag(&self, band: f64) -> Option<usize> {
-        (1..self.values.len()).rev().find(|&k| self.values[k].abs() > band)
+        (1..self.values.len())
+            .rev()
+            .find(|&k| self.values[k].abs() > band)
     }
 }
 
@@ -231,7 +233,9 @@ mod tests {
 
     #[test]
     fn alternating_series_is_negatively_correlated_at_lag_one() {
-        let series: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let series: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let ac = autocorrelation(&series, 4);
         assert!(ac.at(1).unwrap() < -0.95);
         assert!(ac.at(2).unwrap() > 0.95);

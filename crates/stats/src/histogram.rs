@@ -349,6 +349,8 @@ mod tests {
     fn display_of_errors() {
         assert!(HistogramError::EmptyRange.to_string().contains("empty"));
         assert!(HistogramError::ZeroBins.to_string().contains("bin"));
-        assert!(HistogramError::NonPositiveBound.to_string().contains("positive"));
+        assert!(HistogramError::NonPositiveBound
+            .to_string()
+            .contains("positive"));
     }
 }

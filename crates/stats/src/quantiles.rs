@@ -106,7 +106,10 @@ mod tests {
             quantile(&[1.0], -0.1),
             Err(QuantileError::InvalidProbability)
         );
-        assert_eq!(quantile(&[1.0], 1.1), Err(QuantileError::InvalidProbability));
+        assert_eq!(
+            quantile(&[1.0], 1.1),
+            Err(QuantileError::InvalidProbability)
+        );
         assert_eq!(
             quantile(&[1.0], f64::NAN),
             Err(QuantileError::InvalidProbability)
@@ -160,6 +163,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(QuantileError::EmptyData.to_string().contains("empty"));
-        assert!(QuantileError::InvalidProbability.to_string().contains("[0, 1]"));
+        assert!(QuantileError::InvalidProbability
+            .to_string()
+            .contains("[0, 1]"));
     }
 }

@@ -18,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Bimodal initial load: half the nodes at 0, half at 100.
     let initial = || -> Vec<f64> {
-        (0..N).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect()
+        (0..N)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 100.0 })
+            .collect()
     };
 
     println!("push-pull averaging, {N} nodes, {ROUNDS} rounds");
@@ -41,15 +43,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut sim = scenario::random_overlay(&config, N, 17);
         sim.run_cycles(50);
         let mut values = initial();
-        let report =
-            aggregation::run(&mut SimSampleSource::new(&mut sim), &mut values, ROUNDS);
+        let report = aggregation::run(&mut SimSampleSource::new(&mut sim), &mut values, ROUNDS);
         print_row(&policy.to_string(), &report, &values);
     }
     Ok(())
 }
 
 fn print_row(name: &str, report: &aggregation::AggregationReport, values: &[f64]) {
-    let final_var = report.variance_per_round().last().copied().unwrap_or(f64::NAN);
+    let final_var = report
+        .variance_per_round()
+        .last()
+        .copied()
+        .unwrap_or(f64::NAN);
     let mean_now = values.iter().sum::<f64>() / values.len() as f64;
     println!(
         "{:<24} {:>12.3e} {:>16.3} {:>12.2e}",

@@ -21,12 +21,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("push broadcast, fanout 2, {N} nodes");
-    println!("{:<24} {:>9} {:>14}", "sampler", "coverage", "rounds to 99%");
+    println!(
+        "{:<24} {:>9} {:>14}",
+        "sampler", "coverage", "rounds to 99%"
+    );
 
     // The ideal service: uniform random over the whole group.
     let mut oracle = OracleSource::new(N, 7);
     let report = run(&mut oracle, N, NodeId::new(0), &workload);
-    print_row("uniform oracle", report.coverage(), report.rounds_to_reach(0.99));
+    print_row(
+        "uniform oracle",
+        report.coverage(),
+        report.rounds_to_reach(0.99),
+    );
 
     // Gossip-based services.
     for policy in [
@@ -37,7 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let config = ProtocolConfig::new(policy, 30)?;
         let mut sim = scenario::random_overlay(&config, N, 11);
         sim.run_cycles(50); // converge the overlay first
-        let report = run(&mut SimSampleSource::new(&mut sim), N, NodeId::new(0), &workload);
+        let report = run(
+            &mut SimSampleSource::new(&mut sim),
+            N,
+            NodeId::new(0),
+            &workload,
+        );
         print_row(
             &policy.to_string(),
             report.coverage(),

@@ -9,10 +9,10 @@
 //! cargo run --release --example event_driven
 //! ```
 
+use peer_sampling::sim::LatencyModel;
 use peer_sampling::{
     EventConfig, EventSimulation, NodeDescriptor, NodeId, PolicyTriple, ProtocolConfig,
 };
-use peer_sampling::sim::LatencyModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const N: u64 = 1000;

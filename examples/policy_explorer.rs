@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             clustering,
             max_deg_frac,
             joiner_deg,
-            if policy.is_degenerate() { "degenerate" } else { "kept" }
+            if policy.is_degenerate() {
+                "degenerate"
+            } else {
+                "kept"
+            }
         );
     }
     Ok(())

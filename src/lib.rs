@@ -49,8 +49,7 @@ pub use pss_sim as sim;
 pub use pss_stats as stats;
 
 pub use pss_core::{
-    ConfigError, GossipNode, NodeDescriptor, NodeId, OracleSampler, PeerSampler,
-    PeerSamplingNode, PeerSelection, PolicyTriple, ProtocolConfig, View, ViewPropagation,
-    ViewSelection,
+    ConfigError, GossipNode, NodeDescriptor, NodeId, OracleSampler, PeerSampler, PeerSamplingNode,
+    PeerSelection, PolicyTriple, ProtocolConfig, View, ViewPropagation, ViewSelection,
 };
 pub use pss_sim::{scenario, EventConfig, EventSimulation, Simulation, Snapshot};

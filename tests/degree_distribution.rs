@@ -46,7 +46,11 @@ fn head_view_selection_balances_degrees() {
 
 #[test]
 fn all_protocols_keep_mean_degree_near_2c() {
-    for policy in ["(rand,head,pushpull)", "(rand,rand,push)", "(tail,head,push)"] {
+    for policy in [
+        "(rand,head,pushpull)",
+        "(rand,rand,push)",
+        "(tail,head,push)",
+    ] {
         let dist = converged_distribution(policy, 4);
         let mean = dist.mean();
         assert!(

@@ -2,8 +2,8 @@
 //! the H&S extension running under the standard simulator.
 
 use peer_sampling::{
-    GossipNode, NodeDescriptor, NodeId, OracleSampler, PeerSampler, PeerSamplingNode,
-    PolicyTriple, ProtocolConfig,
+    GossipNode, NodeDescriptor, NodeId, OracleSampler, PeerSampler, PeerSamplingNode, PolicyTriple,
+    ProtocolConfig,
 };
 use pss_core::hs::{HsConfig, HsNode, HsPeerSelection};
 use pss_sim::{scenario, Simulation};
@@ -68,7 +68,10 @@ fn hs_nodes_run_under_the_standard_simulator() {
     });
     let first = sim.add_node([]);
     for i in 1..300u64 {
-        sim.add_node([NodeDescriptor::fresh(NodeId::new(i / 2)), NodeDescriptor::fresh(first)]);
+        sim.add_node([
+            NodeDescriptor::fresh(NodeId::new(i / 2)),
+            NodeDescriptor::fresh(first),
+        ]);
     }
     sim.run_cycles(40);
     let g = sim.snapshot().undirected();
