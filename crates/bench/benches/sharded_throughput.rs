@@ -1,0 +1,51 @@
+//! Sharded-engine throughput: node-cycles per second vs shard count.
+//!
+//! The scaling companion to `throughput.rs`: the same steady-state newscast
+//! workload, run on [`pss_sim::ShardedSimulation`] at shard counts
+//! {1, 2, 4}, with the worker count matched to the shard count (capped by
+//! the host's cores). One element = one node-cycle, so numbers are directly
+//! comparable with `BENCH_throughput.json`.
+//!
+//! Run `cargo bench --bench sharded_throughput -- --bench-json
+//! BENCH_scale.json` (or set `BENCH_JSON`) to record the measurements;
+//! `BENCH_scale.json` at the repository root tracks node-cycles/sec per
+//! shard count across PRs. On a single-core host the sweep measures pure
+//! sharding overhead (workers collapse to 1); the >1 speedups appear on
+//! multi-core hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pss_core::PolicyTriple;
+use pss_experiments::Scale;
+use pss_sim::scenario;
+use std::hint::black_box;
+
+fn bench_sharded_cycles(c: &mut Criterion) {
+    let scale = Scale::throughput_bench();
+    let n = 50_000usize;
+    let cycles = 3u64;
+    let mut group = c.benchmark_group("sharded_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64 * cycles));
+    let config = scale.protocol(PolicyTriple::newscast());
+    for shards in [1usize, 2, 4] {
+        // Warm a converged overlay once per shard count; each iteration
+        // advances it further (steady-state gossip, not bootstrap).
+        let mut sim = scenario::random_overlay_sharded(&config, n, scale.seed, shards);
+        sim.set_workers(shards);
+        sim.run_cycles(5);
+        group.bench_with_input(
+            BenchmarkId::new("newscast", shards),
+            &shards,
+            |bencher, _| {
+                bencher.iter(|| {
+                    sim.run_cycles(cycles);
+                    black_box(sim.cycle())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_cycles);
+criterion_main!(benches);

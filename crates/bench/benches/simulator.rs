@@ -51,7 +51,8 @@ fn bench_event_engine(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
             bencher.iter_batched(
                 || {
-                    let mut sim = EventSimulation::new(protocol.clone(), event_config, 42);
+                    let mut sim = EventSimulation::new(protocol.clone(), event_config, 42)
+                        .expect("valid event config");
                     sim.add_connected_nodes(n);
                     sim.run_for(5_000);
                     sim

@@ -29,7 +29,6 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use crate::view::MergeScratch;
 use crate::{Exchange, GossipNode, NodeDescriptor, NodeId, Reply, Request, View};
 
 /// Peer selection for the H&S protocol: TOCS 2007 considers uniform random
@@ -153,14 +152,6 @@ pub struct HsNode {
     rng: SmallRng,
 }
 
-std::thread_local! {
-    /// Shared staging buffers for the merge step (see the sibling
-    /// `ABSORB_BUFFERS` note in `node.rs` for why these are thread-local
-    /// rather than per-node).
-    static HS_BUFFERS: core::cell::RefCell<(View, MergeScratch)> =
-        core::cell::RefCell::new((View::new(), MergeScratch::default()));
-}
-
 impl HsNode {
     /// Creates a node with a deterministic RNG seed.
     pub fn with_seed(id: NodeId, config: HsConfig, seed: u64) -> Self {
@@ -201,7 +192,8 @@ impl HsNode {
             chosen.extend(old.into_iter().take(want - chosen.len()));
         }
         self.sent = chosen.iter().map(|d| d.id()).collect();
-        let mut buffer = Vec::with_capacity(chosen.len() + 1);
+        let mut buffer = crate::staging::with_arena(|arena| arena.pool_take());
+        buffer.reserve(chosen.len() + 1);
         buffer.push(NodeDescriptor::fresh(self.id));
         buffer.extend(chosen);
         buffer
@@ -209,10 +201,14 @@ impl HsNode {
 
     /// The TOCS 2007 `view.select(c, H, S, buffer)` step.
     fn select(&mut self, received: Vec<NodeDescriptor>) {
-        HS_BUFFERS.with(|buffers| {
-            let (rx, scratch) = &mut *buffers.borrow_mut();
-            rx.assign_aged(received, 1, scratch);
-            self.view.merge_from(rx, Some(self.id), scratch);
+        crate::staging::with_arena(|arena| {
+            arena
+                .rx_view
+                .assign_aged(received.iter().copied(), 1, &mut arena.scratch);
+            self.view
+                .merge_from(&arena.rx_view, Some(self.id), &mut arena.scratch);
+            // Recycle the spent wire buffer for future outgoing messages.
+            arena.pool_put(received);
         });
         let merged = &mut self.view;
         let c = self.config.view_size();

@@ -63,6 +63,7 @@ mod policy;
 mod service;
 
 pub mod hs;
+pub mod staging;
 pub mod view;
 
 pub use config::{ConfigError, ProtocolConfig};

@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::view::MergeScratch;
+use crate::staging;
 use crate::{
     Exchange, NodeDescriptor, NodeId, PeerSelection, ProtocolConfig, Reply, Request, View,
 };
@@ -116,34 +116,6 @@ pub struct PeerSamplingNode {
     rng: SmallRng,
 }
 
-std::thread_local! {
-    /// Shared staging buffers for the receive side of an exchange: the aged
-    /// wire buffer, a view for the general fallback path, and merge
-    /// scratch.
-    ///
-    /// Deliberately thread-local rather than per-node: a simulation drives
-    /// many thousands of nodes from one thread, and per-node buffers would
-    /// add kilobytes of cold memory to every exchange (measurably slower at
-    /// N = 10⁴ than the allocations they save). One shared set stays hot in
-    /// cache and still makes the steady state allocation-free.
-    static ABSORB_BUFFERS: core::cell::RefCell<AbsorbBuffers> =
-        core::cell::RefCell::new(AbsorbBuffers::default());
-}
-
-/// See [`ABSORB_BUFFERS`].
-#[derive(Default)]
-struct AbsorbBuffers {
-    /// Aged copy of the received wire buffer.
-    rx_buf: Vec<NodeDescriptor>,
-    /// Staging view for the (rare) general fallback path.
-    rx_view: View,
-    scratch: MergeScratch,
-    /// Recycled message buffers: absorbed request/reply vectors are parked
-    /// here and reused by [`PeerSamplingNode::outgoing_descriptors`],
-    /// keeping message construction allocation-free in steady state.
-    pool: Vec<Vec<NodeDescriptor>>,
-}
-
 impl PeerSamplingNode {
     /// Creates a node with a deterministic RNG seed. All stochastic choices
     /// (rand peer/view selection, `getPeer` sampling) derive from this seed.
@@ -194,10 +166,7 @@ impl PeerSamplingNode {
     fn outgoing_descriptors(&self) -> Vec<NodeDescriptor> {
         let entries = self.view.descriptors();
         let at = entries.partition_point(|d| d.hop_count() == 0);
-        let mut buffer = ABSORB_BUFFERS
-            .with(|buffers| buffers.borrow_mut().pool.pop())
-            .unwrap_or_default();
-        buffer.clear();
+        let mut buffer = staging::with_arena(|arena| arena.pool_take());
         buffer.reserve(entries.len() + 1);
         buffer.extend_from_slice(&entries[..at]);
         buffer.push(NodeDescriptor::fresh(self.id));
@@ -208,47 +177,40 @@ impl PeerSamplingNode {
     /// Runs the receive side of an exchange on `descriptors`:
     /// `view ← selectView(merge(increaseHopCount(view_p), view))`, using the
     /// shared staging buffers (no steady-state allocation).
-    fn absorb(&mut self, mut descriptors: Vec<NodeDescriptor>) {
+    fn absorb(&mut self, descriptors: Vec<NodeDescriptor>) {
         let policy = self.config.policy().view_selection;
         let c = self.config.view_size();
-        ABSORB_BUFFERS.with(|buffers| {
-            let AbsorbBuffers {
-                rx_buf,
-                rx_view,
-                scratch,
-                pool,
-            } = &mut *buffers.borrow_mut();
+        staging::with_arena(|arena| {
             // Fast path: protocol messages carry well-formed view content
             // (hop-sorted, one descriptor per node), absorbed straight off
             // the wire buffer. Malformed content (possible only through
             // hand-crafted requests) is rejected untouched and goes through
             // the general dedup path.
-            rx_buf.clear();
-            rx_buf.extend(descriptors.iter().map(|d| d.aged()));
+            arena.rx_buf.clear();
+            arena.rx_buf.extend(descriptors.iter().map(|d| d.aged()));
             let absorbed = self.view.merge_select_from_slice(
-                rx_buf,
+                &arena.rx_buf,
                 Some(self.id),
                 policy,
                 c,
                 &mut self.rng,
-                scratch,
+                &mut arena.scratch,
             );
             if !absorbed {
-                rx_view.assign_aged(descriptors.iter().copied(), 1, scratch);
+                arena
+                    .rx_view
+                    .assign_aged(descriptors.iter().copied(), 1, &mut arena.scratch);
                 self.view.merge_select_from(
-                    rx_view,
+                    &arena.rx_view,
                     Some(self.id),
                     policy,
                     c,
                     &mut self.rng,
-                    scratch,
+                    &mut arena.scratch,
                 );
             }
             // Recycle the spent message buffer for future outgoing messages.
-            if pool.len() < 8 {
-                descriptors.clear();
-                pool.push(core::mem::take(&mut descriptors));
-            }
+            arena.pool_put(descriptors);
         });
         debug_assert!(self.view.invariants_hold());
     }

@@ -1,0 +1,133 @@
+//! Per-thread staging arena shared by every protocol node implementation.
+//!
+//! The receive side of an exchange needs a handful of scratch buffers: an
+//! aged copy of the wire content, a staging [`View`] for the general merge
+//! fallback, a [`MergeScratch`], and a pool of recycled message buffers.
+//! These are deliberately **per worker thread** rather than per node: a
+//! simulation drives many thousands of nodes from one thread, and per-node
+//! buffers would add kilobytes of cold memory to every exchange (measurably
+//! slower at N = 10⁴ than the allocations they save). One shared arena
+//! stays hot in cache and keeps the steady state allocation-free.
+//!
+//! The same reasoning extends to the sharded multi-threaded engine: each
+//! worker thread owns its own arena (via `thread_local`), so recycling is
+//! contention-free by construction, and — because buffer *contents* never
+//! leak between exchanges (every use starts with `clear()`) — arena reuse
+//! can never affect protocol output. Determinism therefore holds regardless
+//! of which worker thread processes which shard. Workers that want to avoid
+//! first-touch allocation jitter can call [`prewarm`] before a batch.
+
+use crate::view::MergeScratch;
+use crate::{NodeDescriptor, View};
+
+/// Upper bound on pooled message buffers per thread; beyond this, spent
+/// buffers are simply dropped. Exchanges hold at most two buffers in flight
+/// per node being driven, so a small pool suffices.
+pub const POOL_LIMIT: usize = 8;
+
+/// The per-thread staging buffers (see the module docs).
+#[derive(Default)]
+pub(crate) struct Arena {
+    /// Aged copy of the received wire buffer.
+    pub(crate) rx_buf: Vec<NodeDescriptor>,
+    /// Staging view for the (rare) general fallback merge path.
+    pub(crate) rx_view: View,
+    /// Merge scratch shared by all merge/select calls on this thread.
+    pub(crate) scratch: MergeScratch,
+    /// Recycled message buffers: absorbed request/reply vectors are parked
+    /// here and reused when building outgoing messages, keeping message
+    /// construction allocation-free in steady state.
+    pool: Vec<Vec<NodeDescriptor>>,
+}
+
+impl Arena {
+    /// Takes a recycled message buffer (empty, capacity retained), or a
+    /// fresh one if the pool is dry.
+    pub(crate) fn pool_take(&mut self) -> Vec<NodeDescriptor> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Parks a spent message buffer for reuse; drops it if the pool is
+    /// full. The buffer is cleared here, so takers never see stale content.
+    pub(crate) fn pool_put(&mut self, mut buffer: Vec<NodeDescriptor>) {
+        if self.pool.len() < POOL_LIMIT {
+            buffer.clear();
+            self.pool.push(buffer);
+        }
+    }
+}
+
+std::thread_local! {
+    static ARENA: core::cell::RefCell<Arena> = core::cell::RefCell::new(Arena::default());
+}
+
+/// Runs `f` with this thread's staging arena.
+///
+/// # Panics
+///
+/// Panics on re-entrant use (an absorb cannot trigger another absorb on the
+/// same thread; no protocol path does).
+pub(crate) fn with_arena<R>(f: impl FnOnce(&mut Arena) -> R) -> R {
+    ARENA.with(|arena| f(&mut arena.borrow_mut()))
+}
+
+/// Pre-sizes this thread's arena: fills the message-buffer pool with
+/// `buffers` buffers of `descriptor_capacity` each and reserves the wire
+/// staging buffer. Purely an allocation warm-up for worker threads — has no
+/// observable effect on protocol output.
+pub fn prewarm(buffers: usize, descriptor_capacity: usize) {
+    with_arena(|arena| {
+        arena.rx_buf.reserve(descriptor_capacity);
+        while arena.pool.len() < buffers.min(POOL_LIMIT) {
+            arena.pool.push(Vec::with_capacity(descriptor_capacity));
+        }
+    });
+}
+
+/// Number of message buffers currently pooled on this thread (diagnostic).
+pub fn pooled_buffers() -> usize {
+    with_arena(|arena| arena.pool.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_up_to_limit() {
+        with_arena(|arena| arena.pool.clear());
+        assert_eq!(pooled_buffers(), 0);
+        with_arena(|arena| {
+            for _ in 0..POOL_LIMIT + 3 {
+                arena.pool_put(Vec::with_capacity(4));
+            }
+        });
+        assert_eq!(pooled_buffers(), POOL_LIMIT);
+        let buf = with_arena(|arena| arena.pool_take());
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), 4);
+        assert_eq!(pooled_buffers(), POOL_LIMIT - 1);
+    }
+
+    #[test]
+    fn pool_put_clears_content() {
+        with_arena(|arena| arena.pool.clear());
+        with_arena(|arena| {
+            arena.pool_put(vec![NodeDescriptor::fresh(crate::NodeId::new(7))]);
+        });
+        let buf = with_arena(|arena| arena.pool_take());
+        assert!(buf.is_empty(), "recycled buffers must never leak content");
+    }
+
+    #[test]
+    fn prewarm_fills_pool() {
+        with_arena(|arena| arena.pool.clear());
+        prewarm(4, 31);
+        assert_eq!(pooled_buffers(), 4);
+        // Idempotent: never exceeds the requested count or the limit.
+        prewarm(4, 31);
+        assert_eq!(pooled_buffers(), 4);
+        prewarm(100, 31);
+        assert_eq!(pooled_buffers(), POOL_LIMIT);
+    }
+}

@@ -159,7 +159,8 @@ pub fn run(config: &AsyncConfig) -> AsyncResult {
         Job::Event(policy, loss) => {
             let protocol = scale.protocol(policy);
             let mut sim =
-                EventSimulation::new(protocol, event_config_for(loss), scale.seed ^ 0xa52);
+                EventSimulation::new(protocol, event_config_for(loss), scale.seed ^ 0xa52)
+                    .expect("asynchrony sweep uses a validated event config");
             // Same random bootstrap graph as the cycle scenario.
             let mut topo_rng = SmallRng::seed_from_u64(scale.seed ^ 0xa53);
             let digraph =

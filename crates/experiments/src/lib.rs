@@ -18,6 +18,7 @@
 //! | [`policies`] | Section 4.3    | why `(head,*,*)`, `(*,tail,*)`, `(*,*,pull)` are degenerate |
 //! | [`asynchrony`] | extension    | conclusions under the event-driven engine |
 //! | [`apps`]     | extension      | broadcast & aggregation vs sampling quality |
+//! | [`scaling`]  | extension      | sharded-engine throughput and overlay quality vs shard count |
 //!
 //! All experiments are deterministic given their seed and parallelize
 //! across protocols/runs with `std::thread::scope`.
@@ -37,6 +38,7 @@ pub mod fig7;
 pub mod hs_ablation;
 pub mod policies;
 pub mod report;
+pub mod scaling;
 pub mod table1;
 pub mod table2;
 

@@ -16,14 +16,17 @@
 //!   async    event-driven engine comparison (extension)
 //!   apps     broadcast/aggregation sampling-quality comparison (extension)
 //!   hs       healer/swapper (H,S) ablation (extension)
+//!   scaling  sharded-engine throughput vs shard count (extension)
 //!   all      everything above, in order
 //!
 //! options:
-//!   --scale paper|small|tiny   preset scale            [default: paper]
+//!   --scale paper|small|tiny|million  preset scale     [default: paper]
 //!   --nodes N                  override population size
 //!   --cycles N                 override cycle budget
 //!   --view-size C              override view size
 //!   --runs R                   override runs/repetitions (table1, fig6)
+//!   --shards LIST              comma-separated shard counts (scaling)
+//!   --workers N                worker-thread override (scaling)
 //!   --seed S                   override master seed
 //!   --out DIR                  also write CSV series under DIR
 //! ```
@@ -34,8 +37,8 @@ use std::time::Instant;
 
 use pss_experiments::report::Table;
 use pss_experiments::{
-    apps, asynchrony, fig2, fig3, fig4, fig5, fig6, fig7, hs_ablation, policies, table1, table2,
-    Scale,
+    apps, asynchrony, fig2, fig3, fig4, fig5, fig6, fig7, hs_ablation, policies, scaling, table1,
+    table2, Scale,
 };
 
 /// Parsed command-line options.
@@ -44,6 +47,8 @@ struct Options {
     command: String,
     scale: Scale,
     runs: Option<usize>,
+    shards: Option<Vec<usize>>,
+    workers: Option<usize>,
     out: Option<PathBuf>,
 }
 
@@ -55,6 +60,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut view_size = None;
     let mut seed = None;
     let mut runs = None;
+    let mut shards = None;
+    let mut workers = None;
     let mut out = None;
 
     let mut it = args.iter();
@@ -70,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "paper" => Scale::paper(),
                     "small" => Scale::small(),
                     "tiny" => Scale::tiny(),
+                    "million" => Scale::million(),
                     other => return Err(format!("unknown scale preset `{other}`")),
                 }
             }
@@ -78,6 +86,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--view-size" => view_size = Some(parse_num(&grab("--view-size")?)?),
             "--seed" => seed = Some(parse_num(&grab("--seed")?)? as u64),
             "--runs" => runs = Some(parse_num(&grab("--runs")?)?),
+            "--shards" => {
+                let list = grab("--shards")?
+                    .split(',')
+                    .map(parse_num)
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err("--shards needs positive counts".into());
+                }
+                shards = Some(list);
+            }
+            "--workers" => {
+                let n = parse_num(&grab("--workers")?)?;
+                if n == 0 {
+                    return Err("--workers needs a positive count".into());
+                }
+                workers = Some(n);
+            }
             "--out" => out = Some(PathBuf::from(grab("--out")?)),
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
@@ -110,6 +135,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         command: command.ok_or_else(|| "no command given (try --help)".to_owned())?,
         scale,
         runs,
+        shards,
+        workers,
         out,
     })
 }
@@ -222,10 +249,25 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
             let result = hs_ablation::run(&config);
             emit(opts, "hs", &result.table(), None);
         }
+        "scaling" => {
+            let mut config = scaling::ScalingConfig::at_scale(scale);
+            if let Some(shards) = &opts.shards {
+                config.shard_counts = shards.clone();
+            }
+            config.workers = opts.workers;
+            let result = scaling::run(&config);
+            emit(opts, "scaling", &result.table(), None);
+            eprintln!(
+                "   best speedup over 1 shard: {:.2}x (N = {}, {} cycles)",
+                result.best_speedup(),
+                result.nodes,
+                result.cycles
+            );
+        }
         "all" => {
             for c in [
                 "table1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "policies",
-                "async", "apps", "hs",
+                "async", "apps", "hs", "scaling",
             ] {
                 run_command(opts, c)?;
             }
@@ -259,10 +301,10 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str =
-    "usage: experiments <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|all>
-       [--scale paper|small|tiny] [--nodes N] [--cycles N] [--view-size C]
-       [--runs R] [--seed S] [--out DIR]";
+const USAGE: &str = "usage: experiments \
+       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|all>
+       [--scale paper|small|tiny|million] [--nodes N] [--cycles N] [--view-size C]
+       [--runs R] [--shards LIST] [--workers N] [--seed S] [--out DIR]";
 
 #[cfg(test)]
 mod tests {
@@ -295,6 +337,16 @@ mod tests {
         let o = parse_args(&args("fig6 --runs 100 --out /tmp/results")).unwrap();
         assert_eq!(o.runs, Some(100));
         assert_eq!(o.out, Some(PathBuf::from("/tmp/results")));
+    }
+
+    #[test]
+    fn parses_shards_and_workers() {
+        let o = parse_args(&args("scaling --scale tiny --shards 1,2,4 --workers 2")).unwrap();
+        assert_eq!(o.shards, Some(vec![1, 2, 4]));
+        assert_eq!(o.workers, Some(2));
+        assert!(parse_args(&args("scaling --shards 0,2")).is_err());
+        assert!(parse_args(&args("scaling --shards 1,x")).is_err());
+        assert!(parse_args(&args("scaling --workers 0")).is_err());
     }
 
     #[test]

@@ -52,6 +52,21 @@ impl Scale {
         }
     }
 
+    /// The million-node scale for the sharded engine: N = 10⁶, c = 30,
+    /// 20 cycles — two orders of magnitude beyond the paper's populations,
+    /// enough cycles for the in-degree distribution to converge from the
+    /// random start (the paper's random-start runs converge within ~20
+    /// cycles at every N it studied). Used by the `scaling` experiment and
+    /// the `sharded_throughput` bench.
+    pub fn million() -> Self {
+        Scale {
+            nodes: 1_000_000,
+            cycles: 20,
+            view_size: 30,
+            seed: 20040601,
+        }
+    }
+
     /// The throughput-benchmark scale: the paper's population and view size
     /// (N = 10⁴, c = 30) with a short cycle budget, for measuring
     /// steady-state cycles/second (see `pss-bench`'s `throughput` bench and

@@ -1,0 +1,436 @@
+//! Compressed sparse row (CSR) directed graphs for million-node overlays.
+//!
+//! [`crate::DiGraph`] stores one `Vec` per node — fine at the paper's
+//! N = 10⁴, but at N = 10⁶ the per-node allocations (and the `Vec<Vec<_>>`
+//! pointer chasing) dominate. [`Csr`] keeps the whole edge set in two flat
+//! arrays (`offsets`, `targets`), built in a **single append pass** straight
+//! from view slices: no hash maps, no per-node vectors, exactly two
+//! allocations that grow amortized.
+//!
+//! Exact full-graph metrics are O(N·E) and out of reach at this scale, so
+//! the module provides the **sampled-source estimators** the paper's
+//! figures need: average path length from `k` BFS sources and clustering
+//! from `k` sampled nodes, both over the *undirected* communication graph
+//! (an edge exists if either endpoint's view holds the other), evaluated
+//! lazily from the CSR and its transpose without materializing the
+//! symmetrized graph.
+
+use rand::seq::index::sample;
+use rand::Rng;
+
+use crate::paths::PathLengthStats;
+use crate::GraphError;
+
+/// A directed graph over nodes `0..n` in compressed sparse row form.
+///
+/// # Examples
+///
+/// ```
+/// use pss_graph::csr::CsrBuilder;
+///
+/// let mut b = CsrBuilder::new();
+/// b.push_node([1, 2]); // node 0 -> {1, 2}
+/// b.push_node([2]);    // node 1 -> {2}
+/// b.push_node([]);     // node 2 -> {}
+/// let g = b.finish()?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.out_neighbors(0), &[1, 2]);
+/// assert_eq!(g.in_degrees(), vec![0, 1, 2]);
+/// # Ok::<(), pss_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` for node `v`.
+    offsets: Vec<u32>,
+    /// Out-neighbors, sorted ascending within each node's range.
+    targets: Vec<u32>,
+}
+
+/// Single-pass [`Csr`] construction; see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct CsrBuilder {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl CsrBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CsrBuilder {
+            offsets: vec![0],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with pre-reserved capacity (the bulk path at
+    /// N = 10⁶ knows both counts up front).
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        offsets.push(0);
+        CsrBuilder {
+            offsets,
+            targets: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Appends the next node's out-neighbors (its view targets). Nodes are
+    /// implicitly numbered in call order. Self-loops are dropped and
+    /// duplicates collapsed, mirroring the view invariant ("at most one
+    /// descriptor per node, never self").
+    pub fn push_node(&mut self, neighbors: impl IntoIterator<Item = u32>) {
+        let node = (self.offsets.len() - 1) as u32;
+        let start = *self.offsets.last().expect("non-empty by construction") as usize;
+        self.targets
+            .extend(neighbors.into_iter().filter(|&t| t != node));
+        self.targets[start..].sort_unstable();
+        let row = &mut self.targets[start..];
+        let mut kept = 0;
+        for i in 0..row.len() {
+            if i == 0 || row[i] != row[i - 1] {
+                row[kept] = row[i];
+                kept += 1;
+            }
+        }
+        self.targets.truncate(start + kept);
+        let end = u32::try_from(self.targets.len()).expect("edge count fits u32");
+        self.offsets.push(end);
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if any edge targets a node
+    /// `>=` the number of pushed nodes.
+    pub fn finish(self) -> Result<Csr, GraphError> {
+        let n = self.offsets.len() - 1;
+        if let Some(&bad) = self.targets.iter().find(|&&t| t as usize >= n) {
+            return Err(GraphError::NodeOutOfRange {
+                node: bad,
+                node_count: n,
+            });
+        }
+        Ok(Csr {
+            offsets: self.offsets,
+            targets: self.targets,
+        })
+    }
+}
+
+impl Csr {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `v`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_neighbors(&self, v: u32) -> &[u32] {
+        let (a, b) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
+        &self.targets[a as usize..b as usize]
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// True if the directed edge `(src, dst)` exists.
+    pub fn has_edge(&self, src: u32, dst: u32) -> bool {
+        self.out_neighbors(src).binary_search(&dst).is_ok()
+    }
+
+    /// In-degree of every node: one counting pass, no hashing.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut indeg = vec![0u32; self.node_count()];
+        for &t in &self.targets {
+            indeg[t as usize] += 1;
+        }
+        indeg
+    }
+
+    /// The transposed graph (edge directions reversed), built by counting
+    /// sort in O(N + E). Iterating sources in ascending order makes every
+    /// reversed row come out sorted, preserving the CSR invariant.
+    pub fn reverse(&self) -> Csr {
+        let n = self.node_count();
+        let mut offsets = vec![0u32; n + 1];
+        for &t in &self.targets {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; self.targets.len()];
+        for src in 0..n as u32 {
+            for &dst in self.out_neighbors(src) {
+                targets[cursor[dst as usize] as usize] = src;
+                cursor[dst as usize] += 1;
+            }
+        }
+        Csr { offsets, targets }
+    }
+
+    /// True if `u` and `v` are connected in the undirected communication
+    /// graph (either view holds the other).
+    pub fn has_undirected_edge(&self, u: u32, v: u32) -> bool {
+        self.has_edge(u, v) || self.has_edge(v, u)
+    }
+
+    /// Visits every undirected neighbor of `v` (out-neighbors plus
+    /// in-neighbors from `rev`; mutual edges are visited twice — consumers
+    /// that care deduplicate, BFS naturally ignores revisits).
+    fn for_each_undirected_neighbor(&self, rev: &Csr, v: u32, mut f: impl FnMut(u32)) {
+        for &t in self.out_neighbors(v) {
+            f(t);
+        }
+        for &t in rev.out_neighbors(v) {
+            f(t);
+        }
+    }
+
+    /// Estimates the average undirected shortest-path length from `sources`
+    /// random BFS sources (every BFS measures its `N−1` ordered pairs
+    /// exactly, so the estimate is unbiased with error `O(1/√k)`). `rev`
+    /// must be [`Csr::reverse`] of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rev` has a different node count.
+    pub fn sampled_path_length(
+        &self,
+        rev: &Csr,
+        sources: usize,
+        rng: &mut impl Rng,
+    ) -> PathLengthStats {
+        assert_eq!(rev.node_count(), self.node_count(), "rev must match");
+        let n = self.node_count();
+        let sources = sources.min(n);
+        let chosen = sample(rng, n, sources);
+        const UNVISITED: u32 = u32::MAX;
+        let mut dist = vec![UNVISITED; n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut sum = 0f64;
+        let mut pairs = 0u64;
+        let mut unreachable = 0u64;
+        let mut max = 0u32;
+        for src in chosen.iter() {
+            dist.iter_mut().for_each(|d| *d = UNVISITED);
+            dist[src] = 0;
+            queue.clear();
+            queue.push_back(src as u32);
+            let mut reached = 0u64;
+            while let Some(v) = queue.pop_front() {
+                let d = dist[v as usize];
+                if d > 0 {
+                    sum += d as f64;
+                    reached += 1;
+                    max = max.max(d);
+                }
+                self.for_each_undirected_neighbor(rev, v, |t| {
+                    if dist[t as usize] == UNVISITED {
+                        dist[t as usize] = d + 1;
+                        queue.push_back(t);
+                    }
+                });
+            }
+            pairs += reached;
+            unreachable += (n as u64).saturating_sub(1 + reached);
+        }
+        PathLengthStats {
+            average: if pairs > 0 {
+                sum / pairs as f64
+            } else {
+                f64::NAN
+            },
+            max,
+            pairs,
+            unreachable_pairs: unreachable,
+        }
+    }
+
+    /// Estimates the undirected clustering coefficient from `samples`
+    /// random nodes: for each, the fraction of its neighbor pairs that are
+    /// themselves connected (nodes with degree < 2 contribute 0, matching
+    /// [`crate::clustering::local_clustering`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rev` has a different node count.
+    pub fn sampled_clustering(&self, rev: &Csr, samples: usize, rng: &mut impl Rng) -> f64 {
+        assert_eq!(rev.node_count(), self.node_count(), "rev must match");
+        let n = self.node_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let samples = samples.min(n);
+        let chosen = sample(rng, n, samples);
+        let mut neighborhood: Vec<u32> = Vec::new();
+        let mut total = 0f64;
+        for v in chosen.iter() {
+            neighborhood.clear();
+            self.for_each_undirected_neighbor(rev, v as u32, |t| neighborhood.push(t));
+            neighborhood.sort_unstable();
+            neighborhood.dedup();
+            let k = neighborhood.len();
+            if k < 2 {
+                continue;
+            }
+            let mut links = 0usize;
+            for i in 0..k {
+                for j in i + 1..k {
+                    if self.has_undirected_edge(neighborhood[i], neighborhood[j]) {
+                        links += 1;
+                    }
+                }
+            }
+            total += links as f64 / (k * (k - 1) / 2) as f64;
+        }
+        total / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clustering, gen, paths};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn csr_of(views: &[&[u32]]) -> Csr {
+        let mut b = CsrBuilder::new();
+        for view in views {
+            b.push_node(view.iter().copied());
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let g = csr_of(&[&[2, 1], &[2], &[]]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_neighbors(0), &[1, 2]); // sorted
+        assert_eq!(g.out_degree(2), 0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.in_degrees(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn drops_self_loops_and_duplicates() {
+        let g = csr_of(&[&[0, 1, 1, 2, 2, 2], &[], &[]]);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_targets() {
+        let mut b = CsrBuilder::new();
+        b.push_node([5]);
+        assert!(matches!(
+            b.finish(),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrBuilder::new().finish().unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.reverse().node_count(), 0);
+    }
+
+    #[test]
+    fn reverse_transposes_and_stays_sorted() {
+        let g = csr_of(&[&[1, 2], &[2], &[0]]);
+        let r = g.reverse();
+        assert_eq!(r.out_neighbors(0), &[2]);
+        assert_eq!(r.out_neighbors(1), &[0]);
+        assert_eq!(r.out_neighbors(2), &[0, 1]);
+        // Reversing twice is the identity.
+        assert_eq!(r.reverse(), g);
+    }
+
+    #[test]
+    fn undirected_edges_union_both_directions() {
+        let g = csr_of(&[&[1], &[], &[1]]);
+        let _ = g.reverse();
+        assert!(g.has_undirected_edge(0, 1));
+        assert!(g.has_undirected_edge(1, 0));
+        assert!(g.has_undirected_edge(1, 2));
+        assert!(!g.has_undirected_edge(0, 2));
+    }
+
+    /// Builds the same random overlay as a DiGraph/UGraph pair and as a
+    /// CSR, and checks the sampled estimators against the exact values.
+    #[test]
+    fn estimators_match_exact_metrics() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let di = gen::uniform_view_digraph(600, 15, &mut rng);
+        let ug = di.to_undirected();
+
+        let mut b = CsrBuilder::with_capacity(di.node_count(), di.edge_count());
+        for v in 0..di.node_count() as u32 {
+            b.push_node(di.out_neighbors(v).iter().copied());
+        }
+        let csr = b.finish().unwrap();
+        assert_eq!(csr.edge_count(), di.edge_count());
+        let rev = csr.reverse();
+
+        let exact_paths = paths::average_path_length(&ug);
+        let est_paths = csr.sampled_path_length(&rev, 80, &mut rng);
+        assert!(
+            (exact_paths.average - est_paths.average).abs() < 0.1,
+            "paths: exact {} vs sampled {}",
+            exact_paths.average,
+            est_paths.average
+        );
+        assert_eq!(est_paths.unreachable_pairs, 0);
+
+        let exact_cc = clustering::clustering_coefficient(&ug);
+        let est_cc = csr.sampled_clustering(&rev, 300, &mut rng);
+        assert!(
+            (exact_cc - est_cc).abs() < 0.02,
+            "clustering: exact {exact_cc} vs sampled {est_cc}"
+        );
+
+        // Full-population sampling degenerates to the exact computation.
+        let full = csr.sampled_path_length(&rev, 600, &mut rng);
+        assert_eq!(full.pairs, exact_paths.pairs);
+        assert!((full.average - exact_paths.average).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_components_reported_unreachable() {
+        let g = csr_of(&[&[1], &[], &[3], &[]]);
+        let rev = g.reverse();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let stats = g.sampled_path_length(&rev, 4, &mut rng);
+        assert!(stats.unreachable_pairs > 0);
+        assert!(!stats.fully_reachable());
+    }
+
+    #[test]
+    fn clustering_of_directed_triangle_is_one() {
+        // 0->1, 1->2, 2->0: undirected triangle.
+        let g = csr_of(&[&[1], &[2], &[0]]);
+        let rev = g.reverse();
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(g.sampled_clustering(&rev, 3, &mut rng), 1.0);
+    }
+}

@@ -40,6 +40,7 @@
 pub mod assortativity;
 pub mod clustering;
 pub mod components;
+pub mod csr;
 pub mod gen;
 pub mod metrics;
 pub mod paths;

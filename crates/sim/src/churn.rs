@@ -9,9 +9,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use pss_core::GossipNode;
-
-use crate::Simulation;
+use crate::Engine;
 
 /// A sustained churn process: per-cycle departure and arrival rates.
 ///
@@ -93,10 +91,11 @@ impl ChurnProcess {
     }
 
     /// Applies one churn step: kills and joins according to the rates.
-    /// Returns `(killed, joined)` counts.
+    /// Returns `(killed, joined)` counts. Works on any [`Engine`] — the
+    /// sequential simulator or the sharded parallel one.
     ///
-    /// Call once per cycle, before or after [`Simulation::run_cycle`].
-    pub fn step<N: GossipNode + Send>(&mut self, sim: &mut Simulation<N>) -> (usize, usize) {
+    /// Call once per cycle, before or after [`Engine::run_cycle`].
+    pub fn step<E: Engine>(&mut self, sim: &mut E) -> (usize, usize) {
         let live = sim.alive_count() as f64;
         let kills = self.stochastic_round(live * self.leave_rate);
         let joins = self.stochastic_round(live * self.join_rate);
@@ -111,7 +110,7 @@ impl ChurnProcess {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario;
+    use crate::{scenario, Simulation};
     use pss_core::{PolicyTriple, ProtocolConfig};
     use pss_graph::components;
 

@@ -1,66 +1,19 @@
 //! The cycle-driven simulation engine (the paper's execution model).
+//!
+//! Since the sharded-engine refactor there is exactly **one** cycle engine:
+//! [`crate::ShardedSimulation`]. The [`Simulation`] type here is that
+//! engine pinned to a single shard and a single worker — every peer is then
+//! local, every exchange completes inline and atomically in initiation
+//! order, and the cross-shard mailboxes are never touched. The historical
+//! API is preserved verbatim.
 
 use pss_core::{GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, ProtocolConfig, View};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
-use crate::population::{BoxedNode, Population};
-use crate::Snapshot;
+use crate::population::BoxedNode;
+use crate::shard::ShardedSimulation;
+use crate::{CycleReport, FailureMode, GrowthPlan, Snapshot};
 
-/// Per-cycle accounting returned by [`Simulation::run_cycle`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct CycleReport {
-    /// Exchanges that ran to completion.
-    pub completed: u64,
-    /// Exchanges aimed at a dead peer (message silently lost).
-    pub failed_dead_peer: u64,
-    /// Nodes that could not initiate (empty view).
-    pub empty_view: u64,
-    /// Requests or replies dropped by the loss model.
-    pub dropped_messages: u64,
-}
-
-impl CycleReport {
-    /// Total initiation attempts in the cycle.
-    pub fn initiated(&self) -> u64 {
-        self.completed + self.failed_dead_peer + self.empty_view + self.dropped_messages
-    }
-}
-
-/// How the simulator treats exchange attempts with dead peers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub enum FailureMode {
-    /// Peer selection only considers live view entries — the paper's model:
-    /// "selectPeer() … returns the address of a live node as found in the
-    /// caller's current view". This abstracts the timeout-and-retry a real
-    /// implementation performs within one period. Dead descriptors stay in
-    /// views as dead links; they are just never *selected*.
-    #[default]
-    SkipDead,
-    /// Peer selection is liveness-blind; an exchange aimed at a dead peer is
-    /// silently lost and the initiator's cycle is wasted. Under `tail` peer
-    /// selection this model lets nodes wedge on a dead stalest entry and
-    /// re-select it forever — a failure mode worth studying (see the
-    /// extension experiments), but not what the paper simulated.
-    AttemptAndLose,
-}
-
-/// Automatic population growth, reproducing the paper's *growing overlay*
-/// scenario: at the beginning of each cycle, `nodes_per_cycle` fresh nodes
-/// join (until `target` is reached), each knowing only the oldest node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct GrowthPlan {
-    /// Nodes added per cycle.
-    pub nodes_per_cycle: usize,
-    /// Population size at which growth stops.
-    pub target: usize,
-}
-
-/// The cycle-driven simulator.
+/// The sequential cycle-driven simulator.
 ///
 /// In each cycle every live node initiates exactly one exchange, in a fresh
 /// uniform-random order; each exchange runs atomically (initiate →
@@ -70,7 +23,9 @@ pub struct GrowthPlan {
 /// exclusively from view selection.
 ///
 /// All randomness derives from the construction seed, so runs are exactly
-/// reproducible.
+/// reproducible. `Simulation` is the 1-shard special case of
+/// [`ShardedSimulation`]; the two are interchangeable and produce identical
+/// results at equal seeds (pinned by the differential tests).
 ///
 /// # Node type parameter
 ///
@@ -83,26 +38,16 @@ pub struct GrowthPlan {
 /// loop is devirtualized and inlined — measurably faster at N = 10⁴ and
 /// beyond (see `benches/throughput.rs`).
 pub struct Simulation<N: GossipNode + Send = BoxedNode> {
-    pop: Population<N>,
-    factory: Box<dyn FnMut(NodeId, u64) -> N + Send>,
-    rng: SmallRng,
-    cycle: u64,
-    growth: Option<GrowthPlan>,
-    message_loss: f64,
-    failure_mode: FailureMode,
-    /// Per-cycle initiation order, reused across cycles.
-    order: Vec<NodeId>,
-    /// Per-cycle liveness snapshot (u64 bitset), reused across cycles.
-    alive_snapshot: Vec<u64>,
+    inner: ShardedSimulation<N>,
 }
 
 impl Simulation {
     /// Creates an empty simulation whose (boxed) nodes run the generic
     /// protocol of the paper under `config`.
     pub fn new(config: ProtocolConfig, seed: u64) -> Self {
-        Simulation::with_factory(seed, move |id, node_seed| {
-            Box::new(PeerSamplingNode::with_seed(id, config.clone(), node_seed)) as BoxedNode
-        })
+        Simulation {
+            inner: ShardedSimulation::new(config, seed, 1),
+        }
     }
 }
 
@@ -111,9 +56,9 @@ impl Simulation<PeerSamplingNode> {
     /// [`PeerSamplingNode`]s: identical behavior to [`Simulation::new`]
     /// (same seeds ⇒ same exchanges), minus the virtual dispatch.
     pub fn typed(config: ProtocolConfig, seed: u64) -> Self {
-        Simulation::with_factory(seed, move |id, node_seed| {
-            PeerSamplingNode::with_seed(id, config.clone(), node_seed)
-        })
+        Simulation {
+            inner: ShardedSimulation::typed(config, seed, 1),
+        }
     }
 }
 
@@ -123,28 +68,25 @@ impl<N: GossipNode + Send> Simulation<N> {
     /// assigned node id and a derived RNG seed.
     pub fn with_factory(seed: u64, factory: impl FnMut(NodeId, u64) -> N + Send + 'static) -> Self {
         Simulation {
-            pop: Population::new(),
-            factory: Box::new(factory),
-            rng: SmallRng::seed_from_u64(seed),
-            cycle: 0,
-            growth: None,
-            message_loss: 0.0,
-            failure_mode: FailureMode::default(),
-            order: Vec::new(),
-            alive_snapshot: Vec::new(),
+            inner: ShardedSimulation::with_factory(seed, 1, factory),
         }
+    }
+
+    /// The underlying sharded engine (always one shard).
+    pub fn as_sharded(&self) -> &ShardedSimulation<N> {
+        &self.inner
     }
 
     /// Selects how exchanges with dead peers are handled (default:
     /// [`FailureMode::SkipDead`], the paper's model).
     pub fn set_failure_mode(&mut self, mode: FailureMode) {
-        self.failure_mode = mode;
+        self.inner.set_failure_mode(mode);
     }
 
     /// Installs a growth plan (see [`GrowthPlan`]). Growth happens at the
     /// beginning of each subsequent cycle.
     pub fn set_growth(&mut self, plan: GrowthPlan) {
-        self.growth = Some(plan);
+        self.inner.set_growth(plan);
     }
 
     /// Sets a per-message loss probability (0.0 = the paper's lossless
@@ -154,21 +96,12 @@ impl<N: GossipNode + Send> Simulation<N> {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn set_message_loss(&mut self, p: f64) {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "loss probability must be in [0,1]"
-        );
-        self.message_loss = p;
+        self.inner.set_message_loss(p);
     }
 
     /// Adds one node bootstrapped from `seeds` and returns its id.
     pub fn add_node(&mut self, seeds: impl IntoIterator<Item = NodeDescriptor>) -> NodeId {
-        let node_seed = self.rng.random();
-        let factory = &mut self.factory;
-        let id = self.pop.add_with(|id| factory(id, node_seed));
-        let entry = self.pop.get_mut(id).expect("just added");
-        entry.node.init(&mut seeds.into_iter());
-        id
+        self.inner.add_node(seeds)
     }
 
     /// Adds `count` nodes, each bootstrapped with `contacts` uniform-random
@@ -177,171 +110,52 @@ impl<N: GossipNode + Send> Simulation<N> {
     /// bootstrap off each other, which would risk isolated joiner islands.
     /// Returns the new ids.
     pub fn add_nodes_with_random_contacts(&mut self, count: usize, contacts: usize) -> Vec<NodeId> {
-        let existing: Vec<NodeId> = self.pop.alive_ids().collect();
-        let mut new_ids = Vec::with_capacity(count);
-        for _ in 0..count {
-            let seeds: Vec<NodeDescriptor> = if existing.is_empty() {
-                Vec::new()
-            } else {
-                (0..contacts)
-                    .map(|_| {
-                        let pick = existing[self.rng.random_range(0..existing.len())];
-                        NodeDescriptor::fresh(pick)
-                    })
-                    .collect()
-            };
-            new_ids.push(self.add_node(seeds));
-        }
-        new_ids
+        self.inner.add_nodes_with_random_contacts(count, contacts)
     }
 
     /// Runs one full cycle and reports what happened.
     pub fn run_cycle(&mut self) -> CycleReport {
-        self.apply_growth();
-        self.cycle += 1;
-        // Refill the reusable initiation-order buffer.
-        let mut order = core::mem::take(&mut self.order);
-        order.clear();
-        order.extend(self.pop.alive_ids());
-        order.shuffle(&mut self.rng);
-
-        // Liveness cannot change mid-cycle, so snapshot it once into the
-        // reusable bitset: peer selection filters test a bit instead of
-        // re-borrowing the population. A word copy per 64 nodes replaces
-        // the old per-node `Vec<bool>` build.
-        let mut alive = core::mem::take(&mut self.alive_snapshot);
-        alive.clear();
-        alive.extend_from_slice(self.pop.alive_bits());
-        let is_live = |id: NodeId| {
-            let slot = id.as_index();
-            alive
-                .get(slot / 64)
-                .is_some_and(|word| word & (1 << (slot % 64)) != 0)
-        };
-
-        let mut report = CycleReport::default();
-        for &id in &order {
-            // Nodes cannot die mid-cycle, but guard anyway.
-            if !self.pop.is_alive(id) {
-                continue;
-            }
-            let entry = self.pop.get_mut(id).expect("alive");
-            let had_view = !entry.node.view().is_empty();
-            let exchange = match self.failure_mode {
-                FailureMode::SkipDead => entry.node.initiate_filtered(&mut |peer| is_live(peer)),
-                FailureMode::AttemptAndLose => entry.node.initiate(),
-            };
-            let Some(exchange) = exchange else {
-                if had_view {
-                    report.failed_dead_peer += 1; // view held only dead links
-                } else {
-                    report.empty_view += 1;
-                }
-                continue;
-            };
-            let peer = exchange.peer;
-            if !self.pop.is_alive(peer) {
-                report.failed_dead_peer += 1;
-                continue;
-            }
-            if self.lose_message() {
-                report.dropped_messages += 1;
-                continue;
-            }
-            let reply = self
-                .pop
-                .get_mut(peer)
-                .expect("alive")
-                .node
-                .handle_request(id, exchange.request);
-            if let Some(reply) = reply {
-                if self.lose_message() {
-                    report.dropped_messages += 1;
-                    continue;
-                }
-                self.pop
-                    .get_mut(id)
-                    .expect("alive")
-                    .node
-                    .handle_reply(peer, reply);
-            }
-            report.completed += 1;
-        }
-        self.order = order;
-        self.alive_snapshot = alive;
-        report
+        self.inner.run_cycle()
     }
 
     /// Runs `n` cycles, discarding the per-cycle reports.
     pub fn run_cycles(&mut self, n: u64) {
-        for _ in 0..n {
-            self.run_cycle();
-        }
-    }
-
-    fn lose_message(&mut self) -> bool {
-        self.message_loss > 0.0 && self.rng.random::<f64>() < self.message_loss
-    }
-
-    fn apply_growth(&mut self) {
-        let Some(plan) = self.growth else { return };
-        if self.pop.len() >= plan.target {
-            return;
-        }
-        let missing = plan.target - self.pop.len();
-        let joining = plan.nodes_per_cycle.min(missing);
-        // "The view of these nodes is initialized with only a single node
-        // descriptor, which belongs to the oldest, initial node."
-        let oldest = NodeId::new(0);
-        for _ in 0..joining {
-            self.add_node([NodeDescriptor::fresh(oldest)]);
-        }
+        self.inner.run_cycles(n);
     }
 
     /// Number of cycles run so far.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.inner.cycle()
     }
 
     /// Total nodes ever added (dead slots included).
     pub fn node_count(&self) -> usize {
-        self.pop.len()
+        self.inner.node_count()
     }
 
     /// Number of live nodes.
     pub fn alive_count(&self) -> usize {
-        self.pop.alive_count()
+        self.inner.alive_count()
     }
 
     /// True if `id` exists and is alive.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.pop.is_alive(id)
+        self.inner.is_alive(id)
     }
 
     /// Ids of all live nodes, in increasing order.
     pub fn alive_ids(&self) -> Vec<NodeId> {
-        self.pop.alive_ids().collect()
+        self.inner.alive_ids()
     }
 
     /// The view of a live node.
     pub fn view_of(&self, id: NodeId) -> Option<&View> {
-        self.pop.view_of(id)
+        self.inner.view_of(id)
     }
 
     /// Calls the peer sampling service (`getPeer()`) on a live node.
     pub fn get_peer(&mut self, id: NodeId) -> Option<NodeId> {
-        let entry = self.pop.get_mut(id)?;
-        if !entry.alive {
-            return None;
-        }
-        // getPeer is a uniform sample of the view, per the paper's simplest
-        // implementation; drive it with the simulation RNG for determinism.
-        let view = entry.node.view();
-        if view.is_empty() {
-            return None;
-        }
-        let idx = self.rng.random_range(0..view.len());
-        Some(view.descriptors()[idx].id())
+        self.inner.get_peer(id)
     }
 
     /// Re-initializes a live node's view from fresh seed descriptors (the
@@ -352,60 +166,42 @@ impl<N: GossipNode + Send> Simulation<N> {
         id: NodeId,
         seeds: impl IntoIterator<Item = NodeDescriptor>,
     ) -> bool {
-        match self.pop.get_mut(id) {
-            Some(entry) if entry.alive => {
-                entry.node.init(&mut seeds.into_iter());
-                true
-            }
-            _ => false,
-        }
+        self.inner.reinit_node(id, seeds)
     }
 
     /// Kills one node (crash-stop). Returns false if already dead/unknown.
     pub fn kill(&mut self, id: NodeId) -> bool {
-        self.pop.kill(id)
+        self.inner.kill(id)
     }
 
     /// Kills a uniform-random set of `count` live nodes and returns them.
     pub fn kill_random(&mut self, count: usize) -> Vec<NodeId> {
-        let mut alive: Vec<NodeId> = self.pop.alive_ids().collect();
-        // Only `count` picks are needed, not a full-population shuffle.
-        let count = count.min(alive.len());
-        let (victims, _) = alive.partial_shuffle(&mut self.rng, count);
-        let victims = victims.to_vec();
-        for &v in &victims {
-            self.pop.kill(v);
-        }
-        victims
+        self.inner.kill_random(count)
     }
 
     /// Kills `fraction` (0..=1) of the live population at random.
     pub fn kill_random_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
-        let fraction = fraction.clamp(0.0, 1.0);
-        let count = (self.pop.alive_count() as f64 * fraction).round() as usize;
-        self.kill_random(count)
+        self.inner.kill_random_fraction(fraction)
     }
 
     /// Descriptors in live views that point to dead nodes (Figure 7's
     /// y-axis).
     pub fn dead_link_count(&self) -> usize {
-        self.pop.dead_link_count()
+        self.inner.dead_link_count()
     }
 
     /// Builds the communication-graph snapshot over live nodes.
     pub fn snapshot(&self) -> Snapshot {
-        self.pop.snapshot()
+        self.inner.snapshot()
     }
 }
 
 impl<N: GossipNode + Send> std::fmt::Debug for Simulation<N> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
-            .field("cycle", &self.cycle)
-            .field("nodes", &self.pop.len())
-            .field("alive", &self.pop.alive_count())
-            .field("growth", &self.growth)
-            .field("message_loss", &self.message_loss)
+            .field("cycle", &self.inner.cycle())
+            .field("nodes", &self.inner.node_count())
+            .field("alive", &self.inner.alive_count())
             .finish()
     }
 }
@@ -738,6 +534,13 @@ mod tests {
         let text = format!("{sim:?}");
         assert!(text.contains("cycle"));
         assert!(text.contains("alive"));
+    }
+
+    #[test]
+    fn as_sharded_exposes_single_shard_engine() {
+        let sim = two_node_sim();
+        assert_eq!(sim.as_sharded().shard_count(), 1);
+        assert_eq!(sim.as_sharded().alive_count(), 2);
     }
 
     #[test]

@@ -73,6 +73,62 @@ impl Default for EventConfig {
     }
 }
 
+/// Why an [`EventConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventConfigError {
+    /// The period must be positive (timers could never advance otherwise).
+    ZeroPeriod,
+    /// `jitter` must be strictly below `period`: the timer re-arms at
+    /// `period - jitter + U[0, 2·jitter]`, which for `jitter >= period`
+    /// could fire at or before the current tick and stall time.
+    JitterNotBelowPeriod {
+        /// The offending jitter.
+        jitter: u64,
+        /// The configured period.
+        period: u64,
+    },
+    /// The loss probability must lie in `[0, 1]`.
+    InvalidLossProbability(f64),
+}
+
+impl std::fmt::Display for EventConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventConfigError::ZeroPeriod => write!(f, "gossip period must be positive"),
+            EventConfigError::JitterNotBelowPeriod { jitter, period } => write!(
+                f,
+                "timer jitter ({jitter}) must be strictly below the period ({period})"
+            ),
+            EventConfigError::InvalidLossProbability(p) => {
+                write!(f, "loss probability {p} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventConfigError {}
+
+impl EventConfig {
+    /// Checks the configuration invariants; constructors run this for you.
+    pub fn validate(&self) -> Result<(), EventConfigError> {
+        if self.period == 0 {
+            return Err(EventConfigError::ZeroPeriod);
+        }
+        if self.jitter >= self.period {
+            return Err(EventConfigError::JitterNotBelowPeriod {
+                jitter: self.jitter,
+                period: self.period,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.loss_probability) {
+            return Err(EventConfigError::InvalidLossProbability(
+                self.loss_probability,
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[derive(Debug)]
 enum EventKind {
     Timer(NodeId),
@@ -121,11 +177,11 @@ impl Ord for Event {
 /// use pss_sim::{EventConfig, EventSimulation};
 ///
 /// let protocol = ProtocolConfig::new(PolicyTriple::newscast(), 20)?;
-/// let mut sim = EventSimulation::new(protocol, EventConfig::default(), 7);
+/// let mut sim = EventSimulation::new(protocol, EventConfig::default(), 7)?;
 /// sim.add_connected_nodes(100);
 /// sim.run_for(20_000); // ≈ 20 gossip periods
 /// assert!(sim.snapshot().undirected().average_degree() > 20.0);
-/// # Ok::<(), pss_core::ConfigError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct EventSimulation {
     pop: Population,
@@ -139,20 +195,33 @@ pub struct EventSimulation {
 
 impl EventSimulation {
     /// Creates an empty event simulation for the paper's generic protocol.
-    pub fn new(protocol: ProtocolConfig, config: EventConfig, seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EventConfigError`] if `config` violates an invariant
+    /// (zero period, `jitter >= period`, loss probability outside `[0, 1]`).
+    pub fn new(
+        protocol: ProtocolConfig,
+        config: EventConfig,
+        seed: u64,
+    ) -> Result<Self, EventConfigError> {
         Self::with_factory(config, seed, move |id, node_seed| {
             Box::new(PeerSamplingNode::with_seed(id, protocol.clone(), node_seed)) as BoxedNode
         })
     }
 
     /// Creates an empty event simulation with a custom node factory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EventConfigError`] if `config` violates an invariant.
     pub fn with_factory(
         config: EventConfig,
         seed: u64,
         factory: impl FnMut(NodeId, u64) -> BoxedNode + Send + 'static,
-    ) -> Self {
-        assert!(config.jitter < config.period, "jitter must be below period");
-        EventSimulation {
+    ) -> Result<Self, EventConfigError> {
+        config.validate()?;
+        Ok(EventSimulation {
             pop: Population::new(),
             factory: Box::new(factory),
             config,
@@ -160,7 +229,7 @@ impl EventSimulation {
             now: 0,
             seq: 0,
             rng: SmallRng::seed_from_u64(seed),
-        }
+        })
     }
 
     /// Current simulation time in ticks.
@@ -349,7 +418,7 @@ mod tests {
     }
 
     fn sim(config: EventConfig) -> EventSimulation {
-        EventSimulation::new(protocol(), config, 11)
+        EventSimulation::new(protocol(), config, 11).expect("valid config")
     }
 
     #[test]
@@ -365,14 +434,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "jitter")]
-    fn jitter_must_be_below_period() {
-        let _ = sim(EventConfig {
-            period: 100,
-            jitter: 100,
+    fn invalid_configs_are_rejected() {
+        let build = |config: EventConfig| EventSimulation::new(protocol(), config, 11).err();
+        assert_eq!(
+            build(EventConfig {
+                period: 100,
+                jitter: 100,
+                latency: LatencyModel::Zero,
+                loss_probability: 0.0,
+            }),
+            Some(EventConfigError::JitterNotBelowPeriod {
+                jitter: 100,
+                period: 100,
+            })
+        );
+        assert_eq!(
+            build(EventConfig {
+                period: 0,
+                jitter: 0,
+                latency: LatencyModel::Zero,
+                loss_probability: 0.0,
+            }),
+            Some(EventConfigError::ZeroPeriod)
+        );
+        assert_eq!(
+            build(EventConfig {
+                period: 100,
+                jitter: 10,
+                latency: LatencyModel::Zero,
+                loss_probability: 1.5,
+            }),
+            Some(EventConfigError::InvalidLossProbability(1.5))
+        );
+        // Errors display a human-readable reason.
+        let err = EventConfig {
+            period: 50,
+            jitter: 99,
             latency: LatencyModel::Zero,
             loss_probability: 0.0,
-        });
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("99"));
+        assert!(err.to_string().contains("50"));
     }
 
     #[test]
@@ -407,7 +511,8 @@ mod tests {
                 loss_probability: 0.0,
             },
             11,
-        );
+        )
+        .expect("valid config");
         // Tree bootstrap (every joiner knows an introducer): a bare chain
         // can genuinely be cut into two self-reinforcing communities under
         // concurrent exchanges.
@@ -462,7 +567,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let run = |seed: u64| {
-            let mut s = EventSimulation::new(protocol(), EventConfig::default(), seed);
+            let mut s = EventSimulation::new(protocol(), EventConfig::default(), seed)
+                .expect("valid config");
             s.add_connected_nodes(30);
             s.run_for(20_000);
             let g = s.snapshot().undirected();

@@ -1,12 +1,18 @@
 //! Simulators for gossip-based peer sampling protocols.
 //!
-//! Two execution models over the same node population:
+//! Three execution models over the same node population:
 //!
 //! * [`Simulation`] — the **cycle-driven** model the paper's experiments
 //!   use: in every cycle each live node initiates exactly one exchange, in a
 //!   fresh random order, and each exchange completes atomically. Exchanges
 //!   with dead peers silently do nothing to the initiator (no failure
 //!   detector; the protocol heals only through view selection).
+//! * [`ShardedSimulation`] — the same cycle model **sharded across worker
+//!   threads** for large populations (N = 10⁶ and beyond): nodes are
+//!   partitioned into shards, cross-shard exchanges flow through
+//!   fixed-order mailboxes, and results are bit-identical for a given
+//!   `(seed, shard_count)` regardless of the worker-thread count.
+//!   [`Simulation`] is exactly this engine with one shard.
 //! * [`EventSimulation`] — a **discrete-event** engine with per-node timer
 //!   jitter, message latency and message loss. This goes beyond the paper's
 //!   model and is used for the asynchrony-robustness extension experiments.
@@ -37,15 +43,19 @@
 
 mod churn;
 mod cycle;
+mod engine;
 mod event;
 mod population;
+mod shard;
 mod snapshot;
 
 pub mod observe;
 pub mod scenario;
 
 pub use churn::ChurnProcess;
-pub use cycle::{CycleReport, FailureMode, GrowthPlan, Simulation};
-pub use event::{EventConfig, EventSimulation, LatencyModel};
+pub use cycle::Simulation;
+pub use engine::Engine;
+pub use event::{EventConfig, EventConfigError, EventSimulation, LatencyModel};
 pub use population::BoxedNode;
-pub use snapshot::Snapshot;
+pub use shard::{CycleReport, FailureMode, GrowthPlan, ShardedSimulation};
+pub use snapshot::{CsrSnapshot, Snapshot};

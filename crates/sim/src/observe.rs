@@ -5,23 +5,24 @@
 //! directed snapshot, undirected graph), so expensive snapshots are built
 //! once per cycle regardless of how many metrics are recorded.
 
-use pss_core::{GossipNode, NodeId};
+use pss_core::NodeId;
 use pss_graph::{GraphMetrics, MetricsConfig, UGraph};
 use pss_stats::TimeSeries;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::{BoxedNode, Simulation, Snapshot};
+use crate::{Engine, Simulation, Snapshot};
 
 /// Everything an observer may look at after a cycle.
 ///
-/// Generic over the simulation's node type (defaulting to the boxed
-/// engine), so observers work unchanged on the monomorphized fast path.
-pub struct CycleContext<'a, N: GossipNode + Send = BoxedNode> {
+/// Generic over the engine (defaulting to the sequential boxed
+/// [`Simulation`]), so observers work unchanged on the monomorphized fast
+/// path and on the sharded parallel engine.
+pub struct CycleContext<'a, E: Engine = Simulation> {
     /// The cycle that just completed.
     pub cycle: u64,
     /// The simulation (read-only).
-    pub sim: &'a Simulation<N>,
+    pub sim: &'a E,
     /// Directed snapshot over live nodes.
     pub snapshot: &'a Snapshot,
     /// Undirected communication graph of the snapshot.
@@ -29,20 +30,16 @@ pub struct CycleContext<'a, N: GossipNode + Send = BoxedNode> {
 }
 
 /// A per-cycle metric recorder.
-pub trait Observer<N: GossipNode + Send = BoxedNode> {
+pub trait Observer<E: Engine = Simulation> {
     /// Called once after every completed cycle.
-    fn observe(&mut self, ctx: &CycleContext<'_, N>);
+    fn observe(&mut self, ctx: &CycleContext<'_, E>);
 }
 
 /// Runs `cycles` cycles of `sim`, invoking every observer after each cycle.
 ///
 /// Observation order follows the slice order. The snapshot/undirected graph
 /// are rebuilt once per cycle and shared.
-pub fn run_observed<N: GossipNode + Send>(
-    sim: &mut Simulation<N>,
-    cycles: u64,
-    observers: &mut [&mut dyn Observer<N>],
-) {
+pub fn run_observed<E: Engine>(sim: &mut E, cycles: u64, observers: &mut [&mut dyn Observer<E>]) {
     for _ in 0..cycles {
         sim.run_cycle();
         let snapshot = sim.snapshot();
@@ -105,8 +102,8 @@ impl MetricsRecorder {
     }
 }
 
-impl<N: GossipNode + Send> Observer<N> for MetricsRecorder {
-    fn observe(&mut self, ctx: &CycleContext<'_, N>) {
+impl<E: Engine> Observer<E> for MetricsRecorder {
+    fn observe(&mut self, ctx: &CycleContext<'_, E>) {
         let m = GraphMetrics::measure(ctx.graph, &self.config, &mut self.rng);
         self.clustering.push(ctx.cycle, m.clustering_coefficient);
         self.average_degree.push(ctx.cycle, m.average_degree);
@@ -154,8 +151,8 @@ impl DegreeTracer {
     }
 }
 
-impl<N: GossipNode + Send> Observer<N> for DegreeTracer {
-    fn observe(&mut self, ctx: &CycleContext<'_, N>) {
+impl<E: Engine> Observer<E> for DegreeTracer {
+    fn observe(&mut self, ctx: &CycleContext<'_, E>) {
         for (id, series) in self.traced.iter().zip(&mut self.series) {
             if let Some(idx) = ctx.snapshot.index_of(*id) {
                 series.push(ctx.cycle, ctx.graph.degree(idx) as f64);
@@ -191,8 +188,8 @@ impl Default for DeadLinkCounter {
     }
 }
 
-impl<N: GossipNode + Send> Observer<N> for DeadLinkCounter {
-    fn observe(&mut self, ctx: &CycleContext<'_, N>) {
+impl<E: Engine> Observer<E> for DeadLinkCounter {
+    fn observe(&mut self, ctx: &CycleContext<'_, E>) {
         self.series
             .push(ctx.cycle, ctx.sim.dead_link_count() as f64);
     }

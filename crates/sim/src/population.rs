@@ -1,4 +1,16 @@
-//! The node population shared by both simulation engines.
+//! Node storage shared by all simulation engines.
+//!
+//! A [`Population`] is a dense table of protocol nodes with a `u64`-bitset
+//! liveness mirror. It is used in two ways:
+//!
+//! * **identity-mapped** (the event engine): slot `i` holds the node with
+//!   [`NodeId`] `i`, and the id-based accessors ([`Population::is_alive`],
+//!   [`Population::view_of`], …) apply;
+//! * **as one shard of a sharded population** (the cycle engines): slots
+//!   are shard-local indices, the node's *global* id lives in the node
+//!   itself, and only the slot-based accessors are meaningful. The mapping
+//!   from global id to `(shard, slot)` is kept by the owning
+//!   [`crate::ShardedSimulation`].
 
 use pss_core::{GossipNode, NodeId, View};
 
@@ -16,17 +28,17 @@ pub(crate) struct Entry<N> {
     pub(crate) alive: bool,
 }
 
-/// Dense table of nodes indexed by [`NodeId`]; ids are assigned
-/// sequentially and never reused, so a dead node's slot stays dead.
+/// Dense table of nodes; slots are assigned sequentially and never reused,
+/// so a dead node's slot stays dead.
 ///
 /// Generic over the node type: `Population<BoxedNode>` (the default) holds
 /// heterogeneous boxed nodes behind virtual dispatch; a concrete `N` gives
 /// the monomorphized fast path. Liveness is mirrored in a `u64` bitset so
-/// the per-cycle snapshot is a word copy instead of a per-node scan.
+/// per-cycle snapshots are word copies instead of per-node scans.
 pub(crate) struct Population<N = BoxedNode> {
     entries: Vec<Entry<N>>,
     alive_count: usize,
-    /// Bit `i` set ⇔ node `i` is alive.
+    /// Bit `i` set ⇔ slot `i` is alive.
     alive_bits: Vec<u64>,
 }
 
@@ -45,19 +57,32 @@ impl<N: GossipNode> Population<N> {
         Population::default()
     }
 
-    /// Adds a node built by `make` from its assigned id.
+    /// Adds a node built by `make` from its assigned id, which in the
+    /// identity mapping equals the slot index. Returns the id.
     pub(crate) fn add_with(&mut self, make: impl FnOnce(NodeId) -> N) -> NodeId {
         let id = NodeId::new(self.entries.len() as u64);
         let node = make(id);
         debug_assert_eq!(node.id(), id, "factory must honor the assigned id");
+        self.push_alive(node);
+        id
+    }
+
+    /// Adds an already-built node (whose id need not match the slot) and
+    /// returns its slot index.
+    pub(crate) fn add_slot(&mut self, node: N) -> u32 {
+        let slot = self.entries.len() as u32;
+        self.push_alive(node);
+        slot
+    }
+
+    fn push_alive(&mut self, node: N) {
+        let slot = self.entries.len();
         self.entries.push(Entry { node, alive: true });
         self.alive_count += 1;
-        let slot = id.as_index();
         if slot / 64 >= self.alive_bits.len() {
             self.alive_bits.push(0);
         }
         self.alive_bits[slot / 64] |= 1 << (slot % 64);
-        id
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -68,6 +93,7 @@ impl<N: GossipNode> Population<N> {
         self.alive_count
     }
 
+    /// Identity-mapped liveness: the node with id `id` is alive.
     pub(crate) fn is_alive(&self, id: NodeId) -> bool {
         self.entries
             .get(id.as_index())
@@ -75,18 +101,28 @@ impl<N: GossipNode> Population<N> {
             .unwrap_or(false)
     }
 
-    /// The liveness bitset (bit `i` ⇔ node `i` alive), for cycle drivers
+    /// The liveness bitset (bit `i` ⇔ slot `i` alive), for cycle drivers
     /// that snapshot liveness once per cycle.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn alive_bits(&self) -> &[u64] {
         &self.alive_bits
     }
 
+    /// Identity-mapped kill. Returns false if already dead or unknown.
     pub(crate) fn kill(&mut self, id: NodeId) -> bool {
-        match self.entries.get_mut(id.as_index()) {
+        if id.as_index() >= self.entries.len() {
+            return false;
+        }
+        self.kill_slot(id.as_index() as u32)
+    }
+
+    /// Slot-based kill. Returns false if already dead.
+    pub(crate) fn kill_slot(&mut self, slot: u32) -> bool {
+        match self.entries.get_mut(slot as usize) {
             Some(e) if e.alive => {
                 e.alive = false;
                 self.alive_count -= 1;
-                let slot = id.as_index();
+                let slot = slot as usize;
                 self.alive_bits[slot / 64] &= !(1 << (slot % 64));
                 true
             }
@@ -102,21 +138,41 @@ impl<N: GossipNode> Population<N> {
         self.entries.get_mut(id.as_index())
     }
 
-    pub(crate) fn alive_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+    /// The entry in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub(crate) fn slot(&self, slot: u32) -> &Entry<N> {
+        &self.entries[slot as usize]
+    }
+
+    /// Mutable entry in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub(crate) fn slot_mut(&mut self, slot: u32) -> &mut Entry<N> {
+        &mut self.entries[slot as usize]
+    }
+
+    /// Live slots in increasing slot order.
+    pub(crate) fn alive_slots(&self) -> impl Iterator<Item = u32> + '_ {
         self.entries
             .iter()
             .enumerate()
             .filter(|(_, e)| e.alive)
-            .map(|(i, _)| NodeId::new(i as u64))
+            .map(|(i, _)| i as u32)
     }
 
+    /// Identity-mapped view access for live nodes.
     pub(crate) fn view_of(&self, id: NodeId) -> Option<&View> {
         let e = self.get(id)?;
         e.alive.then(|| e.node.view())
     }
 
-    /// Descriptors held by live nodes that point at dead nodes.
-    pub(crate) fn dead_link_count(&self) -> usize {
+    /// Descriptors held by live nodes that point at nodes `is_live` rejects.
+    pub(crate) fn dead_link_count_with(&self, is_live: impl Fn(NodeId) -> bool) -> usize {
         self.entries
             .iter()
             .filter(|e| e.alive)
@@ -124,13 +180,19 @@ impl<N: GossipNode> Population<N> {
                 e.node
                     .view()
                     .ids()
-                    .filter(|&target| !self.is_alive(target))
+                    .filter(|&target| !is_live(target))
                     .count()
             })
             .sum()
     }
 
-    /// Builds the communication-graph snapshot over live nodes.
+    /// Identity-mapped dead-link count.
+    pub(crate) fn dead_link_count(&self) -> usize {
+        self.dead_link_count_with(|id| self.is_alive(id))
+    }
+
+    /// Builds the communication-graph snapshot over live nodes
+    /// (identity-mapped populations only).
     pub(crate) fn snapshot(&self) -> Snapshot {
         Snapshot::build(
             self.entries
@@ -140,5 +202,32 @@ impl<N: GossipNode> Population<N> {
                 .map(|(i, e)| (NodeId::new(i as u64), e.node.view())),
             |id| self.is_alive(id),
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_core::{PeerSamplingNode, PolicyTriple, ProtocolConfig};
+
+    fn node(id: u64) -> PeerSamplingNode {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 4).unwrap();
+        PeerSamplingNode::with_seed(NodeId::new(id), config, id + 1)
+    }
+
+    #[test]
+    fn slot_storage_keeps_global_ids() {
+        let mut pop: Population<PeerSamplingNode> = Population::new();
+        // Slots 0/1 hold globally-numbered nodes 10/12.
+        assert_eq!(pop.add_slot(node(10)), 0);
+        assert_eq!(pop.add_slot(node(12)), 1);
+        assert_eq!(pop.len(), 2);
+        assert_eq!(pop.slot(0).node.id(), NodeId::new(10));
+        assert_eq!(pop.slot(1).node.id(), NodeId::new(12));
+        assert!(pop.kill_slot(1));
+        assert!(!pop.kill_slot(1));
+        assert_eq!(pop.alive_count(), 1);
+        assert_eq!(pop.alive_slots().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(pop.alive_bits(), &[0b01]);
     }
 }

@@ -16,7 +16,7 @@ use pss_graph::{gen, DiGraph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::{GrowthPlan, Simulation};
+use crate::{GrowthPlan, ShardedSimulation, Simulation};
 
 /// Seeds an existing (empty) simulation so that node `i`'s view holds a
 /// fresh descriptor per out-neighbor of `i` in `graph`. Works for any node
@@ -125,6 +125,72 @@ pub fn star_overlay(config: &ProtocolConfig, n: usize, seed: u64) -> Simulation 
     from_digraph(config, &graph, seed)
 }
 
+/// Seeds an empty [`ShardedSimulation`] from a directed graph, exactly like
+/// [`from_digraph`] does for the sequential engine (same per-node seed
+/// draws, same views). With `shards == 1` the two engines then produce
+/// identical cycles — the differential tests pin this.
+///
+/// # Panics
+///
+/// Panics if any out-degree exceeds the configured view size.
+pub fn from_digraph_sharded(
+    config: &ProtocolConfig,
+    graph: &DiGraph,
+    seed: u64,
+    shards: usize,
+) -> ShardedSimulation<PeerSamplingNode> {
+    let mut sim = ShardedSimulation::typed(config.clone(), seed, shards);
+    sim.plan_capacity(graph.node_count());
+    for v in 0..graph.node_count() as u32 {
+        let out = graph.out_neighbors(v);
+        assert!(
+            out.len() <= config.view_size(),
+            "initial out-degree {} exceeds view size {}",
+            out.len(),
+            config.view_size()
+        );
+        sim.add_node(
+            out.iter()
+                .map(|&t| NodeDescriptor::fresh(NodeId::new(t as u64))),
+        );
+    }
+    sim
+}
+
+/// The random scenario at sharded scale: every node's initial view is an
+/// independent uniform sample of the other nodes, generated **per node**
+/// from `(seed, id)` — no N-sized intermediate graph is materialized, so
+/// this is the bootstrap path for N = 10⁶ runs.
+///
+/// The topology depends only on `(seed, n, view size)`: runs with different
+/// shard counts start from the *identical* overlay (the cycle dynamics then
+/// diverge per the sharding contract, like a seed change would).
+pub fn random_overlay_sharded(
+    config: &ProtocolConfig,
+    n: usize,
+    seed: u64,
+    shards: usize,
+) -> ShardedSimulation<PeerSamplingNode> {
+    use rand::seq::index::sample;
+
+    let mut sim = ShardedSimulation::typed(config.clone(), seed, shards);
+    sim.plan_capacity(n);
+    let want = config.view_size().min(n.saturating_sub(1));
+    for i in 0..n {
+        // Distinct, self-excluding uniform picks: sample from n−1 slots and
+        // shift picks at or above the node's own index up by one.
+        let mut view_rng = SmallRng::seed_from_u64(crate::shard::mix(
+            seed ^ 0xd1b5_4a32_d192_ed03 ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d),
+        ));
+        let picks = sample(&mut view_rng, n - 1, want);
+        sim.add_node(picks.iter().map(|p| {
+            let target = if p >= i { p + 1 } else { p };
+            NodeDescriptor::fresh(NodeId::new(target as u64))
+        }));
+    }
+    sim
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +264,45 @@ mod tests {
             sim.snapshot().undirected().degree(0)
         };
         assert_eq!(degree(7), degree(7));
+    }
+
+    #[test]
+    fn sharded_random_overlay_topology_is_shard_count_invariant() {
+        let views = |shards: usize| {
+            let sim = random_overlay_sharded(&config(6), 40, 11, shards);
+            (0..40u64)
+                .map(|i| {
+                    sim.view_of(NodeId::new(i))
+                        .unwrap()
+                        .ids()
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(views(1), views(3));
+        assert_eq!(views(2), views(5));
+    }
+
+    #[test]
+    fn sharded_random_overlay_views_are_full_and_self_free() {
+        let sim = random_overlay_sharded(&config(10), 50, 5, 4);
+        assert_eq!(sim.alive_count(), 50);
+        for id in sim.alive_ids() {
+            let view = sim.view_of(id).unwrap();
+            assert_eq!(view.len(), 10);
+            assert!(!view.contains(id));
+        }
+    }
+
+    #[test]
+    fn sharded_from_digraph_replicates_views() {
+        let g = DiGraph::from_views(3, vec![vec![1, 2], vec![2], vec![]]).unwrap();
+        let sim = from_digraph_sharded(&config(5), &g, 1, 2);
+        assert_eq!(sim.node_count(), 3);
+        let v0 = sim.view_of(NodeId::new(0)).unwrap();
+        assert!(v0.contains(NodeId::new(1)));
+        assert!(v0.contains(NodeId::new(2)));
+        assert!(sim.view_of(NodeId::new(2)).unwrap().is_empty());
     }
 
     #[test]

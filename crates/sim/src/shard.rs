@@ -1,0 +1,883 @@
+//! The sharded deterministic cycle engine.
+//!
+//! [`ShardedSimulation`] partitions the population into `S` shards and runs
+//! the paper's cycle model as a **two-phase** protocol per cycle:
+//!
+//! 1. **Initiate** — every shard walks its own live nodes in a fresh
+//!    shard-local random order. An exchange whose peer lives in the *same*
+//!    shard completes inline and atomically, exactly like the sequential
+//!    engine. An exchange targeting a *remote* shard queues its request
+//!    into a fixed-order cross-shard mailbox.
+//! 2. **Exchange** — each shard drains its request mailbox in sender-shard
+//!    order (FIFO within each sender), running the passive thread and
+//!    queueing replies; replies are then drained the same way and absorbed
+//!    by their initiators.
+//!
+//! # Determinism contract
+//!
+//! All randomness derives from the construction seed: a *control* RNG on
+//! the driver thread (node seeds, churn, `get_peer`) plus one RNG per shard
+//! (initiation order, message loss). Shards never share mutable state
+//! within a phase — mailboxes are written by exactly one shard and read by
+//! exactly one shard, on opposite sides of a phase barrier — so for a fixed
+//! `(seed, shard_count)` the results are **bit-identical regardless of the
+//! worker-thread count**. Worker threads are pure executors; changing
+//! [`ShardedSimulation::set_workers`] can never change any view, report, or
+//! snapshot, which the determinism regression tests pin.
+//!
+//! Changing the *shard count* legitimately changes results (cross-shard
+//! exchanges resolve in mailbox order rather than initiation order), just
+//! as changing the seed does. The sequential [`crate::Simulation`] is
+//! exactly this engine with one shard: every peer is then local, every
+//! exchange is inline and atomic, and the mailbox machinery is never
+//! touched.
+
+use pss_core::{
+    GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, ProtocolConfig, Reply, Request, View,
+};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::population::{BoxedNode, Population};
+use crate::Snapshot;
+
+/// Per-cycle accounting returned by [`ShardedSimulation::run_cycle`] and
+/// [`crate::Simulation::run_cycle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CycleReport {
+    /// Exchanges that ran to completion.
+    pub completed: u64,
+    /// Exchanges aimed at a dead peer (message silently lost).
+    pub failed_dead_peer: u64,
+    /// Nodes that could not initiate (empty view).
+    pub empty_view: u64,
+    /// Requests or replies dropped by the loss model.
+    pub dropped_messages: u64,
+}
+
+impl CycleReport {
+    /// Total initiation attempts in the cycle.
+    pub fn initiated(&self) -> u64 {
+        self.completed + self.failed_dead_peer + self.empty_view + self.dropped_messages
+    }
+}
+
+impl core::ops::AddAssign for CycleReport {
+    fn add_assign(&mut self, rhs: CycleReport) {
+        self.completed += rhs.completed;
+        self.failed_dead_peer += rhs.failed_dead_peer;
+        self.empty_view += rhs.empty_view;
+        self.dropped_messages += rhs.dropped_messages;
+    }
+}
+
+/// How the simulator treats exchange attempts with dead peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FailureMode {
+    /// Peer selection only considers live view entries — the paper's model:
+    /// "selectPeer() … returns the address of a live node as found in the
+    /// caller's current view". This abstracts the timeout-and-retry a real
+    /// implementation performs within one period. Dead descriptors stay in
+    /// views as dead links; they are just never *selected*.
+    #[default]
+    SkipDead,
+    /// Peer selection is liveness-blind; an exchange aimed at a dead peer is
+    /// silently lost and the initiator's cycle is wasted. Under `tail` peer
+    /// selection this model lets nodes wedge on a dead stalest entry and
+    /// re-select it forever — a failure mode worth studying (see the
+    /// extension experiments), but not what the paper simulated.
+    AttemptAndLose,
+}
+
+/// Automatic population growth, reproducing the paper's *growing overlay*
+/// scenario: at the beginning of each cycle, `nodes_per_cycle` fresh nodes
+/// join (until `target` is reached), each knowing only the oldest node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GrowthPlan {
+    /// Nodes added per cycle.
+    pub nodes_per_cycle: usize,
+    /// Population size at which growth stops.
+    pub target: usize,
+}
+
+/// Where a global node id lives: `(shard, slot within the shard)`.
+#[derive(Debug, Clone, Copy)]
+struct SlotRef {
+    shard: u32,
+    slot: u32,
+}
+
+/// A request crossing a shard boundary.
+struct QueuedRequest {
+    from: NodeId,
+    to_slot: u32,
+    request: Request,
+}
+
+/// A reply crossing back.
+struct QueuedReply {
+    from: NodeId,
+    to_slot: u32,
+    reply: Reply,
+}
+
+/// One shard: a node partition plus everything its worker needs to run a
+/// phase without touching any other shard.
+struct Shard<N> {
+    index: usize,
+    pop: Population<N>,
+    /// Shard-local RNG: initiation order and message-loss draws.
+    rng: SmallRng,
+    /// Per-cycle initiation order (local slots), reused across cycles.
+    order: Vec<u32>,
+    /// Outgoing requests, one fixed-order queue per destination shard.
+    out_requests: Vec<Vec<QueuedRequest>>,
+    /// Incoming requests, one queue per sender shard (filled between
+    /// phases by mailbox transposition on the driver thread).
+    in_requests: Vec<Vec<QueuedRequest>>,
+    out_replies: Vec<Vec<QueuedReply>>,
+    in_replies: Vec<Vec<QueuedReply>>,
+    /// This shard's share of the cycle report.
+    report: CycleReport,
+}
+
+/// Read-only cycle context shared by all workers during a phase.
+struct CycleCtx<'a> {
+    directory: &'a [SlotRef],
+    /// Cycle-start liveness snapshot, bit per *global* id.
+    alive: &'a [u64],
+    loss: f64,
+    mode: FailureMode,
+}
+
+impl CycleCtx<'_> {
+    #[inline]
+    fn is_live(&self, id: NodeId) -> bool {
+        let slot = id.as_index();
+        self.alive
+            .get(slot / 64)
+            .is_some_and(|word| word & (1 << (slot % 64)) != 0)
+    }
+}
+
+#[inline]
+fn lose(rng: &mut SmallRng, loss: f64) -> bool {
+    loss > 0.0 && rng.random::<f64>() < loss
+}
+
+/// SplitMix64 finalizer, for deriving independent per-shard seeds.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The sharded cycle-driven simulator. See the [module docs](self) for the
+/// execution model and determinism contract; see [`crate::Simulation`] for
+/// the sequential (1-shard) wrapper that keeps the historical API.
+pub struct ShardedSimulation<N: GossipNode + Send = BoxedNode> {
+    shards: Vec<Shard<N>>,
+    directory: Vec<SlotRef>,
+    /// Bit per global id; the single source of truth for liveness.
+    alive_bits: Vec<u64>,
+    alive_count: usize,
+    factory: Box<dyn FnMut(NodeId, u64) -> N + Send>,
+    /// Driver-thread RNG: node seeds, churn, `get_peer`.
+    control_rng: SmallRng,
+    cycle: u64,
+    growth: Option<GrowthPlan>,
+    message_loss: f64,
+    failure_mode: FailureMode,
+    workers: usize,
+    /// Ids below this were pre-planned and map to contiguous shard ranges.
+    planned: u64,
+    /// Per-cycle liveness snapshot buffer, reused across cycles.
+    alive_snapshot: Vec<u64>,
+}
+
+impl ShardedSimulation {
+    /// Creates an empty sharded simulation whose (boxed) nodes run the
+    /// generic protocol of the paper under `config`.
+    pub fn new(config: ProtocolConfig, seed: u64, shards: usize) -> Self {
+        ShardedSimulation::with_factory(seed, shards, move |id, node_seed| {
+            Box::new(PeerSamplingNode::with_seed(id, config.clone(), node_seed)) as BoxedNode
+        })
+    }
+}
+
+impl ShardedSimulation<PeerSamplingNode> {
+    /// Creates an empty **monomorphized** sharded simulation of
+    /// [`PeerSamplingNode`]s: identical behavior to
+    /// [`ShardedSimulation::new`] (same seeds ⇒ same exchanges), minus the
+    /// virtual dispatch.
+    pub fn typed(config: ProtocolConfig, seed: u64, shards: usize) -> Self {
+        ShardedSimulation::with_factory(seed, shards, move |id, node_seed| {
+            PeerSamplingNode::with_seed(id, config.clone(), node_seed)
+        })
+    }
+}
+
+impl<N: GossipNode + Send> ShardedSimulation<N> {
+    /// Creates an empty sharded simulation with a custom node factory. The
+    /// factory receives the assigned node id and a derived RNG seed.
+    ///
+    /// Worker count defaults to the available parallelism, capped at the
+    /// shard count; it affects wall-clock time only, never results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_factory(
+        seed: u64,
+        shards: usize,
+        factory: impl FnMut(NodeId, u64) -> N + Send + 'static,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let default_workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(shards);
+        let shards = (0..shards)
+            .map(|index| Shard {
+                index,
+                pop: Population::new(),
+                // Independent per-shard stream; offset by a golden-ratio
+                // multiple so shard 0 does not alias the control RNG.
+                rng: SmallRng::seed_from_u64(mix(
+                    seed ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                )),
+                order: Vec::new(),
+                out_requests: (0..shards).map(|_| Vec::new()).collect(),
+                in_requests: (0..shards).map(|_| Vec::new()).collect(),
+                out_replies: (0..shards).map(|_| Vec::new()).collect(),
+                in_replies: (0..shards).map(|_| Vec::new()).collect(),
+                report: CycleReport::default(),
+            })
+            .collect();
+        ShardedSimulation {
+            shards,
+            directory: Vec::new(),
+            alive_bits: Vec::new(),
+            alive_count: 0,
+            factory: Box::new(factory),
+            control_rng: SmallRng::seed_from_u64(seed),
+            cycle: 0,
+            growth: None,
+            message_loss: 0.0,
+            failure_mode: FailureMode::default(),
+            workers: default_workers,
+            planned: 0,
+            alive_snapshot: Vec::new(),
+        }
+    }
+
+    /// Number of shards (fixed at construction; part of the result
+    /// contract, unlike the worker count).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads used per phase.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the worker-thread count (clamped to `1..=shard_count`).
+    /// Affects wall-clock time only; results are bit-identical for any
+    /// value.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.clamp(1, self.shards.len());
+    }
+
+    /// Declares that the next `n` node ids will be bulk-added, mapping them
+    /// to **contiguous per-shard id ranges** (shard `k` owns ids
+    /// `[k·n/S, (k+1)·n/S)`). Nodes added beyond the plan go to the least
+    /// loaded shard. Call before the first [`ShardedSimulation::add_node`];
+    /// the scenario constructors do this for you.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes were already added.
+    pub fn plan_capacity(&mut self, n: usize) {
+        assert!(
+            self.directory.is_empty(),
+            "plan_capacity must precede the first add_node"
+        );
+        self.planned = n as u64;
+    }
+
+    fn shard_for_new(&self, id: u64) -> usize {
+        let s = self.shards.len() as u64;
+        if id < self.planned {
+            ((id * s) / self.planned) as usize
+        } else {
+            // Least-loaded, lowest index on ties: deterministic and keeps
+            // churn-era joins balanced.
+            self.shards
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, sh)| (sh.pop.len(), *i))
+                .map(|(i, _)| i)
+                .expect("at least one shard")
+        }
+    }
+
+    /// Selects how exchanges with dead peers are handled (default:
+    /// [`FailureMode::SkipDead`], the paper's model).
+    pub fn set_failure_mode(&mut self, mode: FailureMode) {
+        self.failure_mode = mode;
+    }
+
+    /// Installs a growth plan (see [`GrowthPlan`]). Growth happens at the
+    /// beginning of each subsequent cycle.
+    pub fn set_growth(&mut self, plan: GrowthPlan) {
+        self.growth = Some(plan);
+    }
+
+    /// Sets a per-message loss probability (0.0 = the paper's lossless
+    /// model). Both requests and replies are subject to loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn set_message_loss(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
+        self.message_loss = p;
+    }
+
+    /// Adds one node bootstrapped from `seeds` and returns its id.
+    pub fn add_node(&mut self, seeds: impl IntoIterator<Item = NodeDescriptor>) -> NodeId {
+        let node_seed = self.control_rng.random();
+        let id = NodeId::new(self.directory.len() as u64);
+        let shard = self.shard_for_new(id.as_u64());
+        let node = (self.factory)(id, node_seed);
+        debug_assert_eq!(node.id(), id, "factory must honor the assigned id");
+        let slot = self.shards[shard].pop.add_slot(node);
+        self.directory.push(SlotRef {
+            shard: shard as u32,
+            slot,
+        });
+        let bit = id.as_index();
+        if bit / 64 >= self.alive_bits.len() {
+            self.alive_bits.push(0);
+        }
+        self.alive_bits[bit / 64] |= 1 << (bit % 64);
+        self.alive_count += 1;
+        self.shards[shard]
+            .pop
+            .slot_mut(slot)
+            .node
+            .init(&mut seeds.into_iter());
+        id
+    }
+
+    /// Adds `count` nodes, each bootstrapped with `contacts` uniform-random
+    /// live contacts (join under churn). Contacts are drawn from the
+    /// members that existed *before* this batch — fresh joiners never
+    /// bootstrap off each other, which would risk isolated joiner islands.
+    /// Returns the new ids.
+    pub fn add_nodes_with_random_contacts(&mut self, count: usize, contacts: usize) -> Vec<NodeId> {
+        let existing: Vec<NodeId> = self.alive_ids();
+        let mut new_ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            let seeds: Vec<NodeDescriptor> = if existing.is_empty() {
+                Vec::new()
+            } else {
+                (0..contacts)
+                    .map(|_| {
+                        let pick = existing[self.control_rng.random_range(0..existing.len())];
+                        NodeDescriptor::fresh(pick)
+                    })
+                    .collect()
+            };
+            new_ids.push(self.add_node(seeds));
+        }
+        new_ids
+    }
+
+    /// Runs one full cycle and reports what happened.
+    pub fn run_cycle(&mut self) -> CycleReport {
+        self.apply_growth();
+        self.cycle += 1;
+
+        // Liveness cannot change mid-cycle, so snapshot it once; every
+        // worker reads the same frozen bitset.
+        self.alive_snapshot.clear();
+        self.alive_snapshot.extend_from_slice(&self.alive_bits);
+
+        let Self {
+            shards,
+            directory,
+            alive_snapshot,
+            workers,
+            message_loss,
+            failure_mode,
+            ..
+        } = self;
+        let ctx = CycleCtx {
+            directory: directory.as_slice(),
+            alive: alive_snapshot.as_slice(),
+            loss: *message_loss,
+            mode: *failure_mode,
+        };
+
+        run_phase(shards, *workers, |shard| phase_initiate(shard, &ctx));
+        transpose_requests(shards);
+        run_phase(shards, *workers, |shard| phase_respond(shard, &ctx));
+        transpose_replies(shards);
+        run_phase(shards, *workers, phase_absorb);
+
+        let mut report = CycleReport::default();
+        for shard in shards.iter_mut() {
+            report += core::mem::take(&mut shard.report);
+        }
+        report
+    }
+
+    /// Runs `n` cycles, discarding the per-cycle reports.
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.run_cycle();
+        }
+    }
+
+    fn apply_growth(&mut self) {
+        let Some(plan) = self.growth else { return };
+        if self.node_count() >= plan.target {
+            return;
+        }
+        let missing = plan.target - self.node_count();
+        let joining = plan.nodes_per_cycle.min(missing);
+        // "The view of these nodes is initialized with only a single node
+        // descriptor, which belongs to the oldest, initial node."
+        let oldest = NodeId::new(0);
+        for _ in 0..joining {
+            self.add_node([NodeDescriptor::fresh(oldest)]);
+        }
+    }
+
+    /// Number of cycles run so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Total nodes ever added (dead slots included).
+    pub fn node_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Number of live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// True if `id` exists and is alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        let slot = id.as_index();
+        self.alive_bits
+            .get(slot / 64)
+            .is_some_and(|word| word & (1 << (slot % 64)) != 0)
+    }
+
+    /// Ids of all live nodes, in increasing order.
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        (0..self.directory.len() as u64)
+            .map(NodeId::new)
+            .filter(|&id| self.is_alive(id))
+            .collect()
+    }
+
+    fn entry(&self, id: NodeId) -> Option<&crate::population::Entry<N>> {
+        let slot_ref = self.directory.get(id.as_index())?;
+        Some(self.shards[slot_ref.shard as usize].pop.slot(slot_ref.slot))
+    }
+
+    fn entry_mut(&mut self, id: NodeId) -> Option<&mut crate::population::Entry<N>> {
+        let slot_ref = *self.directory.get(id.as_index())?;
+        Some(
+            self.shards[slot_ref.shard as usize]
+                .pop
+                .slot_mut(slot_ref.slot),
+        )
+    }
+
+    /// The view of a live node.
+    pub fn view_of(&self, id: NodeId) -> Option<&View> {
+        if !self.is_alive(id) {
+            return None;
+        }
+        self.entry(id).map(|e| e.node.view())
+    }
+
+    /// Calls the peer sampling service (`getPeer()`) on a live node.
+    pub fn get_peer(&mut self, id: NodeId) -> Option<NodeId> {
+        if !self.is_alive(id) {
+            return None;
+        }
+        // getPeer is a uniform sample of the view, per the paper's simplest
+        // implementation; drive it with the control RNG for determinism.
+        let len = self.entry(id)?.node.view().len();
+        if len == 0 {
+            return None;
+        }
+        let idx = self.control_rng.random_range(0..len);
+        Some(self.entry(id)?.node.view().descriptors()[idx].id())
+    }
+
+    /// Re-initializes a live node's view from fresh seed descriptors (the
+    /// service's `init()` called again). Returns false for dead/unknown
+    /// nodes.
+    pub fn reinit_node(
+        &mut self,
+        id: NodeId,
+        seeds: impl IntoIterator<Item = NodeDescriptor>,
+    ) -> bool {
+        if !self.is_alive(id) {
+            return false;
+        }
+        match self.entry_mut(id) {
+            Some(entry) => {
+                entry.node.init(&mut seeds.into_iter());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Kills one node (crash-stop). Returns false if already dead/unknown.
+    pub fn kill(&mut self, id: NodeId) -> bool {
+        if !self.is_alive(id) {
+            return false;
+        }
+        let slot_ref = self.directory[id.as_index()];
+        let killed = self.shards[slot_ref.shard as usize]
+            .pop
+            .kill_slot(slot_ref.slot);
+        debug_assert!(killed);
+        let bit = id.as_index();
+        self.alive_bits[bit / 64] &= !(1 << (bit % 64));
+        self.alive_count -= 1;
+        true
+    }
+
+    /// Kills a uniform-random set of `count` live nodes and returns them.
+    pub fn kill_random(&mut self, count: usize) -> Vec<NodeId> {
+        let mut alive: Vec<NodeId> = self.alive_ids();
+        // Only `count` picks are needed, not a full-population shuffle.
+        let count = count.min(alive.len());
+        let (victims, _) = alive.partial_shuffle(&mut self.control_rng, count);
+        let victims = victims.to_vec();
+        for &v in &victims {
+            self.kill(v);
+        }
+        victims
+    }
+
+    /// Kills `fraction` (0..=1) of the live population at random.
+    pub fn kill_random_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let count = (self.alive_count as f64 * fraction).round() as usize;
+        self.kill_random(count)
+    }
+
+    /// Descriptors in live views that point to dead nodes (Figure 7's
+    /// y-axis).
+    pub fn dead_link_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|sh| sh.pop.dead_link_count_with(|id| self.is_alive(id)))
+            .sum()
+    }
+
+    /// Builds the communication-graph snapshot over live nodes, in global
+    /// id order.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::build(
+            (0..self.directory.len() as u64)
+                .map(NodeId::new)
+                .filter(|&id| self.is_alive(id))
+                .map(|id| (id, self.entry(id).expect("in directory").node.view())),
+            |id| self.is_alive(id),
+        )
+    }
+
+    /// Visits every live node's `(id, view)` in increasing id order.
+    /// The allocation-free way to export overlay topology at large N (the
+    /// CSR snapshot path builds on this).
+    pub fn for_each_live_view(&self, mut f: impl FnMut(NodeId, &View)) {
+        for id in (0..self.directory.len() as u64).map(NodeId::new) {
+            if self.is_alive(id) {
+                f(id, self.entry(id).expect("in directory").node.view());
+            }
+        }
+    }
+
+    /// Builds the directed live-view graph as a flat CSR — the snapshot
+    /// path that survives N = 10⁶: two edge arrays plus the id mapping, no
+    /// per-node allocations, no hash maps. Dead view targets are dropped,
+    /// exactly as in [`ShardedSimulation::snapshot`].
+    pub fn csr_snapshot(&self) -> crate::CsrSnapshot {
+        let n = self.directory.len();
+        let mut index = vec![u32::MAX; n];
+        let mut ids: Vec<NodeId> = Vec::with_capacity(self.alive_count);
+        for raw in 0..n as u64 {
+            let id = NodeId::new(raw);
+            if self.is_alive(id) {
+                index[id.as_index()] = ids.len() as u32;
+                ids.push(id);
+            }
+        }
+        // Estimate edge capacity from the first live view (views share c).
+        let per_node = ids
+            .first()
+            .and_then(|&id| self.view_of(id))
+            .map_or(0, View::len);
+        let mut builder =
+            pss_graph::csr::CsrBuilder::with_capacity(ids.len(), ids.len() * per_node);
+        for &id in &ids {
+            let view = self.entry(id).expect("in directory").node.view();
+            builder.push_node(view.ids().filter_map(|target| {
+                index
+                    .get(target.as_index())
+                    .copied()
+                    .filter(|&compact| compact != u32::MAX)
+            }));
+        }
+        let graph = builder.finish().expect("compact indices are in range");
+        crate::CsrSnapshot::new(graph, ids)
+    }
+}
+
+impl<N: GossipNode + Send> std::fmt::Debug for ShardedSimulation<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSimulation")
+            .field("cycle", &self.cycle)
+            .field("shards", &self.shards.len())
+            .field("workers", &self.workers)
+            .field("nodes", &self.directory.len())
+            .field("alive", &self.alive_count)
+            .field("growth", &self.growth)
+            .field("message_loss", &self.message_loss)
+            .finish()
+    }
+}
+
+/// Phase 1: every live node initiates; local exchanges complete inline,
+/// remote requests are queued.
+fn phase_initiate<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>) {
+    let Shard {
+        index,
+        pop,
+        rng,
+        order,
+        out_requests,
+        report,
+        ..
+    } = shard;
+    order.clear();
+    order.extend(pop.alive_slots());
+    order.shuffle(rng);
+    for &slot in order.iter() {
+        // Nodes cannot die mid-cycle, but guard anyway.
+        if !pop.slot(slot).alive {
+            continue;
+        }
+        let entry = pop.slot_mut(slot);
+        let initiator = entry.node.id();
+        let had_view = !entry.node.view().is_empty();
+        let exchange = match ctx.mode {
+            FailureMode::SkipDead => entry.node.initiate_filtered(&mut |peer| ctx.is_live(peer)),
+            FailureMode::AttemptAndLose => entry.node.initiate(),
+        };
+        let Some(exchange) = exchange else {
+            if had_view {
+                report.failed_dead_peer += 1; // view held only dead links
+            } else {
+                report.empty_view += 1;
+            }
+            continue;
+        };
+        let peer = exchange.peer;
+        if !ctx.is_live(peer) {
+            report.failed_dead_peer += 1;
+            continue;
+        }
+        if lose(rng, ctx.loss) {
+            report.dropped_messages += 1;
+            continue;
+        }
+        let dest = ctx.directory[peer.as_index()];
+        if dest.shard as usize == *index {
+            // Local peer: the exchange completes inline and atomically,
+            // exactly like the sequential engine.
+            let reply = pop
+                .slot_mut(dest.slot)
+                .node
+                .handle_request(initiator, exchange.request);
+            if let Some(reply) = reply {
+                if lose(rng, ctx.loss) {
+                    report.dropped_messages += 1;
+                    continue;
+                }
+                pop.slot_mut(slot).node.handle_reply(peer, reply);
+            }
+            report.completed += 1;
+        } else {
+            out_requests[dest.shard as usize].push(QueuedRequest {
+                from: initiator,
+                to_slot: dest.slot,
+                request: exchange.request,
+            });
+        }
+    }
+}
+
+/// Phase 2: drain the request mailbox in sender-shard order, queueing
+/// replies.
+fn phase_respond<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>) {
+    let Shard {
+        pop,
+        rng,
+        in_requests,
+        out_replies,
+        report,
+        ..
+    } = shard;
+    // Inbox index = sender shard: draining in vec order is sender-shard
+    // order, the fixed ordering the determinism contract relies on.
+    for inbox in in_requests.iter_mut() {
+        for queued in inbox.drain(..) {
+            let responder = pop.slot_mut(queued.to_slot);
+            let responder_id = responder.node.id();
+            let reply = responder.node.handle_request(queued.from, queued.request);
+            match reply {
+                Some(reply) => {
+                    if lose(rng, ctx.loss) {
+                        report.dropped_messages += 1;
+                        continue;
+                    }
+                    let dest = ctx.directory[queued.from.as_index()];
+                    out_replies[dest.shard as usize].push(QueuedReply {
+                        from: responder_id,
+                        to_slot: dest.slot,
+                        reply,
+                    });
+                }
+                // Push-only exchange: complete on request delivery.
+                None => report.completed += 1,
+            }
+        }
+    }
+}
+
+/// Phase 3: drain the reply mailbox in responder-shard order; initiators
+/// absorb and the exchanges complete.
+fn phase_absorb<N: GossipNode + Send>(shard: &mut Shard<N>) {
+    let Shard {
+        pop,
+        in_replies,
+        report,
+        ..
+    } = shard;
+    for inbox in in_replies.iter_mut() {
+        for queued in inbox.drain(..) {
+            pop.slot_mut(queued.to_slot)
+                .node
+                .handle_reply(queued.from, queued.reply);
+            report.completed += 1;
+        }
+    }
+}
+
+/// Runs `f` over every shard using up to `workers` scoped threads with a
+/// static round-robin shard assignment. The assignment is pure load
+/// balancing: shards are data-isolated within a phase, so which thread runs
+/// which shard can never affect results.
+fn run_phase<N, F>(shards: &mut [Shard<N>], workers: usize, f: F)
+where
+    N: GossipNode + Send,
+    F: Fn(&mut Shard<N>) + Sync,
+{
+    let workers = workers.clamp(1, shards.len().max(1));
+    if workers <= 1 {
+        for shard in shards.iter_mut() {
+            f(shard);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<&mut Shard<N>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, shard) in shards.iter_mut().enumerate() {
+        buckets[i % workers].push(shard);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move || {
+                // Warm this worker's staging arena once per phase batch.
+                pss_core::staging::prewarm(2, 64);
+                for shard in bucket {
+                    f(shard);
+                }
+            });
+        }
+    });
+}
+
+/// Two distinct mutable shards by index.
+///
+/// # Panics
+///
+/// Panics if `i == j` or either is out of range.
+fn shard_pair<N>(shards: &mut [Shard<N>], i: usize, j: usize) -> (&mut Shard<N>, &mut Shard<N>) {
+    assert_ne!(i, j);
+    if i < j {
+        let (lo, hi) = shards.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = shards.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+/// Moves every `out_requests[dst]` queue into the destination's
+/// `in_requests[src]` slot: the mailbox transposition between phases 1 and
+/// 2. Vectors are swapped, not copied, and the drained inbox capacity flows
+/// back to the sender — O(S²) pointer swaps on the driver thread.
+fn transpose_requests<N>(shards: &mut [Shard<N>]) {
+    for src in 0..shards.len() {
+        for dst in 0..shards.len() {
+            if src == dst {
+                continue;
+            }
+            let (sender, receiver) = shard_pair(shards, src, dst);
+            let out = core::mem::take(&mut sender.out_requests[dst]);
+            let spent = core::mem::replace(&mut receiver.in_requests[src], out);
+            debug_assert!(spent.is_empty(), "inbox must be drained before refill");
+            sender.out_requests[dst] = spent; // recycle capacity
+        }
+    }
+}
+
+/// The reply-mailbox transposition between phases 2 and 3 (see
+/// [`transpose_requests`]).
+fn transpose_replies<N>(shards: &mut [Shard<N>]) {
+    for src in 0..shards.len() {
+        for dst in 0..shards.len() {
+            if src == dst {
+                continue;
+            }
+            let (sender, receiver) = shard_pair(shards, src, dst);
+            let out = core::mem::take(&mut sender.out_replies[dst]);
+            let spent = core::mem::replace(&mut receiver.in_replies[src], out);
+            debug_assert!(spent.is_empty(), "inbox must be drained before refill");
+            sender.out_replies[dst] = spent; // recycle capacity
+        }
+    }
+}

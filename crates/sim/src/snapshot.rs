@@ -1,6 +1,7 @@
 //! Overlay snapshots: from live views to analyzable graphs.
 
 use pss_core::{NodeId, View};
+use pss_graph::csr::Csr;
 use pss_graph::{DiGraph, UGraph};
 
 /// The communication topology at one instant: a directed graph over the
@@ -76,6 +77,53 @@ impl Snapshot {
     pub fn index_of(&self, id: NodeId) -> Option<u32> {
         // ids is sorted (populations enumerate in id order), so binary
         // search applies.
+        self.ids.binary_search(&id).ok().map(|i| i as u32)
+    }
+
+    /// The live node ids, in increasing order.
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+}
+
+/// A flat CSR variant of [`Snapshot`] for very large overlays: the directed
+/// live-view graph in two arrays plus the compact-index ↔ id mapping, built
+/// without any per-node allocation (see
+/// [`crate::ShardedSimulation::csr_snapshot`]).
+#[derive(Debug, Clone)]
+pub struct CsrSnapshot {
+    graph: Csr,
+    ids: Vec<NodeId>,
+}
+
+impl CsrSnapshot {
+    pub(crate) fn new(graph: Csr, ids: Vec<NodeId>) -> Self {
+        debug_assert_eq!(graph.node_count(), ids.len());
+        CsrSnapshot { graph, ids }
+    }
+
+    /// The directed view graph over compact indices.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// Number of live nodes in the snapshot.
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Maps a compact index back to the simulator [`NodeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn node_id(&self, index: u32) -> NodeId {
+        self.ids[index as usize]
+    }
+
+    /// Maps a simulator [`NodeId`] to its compact index, if present.
+    pub fn index_of(&self, id: NodeId) -> Option<u32> {
+        // ids is sorted (built in increasing id order).
         self.ids.binary_search(&id).ok().map(|i| i as u32)
     }
 

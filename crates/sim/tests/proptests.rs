@@ -130,7 +130,8 @@ proptest! {
     ) {
         let run = || {
             let config = ProtocolConfig::new(PolicyTriple::newscast(), 6).unwrap();
-            let mut sim = EventSimulation::new(config, EventConfig::default(), seed);
+            let mut sim = EventSimulation::new(config, EventConfig::default(), seed)
+                .expect("valid config");
             sim.add_node([]);
             for i in 1..n as u64 {
                 sim.add_node([NodeDescriptor::fresh(NodeId::new(i / 2))]);
@@ -158,7 +159,8 @@ proptest! {
                 loss_probability: 0.1,
             },
             seed,
-        );
+        )
+        .expect("valid config");
         sim.add_connected_nodes(10);
         let mut last = sim.now();
         for step in steps {

@@ -1,0 +1,228 @@
+//! Sharded-engine regression tests.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Worker invariance** — for a fixed `(seed, shard_count)`, the entire
+//!    per-cycle `Snapshot`/report stream is bit-identical whether the engine
+//!    runs on 1, 2, or 4 worker threads.
+//! 2. **Pinned digest** — a constant digest of a tiny-scale 2-shard run, so
+//!    *any* accidental change to cross-shard ordering, RNG streams, or
+//!    mailbox draining fails loudly (update the constant only for an
+//!    intentional engine change, and say so in the commit).
+//! 3. **1-shard equivalence** — `ShardedSimulation` with one shard is the
+//!    sequential `Simulation`: identical `CycleReport`s and final views for
+//!    all three headline policies.
+
+use pss_core::{GossipNode, NodeId, PolicyTriple, ProtocolConfig};
+use pss_graph::gen;
+use pss_sim::{scenario, ChurnProcess, CycleReport, FailureMode, ShardedSimulation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// FNV-1a over a `u64` stream: stable, dependency-free fingerprinting.
+fn fnv1a(digest: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *digest ^= byte as u64;
+        *digest = digest.wrapping_mul(0x1000_0000_01b3);
+    }
+}
+
+/// Digest of the full overlay state: every live node's id and exact view
+/// contents (ids and hop counts, in stored order).
+fn view_digest<N: GossipNode + Send>(sim: &ShardedSimulation<N>) -> u64 {
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    sim.for_each_live_view(|id, view| {
+        fnv1a(&mut digest, id.as_u64());
+        for d in view.iter() {
+            fnv1a(&mut digest, d.id().as_u64());
+            fnv1a(&mut digest, d.hop_count() as u64);
+        }
+    });
+    digest
+}
+
+fn digest_report(digest: &mut u64, report: &CycleReport) {
+    fnv1a(digest, report.completed);
+    fnv1a(digest, report.failed_dead_peer);
+    fnv1a(digest, report.empty_view);
+    fnv1a(digest, report.dropped_messages);
+}
+
+/// Runs a 4-shard simulation under loss + churn and digests every cycle's
+/// report and snapshot stream.
+fn stressed_run(workers: usize) -> u64 {
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 8).expect("valid");
+    let mut sim = scenario::random_overlay_sharded(&config, 120, 77, 4);
+    sim.set_workers(workers);
+    sim.set_message_loss(0.05);
+    let mut churn = ChurnProcess::balanced(0.03, 2, 5);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for cycle in 0..12 {
+        let (killed, joined) = churn.step(&mut sim);
+        fnv1a(&mut digest, killed as u64);
+        fnv1a(&mut digest, joined as u64);
+        let report = sim.run_cycle();
+        digest_report(&mut digest, &report);
+        fnv1a(&mut digest, view_digest(&sim));
+        if cycle == 6 {
+            // Mid-run mass failure exercises the dead-peer paths.
+            sim.kill_random_fraction(0.2);
+            fnv1a(&mut digest, sim.alive_count() as u64);
+        }
+    }
+    fnv1a(&mut digest, sim.dead_link_count() as u64);
+    digest
+}
+
+#[test]
+fn worker_count_never_changes_results() {
+    let one = stressed_run(1);
+    let two = stressed_run(2);
+    let four = stressed_run(4);
+    assert_eq!(one, two, "1 vs 2 workers diverged");
+    assert_eq!(one, four, "1 vs 4 workers diverged");
+}
+
+#[test]
+fn worker_invariance_under_attempt_and_lose() {
+    let run = |workers: usize| {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 6).expect("valid");
+        let mut sim = scenario::random_overlay_sharded(&config, 80, 5, 3);
+        sim.set_workers(workers);
+        sim.set_failure_mode(FailureMode::AttemptAndLose);
+        sim.kill_random_fraction(0.3);
+        let mut digest = 0u64;
+        for _ in 0..8 {
+            digest_report(&mut digest, &sim.run_cycle());
+            fnv1a(&mut digest, view_digest(&sim));
+        }
+        digest
+    };
+    assert_eq!(run(1), run(3));
+}
+
+/// The pinned digest: `Scale::tiny()` parameters (N = 300, c = 15,
+/// 60 cycles, seed 20040601) on 2 shards. If this fails and you did not
+/// intend to change engine semantics, you broke determinism.
+#[test]
+fn pinned_digest_at_tiny_scale() {
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 15).expect("valid");
+    let mut sim = scenario::random_overlay_sharded(&config, 300, 20040601, 2);
+    sim.set_workers(2);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for _ in 0..60 {
+        digest_report(&mut digest, &sim.run_cycle());
+    }
+    fnv1a(&mut digest, view_digest(&sim));
+    assert_eq!(
+        digest, PINNED_TINY_DIGEST,
+        "tiny-scale 2-shard digest changed: engine semantics moved"
+    );
+}
+
+/// See [`pinned_digest_at_tiny_scale`].
+const PINNED_TINY_DIGEST: u64 = 11722229421366107334;
+
+#[test]
+fn one_shard_matches_sequential_for_headline_policies() {
+    let policies: [(&str, PolicyTriple); 3] = [
+        ("newscast", PolicyTriple::newscast()),
+        ("lpbcast", PolicyTriple::lpbcast()),
+        (
+            "tail-pushpull",
+            "(tail,tail,pushpull)".parse().expect("valid policy"),
+        ),
+    ];
+    for (name, policy) in policies {
+        let config = ProtocolConfig::new(policy, 10).expect("valid");
+        let mut topo = SmallRng::seed_from_u64(99);
+        let graph = gen::uniform_view_digraph(150, 10, &mut topo);
+
+        let mut sequential = scenario::from_digraph(&config, &graph, 31);
+        let mut sharded = scenario::from_digraph_sharded(&config, &graph, 31, 1);
+
+        for cycle in 0..10 {
+            let seq_report = sequential.run_cycle();
+            let sharded_report = sharded.run_cycle();
+            assert_eq!(
+                seq_report, sharded_report,
+                "{name}: cycle {cycle} reports diverged"
+            );
+        }
+        for id in sequential.alive_ids() {
+            let seq_view: Vec<(u64, u32)> = sequential
+                .view_of(id)
+                .expect("alive")
+                .iter()
+                .map(|d| (d.id().as_u64(), d.hop_count()))
+                .collect();
+            let sharded_view: Vec<(u64, u32)> = sharded
+                .view_of(id)
+                .expect("alive")
+                .iter()
+                .map(|d| (d.id().as_u64(), d.hop_count()))
+                .collect();
+            assert_eq!(seq_view, sharded_view, "{name}: view of {id} diverged");
+        }
+    }
+}
+
+#[test]
+fn shard_count_is_part_of_the_result_contract() {
+    // Different shard counts legitimately produce different (equally valid)
+    // trajectories, exactly like different seeds. Pin that they are not
+    // accidentally identical, so nobody "simplifies" the mailbox phase into
+    // something that silently serializes.
+    let run = |shards: usize| {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 8).expect("valid");
+        let mut sim = scenario::random_overlay_sharded(&config, 100, 7, shards);
+        sim.run_cycles(5);
+        view_digest(&sim)
+    };
+    assert_ne!(run(1), run(4));
+}
+
+#[test]
+fn multi_shard_population_and_view_invariants_hold_under_churn() {
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 9).expect("valid");
+    let mut sim = scenario::random_overlay_sharded(&config, 90, 13, 3);
+    let mut churn = ChurnProcess::balanced(0.05, 2, 21);
+    for _ in 0..15 {
+        churn.step(&mut sim);
+        sim.run_cycle();
+    }
+    let alive = sim.alive_ids();
+    assert_eq!(alive.len(), sim.alive_count());
+    assert!(alive.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+    for &id in &alive {
+        let view = sim.view_of(id).expect("alive");
+        assert!(view.len() <= 9);
+        assert!(!view.contains(id));
+        assert!(view.invariants_hold());
+        for d in view.iter() {
+            assert!((d.id().as_u64() as usize) < sim.node_count());
+        }
+    }
+}
+
+#[test]
+fn csr_snapshot_matches_vec_snapshot() {
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 7).expect("valid");
+    let mut sim = scenario::random_overlay_sharded(&config, 70, 3, 2);
+    sim.run_cycles(4);
+    sim.kill_random_fraction(0.2); // dead targets must be dropped by both
+    let snap = sim.snapshot();
+    let csr = sim.csr_snapshot();
+    assert_eq!(snap.node_count(), csr.node_count());
+    assert_eq!(snap.node_ids(), csr.node_ids());
+    for v in 0..snap.node_count() as u32 {
+        // DiGraph sorts out-neighbors, CSR sorts too: directly comparable.
+        assert_eq!(
+            snap.directed().out_neighbors(v),
+            csr.graph().out_neighbors(v),
+            "row {v} diverged"
+        );
+    }
+    assert_eq!(csr.index_of(csr.node_id(0)), Some(0));
+    assert_eq!(csr.index_of(NodeId::new(u64::MAX >> 1)), None);
+}

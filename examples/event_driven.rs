@@ -42,7 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 loss_probability: loss,
             },
             2026,
-        );
+        )
+        .expect("valid event config");
         // Tree bootstrap: every joiner knows an introducer.
         sim.add_node([]);
         for i in 1..N {

@@ -62,11 +62,11 @@ fn lattice_diameter_collapses_quickly() {
     let config = ProtocolConfig::new(PolicyTriple::newscast(), C).expect("valid");
     let mut sim = scenario::lattice_overlay(&config, N, 3);
     let initial = paths::average_path_length(&sim.snapshot().undirected()).average;
-    sim.run_cycles(15);
+    sim.run_cycles(20);
     let after = paths::average_path_length(&sim.snapshot().undirected()).average;
     assert!(
         initial > 3.0 * after,
-        "expected sharp drop: initial {initial}, after 15 cycles {after}"
+        "expected sharp drop: initial {initial}, after 20 cycles {after}"
     );
     assert!(after < 3.0, "converged path length {after} should be tiny");
 }
