@@ -4,6 +4,16 @@
 //! experiment reruns representative protocols on the event-driven engine —
 //! timer jitter, message latency, message loss — and compares the converged
 //! overlay properties against the cycle-driven run at the same scale.
+//!
+//! With `shard_counts` set (the CLI's `--shards`), the event rows run on
+//! the **sharded** event engine ([`pss_sim::ShardedEventSimulation`],
+//! conservative lookahead = minimum latency) across the requested shard
+//! counts, reporting node-cycles/s per row — which opens the asynchrony
+//! comparison at `Scale::million()`: beyond ~10⁵ nodes the overlay metrics
+//! switch to the sampled CSR estimators (exact connectivity is skipped),
+//! the same large-N path the `scaling` experiment uses.
+
+use std::time::Instant;
 
 use pss_core::PolicyTriple;
 use pss_graph::{GraphMetrics, MetricsConfig};
@@ -14,6 +24,10 @@ use rand::SeedableRng;
 use crate::parallel::parallel_map;
 use crate::report::{fmt_f64, Table};
 use crate::Scale;
+
+/// Above this population the overlay metrics come from the sampled CSR
+/// estimators instead of the full undirected graph.
+const SAMPLED_METRICS_THRESHOLD: usize = 100_000;
 
 /// Configuration for the asynchrony experiment.
 #[derive(Debug, Clone)]
@@ -29,6 +43,14 @@ pub struct AsyncConfig {
     /// Protocols to test (default: one per view-selection × propagation
     /// corner).
     pub protocols: Vec<PolicyTriple>,
+    /// Shard counts for the event rows: `None` runs the sequential
+    /// [`EventSimulation`]; `Some(list)` runs the sharded engine once per
+    /// count (and the cycle baseline on the sharded cycle engine at the
+    /// largest count).
+    pub shard_counts: Option<Vec<usize>>,
+    /// Worker-thread override for sharded rows (`None` = available
+    /// parallelism). Affects wall-clock only, never results.
+    pub workers: Option<usize>,
 }
 
 impl AsyncConfig {
@@ -44,21 +66,73 @@ impl AsyncConfig {
                 "(rand,rand,pushpull)".parse().expect("valid"),
                 PolicyTriple::lpbcast(),
             ],
+            shard_counts: None,
+            workers: None,
+        }
+    }
+
+    fn event_config(&self, loss: f64) -> EventConfig {
+        let period = 1000u64;
+        let jitter = (self.jitter_fraction * period as f64) as u64;
+        let latency = (self.latency_fraction * period as f64) as u64;
+        // The latency floor (1% of the period) is the sharded engine's
+        // lookahead window; a 1-tick floor would force a bucket exchange
+        // every tick, all overhead at small N.
+        let min = (period / 100).max(1);
+        EventConfig {
+            period,
+            jitter: jitter.min(period - 1),
+            latency: LatencyModel::Uniform {
+                min,
+                max: latency.max(min),
+            },
+            loss_probability: loss,
         }
     }
 }
 
-/// One comparison row: a protocol under one engine/loss setting.
+/// Converged overlay statistics of one run. Exact or sampled depending on
+/// scale; `connected` is `None` when the exact check was skipped (CSR
+/// sampled path at large N).
+#[derive(Debug, Clone, Copy)]
+pub struct OverlayStats {
+    /// Mean degree of the communication graph (in-degree mean on the CSR
+    /// path — identical in expectation, since out-degrees are `c`).
+    pub average_degree: f64,
+    /// (Sampled) clustering coefficient.
+    pub clustering: f64,
+    /// (Sampled) average shortest-path length.
+    pub path_length: f64,
+    /// Exact connectivity, when measured.
+    pub connected: Option<bool>,
+}
+
+impl From<GraphMetrics> for OverlayStats {
+    fn from(m: GraphMetrics) -> Self {
+        OverlayStats {
+            average_degree: m.average_degree,
+            clustering: m.clustering_coefficient,
+            path_length: m.path_lengths.average,
+            connected: Some(m.is_connected()),
+        }
+    }
+}
+
+/// One comparison row: a protocol under one engine/loss/sharding setting.
 #[derive(Debug, Clone)]
 pub struct EngineComparison {
     /// The protocol.
     pub policy: PolicyTriple,
     /// Engine label (`cycle` or `event`).
     pub engine: &'static str,
+    /// Shard count the row ran on (1 = sequential).
+    pub shards: usize,
     /// Loss probability used (0 for the cycle engine).
     pub loss: f64,
-    /// Converged overlay metrics.
-    pub metrics: GraphMetrics,
+    /// Simulation throughput of the run, N × cycles / seconds.
+    pub node_cycles_per_sec: f64,
+    /// Converged overlay statistics.
+    pub stats: OverlayStats,
 }
 
 /// Result of the asynchrony experiment.
@@ -74,7 +148,9 @@ impl AsyncResult {
         let mut t = Table::new(vec![
             "protocol",
             "engine",
+            "shards",
             "loss",
+            "node-cycles/s",
             "avg degree",
             "clustering",
             "path length",
@@ -84,14 +160,16 @@ impl AsyncResult {
             t.row(vec![
                 r.policy.to_string(),
                 r.engine.into(),
+                r.shards.to_string(),
                 fmt_f64(r.loss, 2),
-                fmt_f64(r.metrics.average_degree, 2),
-                fmt_f64(r.metrics.clustering_coefficient, 4),
-                fmt_f64(r.metrics.path_lengths.average, 3),
-                if r.metrics.is_connected() {
-                    "yes"
-                } else {
-                    "NO"
+                format!("{:.0}", r.node_cycles_per_sec),
+                fmt_f64(r.stats.average_degree, 2),
+                fmt_f64(r.stats.clustering, 4),
+                fmt_f64(r.stats.path_length, 3),
+                match r.stats.connected {
+                    Some(true) => "yes",
+                    Some(false) => "NO",
+                    None => "-",
                 }
                 .into(),
             ]);
@@ -105,23 +183,49 @@ enum Job {
     Event(PolicyTriple, f64),
 }
 
+/// Exact(ish) metrics on the full undirected graph: the small-N path.
+fn measure_graph(graph: &pss_graph::UGraph, seed: u64) -> OverlayStats {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    GraphMetrics::measure(
+        graph,
+        &MetricsConfig {
+            clustering_samples: Some(1000.min(graph.node_count())),
+            path_sources: Some(50.min(graph.node_count())),
+        },
+        &mut rng,
+    )
+    .into()
+}
+
+/// Sampled metrics from a CSR snapshot: the large-N path (no full graph
+/// materialization, no exact connectivity sweep).
+fn measure_csr(snapshot: &pss_sim::CsrSnapshot, seed: u64) -> OverlayStats {
+    let csr = snapshot.graph();
+    let mut in_deg = pss_stats::Summary::new();
+    for d in csr.in_degrees() {
+        in_deg.push(d as f64);
+    }
+    let rev = csr.reverse();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    OverlayStats {
+        average_degree: in_deg.mean(),
+        clustering: csr.sampled_clustering(&rev, 256, &mut rng),
+        path_length: csr.sampled_path_length(&rev, 16, &mut rng).average,
+        connected: None,
+    }
+}
+
 /// Runs the asynchrony experiment.
 pub fn run(config: &AsyncConfig) -> AsyncResult {
+    match &config.shard_counts {
+        None => run_sequential(config),
+        Some(shards) => run_sharded(config, shards),
+    }
+}
+
+/// The historical path: sequential engines, one thread per job.
+fn run_sequential(config: &AsyncConfig) -> AsyncResult {
     let scale = config.scale;
-    let period = 1000u64;
-    let event_config_for = {
-        let jitter = (config.jitter_fraction * period as f64) as u64;
-        let latency = (config.latency_fraction * period as f64) as u64;
-        move |loss: f64| EventConfig {
-            period,
-            jitter: jitter.min(period - 1),
-            latency: LatencyModel::Uniform {
-                min: 1,
-                max: latency.max(1),
-            },
-            loss_probability: loss,
-        }
-    };
 
     let mut jobs: Vec<Job> = Vec::new();
     for &policy in &config.protocols {
@@ -131,36 +235,28 @@ pub fn run(config: &AsyncConfig) -> AsyncResult {
         }
     }
 
-    let measure = move |graph: &pss_graph::UGraph, seed: u64| {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        GraphMetrics::measure(
-            graph,
-            &MetricsConfig {
-                clustering_samples: Some(1000.min(graph.node_count())),
-                path_sources: Some(50.min(graph.node_count())),
-            },
-            &mut rng,
-        )
-    };
-
     let rows = parallel_map(jobs, move |job| match job {
         Job::Cycle(policy) => {
             let protocol = scale.protocol(policy);
             let mut sim = scenario::random_overlay(&protocol, scale.nodes, scale.seed ^ 0xa51);
+            let started = Instant::now();
             sim.run_cycles(scale.cycles);
+            let seconds = started.elapsed().as_secs_f64();
             let graph = sim.snapshot().undirected();
             EngineComparison {
                 policy,
                 engine: "cycle",
+                shards: 1,
                 loss: 0.0,
-                metrics: measure(&graph, scale.seed),
+                node_cycles_per_sec: throughput(scale, seconds),
+                stats: measure_graph(&graph, scale.seed),
             }
         }
         Job::Event(policy, loss) => {
             let protocol = scale.protocol(policy);
-            let mut sim =
-                EventSimulation::new(protocol, event_config_for(loss), scale.seed ^ 0xa52)
-                    .expect("asynchrony sweep uses a validated event config");
+            let event = config.event_config(loss);
+            let mut sim = EventSimulation::new(protocol, event, scale.seed ^ 0xa52)
+                .expect("asynchrony sweep uses a validated event config");
             // Same random bootstrap graph as the cycle scenario.
             let mut topo_rng = SmallRng::seed_from_u64(scale.seed ^ 0xa53);
             let digraph =
@@ -173,18 +269,105 @@ pub fn run(config: &AsyncConfig) -> AsyncResult {
                         .map(|&t| pss_core::NodeDescriptor::fresh(pss_core::NodeId::new(t as u64))),
                 );
             }
-            sim.run_for(scale.cycles * period);
+            let started = Instant::now();
+            sim.run_for(scale.cycles * event.period);
+            let seconds = started.elapsed().as_secs_f64();
             let graph = sim.snapshot().undirected();
             EngineComparison {
                 policy,
                 engine: "event",
+                shards: 1,
                 loss,
-                metrics: measure(&graph, scale.seed ^ 1),
+                node_cycles_per_sec: throughput(scale, seconds),
+                stats: measure_graph(&graph, scale.seed ^ 1),
             }
         }
     });
 
     AsyncResult { rows }
+}
+
+/// The sharded path: event rows on [`pss_sim::ShardedEventSimulation`] per
+/// shard count, the cycle baseline on the sharded cycle engine at the
+/// largest count. Rows run one after another — each run parallelizes
+/// internally across its worker threads.
+fn run_sharded(config: &AsyncConfig, shard_counts: &[usize]) -> AsyncResult {
+    let scale = config.scale;
+    let sampled = scale.nodes >= SAMPLED_METRICS_THRESHOLD;
+    let cycle_shards = shard_counts.iter().copied().max().unwrap_or(1);
+    let mut rows = Vec::new();
+
+    for &policy in &config.protocols {
+        let protocol = scale.protocol(policy);
+
+        // Cycle baseline.
+        let mut sim =
+            scenario::random_overlay_sharded(&protocol, scale.nodes, scale.seed, cycle_shards);
+        if let Some(w) = config.workers {
+            sim.set_workers(w);
+        }
+        let started = Instant::now();
+        sim.run_cycles(scale.cycles);
+        let seconds = started.elapsed().as_secs_f64();
+        let stats = if sampled {
+            measure_csr(&sim.csr_snapshot(), scale.seed)
+        } else {
+            measure_graph(&sim.snapshot().undirected(), scale.seed)
+        };
+        rows.push(EngineComparison {
+            policy,
+            engine: "cycle",
+            shards: cycle_shards,
+            loss: 0.0,
+            node_cycles_per_sec: throughput(scale, seconds),
+            stats,
+        });
+
+        // Event rows: loss sweep × shard counts, identical initial overlay
+        // per (seed, N, c) across all of them.
+        for &loss in &config.loss_levels {
+            let event = config.event_config(loss);
+            for &shards in shard_counts {
+                let mut sim = scenario::event_random_overlay_sharded(
+                    &protocol,
+                    event,
+                    scale.nodes,
+                    scale.seed,
+                    shards,
+                )
+                .expect("asynchrony sweep uses a validated event config");
+                if let Some(w) = config.workers {
+                    sim.set_workers(w);
+                }
+                let started = Instant::now();
+                sim.run_for(scale.cycles * event.period);
+                let seconds = started.elapsed().as_secs_f64();
+                let stats = if sampled {
+                    measure_csr(&sim.csr_snapshot(), scale.seed ^ 1)
+                } else {
+                    measure_graph(&sim.snapshot().undirected(), scale.seed ^ 1)
+                };
+                rows.push(EngineComparison {
+                    policy,
+                    engine: "event",
+                    shards,
+                    loss,
+                    node_cycles_per_sec: throughput(scale, seconds),
+                    stats,
+                });
+            }
+        }
+    }
+
+    AsyncResult { rows }
+}
+
+fn throughput(scale: Scale, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        scale.nodes as f64 * scale.cycles as f64 / seconds
+    } else {
+        f64::INFINITY
+    }
 }
 
 #[cfg(test)]
@@ -199,23 +382,54 @@ mod tests {
             view_size: 12,
             seed: 71,
         };
-        let config = AsyncConfig {
-            scale,
-            jitter_fraction: 0.2,
-            latency_fraction: 0.1,
-            loss_levels: vec![0.0],
-            protocols: vec![PolicyTriple::newscast()],
-        };
+        let mut config = AsyncConfig::at_scale(scale);
+        config.loss_levels = vec![0.0];
+        config.protocols = vec![PolicyTriple::newscast()];
         let result = run(&config);
         assert_eq!(result.rows.len(), 2);
         let cycle = result.rows.iter().find(|r| r.engine == "cycle").unwrap();
         let event = result.rows.iter().find(|r| r.engine == "event").unwrap();
-        assert!(cycle.metrics.is_connected());
-        assert!(event.metrics.is_connected());
+        assert_eq!(cycle.stats.connected, Some(true));
+        assert_eq!(event.stats.connected, Some(true));
         // Converged degree within 25% between engines.
-        let rel = (cycle.metrics.average_degree - event.metrics.average_degree).abs()
-            / cycle.metrics.average_degree;
+        let rel = (cycle.stats.average_degree - event.stats.average_degree).abs()
+            / cycle.stats.average_degree;
         assert!(rel < 0.25, "engines disagree on degree: {rel}");
+        assert!(cycle.node_cycles_per_sec > 0.0);
         assert!(!result.table().is_empty());
+    }
+
+    #[test]
+    fn sharded_path_sweeps_shard_counts() {
+        let scale = Scale {
+            nodes: 200,
+            cycles: 25,
+            view_size: 12,
+            seed: 71,
+        };
+        let mut config = AsyncConfig::at_scale(scale);
+        config.loss_levels = vec![0.05];
+        config.protocols = vec![PolicyTriple::newscast()];
+        config.shard_counts = Some(vec![1, 2]);
+        config.workers = Some(2);
+        let result = run(&config);
+        // One cycle baseline + one event row per shard count.
+        assert_eq!(result.rows.len(), 3);
+        assert_eq!(result.rows[0].engine, "cycle");
+        assert_eq!(result.rows[0].shards, 2);
+        let event_shards: Vec<usize> = result
+            .rows
+            .iter()
+            .filter(|r| r.engine == "event")
+            .map(|r| r.shards)
+            .collect();
+        assert_eq!(event_shards, vec![1, 2]);
+        for row in &result.rows {
+            assert!(row.node_cycles_per_sec > 0.0);
+            assert!(row.stats.average_degree > 10.0);
+            assert_eq!(row.stats.connected, Some(true), "{row:?}");
+        }
+        let table = result.table();
+        assert_eq!(table.len(), 3);
     }
 }

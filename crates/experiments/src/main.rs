@@ -13,7 +13,8 @@
 //!   fig6     robustness to massive node removal
 //!   fig7     self-healing after 50% node failure
 //!   policies sweep of all 27 policy combinations (Section 4.3)
-//!   async    event-driven engine comparison (extension)
+//!   async    event-driven engine comparison (extension; --shards runs the
+//!            sharded event engine per shard count, enabling --scale million)
 //!   apps     broadcast/aggregation sampling-quality comparison (extension)
 //!   hs       healer/swapper (H,S) ablation (extension)
 //!   scaling  sharded-engine throughput vs shard count (extension)
@@ -25,8 +26,8 @@
 //!   --cycles N                 override cycle budget
 //!   --view-size C              override view size
 //!   --runs R                   override runs/repetitions (table1, fig6)
-//!   --shards LIST              comma-separated shard counts (scaling)
-//!   --workers N                worker-thread override (scaling)
+//!   --shards LIST              comma-separated shard counts (scaling, async)
+//!   --workers N                worker-thread override (scaling, async)
 //!   --seed S                   override master seed
 //!   --out DIR                  also write CSV series under DIR
 //! ```
@@ -227,9 +228,15 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
         }
         "async" => {
             let mut async_scale = scale;
-            async_scale.nodes = async_scale.nodes.min(2000);
+            if opts.shards.is_none() {
+                // The sequential event engine caps out around here; the
+                // sharded path (--shards) is the large-N route.
+                async_scale.nodes = async_scale.nodes.min(2000);
+            }
             async_scale.cycles = async_scale.cycles.min(100);
-            let config = asynchrony::AsyncConfig::at_scale(async_scale);
+            let mut config = asynchrony::AsyncConfig::at_scale(async_scale);
+            config.shard_counts = opts.shards.clone();
+            config.workers = opts.workers;
             let result = asynchrony::run(&config);
             emit(opts, "async", &result.table(), None);
         }

@@ -65,8 +65,13 @@ impl Simulation<PeerSamplingNode> {
 impl<N: GossipNode + Send> Simulation<N> {
     /// Creates an empty simulation with a custom node factory (e.g. for
     /// [`pss_core::hs::HsNode`] or user protocols). The factory receives the
-    /// assigned node id and a derived RNG seed.
-    pub fn with_factory(seed: u64, factory: impl FnMut(NodeId, u64) -> N + Send + 'static) -> Self {
+    /// assigned node id and a derived RNG seed. It must be `Fn + Sync` —
+    /// the contract shared by every engine so populations can be built
+    /// worker-parallel (see [`ShardedSimulation::add_nodes_bulk`]).
+    pub fn with_factory(
+        seed: u64,
+        factory: impl Fn(NodeId, u64) -> N + Send + Sync + 'static,
+    ) -> Self {
         Simulation {
             inner: ShardedSimulation::with_factory(seed, 1, factory),
         }

@@ -97,6 +97,11 @@ macro_rules! delegate_engine {
 
 delegate_engine!(Simulation);
 delegate_engine!(ShardedSimulation);
+// The event engine drives cycles as gossip periods: `run_cycle` advances
+// one period and projects the event statistics onto the cycle report shape
+// (see `EventReport::as_cycle_report`), so observers and churn processes
+// run unchanged on it.
+delegate_engine!(ShardedEventSimulation);
 
 #[cfg(test)]
 mod tests {

@@ -1,4 +1,5 @@
-//! **Extension:** event-driven simulation with latency, jitter and loss.
+//! **Extension:** event-driven simulation with latency, jitter and loss —
+//! sharded across worker threads with conservative lookahead.
 //!
 //! The paper's experiments use the idealized cycle model. This engine
 //! relaxes it: every node runs its own periodic timer with bounded jitter,
@@ -6,16 +7,52 @@
 //! no longer atomic — a node may receive requests while its own exchange is
 //! in flight. The extension experiments use this engine to check that the
 //! cycle-model conclusions survive asynchrony.
+//!
+//! # Execution model
+//!
+//! [`ShardedEventSimulation`] partitions the population into `S` shards,
+//! each owning a time-ordered event queue over its own nodes. Simulated
+//! time advances in **buckets** of width `W` = the minimum network latency
+//! (the *conservative lookahead window* of parallel discrete-event
+//! simulation): within the bucket `[t, t + W)` every shard processes its
+//! local queue independently, because any message sent at or after `t`
+//! arrives at `t + latency ≥ t + W` — no event generated inside the bucket
+//! can affect another shard within it. Cross-shard messages accumulate in
+//! fixed-order per-`(src, dst)` mailboxes ([`crate::exec`], shared with the
+//! cycle engine) and are exchanged at bucket boundaries: transposed on the
+//! driver, then merged into each destination queue in sender-shard order.
+//!
+//! # Determinism contract
+//!
+//! Mirrors the cycle engine's ([`crate::ShardedSimulation`]): all
+//! randomness derives from the construction seed — a *control* RNG on the
+//! driver (node seeds, timer phases, churn) plus one RNG per shard (timer
+//! jitter, message latency and loss, drawn by the shard that owns the
+//! sending node). Shards share no mutable state within a bucket, and the
+//! mailbox exchange is fixed-order, so for a fixed `(seed, shard_count)`
+//! results are **bit-identical at any worker count** — and invariant under
+//! how a run is chunked into [`ShardedEventSimulation::run_until`] calls,
+//! because mailboxes are only exchanged at absolute bucket boundaries.
+//! Changing the *shard count* legitimately changes results (same-time
+//! deliveries tie-break in mailbox order rather than global schedule
+//! order), exactly like changing the seed does.
+//!
+//! The single-threaded [`EventSimulation`] is this engine with one shard:
+//! every message is then shard-local, the global `(time, seq)` order is the
+//! schedule order, and the mailbox machinery is never touched.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use pss_core::{NodeDescriptor, NodeId, PeerSamplingNode, ProtocolConfig, Reply, Request, View};
+use pss_core::{
+    GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, ProtocolConfig, Reply, Request, View,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::exec::{self, lose, Directory, Mailboxes, SlotRef};
 use crate::population::{BoxedNode, Population};
-use crate::Snapshot;
+use crate::{CycleReport, Snapshot};
 
 /// Message latency model, in abstract time ticks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +80,15 @@ impl LatencyModel {
                     rng.random_range(min..=max)
                 }
             }
+        }
+    }
+
+    /// The smallest latency the model can produce — the conservative
+    /// lookahead window of the sharded engine.
+    pub fn minimum(self) -> u64 {
+        match self {
+            LatencyModel::Zero => 0,
+            LatencyModel::Uniform { min, .. } => min,
         }
     }
 }
@@ -89,6 +135,13 @@ pub enum EventConfigError {
     },
     /// The loss probability must lie in `[0, 1]`.
     InvalidLossProbability(f64),
+    /// Multi-shard runs need a minimum latency of at least one tick: the
+    /// conservative lookahead window *is* the minimum latency, and a zero
+    /// window would force shards into lock-step on every tick.
+    NoLookahead {
+        /// The requested shard count.
+        shards: usize,
+    },
 }
 
 impl std::fmt::Display for EventConfigError {
@@ -102,6 +155,11 @@ impl std::fmt::Display for EventConfigError {
             EventConfigError::InvalidLossProbability(p) => {
                 write!(f, "loss probability {p} is outside [0, 1]")
             }
+            EventConfigError::NoLookahead { shards } => write!(
+                f,
+                "{shards}-shard event simulation needs a minimum latency of at least 1 tick \
+                 (the conservative lookahead window equals the minimum latency)"
+            ),
         }
     }
 }
@@ -127,27 +185,137 @@ impl EventConfig {
         }
         Ok(())
     }
+
+    /// [`EventConfig::validate`] plus the sharded-engine requirement: with
+    /// more than one shard the minimum latency (= lookahead window) must be
+    /// at least one tick.
+    pub fn validate_sharded(&self, shards: usize) -> Result<(), EventConfigError> {
+        self.validate()?;
+        if shards > 1 && self.latency.minimum() == 0 {
+            return Err(EventConfigError::NoLookahead { shards });
+        }
+        Ok(())
+    }
 }
 
-#[derive(Debug)]
-enum EventKind {
-    Timer(NodeId),
-    Request {
-        from: NodeId,
-        to: NodeId,
-        request: Request,
-    },
-    Reply {
-        from: NodeId,
-        to: NodeId,
-        reply: Reply,
-    },
+/// Cumulative accounting of a ([`Sharded`](ShardedEventSimulation)`)
+/// [`EventSimulation`] run — the event-engine analogue of
+/// [`CycleReport`], as totals since construction rather than per cycle
+/// (an "exchange" spans multiple events here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventReport {
+    /// Timer events fired by live nodes.
+    pub timers_fired: u64,
+    /// Timer fires that could not initiate (empty view).
+    pub empty_view: u64,
+    /// Requests delivered to live nodes.
+    pub requests_delivered: u64,
+    /// Replies delivered to live nodes.
+    pub replies_delivered: u64,
+    /// Exchanges completed: push-only requests delivered plus replies
+    /// absorbed by their initiators.
+    pub exchanges_completed: u64,
+    /// Messages that arrived at a dead node and were dropped.
+    pub dead_deliveries: u64,
+    /// Messages dropped in transit by the loss model.
+    pub dropped_messages: u64,
 }
 
+impl core::ops::AddAssign for EventReport {
+    fn add_assign(&mut self, rhs: EventReport) {
+        self.timers_fired += rhs.timers_fired;
+        self.empty_view += rhs.empty_view;
+        self.requests_delivered += rhs.requests_delivered;
+        self.replies_delivered += rhs.replies_delivered;
+        self.exchanges_completed += rhs.exchanges_completed;
+        self.dead_deliveries += rhs.dead_deliveries;
+        self.dropped_messages += rhs.dropped_messages;
+    }
+}
+
+impl EventReport {
+    /// Field-wise difference from an earlier snapshot of the same run.
+    pub fn since(&self, earlier: &EventReport) -> EventReport {
+        EventReport {
+            timers_fired: self.timers_fired - earlier.timers_fired,
+            empty_view: self.empty_view - earlier.empty_view,
+            requests_delivered: self.requests_delivered - earlier.requests_delivered,
+            replies_delivered: self.replies_delivered - earlier.replies_delivered,
+            exchanges_completed: self.exchanges_completed - earlier.exchanges_completed,
+            dead_deliveries: self.dead_deliveries - earlier.dead_deliveries,
+            dropped_messages: self.dropped_messages - earlier.dropped_messages,
+        }
+    }
+
+    /// Projects the totals onto the cycle engine's report shape, so generic
+    /// drivers ([`crate::Engine`]) can aggregate either engine: completed
+    /// exchanges, dead deliveries as failed peers, empty views, losses.
+    pub fn as_cycle_report(&self) -> CycleReport {
+        CycleReport {
+            completed: self.exchanges_completed,
+            failed_dead_peer: self.dead_deliveries,
+            empty_view: self.empty_view,
+            dropped_messages: self.dropped_messages,
+        }
+    }
+}
+
+/// One recorded message arrival, for the delivery-order test harness (see
+/// [`ShardedEventSimulation::set_record_deliveries`]). Records are kept in
+/// per-shard processing order; [`ShardedEventSimulation::take_deliveries`]
+/// concatenates them in shard order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the message was sent.
+    pub sent: u64,
+    /// When it arrived (event time).
+    pub delivered: u64,
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node (dead targets are recorded too — the arrival
+    /// happened, the payload was dropped).
+    pub to: NodeId,
+    /// Shard of the sender.
+    pub src_shard: u32,
+    /// Shard of the destination.
+    pub dst_shard: u32,
+    /// The sender shard's monotone event sequence at send time: within one
+    /// `(src, dst)` pair, send order.
+    pub sent_seq: u64,
+    /// True for requests, false for replies.
+    pub is_request: bool,
+}
+
+/// A pending event in a shard's local queue.
 struct Event {
     time: u64,
+    /// Tie-breaker for equal times: local schedule order.
     seq: u64,
     kind: EventKind,
+}
+
+enum EventKind {
+    /// A node's gossip timer (local slot).
+    Timer(u32),
+    /// A request arriving at local slot `to_slot`.
+    Request {
+        from: NodeId,
+        to_slot: u32,
+        sent: u64,
+        sent_seq: u64,
+        src_shard: u32,
+        request: Request,
+    },
+    /// A reply arriving at local slot `to_slot`.
+    Reply {
+        from: NodeId,
+        to_slot: u32,
+        sent: u64,
+        sent_seq: u64,
+        src_shard: u32,
+        reply: Reply,
+    },
 }
 
 impl PartialEq for Event {
@@ -167,69 +335,226 @@ impl Ord for Event {
     }
 }
 
-/// Discrete-event simulator over the same node population type as
-/// [`crate::Simulation`].
+/// A message crossing a shard boundary, parked in a mailbox lane until the
+/// bucket ends. Lane index gives the destination; the sender shard is the
+/// lane it sits in after transposition.
+struct WireEvent {
+    time: u64,
+    sent: u64,
+    sent_seq: u64,
+    from: NodeId,
+    to_slot: u32,
+    msg: WireMsg,
+}
+
+enum WireMsg {
+    Request(Request),
+    Reply(Reply),
+}
+
+/// One shard of the event engine: a node partition, its local event queue,
+/// its RNG stream, and its cross-shard mailboxes.
+struct EventShard<N> {
+    index: usize,
+    pop: Population<N>,
+    /// Shard-local RNG: timer jitter, message latency, message loss.
+    rng: SmallRng,
+    queue: BinaryHeap<Reverse<Event>>,
+    /// Monotone event sequence; tie-breaks equal times, orders sends.
+    seq: u64,
+    mail: Mailboxes<WireEvent>,
+    report: EventReport,
+    /// Events processed by this shard (monotone).
+    processed: u64,
+    /// Arrival log, filled only when tracing is on.
+    deliveries: Vec<Delivery>,
+    trace: bool,
+}
+
+impl<N> EventShard<N> {
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn schedule(&mut self, time: u64, kind: EventKind) {
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+}
+
+/// Read-only context shared by all workers during a bucket.
+struct EventCtx<'a> {
+    directory: &'a [SlotRef],
+    config: EventConfig,
+}
+
+/// The sharded discrete-event simulator over the same node population
+/// types as [`crate::ShardedSimulation`]. See the [module docs](self) for
+/// the lookahead model and determinism contract.
 ///
 /// # Examples
 ///
 /// ```
 /// use pss_core::{PolicyTriple, ProtocolConfig};
-/// use pss_sim::{EventConfig, EventSimulation};
+/// use pss_sim::{EventConfig, ShardedEventSimulation};
 ///
 /// let protocol = ProtocolConfig::new(PolicyTriple::newscast(), 20)?;
-/// let mut sim = EventSimulation::new(protocol, EventConfig::default(), 7)?;
+/// let mut sim = ShardedEventSimulation::new(protocol, EventConfig::default(), 7, 2)?;
 /// sim.add_connected_nodes(100);
 /// sim.run_for(20_000); // ≈ 20 gossip periods
 /// assert!(sim.snapshot().undirected().average_degree() > 20.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct EventSimulation {
-    pop: Population,
-    factory: Box<dyn FnMut(NodeId, u64) -> BoxedNode + Send>,
+pub struct ShardedEventSimulation<N: GossipNode + Send = BoxedNode> {
+    shards: Vec<EventShard<N>>,
+    dir: Directory,
+    factory: Box<dyn Fn(NodeId, u64) -> N + Send + Sync>,
+    /// Driver-thread RNG: node seeds, timer phases, churn.
+    control_rng: SmallRng,
     config: EventConfig,
-    queue: BinaryHeap<Reverse<Event>>,
+    /// Conservative lookahead window = minimum latency (≥ 1 when sharded).
+    window: u64,
+    /// Current simulation time: the largest deadline reached so far.
     now: u64,
-    seq: u64,
-    rng: SmallRng,
+    /// Processing frontier: every event *strictly before* it has been
+    /// processed. Advances bucket-by-bucket; the bucket grid is absolute
+    /// (multiples of the window), which is what makes results invariant
+    /// under how a run is chunked into `run_until` calls.
+    frontier: u64,
+    /// Construction seed, kept for (seed, id)-pure bulk construction.
+    seed: u64,
+    workers: usize,
+    /// True while cross-shard messages are parked in out-lanes mid-bucket.
+    pending_mail: bool,
+    /// Completed [`ShardedEventSimulation::run_cycle`] calls.
+    cycles: u64,
 }
 
-impl EventSimulation {
-    /// Creates an empty event simulation for the paper's generic protocol.
+impl ShardedEventSimulation {
+    /// Creates an empty sharded event simulation for the paper's generic
+    /// protocol with (boxed) nodes.
     ///
     /// # Errors
     ///
     /// Returns an [`EventConfigError`] if `config` violates an invariant
-    /// (zero period, `jitter >= period`, loss probability outside `[0, 1]`).
+    /// (zero period, `jitter >= period`, loss probability outside `[0, 1]`,
+    /// or zero minimum latency with more than one shard).
     pub fn new(
         protocol: ProtocolConfig,
         config: EventConfig,
         seed: u64,
+        shards: usize,
     ) -> Result<Self, EventConfigError> {
-        Self::with_factory(config, seed, move |id, node_seed| {
+        Self::with_factory(config, seed, shards, move |id, node_seed| {
             Box::new(PeerSamplingNode::with_seed(id, protocol.clone(), node_seed)) as BoxedNode
         })
     }
+}
 
-    /// Creates an empty event simulation with a custom node factory.
+impl ShardedEventSimulation<PeerSamplingNode> {
+    /// Creates an empty **monomorphized** sharded event simulation of
+    /// [`PeerSamplingNode`]s: identical behavior to
+    /// [`ShardedEventSimulation::new`] (same seeds ⇒ same events), minus
+    /// the virtual dispatch.
     ///
     /// # Errors
     ///
     /// Returns an [`EventConfigError`] if `config` violates an invariant.
+    pub fn typed(
+        protocol: ProtocolConfig,
+        config: EventConfig,
+        seed: u64,
+        shards: usize,
+    ) -> Result<Self, EventConfigError> {
+        Self::with_factory(config, seed, shards, move |id, node_seed| {
+            PeerSamplingNode::with_seed(id, protocol.clone(), node_seed)
+        })
+    }
+}
+
+impl<N: GossipNode + Send> ShardedEventSimulation<N> {
+    /// Creates an empty sharded event simulation with a custom node
+    /// factory. The factory receives the assigned node id and a derived RNG
+    /// seed; it must be `Fn + Sync` so per-shard populations can be built
+    /// in parallel ([`ShardedEventSimulation::add_nodes_bulk`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EventConfigError`] if `config` violates an invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
     pub fn with_factory(
         config: EventConfig,
         seed: u64,
-        factory: impl FnMut(NodeId, u64) -> BoxedNode + Send + 'static,
+        shards: usize,
+        factory: impl Fn(NodeId, u64) -> N + Send + Sync + 'static,
     ) -> Result<Self, EventConfigError> {
-        config.validate()?;
-        Ok(EventSimulation {
-            pop: Population::new(),
+        assert!(shards > 0, "need at least one shard");
+        config.validate_sharded(shards)?;
+        let default_workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(shards);
+        let shards: Vec<EventShard<N>> = (0..shards)
+            .map(|index| EventShard {
+                index,
+                pop: Population::new(),
+                rng: SmallRng::seed_from_u64(exec::shard_seed(seed, index)),
+                queue: BinaryHeap::new(),
+                seq: 0,
+                mail: Mailboxes::new(shards),
+                report: EventReport::default(),
+                processed: 0,
+                deliveries: Vec::new(),
+                trace: false,
+            })
+            .collect();
+        Ok(ShardedEventSimulation {
+            shards,
+            dir: Directory::new(),
             factory: Box::new(factory),
+            control_rng: SmallRng::seed_from_u64(seed),
             config,
-            queue: BinaryHeap::new(),
+            window: config.latency.minimum().max(1),
             now: 0,
-            seq: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            frontier: 0,
+            seed,
+            workers: default_workers,
+            pending_mail: false,
+            cycles: 0,
         })
+    }
+
+    /// Number of shards (fixed at construction; part of the result
+    /// contract, unlike the worker count).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads used per bucket.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the worker-thread count (clamped to `1..=shard_count`).
+    /// Affects wall-clock time only; results are bit-identical for any
+    /// value.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.clamp(1, self.shards.len());
+    }
+
+    /// The conservative lookahead window in ticks (= the minimum latency,
+    /// at least 1).
+    pub fn lookahead(&self) -> u64 {
+        self.window
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EventConfig {
+        self.config
     }
 
     /// Current simulation time in ticks.
@@ -237,30 +562,119 @@ impl EventSimulation {
         self.now
     }
 
-    /// Number of live nodes.
-    pub fn alive_count(&self) -> usize {
-        self.pop.alive_count()
+    /// Cumulative event statistics since construction.
+    pub fn report(&self) -> EventReport {
+        let mut total = EventReport::default();
+        for shard in &self.shards {
+            total += shard.report;
+        }
+        total
     }
 
-    /// The view of a live node.
-    pub fn view_of(&self, id: NodeId) -> Option<&View> {
-        self.pop.view_of(id)
+    /// Total events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Turns the per-arrival delivery log on or off (off by default; the
+    /// log grows with every message arrival). The test harness uses it to
+    /// check the lookahead and FIFO invariants from outside.
+    pub fn set_record_deliveries(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.trace = on;
+        }
+    }
+
+    /// Drains the delivery log: per-shard arrival order, concatenated in
+    /// shard order.
+    pub fn take_deliveries(&mut self) -> Vec<Delivery> {
+        let mut all = Vec::new();
+        for shard in &mut self.shards {
+            all.append(&mut shard.deliveries);
+        }
+        all
+    }
+
+    /// Declares that the next `n` node ids will be bulk-added into
+    /// contiguous per-shard ranges; see
+    /// [`crate::ShardedSimulation::plan_capacity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes were already added.
+    pub fn plan_capacity(&mut self, n: usize) {
+        self.dir.plan_capacity(n);
+    }
+
+    fn shard_for_new(&self, id: u64) -> usize {
+        self.dir
+            .shard_for_new(id, self.shards.iter().map(|sh| sh.pop.len()))
     }
 
     /// Adds a node bootstrapped from `seeds`; its first timer fires at a
     /// uniform-random phase within one period (nodes are not synchronized).
+    /// Node seed and phase come from the driver's control RNG; for the
+    /// worker-parallel bulk path see
+    /// [`ShardedEventSimulation::add_nodes_bulk`].
     pub fn add_node(&mut self, seeds: impl IntoIterator<Item = NodeDescriptor>) -> NodeId {
-        let node_seed = self.rng.random();
-        let factory = &mut self.factory;
-        let id = self.pop.add_with(|id| factory(id, node_seed));
-        self.pop
-            .get_mut(id)
-            .expect("just added")
+        let node_seed = self.control_rng.random();
+        let id = NodeId::new(self.dir.len() as u64);
+        let shard = self.shard_for_new(id.as_u64());
+        let node = (self.factory)(id, node_seed);
+        debug_assert_eq!(node.id(), id, "factory must honor the assigned id");
+        let slot = self.shards[shard].pop.add_slot(node);
+        let pushed = self.dir.push(shard as u32, slot);
+        debug_assert_eq!(pushed, id);
+        self.shards[shard]
+            .pop
+            .slot_mut(slot)
             .node
             .init(&mut seeds.into_iter());
-        let phase = self.rng.random_range(0..self.config.period);
-        self.schedule(self.now + phase, EventKind::Timer(id));
+        let phase = self.control_rng.random_range(0..self.config.period);
+        // Never schedule below the processing frontier: a bucket that was
+        // already exchanged is frozen, and a timer inside it could emit a
+        // cross-shard message due before the next boundary (a lookahead
+        // violation). Only a phase-0 draw right after a run can hit this.
+        let at = (self.now + phase).max(self.frontier);
+        self.shards[shard].schedule(at, EventKind::Timer(slot));
         id
+    }
+
+    /// Bulk-adds `n` nodes with **worker-parallel per-shard construction**:
+    /// node `i` gets the view returned by `seeds(i)`, and its RNG seed,
+    /// shard placement and initial timer phase are pure functions of
+    /// `(construction seed, id)` — the resulting population and event
+    /// schedule are bit-identical at any worker count. `seeds` must be pure
+    /// for the same reason.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes were already added.
+    pub fn add_nodes_bulk<I>(&mut self, n: usize, seeds: impl Fn(NodeId) -> I + Sync)
+    where
+        I: IntoIterator<Item = NodeDescriptor>,
+    {
+        let seed = self.seed;
+        let period = self.config.period;
+        let now = self.now;
+        let frontier = self.frontier;
+        exec::bulk_build(
+            &mut self.dir,
+            &mut self.shards,
+            self.workers,
+            n,
+            seed,
+            self.factory.as_ref(),
+            seeds,
+            |shard| &mut shard.pop,
+            |shard| shard.index,
+            |shard, slot, id| {
+                let phase = exec::bulk_timer_phase(seed, id.as_u64(), period);
+                // Clamp below-frontier phases exactly like `add_node`.
+                let at = (now + phase).max(frontier);
+                shard.schedule(at, EventKind::Timer(slot));
+            },
+        );
     }
 
     /// Adds `n` nodes where node `i` bootstraps off node `i − 1` (a simple
@@ -277,27 +691,215 @@ impl EventSimulation {
         ids
     }
 
-    /// Kills one node (crash-stop): pending deliveries to it are dropped at
-    /// delivery time.
-    pub fn kill(&mut self, id: NodeId) -> bool {
-        self.pop.kill(id)
+    /// Adds `count` nodes, each bootstrapped with `contacts` uniform-random
+    /// live contacts (join under churn); see
+    /// [`crate::ShardedSimulation::add_nodes_with_random_contacts`].
+    pub fn add_nodes_with_random_contacts(&mut self, count: usize, contacts: usize) -> Vec<NodeId> {
+        let existing: Vec<NodeId> = self.alive_ids();
+        let mut new_ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            let seeds: Vec<NodeDescriptor> = if existing.is_empty() {
+                Vec::new()
+            } else {
+                (0..contacts)
+                    .map(|_| {
+                        let pick = existing[self.control_rng.random_range(0..existing.len())];
+                        NodeDescriptor::fresh(pick)
+                    })
+                    .collect()
+            };
+            new_ids.push(self.add_node(seeds));
+        }
+        new_ids
     }
 
-    /// Runs until the queue is empty or simulation time exceeds `deadline`.
-    /// Returns the number of events processed.
+    /// Number of live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.dir.alive_count()
+    }
+
+    /// Total nodes ever added (dead ones included).
+    pub fn node_count(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// True if `id` exists and is alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.dir.is_alive(id)
+    }
+
+    /// Ids of all live nodes, in increasing order.
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        self.dir.alive_ids()
+    }
+
+    fn entry(&self, id: NodeId) -> Option<&crate::population::Entry<N>> {
+        let slot_ref = self.dir.slot_ref(id)?;
+        Some(self.shards[slot_ref.shard as usize].pop.slot(slot_ref.slot))
+    }
+
+    /// The view of a live node.
+    pub fn view_of(&self, id: NodeId) -> Option<&View> {
+        if !self.is_alive(id) {
+            return None;
+        }
+        self.entry(id).map(|e| e.node.view())
+    }
+
+    /// Kills one node (crash-stop): pending deliveries to it are dropped at
+    /// delivery time, and its timer never re-arms. Returns false if already
+    /// dead/unknown.
+    pub fn kill(&mut self, id: NodeId) -> bool {
+        exec::kill_node(&mut self.dir, &mut self.shards, id, |shard| &mut shard.pop)
+    }
+
+    /// Kills a uniform-random set of `count` live nodes and returns them.
+    pub fn kill_random(&mut self, count: usize) -> Vec<NodeId> {
+        use rand::seq::SliceRandom;
+        let mut alive: Vec<NodeId> = self.alive_ids();
+        let count = count.min(alive.len());
+        let (victims, _) = alive.partial_shuffle(&mut self.control_rng, count);
+        let victims = victims.to_vec();
+        for &v in &victims {
+            self.kill(v);
+        }
+        victims
+    }
+
+    /// Kills `fraction` (0..=1) of the live population at random.
+    pub fn kill_random_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let count = (self.alive_count() as f64 * fraction).round() as usize;
+        self.kill_random(count)
+    }
+
+    /// Descriptors in live views pointing at dead nodes.
+    pub fn dead_link_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|sh| sh.pop.dead_link_count_with(|id| self.is_alive(id)))
+            .sum()
+    }
+
+    /// Builds the communication-graph snapshot over live nodes, in global
+    /// id order.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::build(
+            (0..self.dir.len() as u64)
+                .map(NodeId::new)
+                .filter(|&id| self.is_alive(id))
+                .map(|id| (id, self.entry(id).expect("in directory").node.view())),
+            |id| self.is_alive(id),
+        )
+    }
+
+    /// Visits every live node's `(id, view)` in increasing id order.
+    pub fn for_each_live_view(&self, mut f: impl FnMut(NodeId, &View)) {
+        for id in (0..self.dir.len() as u64).map(NodeId::new) {
+            if self.is_alive(id) {
+                f(id, self.entry(id).expect("in directory").node.view());
+            }
+        }
+    }
+
+    /// Builds the directed live-view graph as a flat CSR — the snapshot
+    /// path that survives N = 10⁶ (see
+    /// [`crate::ShardedSimulation::csr_snapshot`]).
+    pub fn csr_snapshot(&self) -> crate::CsrSnapshot {
+        exec::csr_from_views(self.dir.len(), self.dir.alive_count(), |f| {
+            self.for_each_live_view(f)
+        })
+    }
+
+    /// Runs until simulation time reaches `deadline`: every event at or
+    /// before it is processed. Returns the number of events processed.
+    ///
+    /// How a run is chunked into `run_until` calls never changes results:
+    /// cross-shard messages are exchanged only at absolute bucket
+    /// boundaries (multiples of the lookahead window), so a partial bucket
+    /// parks them in their fixed-order lanes until the bucket completes.
     pub fn run_until(&mut self, deadline: u64) -> u64 {
-        let mut processed = 0;
-        while let Some(Reverse(event)) = self.queue.peek().map(|e| Reverse(&e.0)) {
-            if event.time > deadline {
+        let before = self.events_processed();
+        let Self {
+            shards,
+            dir,
+            config,
+            window,
+            frontier,
+            workers,
+            pending_mail,
+            ..
+        } = self;
+        let ctx = EventCtx {
+            directory: dir.slots(),
+            config: *config,
+        };
+
+        if shards.len() == 1 {
+            // Sequential special case: every message is local, the global
+            // (time, seq) order is the schedule order, buckets are moot.
+            if *frontier <= deadline {
+                process_until(&mut shards[0], deadline, &ctx);
+                *frontier = deadline.saturating_add(1);
+            }
+            self.now = self.now.max(deadline);
+            return self.events_processed() - before;
+        }
+
+        let window = *window;
+        while *frontier <= deadline {
+            // The next absolute bucket boundary past the frontier. Near
+            // u64::MAX there is none (run-to-exhaustion calls saturate the
+            // frontier); whatever remains is one final partial bucket.
+            let bucket_end = (*frontier / window)
+                .checked_add(1)
+                .and_then(|k| k.checked_mul(window));
+            let full = bucket_end.is_some_and(|end| end - 1 <= deadline);
+            if !*pending_mail {
+                // Fast-forward across empty stretches: with no parked mail,
+                // every pending event sits in some shard's queue.
+                match earliest(shards) {
+                    None => {
+                        *frontier = deadline.saturating_add(1);
+                        break;
+                    }
+                    Some(t) if t > deadline => {
+                        *frontier = deadline.saturating_add(1);
+                        break;
+                    }
+                    Some(t) if bucket_end.is_some_and(|end| t >= end) => {
+                        *frontier = (t / window) * window;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            let limit = match bucket_end {
+                Some(end) if full => end - 1,
+                _ => deadline,
+            };
+            exec::run_phase(shards, *workers, |shard| {
+                process_until(shard, limit, &ctx);
+            });
+            if full {
+                let end = bucket_end.expect("full implies a boundary");
+                // Bucket boundary: exchange mailboxes and merge, in fixed
+                // sender-shard order.
+                exec::transpose(shards, |shard| &mut shard.mail);
+                exec::run_phase(shards, *workers, |shard| merge_inbox(shard, end));
+                *pending_mail = false;
+                *frontier = end;
+            } else {
+                // Mid-bucket stop: cross-shard messages stay parked in
+                // their fixed-order lanes until the bucket completes, so
+                // chunked and unchunked runs merge them identically.
+                *pending_mail = !shards.iter().all(|s| s.mail.out_is_empty());
+                *frontier = deadline.saturating_add(1);
                 break;
             }
-            let Reverse(event) = self.queue.pop().expect("peeked");
-            self.now = event.time;
-            self.dispatch(event.kind);
-            processed += 1;
         }
         self.now = self.now.max(deadline);
-        processed
+        self.events_processed() - before
     }
 
     /// Runs for `duration` ticks from the current time.
@@ -305,105 +907,400 @@ impl EventSimulation {
         self.run_until(self.now.saturating_add(duration))
     }
 
+    /// Runs one gossip period — the event engine's notion of a "cycle" for
+    /// generic drivers ([`crate::Engine`]) — and reports what happened
+    /// during it, projected onto the cycle engine's report shape.
+    pub fn run_cycle(&mut self) -> CycleReport {
+        let before = self.report();
+        self.run_for(self.config.period);
+        self.cycles += 1;
+        self.report().since(&before).as_cycle_report()
+    }
+
+    /// Completed [`ShardedEventSimulation::run_cycle`] periods.
+    pub fn cycle(&self) -> u64 {
+        self.cycles
+    }
+}
+
+/// Smallest pending event time across all shard queues.
+fn earliest<N>(shards: &[EventShard<N>]) -> Option<u64> {
+    shards
+        .iter()
+        .filter_map(|s| s.queue.peek().map(|Reverse(e)| e.time))
+        .min()
+}
+
+/// Merges a shard's freshly transposed inbox into its event queue, in
+/// sender-shard lane order (FIFO within each lane): the deterministic
+/// cross-shard arrival order of the engine's contract.
+fn merge_inbox<N: GossipNode + Send>(shard: &mut EventShard<N>, horizon: u64) {
+    let mut inbox = core::mem::take(&mut shard.mail.inbox);
+    for (src_shard, lane) in inbox.iter_mut().enumerate() {
+        for wire in lane.drain(..) {
+            debug_assert!(
+                wire.time >= horizon,
+                "lookahead violation: cross-shard message for t={} merged at horizon {}",
+                wire.time,
+                horizon
+            );
+            let kind = match wire.msg {
+                WireMsg::Request(request) => EventKind::Request {
+                    from: wire.from,
+                    to_slot: wire.to_slot,
+                    sent: wire.sent,
+                    sent_seq: wire.sent_seq,
+                    src_shard: src_shard as u32,
+                    request,
+                },
+                WireMsg::Reply(reply) => EventKind::Reply {
+                    from: wire.from,
+                    to_slot: wire.to_slot,
+                    sent: wire.sent,
+                    sent_seq: wire.sent_seq,
+                    src_shard: src_shard as u32,
+                    reply,
+                },
+            };
+            shard.schedule(wire.time, kind);
+        }
+    }
+    shard.mail.inbox = inbox;
+}
+
+/// Processes every event with `time <= limit` in this shard's queue, in
+/// `(time, seq)` order. New local events (timers, same-shard messages) go
+/// back into the queue; cross-shard messages park in the out-mailboxes.
+fn process_until<N: GossipNode + Send>(shard: &mut EventShard<N>, limit: u64, ctx: &EventCtx<'_>) {
+    while let Some(Reverse(head)) = shard.queue.peek() {
+        if head.time > limit {
+            break;
+        }
+        let Reverse(event) = shard.queue.pop().expect("peeked");
+        shard.processed += 1;
+        dispatch(shard, event, ctx);
+    }
+}
+
+fn dispatch<N: GossipNode + Send>(shard: &mut EventShard<N>, event: Event, ctx: &EventCtx<'_>) {
+    let now = event.time;
+    match event.kind {
+        EventKind::Timer(slot) => {
+            // Dead nodes stop participating: no exchange, no re-arm.
+            if !shard.pop.slot(slot).alive {
+                return;
+            }
+            shard.report.timers_fired += 1;
+            let entry = shard.pop.slot_mut(slot);
+            let initiator = entry.node.id();
+            match entry.node.initiate() {
+                Some(exchange) => {
+                    if lose(&mut shard.rng, ctx.config.loss_probability) {
+                        shard.report.dropped_messages += 1;
+                    } else {
+                        let peer = exchange.peer;
+                        send(
+                            shard,
+                            ctx,
+                            now,
+                            initiator,
+                            peer,
+                            WireMsg::Request(exchange.request),
+                        );
+                    }
+                }
+                None => shard.report.empty_view += 1,
+            }
+            // Re-arm the timer with jitter regardless.
+            let jitter = if ctx.config.jitter == 0 {
+                0
+            } else {
+                shard.rng.random_range(0..=2 * ctx.config.jitter)
+            };
+            let next = now + ctx.config.period - ctx.config.jitter + jitter;
+            shard.schedule(next, EventKind::Timer(slot));
+        }
+        EventKind::Request {
+            from,
+            to_slot,
+            sent,
+            sent_seq,
+            src_shard,
+            request,
+        } => {
+            record_delivery(shard, sent, now, from, to_slot, src_shard, sent_seq, true);
+            if !shard.pop.slot(to_slot).alive {
+                shard.report.dead_deliveries += 1;
+                return;
+            }
+            shard.report.requests_delivered += 1;
+            let responder = shard.pop.slot_mut(to_slot);
+            let responder_id = responder.node.id();
+            match responder.node.handle_request(from, request) {
+                Some(reply) => {
+                    if lose(&mut shard.rng, ctx.config.loss_probability) {
+                        shard.report.dropped_messages += 1;
+                    } else {
+                        send(shard, ctx, now, responder_id, from, WireMsg::Reply(reply));
+                    }
+                }
+                // Push-only exchange: complete on request delivery.
+                None => shard.report.exchanges_completed += 1,
+            }
+        }
+        EventKind::Reply {
+            from,
+            to_slot,
+            sent,
+            sent_seq,
+            src_shard,
+            reply,
+        } => {
+            record_delivery(shard, sent, now, from, to_slot, src_shard, sent_seq, false);
+            if !shard.pop.slot(to_slot).alive {
+                shard.report.dead_deliveries += 1;
+                return;
+            }
+            shard.pop.slot_mut(to_slot).node.handle_reply(from, reply);
+            shard.report.replies_delivered += 1;
+            shard.report.exchanges_completed += 1;
+        }
+    }
+}
+
+/// Sends `msg` from `from` (on `shard`) to `to`, drawing the latency from
+/// the sender shard's RNG: local destinations go straight into the queue,
+/// remote ones park in the out-mailbox lane until the bucket ends.
+#[allow(clippy::too_many_arguments)]
+fn send<N: GossipNode + Send>(
+    shard: &mut EventShard<N>,
+    ctx: &EventCtx<'_>,
+    now: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: WireMsg,
+) {
+    let latency = ctx.config.latency.sample(&mut shard.rng);
+    let at = now + latency;
+    let sent_seq = shard.next_seq();
+    let dest = ctx.directory[to.as_index()];
+    if dest.shard as usize == shard.index {
+        let src_shard = shard.index as u32;
+        let kind = match msg {
+            WireMsg::Request(request) => EventKind::Request {
+                from,
+                to_slot: dest.slot,
+                sent: now,
+                sent_seq,
+                src_shard,
+                request,
+            },
+            WireMsg::Reply(reply) => EventKind::Reply {
+                from,
+                to_slot: dest.slot,
+                sent: now,
+                sent_seq,
+                src_shard,
+                reply,
+            },
+        };
+        shard.schedule(at, kind);
+    } else {
+        shard.mail.out[dest.shard as usize].push(WireEvent {
+            time: at,
+            sent: now,
+            sent_seq,
+            from,
+            to_slot: dest.slot,
+            msg,
+        });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_delivery<N: GossipNode + Send>(
+    shard: &mut EventShard<N>,
+    sent: u64,
+    delivered: u64,
+    from: NodeId,
+    to_slot: u32,
+    src_shard: u32,
+    sent_seq: u64,
+    is_request: bool,
+) {
+    if !shard.trace {
+        return;
+    }
+    let to = shard.pop.slot(to_slot).node.id();
+    shard.deliveries.push(Delivery {
+        sent,
+        delivered,
+        from,
+        to,
+        src_shard,
+        dst_shard: shard.index as u32,
+        sent_seq,
+        is_request,
+    });
+}
+
+impl<N: GossipNode + Send> std::fmt::Debug for ShardedEventSimulation<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEventSimulation")
+            .field("now", &self.now)
+            .field("shards", &self.shards.len())
+            .field("workers", &self.workers)
+            .field("lookahead", &self.window)
+            .field("nodes", &self.dir.len())
+            .field("alive", &self.dir.alive_count())
+            .field(
+                "pending_events",
+                &self.shards.iter().map(|s| s.queue.len()).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+/// The single-threaded discrete-event simulator over boxed nodes — the
+/// 1-shard special case of [`ShardedEventSimulation`], keeping the
+/// historical API (exactly as [`crate::Simulation`] wraps
+/// [`crate::ShardedSimulation`]).
+///
+/// # Examples
+///
+/// ```
+/// use pss_core::{PolicyTriple, ProtocolConfig};
+/// use pss_sim::{EventConfig, EventSimulation};
+///
+/// let protocol = ProtocolConfig::new(PolicyTriple::newscast(), 20)?;
+/// let mut sim = EventSimulation::new(protocol, EventConfig::default(), 7)?;
+/// sim.add_connected_nodes(100);
+/// sim.run_for(20_000); // ≈ 20 gossip periods
+/// assert!(sim.snapshot().undirected().average_degree() > 20.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct EventSimulation {
+    inner: ShardedEventSimulation<BoxedNode>,
+}
+
+impl EventSimulation {
+    /// Creates an empty event simulation for the paper's generic protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EventConfigError`] if `config` violates an invariant
+    /// (zero period, `jitter >= period`, loss probability outside `[0, 1]`).
+    pub fn new(
+        protocol: ProtocolConfig,
+        config: EventConfig,
+        seed: u64,
+    ) -> Result<Self, EventConfigError> {
+        Ok(EventSimulation {
+            inner: ShardedEventSimulation::new(protocol, config, seed, 1)?,
+        })
+    }
+
+    /// Creates an empty event simulation with a custom node factory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EventConfigError`] if `config` violates an invariant.
+    pub fn with_factory(
+        config: EventConfig,
+        seed: u64,
+        factory: impl Fn(NodeId, u64) -> BoxedNode + Send + Sync + 'static,
+    ) -> Result<Self, EventConfigError> {
+        Ok(EventSimulation {
+            inner: ShardedEventSimulation::with_factory(config, seed, 1, factory)?,
+        })
+    }
+
+    /// The underlying sharded engine (always one shard).
+    pub fn as_sharded(&self) -> &ShardedEventSimulation<BoxedNode> {
+        &self.inner
+    }
+
+    /// Mutable access to the underlying 1-shard engine (e.g. for the
+    /// delivery log).
+    pub fn as_sharded_mut(&mut self) -> &mut ShardedEventSimulation<BoxedNode> {
+        &mut self.inner
+    }
+
+    /// Current simulation time in ticks.
+    pub fn now(&self) -> u64 {
+        self.inner.now()
+    }
+
+    /// Number of live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.inner.alive_count()
+    }
+
+    /// The view of a live node.
+    pub fn view_of(&self, id: NodeId) -> Option<&View> {
+        self.inner.view_of(id)
+    }
+
+    /// Adds a node bootstrapped from `seeds`; its first timer fires at a
+    /// uniform-random phase within one period (nodes are not synchronized).
+    pub fn add_node(&mut self, seeds: impl IntoIterator<Item = NodeDescriptor>) -> NodeId {
+        self.inner.add_node(seeds)
+    }
+
+    /// Adds `n` nodes where node `i` bootstraps off node `i − 1` (a simple
+    /// connected chain, convenient for tests and examples).
+    pub fn add_connected_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        self.inner.add_connected_nodes(n)
+    }
+
+    /// Kills one node (crash-stop): pending deliveries to it are dropped at
+    /// delivery time.
+    pub fn kill(&mut self, id: NodeId) -> bool {
+        self.inner.kill(id)
+    }
+
+    /// Runs until simulation time reaches `deadline`, processing every
+    /// event at or before it. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: u64) -> u64 {
+        self.inner.run_until(deadline)
+    }
+
+    /// Runs for `duration` ticks from the current time.
+    pub fn run_for(&mut self, duration: u64) -> u64 {
+        self.inner.run_for(duration)
+    }
+
+    /// Cumulative event statistics since construction.
+    pub fn report(&self) -> EventReport {
+        self.inner.report()
+    }
+
     /// Descriptors in live views pointing at dead nodes.
     pub fn dead_link_count(&self) -> usize {
-        self.pop.dead_link_count()
+        self.inner.dead_link_count()
     }
 
     /// Builds the communication-graph snapshot over live nodes.
     pub fn snapshot(&self) -> Snapshot {
-        self.pop.snapshot()
-    }
-
-    fn schedule(&mut self, time: u64, kind: EventKind) {
-        self.seq += 1;
-        self.queue.push(Reverse(Event {
-            time,
-            seq: self.seq,
-            kind,
-        }));
-    }
-
-    fn send_latency(&mut self) -> u64 {
-        self.config.latency.sample(&mut self.rng)
-    }
-
-    fn lost(&mut self) -> bool {
-        self.config.loss_probability > 0.0
-            && self.rng.random::<f64>() < self.config.loss_probability
-    }
-
-    fn dispatch(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::Timer(id) => {
-                if self.pop.is_alive(id) {
-                    if let Some(exchange) = self.pop.get_mut(id).expect("alive").node.initiate() {
-                        if !self.lost() {
-                            let at = self.now + self.send_latency();
-                            self.schedule(
-                                at,
-                                EventKind::Request {
-                                    from: id,
-                                    to: exchange.peer,
-                                    request: exchange.request,
-                                },
-                            );
-                        }
-                    }
-                    // Re-arm the timer with jitter regardless.
-                    let jitter = if self.config.jitter == 0 {
-                        0
-                    } else {
-                        self.rng.random_range(0..=2 * self.config.jitter)
-                    };
-                    let next = self.now + self.config.period - self.config.jitter + jitter;
-                    self.schedule(next, EventKind::Timer(id));
-                }
-            }
-            EventKind::Request { from, to, request } => {
-                if !self.pop.is_alive(to) {
-                    return;
-                }
-                let reply = self
-                    .pop
-                    .get_mut(to)
-                    .expect("alive")
-                    .node
-                    .handle_request(from, request);
-                if let Some(reply) = reply {
-                    if !self.lost() {
-                        let at = self.now + self.send_latency();
-                        self.schedule(
-                            at,
-                            EventKind::Reply {
-                                from: to,
-                                to: from,
-                                reply,
-                            },
-                        );
-                    }
-                }
-            }
-            EventKind::Reply { from, to, reply } => {
-                if self.pop.is_alive(to) {
-                    self.pop
-                        .get_mut(to)
-                        .expect("alive")
-                        .node
-                        .handle_reply(from, reply);
-                }
-            }
-        }
+        self.inner.snapshot()
     }
 }
 
 impl std::fmt::Debug for EventSimulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventSimulation")
-            .field("now", &self.now)
-            .field("nodes", &self.pop.len())
-            .field("alive", &self.pop.alive_count())
-            .field("pending_events", &self.queue.len())
+            .field("now", &self.inner.now())
+            .field("nodes", &self.inner.node_count())
+            .field("alive", &self.inner.alive_count())
+            .field(
+                "pending_events",
+                &self
+                    .inner
+                    .shards
+                    .iter()
+                    .map(|s| s.queue.len())
+                    .sum::<usize>(),
+            )
             .finish()
     }
 }
@@ -431,6 +1328,8 @@ mod tests {
         }
         // Degenerate range.
         assert_eq!(LatencyModel::Uniform { min: 7, max: 7 }.sample(&mut rng), 7);
+        assert_eq!(LatencyModel::Zero.minimum(), 0);
+        assert_eq!(LatencyModel::Uniform { min: 3, max: 9 }.minimum(), 3);
     }
 
     #[test]
@@ -480,6 +1379,31 @@ mod tests {
     }
 
     #[test]
+    fn multi_shard_requires_lookahead() {
+        // Zero minimum latency is fine sequentially...
+        let config = EventConfig {
+            period: 100,
+            jitter: 0,
+            latency: LatencyModel::Zero,
+            loss_probability: 0.0,
+        };
+        assert!(EventSimulation::new(protocol(), config, 1).is_ok());
+        // ...but has no lookahead window to run shards concurrently under.
+        assert_eq!(
+            ShardedEventSimulation::new(protocol(), config, 1, 2).err(),
+            Some(EventConfigError::NoLookahead { shards: 2 })
+        );
+        let err = config.validate_sharded(4).unwrap_err();
+        assert!(err.to_string().contains("lookahead"));
+        // A positive minimum restores it.
+        let ok = EventConfig {
+            latency: LatencyModel::Uniform { min: 1, max: 4 },
+            ..config
+        };
+        assert!(ShardedEventSimulation::new(protocol(), ok, 1, 2).is_ok());
+    }
+
+    #[test]
     fn timers_fire_and_rearm() {
         let mut s = sim(EventConfig {
             period: 100,
@@ -494,6 +1418,10 @@ mod tests {
         // Both learned each other.
         assert!(s.view_of(NodeId::new(0)).unwrap().contains(NodeId::new(1)));
         assert!(s.view_of(NodeId::new(1)).unwrap().contains(NodeId::new(0)));
+        let report = s.report();
+        assert!(report.timers_fired >= 18);
+        assert!(report.requests_delivered > 0);
+        assert!(report.exchanges_completed > 0);
     }
 
     #[test]
@@ -562,6 +1490,8 @@ mod tests {
         // age in place.
         let after: Vec<_> = (0..4).map(|i| ids(&s, i)).collect();
         assert_eq!(before, after);
+        assert_eq!(s.report().requests_delivered, 0);
+        assert!(s.report().dropped_messages > 0);
     }
 
     #[test]
@@ -594,8 +1524,41 @@ mod tests {
     }
 
     #[test]
+    fn sharded_run_until_respects_deadline() {
+        let config = EventConfig {
+            period: 100,
+            jitter: 0,
+            latency: LatencyModel::Uniform { min: 7, max: 13 },
+            loss_probability: 0.0,
+        };
+        let mut s = ShardedEventSimulation::new(protocol(), config, 11, 3).expect("valid config");
+        s.add_connected_nodes(9);
+        s.run_until(250);
+        assert_eq!(s.now(), 250);
+        let more = s.run_until(1000);
+        assert!(more > 0);
+        assert_eq!(s.now(), 1000);
+    }
+
+    #[test]
+    fn run_cycle_advances_one_period() {
+        let mut s = ShardedEventSimulation::new(protocol(), EventConfig::default(), 3, 2)
+            .expect("valid config");
+        s.add_connected_nodes(20);
+        let report = s.run_cycle();
+        assert_eq!(s.cycle(), 1);
+        assert_eq!(s.now(), 1000);
+        assert!(report.initiated() > 0);
+    }
+
+    #[test]
     fn debug_format() {
         let s = sim(EventConfig::default());
         assert!(format!("{s:?}").contains("pending_events"));
+        let sh = ShardedEventSimulation::new(protocol(), EventConfig::default(), 1, 2)
+            .expect("valid config");
+        let text = format!("{sh:?}");
+        assert!(text.contains("lookahead"));
+        assert!(text.contains("shards"));
     }
 }

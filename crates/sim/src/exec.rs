@@ -1,0 +1,460 @@
+//! Shared sharded-execution machinery.
+//!
+//! Both parallel engines — the cycle-driven [`crate::ShardedSimulation`]
+//! and the event-driven [`crate::ShardedEventSimulation`] — run the same
+//! execution skeleton: a population partitioned into shards, phases executed
+//! by scoped worker threads with a static round-robin shard assignment, and
+//! fixed-order per-`(src, dst)` mailboxes that are pointer-swap transposed
+//! on the driver thread between phases. This module holds that skeleton so
+//! the two engines share one implementation (and one set of invariants):
+//!
+//! * [`run_phase`] — scoped-worker execution of a per-shard closure. Shards
+//!   are data-isolated within a phase, so the thread assignment is pure load
+//!   balancing and can never affect results.
+//! * [`Mailboxes`]/[`transpose`] — the fixed-order cross-shard queues. A
+//!   mailbox lane is written by exactly one shard and read by exactly one
+//!   shard, on opposite sides of a phase barrier; transposition swaps the
+//!   vectors (no copies) and recycles the drained capacity back to the
+//!   sender.
+//! * [`SlotRef`]/[`Directory`] — the global id → `(shard, slot)` mapping
+//!   with its liveness bitset, the single source of truth shared by every
+//!   accessor on both engines.
+
+use pss_core::{GossipNode, NodeDescriptor, NodeId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::population::Population;
+
+/// Where a global node id lives: `(shard, slot within the shard)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotRef {
+    pub(crate) shard: u32,
+    pub(crate) slot: u32,
+}
+
+/// SplitMix64 finalizer, for deriving independent per-shard and per-node
+/// seeds from one construction seed.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG seed of shard `index` from the construction seed:
+/// an independent per-shard stream, offset by a golden-ratio multiple so
+/// shard 0 does not alias the control RNG.
+pub(crate) fn shard_seed(seed: u64, index: usize) -> u64 {
+    mix(seed ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The global id → `(shard, slot)` directory plus the liveness bitset.
+///
+/// Ids are assigned densely in join order and never reused. Ids below the
+/// planned capacity map to contiguous per-shard ranges (so bulk
+/// construction can proceed shard-parallel); later joins are placed by the
+/// owning engine (least-loaded).
+#[derive(Debug, Default)]
+pub(crate) struct Directory {
+    slots: Vec<SlotRef>,
+    /// Bit per global id; the single source of truth for liveness.
+    alive_bits: Vec<u64>,
+    alive_count: usize,
+    /// Ids below this were pre-planned and map to contiguous shard ranges.
+    planned: u64,
+}
+
+impl Directory {
+    pub(crate) fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Declares that the next `n` ids will be bulk-added into contiguous
+    /// per-shard ranges (shard `k` of `s` owns ids `[k·n/s, (k+1)·n/s)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes were already added.
+    pub(crate) fn plan_capacity(&mut self, n: usize) {
+        assert!(
+            self.slots.is_empty(),
+            "plan_capacity must precede the first add_node"
+        );
+        self.planned = n as u64;
+    }
+
+    /// The shard a fresh id belongs to: its planned range, or the
+    /// least-loaded shard (lowest index on ties) given per-shard loads.
+    pub(crate) fn shard_for_new(
+        &self,
+        id: u64,
+        loads: impl ExactSizeIterator<Item = usize>,
+    ) -> usize {
+        let s = loads.len() as u64;
+        debug_assert!(s > 0, "need at least one shard");
+        if id < self.planned {
+            ((id * s) / self.planned) as usize
+        } else {
+            loads
+                .enumerate()
+                .min_by_key(|(i, load)| (*load, *i))
+                .map(|(i, _)| i)
+                .expect("at least one shard")
+        }
+    }
+
+    /// The full id → `(shard, slot)` table, indexable by `id.as_index()`.
+    pub(crate) fn slots(&self) -> &[SlotRef] {
+        &self.slots
+    }
+
+    /// Total ids ever assigned (dead ones included).
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of live ids.
+    pub(crate) fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Registers the next id as living in `(shard, slot)` and marks it
+    /// alive. Returns the id.
+    pub(crate) fn push(&mut self, shard: u32, slot: u32) -> NodeId {
+        let id = NodeId::new(self.slots.len() as u64);
+        self.slots.push(SlotRef { shard, slot });
+        let bit = id.as_index();
+        if bit / 64 >= self.alive_bits.len() {
+            self.alive_bits.push(0);
+        }
+        self.alive_bits[bit / 64] |= 1 << (bit % 64);
+        self.alive_count += 1;
+        id
+    }
+
+    /// True if `id` exists and is alive.
+    pub(crate) fn is_alive(&self, id: NodeId) -> bool {
+        let slot = id.as_index();
+        self.alive_bits
+            .get(slot / 64)
+            .is_some_and(|word| word & (1 << (slot % 64)) != 0)
+    }
+
+    /// Clears the liveness bit of `id`. Returns its slot if it was alive.
+    pub(crate) fn kill(&mut self, id: NodeId) -> Option<SlotRef> {
+        if !self.is_alive(id) {
+            return None;
+        }
+        let bit = id.as_index();
+        self.alive_bits[bit / 64] &= !(1 << (bit % 64));
+        self.alive_count -= 1;
+        Some(self.slots[bit])
+    }
+
+    /// The `(shard, slot)` of `id`, dead or alive.
+    pub(crate) fn slot_ref(&self, id: NodeId) -> Option<SlotRef> {
+        self.slots.get(id.as_index()).copied()
+    }
+
+    /// The liveness bitset (bit per global id).
+    pub(crate) fn alive_bits(&self) -> &[u64] {
+        &self.alive_bits
+    }
+
+    /// Ids of all live nodes, in increasing order.
+    pub(crate) fn alive_ids(&self) -> Vec<NodeId> {
+        (0..self.slots.len() as u64)
+            .map(NodeId::new)
+            .filter(|&id| self.is_alive(id))
+            .collect()
+    }
+}
+
+/// One message-loss draw against the shard-local RNG stream.
+#[inline]
+pub(crate) fn lose(rng: &mut SmallRng, loss: f64) -> bool {
+    loss > 0.0 && rng.random::<f64>() < loss
+}
+
+/// Crash-stop kill shared by both engines: clears the directory liveness
+/// bit and the owning shard's population slot. `pop` projects the
+/// population out of the engine-specific shard type.
+pub(crate) fn kill_node<S, N: GossipNode>(
+    dir: &mut Directory,
+    shards: &mut [S],
+    id: NodeId,
+    pop: impl Fn(&mut S) -> &mut Population<N>,
+) -> bool {
+    let Some(slot_ref) = dir.kill(id) else {
+        return false;
+    };
+    let killed = pop(&mut shards[slot_ref.shard as usize]).kill_slot(slot_ref.slot);
+    debug_assert!(killed);
+    true
+}
+
+/// Worker-parallel bulk construction shared by both engines: plans `n`
+/// contiguous per-shard id ranges, builds every shard's partition
+/// concurrently with `(seed, id)`-pure node seeds, runs the
+/// engine-specific `per_node` hook (the event engine schedules the initial
+/// timer there), then registers the ids in the directory — bit-identical
+/// at any worker count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bulk_build<S, N, I>(
+    dir: &mut Directory,
+    shards: &mut [S],
+    workers: usize,
+    n: usize,
+    seed: u64,
+    factory: &(dyn Fn(NodeId, u64) -> N + Send + Sync),
+    seeds: impl Fn(NodeId) -> I + Sync,
+    pop: impl Fn(&mut S) -> &mut Population<N> + Sync,
+    index: impl Fn(&S) -> usize + Sync,
+    per_node: impl Fn(&mut S, u32, NodeId) + Sync,
+) where
+    S: Send,
+    N: GossipNode + Send,
+    I: IntoIterator<Item = NodeDescriptor>,
+{
+    dir.plan_capacity(n);
+    let shard_count = shards.len();
+    run_phase(shards, workers, |shard| {
+        let (start, end) = planned_range(n, shard_count, index(shard));
+        for raw in start..end {
+            let id = NodeId::new(raw as u64);
+            let node = factory(id, bulk_node_seed(seed, id.as_u64()));
+            debug_assert_eq!(node.id(), id, "factory must honor the assigned id");
+            let slot = pop(shard).add_slot(node);
+            debug_assert_eq!(slot as usize, raw - start);
+            pop(shard)
+                .slot_mut(slot)
+                .node
+                .init(&mut seeds(id).into_iter());
+            per_node(shard, slot, id);
+        }
+    });
+    for raw in 0..n as u64 {
+        // Same placement formula `shard_for_new` uses for planned ids.
+        let shard = ((raw * shard_count as u64) / n as u64) as usize;
+        let (start, _) = planned_range(n, shard_count, shard);
+        dir.push(shard as u32, (raw as usize - start) as u32);
+    }
+}
+
+/// The contiguous id range shard `index` of `shards` owns under a plan of
+/// `n` ids: `[⌈index·n/shards⌉, ⌈(index+1)·n/shards⌉)` — exactly the ids
+/// [`Directory::shard_for_new`] maps to that shard, so bulk construction
+/// and incremental joins agree on placement.
+pub(crate) fn planned_range(n: usize, shards: usize, index: usize) -> (usize, usize) {
+    let start = (index * n).div_ceil(shards);
+    let end = ((index + 1) * n).div_ceil(shards);
+    (start, end.min(n))
+}
+
+/// The (construction seed, id)-pure node seed used by bulk construction —
+/// independent of the driver's control RNG, so per-shard workers can build
+/// their partitions concurrently with bit-identical results at any worker
+/// count.
+pub(crate) fn bulk_node_seed(seed: u64, id: u64) -> u64 {
+    mix(seed ^ 0x9159_015a_3070_dd17 ^ id.wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+/// The (construction seed, id)-pure initial timer phase used by the event
+/// engine's bulk construction, uniform over `[0, period)`.
+pub(crate) fn bulk_timer_phase(seed: u64, id: u64, period: u64) -> u64 {
+    mix(seed ^ 0x7c15_9e37_79b9_7f4a ^ id.wrapping_mul(0x2545_f491_4f6c_dd1d)) % period
+}
+
+/// Builds the flat CSR live-view snapshot shared by both engines'
+/// `csr_snapshot`: `for_each` must visit every live `(id, view)` in
+/// increasing id order (both engines' `for_each_live_view`), and is called
+/// twice — once to build the compact index, once to emit edges. Dead view
+/// targets are dropped, exactly as in the `Vec`-based snapshot.
+pub(crate) fn csr_from_views(
+    id_space: usize,
+    alive_count: usize,
+    for_each: impl Fn(&mut dyn FnMut(NodeId, &pss_core::View)),
+) -> crate::CsrSnapshot {
+    let mut index = vec![u32::MAX; id_space];
+    let mut ids: Vec<NodeId> = Vec::with_capacity(alive_count);
+    let mut per_node = 0usize;
+    for_each(&mut |id, view| {
+        index[id.as_index()] = ids.len() as u32;
+        ids.push(id);
+        // Estimate edge capacity from the first live view (views share c).
+        if per_node == 0 {
+            per_node = view.len();
+        }
+    });
+    let mut builder = pss_graph::csr::CsrBuilder::with_capacity(ids.len(), ids.len() * per_node);
+    for_each(&mut |_, view| {
+        builder.push_node(view.ids().filter_map(|target| {
+            index
+                .get(target.as_index())
+                .copied()
+                .filter(|&compact| compact != u32::MAX)
+        }));
+    });
+    let graph = builder.finish().expect("compact indices are in range");
+    crate::CsrSnapshot::new(graph, ids)
+}
+
+/// The outgoing/incoming cross-shard queues of one shard, one fixed-order
+/// lane per peer shard. `out[dst]` is filled by this shard during a phase;
+/// [`transpose`] then moves every `out[dst]` into the destination shard's
+/// `inbox[src]`, where lane index = sender shard, so draining the inbox in
+/// lane order is the deterministic sender-shard order the engines' contracts
+/// rely on.
+pub(crate) struct Mailboxes<T> {
+    pub(crate) out: Vec<Vec<T>>,
+    pub(crate) inbox: Vec<Vec<T>>,
+}
+
+impl<T> Mailboxes<T> {
+    pub(crate) fn new(shards: usize) -> Self {
+        Mailboxes {
+            out: (0..shards).map(|_| Vec::new()).collect(),
+            inbox: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// True if every outgoing lane is empty.
+    pub(crate) fn out_is_empty(&self) -> bool {
+        self.out.iter().all(Vec::is_empty)
+    }
+}
+
+/// Two distinct mutable shards by index.
+///
+/// # Panics
+///
+/// Panics if `i == j` or either is out of range.
+pub(crate) fn shard_pair<S>(shards: &mut [S], i: usize, j: usize) -> (&mut S, &mut S) {
+    assert_ne!(i, j);
+    if i < j {
+        let (lo, hi) = shards.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = shards.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+/// Moves every shard's `out[dst]` lane into the destination's `inbox[src]`
+/// lane: the mailbox transposition between phases. Vectors are swapped, not
+/// copied, and the drained inbox capacity flows back to the sender —
+/// O(S²) pointer swaps on the driver thread. `mail` projects the mailboxes
+/// out of the engine-specific shard type.
+pub(crate) fn transpose<S, T>(shards: &mut [S], mail: impl Fn(&mut S) -> &mut Mailboxes<T>) {
+    for src in 0..shards.len() {
+        for dst in 0..shards.len() {
+            if src == dst {
+                continue;
+            }
+            let (sender, receiver) = shard_pair(shards, src, dst);
+            let out = core::mem::take(&mut mail(sender).out[dst]);
+            let spent = core::mem::replace(&mut mail(receiver).inbox[src], out);
+            debug_assert!(spent.is_empty(), "inbox must be drained before refill");
+            mail(sender).out[dst] = spent; // recycle capacity
+        }
+    }
+}
+
+/// Runs `f` over every shard using up to `workers` scoped threads with a
+/// static round-robin shard assignment. The assignment is pure load
+/// balancing: shards are data-isolated within a phase, so which thread runs
+/// which shard can never affect results.
+pub(crate) fn run_phase<S, F>(shards: &mut [S], workers: usize, f: F)
+where
+    S: Send,
+    F: Fn(&mut S) + Sync,
+{
+    let workers = workers.clamp(1, shards.len().max(1));
+    if workers <= 1 {
+        for shard in shards.iter_mut() {
+            f(shard);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<&mut S>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, shard) in shards.iter_mut().enumerate() {
+        buckets[i % workers].push(shard);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move || {
+                // Warm this worker's staging arena once per phase batch.
+                pss_core::staging::prewarm(2, 64);
+                for shard in bucket {
+                    f(shard);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_assigns_planned_then_least_loaded() {
+        let mut dir = Directory::new();
+        dir.plan_capacity(4);
+        // Planned ids split evenly over 2 shards.
+        assert_eq!(dir.shard_for_new(0, [0, 0].into_iter()), 0);
+        assert_eq!(dir.shard_for_new(1, [0, 0].into_iter()), 0);
+        assert_eq!(dir.shard_for_new(2, [0, 0].into_iter()), 1);
+        assert_eq!(dir.shard_for_new(3, [0, 0].into_iter()), 1);
+        // Beyond the plan: least loaded, lowest index on ties.
+        assert_eq!(dir.shard_for_new(4, [3, 2].into_iter()), 1);
+        assert_eq!(dir.shard_for_new(4, [2, 2].into_iter()), 0);
+    }
+
+    #[test]
+    fn directory_tracks_liveness() {
+        let mut dir = Directory::new();
+        let a = dir.push(0, 0);
+        let b = dir.push(1, 0);
+        assert_eq!(dir.len(), 2);
+        assert_eq!(dir.alive_count(), 2);
+        assert!(dir.is_alive(a) && dir.is_alive(b));
+        let slot = dir.kill(b).expect("was alive");
+        assert_eq!(slot.shard, 1);
+        assert!(dir.kill(b).is_none());
+        assert_eq!(dir.alive_count(), 1);
+        assert_eq!(dir.alive_ids(), vec![a]);
+        assert_eq!(dir.alive_bits(), &[0b01]);
+        assert!(dir.slot_ref(b).is_some(), "dead ids keep their slot");
+    }
+
+    #[test]
+    fn transpose_moves_and_recycles() {
+        struct S {
+            mail: Mailboxes<u32>,
+        }
+        let mut shards: Vec<S> = (0..3)
+            .map(|_| S {
+                mail: Mailboxes::new(3),
+            })
+            .collect();
+        shards[0].mail.out[1].extend([10, 11]);
+        shards[0].mail.out[2].push(20);
+        shards[2].mail.out[0].push(99);
+        transpose(&mut shards, |s| &mut s.mail);
+        assert_eq!(shards[1].mail.inbox[0], vec![10, 11]);
+        assert_eq!(shards[2].mail.inbox[0], vec![20]);
+        assert_eq!(shards[0].mail.inbox[2], vec![99]);
+        assert!(shards.iter().all(|s| s.mail.out_is_empty()));
+    }
+
+    #[test]
+    fn run_phase_covers_every_shard_at_any_worker_count() {
+        for workers in [1, 2, 5, 8] {
+            let mut shards: Vec<u64> = vec![0; 5];
+            run_phase(&mut shards, workers, |s| *s += 1);
+            assert_eq!(shards, vec![1; 5], "workers = {workers}");
+        }
+    }
+}

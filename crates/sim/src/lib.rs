@@ -13,9 +13,14 @@
 //!   fixed-order mailboxes, and results are bit-identical for a given
 //!   `(seed, shard_count)` regardless of the worker-thread count.
 //!   [`Simulation`] is exactly this engine with one shard.
-//! * [`EventSimulation`] — a **discrete-event** engine with per-node timer
-//!   jitter, message latency and message loss. This goes beyond the paper's
-//!   model and is used for the asynchrony-robustness extension experiments.
+//! * [`EventSimulation`] / [`ShardedEventSimulation`] — a **discrete-event**
+//!   engine with per-node timer jitter, message latency and message loss.
+//!   This goes beyond the paper's model and is used for the
+//!   asynchrony-robustness extension experiments. The sharded variant runs
+//!   the event queues shard-parallel under a conservative lookahead window
+//!   equal to the minimum latency, with the same determinism contract as
+//!   the cycle engine; [`EventSimulation`] is exactly its 1-shard special
+//!   case.
 //!
 //! Scenario constructors ([`scenario`]) reproduce the paper's three
 //! bootstrap regimes — growing overlay, ring lattice, uniform random — and
@@ -45,6 +50,7 @@ mod churn;
 mod cycle;
 mod engine;
 mod event;
+mod exec;
 mod population;
 mod shard;
 mod snapshot;
@@ -55,7 +61,10 @@ pub mod scenario;
 pub use churn::ChurnProcess;
 pub use cycle::Simulation;
 pub use engine::Engine;
-pub use event::{EventConfig, EventConfigError, EventSimulation, LatencyModel};
+pub use event::{
+    Delivery, EventConfig, EventConfigError, EventReport, EventSimulation, LatencyModel,
+    ShardedEventSimulation,
+};
 pub use population::BoxedNode;
 pub use shard::{CycleReport, FailureMode, GrowthPlan, ShardedSimulation};
 pub use snapshot::{CsrSnapshot, Snapshot};

@@ -1,20 +1,15 @@
 //! Node storage shared by all simulation engines.
 //!
 //! A [`Population`] is a dense table of protocol nodes with a `u64`-bitset
-//! liveness mirror. It is used in two ways:
-//!
-//! * **identity-mapped** (the event engine): slot `i` holds the node with
-//!   [`NodeId`] `i`, and the id-based accessors ([`Population::is_alive`],
-//!   [`Population::view_of`], …) apply;
-//! * **as one shard of a sharded population** (the cycle engines): slots
-//!   are shard-local indices, the node's *global* id lives in the node
-//!   itself, and only the slot-based accessors are meaningful. The mapping
-//!   from global id to `(shard, slot)` is kept by the owning
-//!   [`crate::ShardedSimulation`].
+//! liveness mirror, holding **one shard** of a sharded population: slots
+//! are shard-local indices, the node's *global* id lives in the node
+//! itself, and the mapping from global id to `(shard, slot)` is kept by
+//! the owning engine's [`crate::exec::Directory`]. Both the cycle engines
+//! ([`crate::ShardedSimulation`]) and the event engines
+//! ([`crate::ShardedEventSimulation`]) store their partitions this way;
+//! the sequential wrappers are the 1-shard special case.
 
-use pss_core::{GossipNode, NodeId, View};
-
-use crate::Snapshot;
+use pss_core::{GossipNode, NodeId};
 
 /// A heap-allocated protocol node usable by the simulators.
 ///
@@ -57,16 +52,6 @@ impl<N: GossipNode> Population<N> {
         Population::default()
     }
 
-    /// Adds a node built by `make` from its assigned id, which in the
-    /// identity mapping equals the slot index. Returns the id.
-    pub(crate) fn add_with(&mut self, make: impl FnOnce(NodeId) -> N) -> NodeId {
-        let id = NodeId::new(self.entries.len() as u64);
-        let node = make(id);
-        debug_assert_eq!(node.id(), id, "factory must honor the assigned id");
-        self.push_alive(node);
-        id
-    }
-
     /// Adds an already-built node (whose id need not match the slot) and
     /// returns its slot index.
     pub(crate) fn add_slot(&mut self, node: N) -> u32 {
@@ -89,31 +74,15 @@ impl<N: GossipNode> Population<N> {
         self.entries.len()
     }
 
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn alive_count(&self) -> usize {
         self.alive_count
     }
 
-    /// Identity-mapped liveness: the node with id `id` is alive.
-    pub(crate) fn is_alive(&self, id: NodeId) -> bool {
-        self.entries
-            .get(id.as_index())
-            .map(|e| e.alive)
-            .unwrap_or(false)
-    }
-
-    /// The liveness bitset (bit `i` ⇔ slot `i` alive), for cycle drivers
-    /// that snapshot liveness once per cycle.
+    /// The liveness bitset (bit `i` ⇔ slot `i` alive).
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn alive_bits(&self) -> &[u64] {
         &self.alive_bits
-    }
-
-    /// Identity-mapped kill. Returns false if already dead or unknown.
-    pub(crate) fn kill(&mut self, id: NodeId) -> bool {
-        if id.as_index() >= self.entries.len() {
-            return false;
-        }
-        self.kill_slot(id.as_index() as u32)
     }
 
     /// Slot-based kill. Returns false if already dead.
@@ -128,14 +97,6 @@ impl<N: GossipNode> Population<N> {
             }
             _ => false,
         }
-    }
-
-    pub(crate) fn get(&self, id: NodeId) -> Option<&Entry<N>> {
-        self.entries.get(id.as_index())
-    }
-
-    pub(crate) fn get_mut(&mut self, id: NodeId) -> Option<&mut Entry<N>> {
-        self.entries.get_mut(id.as_index())
     }
 
     /// The entry in `slot`.
@@ -165,12 +126,6 @@ impl<N: GossipNode> Population<N> {
             .map(|(i, _)| i as u32)
     }
 
-    /// Identity-mapped view access for live nodes.
-    pub(crate) fn view_of(&self, id: NodeId) -> Option<&View> {
-        let e = self.get(id)?;
-        e.alive.then(|| e.node.view())
-    }
-
     /// Descriptors held by live nodes that point at nodes `is_live` rejects.
     pub(crate) fn dead_link_count_with(&self, is_live: impl Fn(NodeId) -> bool) -> usize {
         self.entries
@@ -184,24 +139,6 @@ impl<N: GossipNode> Population<N> {
                     .count()
             })
             .sum()
-    }
-
-    /// Identity-mapped dead-link count.
-    pub(crate) fn dead_link_count(&self) -> usize {
-        self.dead_link_count_with(|id| self.is_alive(id))
-    }
-
-    /// Builds the communication-graph snapshot over live nodes
-    /// (identity-mapped populations only).
-    pub(crate) fn snapshot(&self) -> Snapshot {
-        Snapshot::build(
-            self.entries
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.alive)
-                .map(|(i, e)| (NodeId::new(i as u64), e.node.view())),
-            |id| self.is_alive(id),
-        )
     }
 }
 

@@ -16,7 +16,10 @@ use pss_graph::{gen, DiGraph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::{GrowthPlan, ShardedSimulation, Simulation};
+use crate::{
+    EventConfig, EventConfigError, GrowthPlan, ShardedEventSimulation, ShardedSimulation,
+    Simulation,
+};
 
 /// Seeds an existing (empty) simulation so that node `i`'s view holds a
 /// fresh descriptor per out-neighbor of `i` in `graph`. Works for any node
@@ -171,24 +174,102 @@ pub fn random_overlay_sharded(
     seed: u64,
     shards: usize,
 ) -> ShardedSimulation<PeerSamplingNode> {
-    use rand::seq::index::sample;
-
     let mut sim = ShardedSimulation::typed(config.clone(), seed, shards);
     sim.plan_capacity(n);
     let want = config.view_size().min(n.saturating_sub(1));
     for i in 0..n {
-        // Distinct, self-excluding uniform picks: sample from n−1 slots and
-        // shift picks at or above the node's own index up by one.
-        let mut view_rng = SmallRng::seed_from_u64(crate::shard::mix(
-            seed ^ 0xd1b5_4a32_d192_ed03 ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d),
-        ));
-        let picks = sample(&mut view_rng, n - 1, want);
-        sim.add_node(picks.iter().map(|p| {
-            let target = if p >= i { p + 1 } else { p };
-            NodeDescriptor::fresh(NodeId::new(target as u64))
-        }));
+        sim.add_node(random_view_for(seed, n, want, i));
     }
     sim
+}
+
+/// The per-node `(seed, id)`-pure uniform view used by the sharded random
+/// scenarios: `want` distinct, self-excluding picks among the `n` nodes.
+/// Pure in `(seed, n, want, i)`, so shard-parallel bulk construction and
+/// driver-serial joins produce the identical topology.
+fn random_view_for(
+    seed: u64,
+    n: usize,
+    want: usize,
+    i: usize,
+) -> impl Iterator<Item = NodeDescriptor> {
+    use rand::seq::index::sample;
+
+    // Distinct, self-excluding uniform picks: sample from n−1 slots and
+    // shift picks at or above the node's own index up by one.
+    let mut view_rng = SmallRng::seed_from_u64(crate::exec::mix(
+        seed ^ 0xd1b5_4a32_d192_ed03 ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d),
+    ));
+    let picks = sample(&mut view_rng, n - 1, want);
+    picks.into_iter().map(move |p| {
+        let target = if p >= i { p + 1 } else { p };
+        NodeDescriptor::fresh(NodeId::new(target as u64))
+    })
+}
+
+/// The random scenario on the **sharded event engine**: the same
+/// `(seed, id)`-pure per-node views as [`random_overlay_sharded`] (so event
+/// and cycle runs at equal `(seed, n, c)` start from the identical
+/// overlay), built **worker-parallel** via
+/// [`ShardedEventSimulation::add_nodes_bulk`] — node seeds and timer
+/// phases are pure in `(seed, id)` too, making the constructed simulation
+/// bit-identical at any worker count.
+///
+/// # Errors
+///
+/// Returns an [`EventConfigError`] if `event` violates an invariant (for
+/// multiple shards that includes a zero minimum latency — the lookahead
+/// window).
+pub fn event_random_overlay_sharded(
+    config: &ProtocolConfig,
+    event: EventConfig,
+    n: usize,
+    seed: u64,
+    shards: usize,
+) -> Result<ShardedEventSimulation<PeerSamplingNode>, EventConfigError> {
+    let mut sim = ShardedEventSimulation::typed(config.clone(), event, seed, shards)?;
+    let want = config.view_size().min(n.saturating_sub(1));
+    sim.add_nodes_bulk(n, move |id| random_view_for(seed, n, want, id.as_index()));
+    Ok(sim)
+}
+
+/// Seeds an empty [`ShardedEventSimulation`] from a directed graph, exactly
+/// like [`from_digraph`] does for the cycle engine: node `i`'s view holds a
+/// fresh descriptor per out-neighbor of `i`, and node seeds/phases come
+/// from the control RNG in join order — so a 1-shard instance is the
+/// [`crate::EventSimulation`] built by the same adds (the differential
+/// tests pin this).
+///
+/// # Errors
+///
+/// Returns an [`EventConfigError`] if `event` violates an invariant.
+///
+/// # Panics
+///
+/// Panics if any out-degree exceeds the configured view size.
+pub fn event_from_digraph_sharded(
+    config: &ProtocolConfig,
+    event: EventConfig,
+    graph: &DiGraph,
+    seed: u64,
+    shards: usize,
+) -> Result<ShardedEventSimulation<PeerSamplingNode>, EventConfigError> {
+    let mut sim = ShardedEventSimulation::typed(config.clone(), event, seed, shards)?;
+    sim.plan_capacity(graph.node_count());
+    for v in 0..graph.node_count() as u32 {
+        let out = graph.out_neighbors(v);
+        assert!(
+            out.len() <= config.view_size(),
+            "initial out-degree {} exceeds view size {}",
+            out.len(),
+            config.view_size()
+        );
+        sim.add_node(
+            out.iter()
+                .map(|&t| NodeDescriptor::fresh(NodeId::new(t as u64))),
+        );
+    }
+    Ok(sim)
 }
 
 #[cfg(test)]
@@ -298,6 +379,39 @@ mod tests {
     fn sharded_from_digraph_replicates_views() {
         let g = DiGraph::from_views(3, vec![vec![1, 2], vec![2], vec![]]).unwrap();
         let sim = from_digraph_sharded(&config(5), &g, 1, 2);
+        assert_eq!(sim.node_count(), 3);
+        let v0 = sim.view_of(NodeId::new(0)).unwrap();
+        assert!(v0.contains(NodeId::new(1)));
+        assert!(v0.contains(NodeId::new(2)));
+        assert!(sim.view_of(NodeId::new(2)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn event_random_overlay_matches_cycle_overlay_topology() {
+        // The event scenario starts from the identical overlay as the cycle
+        // scenario at equal (seed, n, c) — and is invariant across both
+        // shard and worker counts (bulk construction is (seed, id)-pure).
+        let event = EventConfig::default();
+        let views = |sim_views: Vec<Vec<NodeId>>| sim_views;
+        let cycle_views: Vec<Vec<NodeId>> = {
+            let sim = random_overlay_sharded(&config(6), 40, 11, 2);
+            (0..40u64)
+                .map(|i| sim.view_of(NodeId::new(i)).unwrap().ids().collect())
+                .collect()
+        };
+        for shards in [1usize, 3] {
+            let sim = event_random_overlay_sharded(&config(6), event, 40, 11, shards).unwrap();
+            let got: Vec<Vec<NodeId>> = (0..40u64)
+                .map(|i| sim.view_of(NodeId::new(i)).unwrap().ids().collect())
+                .collect();
+            assert_eq!(views(got), cycle_views, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn event_from_digraph_replicates_views() {
+        let g = DiGraph::from_views(3, vec![vec![1, 2], vec![2], vec![]]).unwrap();
+        let sim = event_from_digraph_sharded(&config(5), EventConfig::default(), &g, 1, 2).unwrap();
         assert_eq!(sim.node_count(), 3);
         let v0 = sim.view_of(NodeId::new(0)).unwrap();
         assert!(v0.contains(NodeId::new(1)));

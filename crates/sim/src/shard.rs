@@ -13,6 +13,10 @@
 //!    queueing replies; replies are then drained the same way and absorbed
 //!    by their initiators.
 //!
+//! The shard partitioning, mailbox transposition and scoped-worker
+//! scaffolding live in [`crate::exec`], shared with the event-driven
+//! [`crate::ShardedEventSimulation`].
+//!
 //! # Determinism contract
 //!
 //! All randomness derives from the construction seed: a *control* RNG on
@@ -39,6 +43,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::exec::{self, lose, Directory, Mailboxes, SlotRef};
 use crate::population::{BoxedNode, Population};
 use crate::Snapshot;
 
@@ -104,13 +109,6 @@ pub struct GrowthPlan {
     pub target: usize,
 }
 
-/// Where a global node id lives: `(shard, slot within the shard)`.
-#[derive(Debug, Clone, Copy)]
-struct SlotRef {
-    shard: u32,
-    slot: u32,
-}
-
 /// A request crossing a shard boundary.
 struct QueuedRequest {
     from: NodeId,
@@ -134,13 +132,10 @@ struct Shard<N> {
     rng: SmallRng,
     /// Per-cycle initiation order (local slots), reused across cycles.
     order: Vec<u32>,
-    /// Outgoing requests, one fixed-order queue per destination shard.
-    out_requests: Vec<Vec<QueuedRequest>>,
-    /// Incoming requests, one queue per sender shard (filled between
-    /// phases by mailbox transposition on the driver thread).
-    in_requests: Vec<Vec<QueuedRequest>>,
-    out_replies: Vec<Vec<QueuedReply>>,
-    in_replies: Vec<Vec<QueuedReply>>,
+    /// Cross-shard request queues (filled in phase 1, drained in phase 2).
+    requests: Mailboxes<QueuedRequest>,
+    /// Cross-shard reply queues (filled in phase 2, drained in phase 3).
+    replies: Mailboxes<QueuedReply>,
     /// This shard's share of the cycle report.
     report: CycleReport,
 }
@@ -164,37 +159,22 @@ impl CycleCtx<'_> {
     }
 }
 
-#[inline]
-fn lose(rng: &mut SmallRng, loss: f64) -> bool {
-    loss > 0.0 && rng.random::<f64>() < loss
-}
-
-/// SplitMix64 finalizer, for deriving independent per-shard seeds.
-pub(crate) fn mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 /// The sharded cycle-driven simulator. See the [module docs](self) for the
 /// execution model and determinism contract; see [`crate::Simulation`] for
 /// the sequential (1-shard) wrapper that keeps the historical API.
 pub struct ShardedSimulation<N: GossipNode + Send = BoxedNode> {
     shards: Vec<Shard<N>>,
-    directory: Vec<SlotRef>,
-    /// Bit per global id; the single source of truth for liveness.
-    alive_bits: Vec<u64>,
-    alive_count: usize,
-    factory: Box<dyn FnMut(NodeId, u64) -> N + Send>,
+    dir: Directory,
+    factory: Box<dyn Fn(NodeId, u64) -> N + Send + Sync>,
     /// Driver-thread RNG: node seeds, churn, `get_peer`.
     control_rng: SmallRng,
+    /// Construction seed, kept for (seed, id)-pure bulk construction.
+    seed: u64,
     cycle: u64,
     growth: Option<GrowthPlan>,
     message_loss: f64,
     failure_mode: FailureMode,
     workers: usize,
-    /// Ids below this were pre-planned and map to contiguous shard ranges.
-    planned: u64,
     /// Per-cycle liveness snapshot buffer, reused across cycles.
     alive_snapshot: Vec<u64>,
 }
@@ -223,7 +203,9 @@ impl ShardedSimulation<PeerSamplingNode> {
 
 impl<N: GossipNode + Send> ShardedSimulation<N> {
     /// Creates an empty sharded simulation with a custom node factory. The
-    /// factory receives the assigned node id and a derived RNG seed.
+    /// factory receives the assigned node id and a derived RNG seed; it must
+    /// be `Fn + Sync` so per-shard populations can be built in parallel
+    /// ([`ShardedSimulation::add_nodes_bulk`]).
     ///
     /// Worker count defaults to the available parallelism, capped at the
     /// shard count; it affects wall-clock time only, never results.
@@ -234,7 +216,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
     pub fn with_factory(
         seed: u64,
         shards: usize,
-        factory: impl FnMut(NodeId, u64) -> N + Send + 'static,
+        factory: impl Fn(NodeId, u64) -> N + Send + Sync + 'static,
     ) -> Self {
         assert!(shards > 0, "need at least one shard");
         let default_workers = std::thread::available_parallelism()
@@ -245,32 +227,26 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             .map(|index| Shard {
                 index,
                 pop: Population::new(),
-                // Independent per-shard stream; offset by a golden-ratio
-                // multiple so shard 0 does not alias the control RNG.
-                rng: SmallRng::seed_from_u64(mix(
-                    seed ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                )),
+                // Independent per-shard stream; offset so shard 0 does not
+                // alias the control RNG.
+                rng: SmallRng::seed_from_u64(exec::shard_seed(seed, index)),
                 order: Vec::new(),
-                out_requests: (0..shards).map(|_| Vec::new()).collect(),
-                in_requests: (0..shards).map(|_| Vec::new()).collect(),
-                out_replies: (0..shards).map(|_| Vec::new()).collect(),
-                in_replies: (0..shards).map(|_| Vec::new()).collect(),
+                requests: Mailboxes::new(shards),
+                replies: Mailboxes::new(shards),
                 report: CycleReport::default(),
             })
             .collect();
         ShardedSimulation {
             shards,
-            directory: Vec::new(),
-            alive_bits: Vec::new(),
-            alive_count: 0,
+            dir: Directory::new(),
             factory: Box::new(factory),
             control_rng: SmallRng::seed_from_u64(seed),
+            seed,
             cycle: 0,
             growth: None,
             message_loss: 0.0,
             failure_mode: FailureMode::default(),
             workers: default_workers,
-            planned: 0,
             alive_snapshot: Vec::new(),
         }
     }
@@ -303,27 +279,12 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
     ///
     /// Panics if nodes were already added.
     pub fn plan_capacity(&mut self, n: usize) {
-        assert!(
-            self.directory.is_empty(),
-            "plan_capacity must precede the first add_node"
-        );
-        self.planned = n as u64;
+        self.dir.plan_capacity(n);
     }
 
     fn shard_for_new(&self, id: u64) -> usize {
-        let s = self.shards.len() as u64;
-        if id < self.planned {
-            ((id * s) / self.planned) as usize
-        } else {
-            // Least-loaded, lowest index on ties: deterministic and keeps
-            // churn-era joins balanced.
-            self.shards
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, sh)| (sh.pop.len(), *i))
-                .map(|(i, _)| i)
-                .expect("at least one shard")
-        }
+        self.dir
+            .shard_for_new(id, self.shards.iter().map(|sh| sh.pop.len()))
     }
 
     /// Selects how exchanges with dead peers are handled (default:
@@ -353,29 +314,62 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
     }
 
     /// Adds one node bootstrapped from `seeds` and returns its id.
+    ///
+    /// The node seed is drawn from the driver's control RNG, so joins are
+    /// ordered events in the run's history (churn determinism). For the
+    /// worker-parallel bootstrap path with (seed, id)-pure node seeds, see
+    /// [`ShardedSimulation::add_nodes_bulk`].
     pub fn add_node(&mut self, seeds: impl IntoIterator<Item = NodeDescriptor>) -> NodeId {
         let node_seed = self.control_rng.random();
-        let id = NodeId::new(self.directory.len() as u64);
+        let id = NodeId::new(self.dir.len() as u64);
         let shard = self.shard_for_new(id.as_u64());
         let node = (self.factory)(id, node_seed);
         debug_assert_eq!(node.id(), id, "factory must honor the assigned id");
         let slot = self.shards[shard].pop.add_slot(node);
-        self.directory.push(SlotRef {
-            shard: shard as u32,
-            slot,
-        });
-        let bit = id.as_index();
-        if bit / 64 >= self.alive_bits.len() {
-            self.alive_bits.push(0);
-        }
-        self.alive_bits[bit / 64] |= 1 << (bit % 64);
-        self.alive_count += 1;
+        let pushed = self.dir.push(shard as u32, slot);
+        debug_assert_eq!(pushed, id);
         self.shards[shard]
             .pop
             .slot_mut(slot)
             .node
             .init(&mut seeds.into_iter());
         id
+    }
+
+    /// Bulk-adds `n` nodes with **worker-parallel per-shard construction**:
+    /// node `i` gets the view returned by `seeds(i)`, and both its RNG seed
+    /// and its shard placement are pure functions of `(construction seed,
+    /// id)` — so the resulting population is bit-identical at any worker
+    /// count, which the bootstrap regression tests pin. `seeds` must be
+    /// pure for the same reason (the scenario constructors' per-node view
+    /// generators are).
+    ///
+    /// This is the bootstrap path for N = 10⁶ runs, where driver-serial
+    /// construction is a noticeable fraction of a short run.
+    ///
+    /// Node seeds differ from [`ShardedSimulation::add_node`]'s
+    /// control-RNG draws: bulk-built populations are their own (equally
+    /// deterministic) universe, exactly like a different construction seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes were already added.
+    pub fn add_nodes_bulk<I>(&mut self, n: usize, seeds: impl Fn(NodeId) -> I + Sync)
+    where
+        I: IntoIterator<Item = NodeDescriptor>,
+    {
+        exec::bulk_build(
+            &mut self.dir,
+            &mut self.shards,
+            self.workers,
+            n,
+            self.seed,
+            self.factory.as_ref(),
+            seeds,
+            |shard| &mut shard.pop,
+            |shard| shard.index,
+            |_, _, _| {}, // cycle nodes have no per-node schedule
+        );
     }
 
     /// Adds `count` nodes, each bootstrapped with `contacts` uniform-random
@@ -410,11 +404,11 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
         // Liveness cannot change mid-cycle, so snapshot it once; every
         // worker reads the same frozen bitset.
         self.alive_snapshot.clear();
-        self.alive_snapshot.extend_from_slice(&self.alive_bits);
+        self.alive_snapshot.extend_from_slice(self.dir.alive_bits());
 
         let Self {
             shards,
-            directory,
+            dir,
             alive_snapshot,
             workers,
             message_loss,
@@ -422,17 +416,17 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             ..
         } = self;
         let ctx = CycleCtx {
-            directory: directory.as_slice(),
+            directory: dir.slots(),
             alive: alive_snapshot.as_slice(),
             loss: *message_loss,
             mode: *failure_mode,
         };
 
-        run_phase(shards, *workers, |shard| phase_initiate(shard, &ctx));
-        transpose_requests(shards);
-        run_phase(shards, *workers, |shard| phase_respond(shard, &ctx));
-        transpose_replies(shards);
-        run_phase(shards, *workers, phase_absorb);
+        exec::run_phase(shards, *workers, |shard| phase_initiate(shard, &ctx));
+        exec::transpose(shards, |shard| &mut shard.requests);
+        exec::run_phase(shards, *workers, |shard| phase_respond(shard, &ctx));
+        exec::transpose(shards, |shard| &mut shard.replies);
+        exec::run_phase(shards, *workers, phase_absorb);
 
         let mut report = CycleReport::default();
         for shard in shards.iter_mut() {
@@ -470,37 +464,31 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
 
     /// Total nodes ever added (dead slots included).
     pub fn node_count(&self) -> usize {
-        self.directory.len()
+        self.dir.len()
     }
 
     /// Number of live nodes.
     pub fn alive_count(&self) -> usize {
-        self.alive_count
+        self.dir.alive_count()
     }
 
     /// True if `id` exists and is alive.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        let slot = id.as_index();
-        self.alive_bits
-            .get(slot / 64)
-            .is_some_and(|word| word & (1 << (slot % 64)) != 0)
+        self.dir.is_alive(id)
     }
 
     /// Ids of all live nodes, in increasing order.
     pub fn alive_ids(&self) -> Vec<NodeId> {
-        (0..self.directory.len() as u64)
-            .map(NodeId::new)
-            .filter(|&id| self.is_alive(id))
-            .collect()
+        self.dir.alive_ids()
     }
 
     fn entry(&self, id: NodeId) -> Option<&crate::population::Entry<N>> {
-        let slot_ref = self.directory.get(id.as_index())?;
+        let slot_ref = self.dir.slot_ref(id)?;
         Some(self.shards[slot_ref.shard as usize].pop.slot(slot_ref.slot))
     }
 
     fn entry_mut(&mut self, id: NodeId) -> Option<&mut crate::population::Entry<N>> {
-        let slot_ref = *self.directory.get(id.as_index())?;
+        let slot_ref = self.dir.slot_ref(id)?;
         Some(
             self.shards[slot_ref.shard as usize]
                 .pop
@@ -553,18 +541,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
 
     /// Kills one node (crash-stop). Returns false if already dead/unknown.
     pub fn kill(&mut self, id: NodeId) -> bool {
-        if !self.is_alive(id) {
-            return false;
-        }
-        let slot_ref = self.directory[id.as_index()];
-        let killed = self.shards[slot_ref.shard as usize]
-            .pop
-            .kill_slot(slot_ref.slot);
-        debug_assert!(killed);
-        let bit = id.as_index();
-        self.alive_bits[bit / 64] &= !(1 << (bit % 64));
-        self.alive_count -= 1;
-        true
+        exec::kill_node(&mut self.dir, &mut self.shards, id, |shard| &mut shard.pop)
     }
 
     /// Kills a uniform-random set of `count` live nodes and returns them.
@@ -583,7 +560,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
     /// Kills `fraction` (0..=1) of the live population at random.
     pub fn kill_random_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
         let fraction = fraction.clamp(0.0, 1.0);
-        let count = (self.alive_count as f64 * fraction).round() as usize;
+        let count = (self.alive_count() as f64 * fraction).round() as usize;
         self.kill_random(count)
     }
 
@@ -600,7 +577,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
     /// id order.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot::build(
-            (0..self.directory.len() as u64)
+            (0..self.dir.len() as u64)
                 .map(NodeId::new)
                 .filter(|&id| self.is_alive(id))
                 .map(|id| (id, self.entry(id).expect("in directory").node.view())),
@@ -612,7 +589,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
     /// The allocation-free way to export overlay topology at large N (the
     /// CSR snapshot path builds on this).
     pub fn for_each_live_view(&self, mut f: impl FnMut(NodeId, &View)) {
-        for id in (0..self.directory.len() as u64).map(NodeId::new) {
+        for id in (0..self.dir.len() as u64).map(NodeId::new) {
             if self.is_alive(id) {
                 f(id, self.entry(id).expect("in directory").node.view());
             }
@@ -624,34 +601,9 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
     /// per-node allocations, no hash maps. Dead view targets are dropped,
     /// exactly as in [`ShardedSimulation::snapshot`].
     pub fn csr_snapshot(&self) -> crate::CsrSnapshot {
-        let n = self.directory.len();
-        let mut index = vec![u32::MAX; n];
-        let mut ids: Vec<NodeId> = Vec::with_capacity(self.alive_count);
-        for raw in 0..n as u64 {
-            let id = NodeId::new(raw);
-            if self.is_alive(id) {
-                index[id.as_index()] = ids.len() as u32;
-                ids.push(id);
-            }
-        }
-        // Estimate edge capacity from the first live view (views share c).
-        let per_node = ids
-            .first()
-            .and_then(|&id| self.view_of(id))
-            .map_or(0, View::len);
-        let mut builder =
-            pss_graph::csr::CsrBuilder::with_capacity(ids.len(), ids.len() * per_node);
-        for &id in &ids {
-            let view = self.entry(id).expect("in directory").node.view();
-            builder.push_node(view.ids().filter_map(|target| {
-                index
-                    .get(target.as_index())
-                    .copied()
-                    .filter(|&compact| compact != u32::MAX)
-            }));
-        }
-        let graph = builder.finish().expect("compact indices are in range");
-        crate::CsrSnapshot::new(graph, ids)
+        exec::csr_from_views(self.dir.len(), self.dir.alive_count(), |f| {
+            self.for_each_live_view(f)
+        })
     }
 }
 
@@ -661,8 +613,8 @@ impl<N: GossipNode + Send> std::fmt::Debug for ShardedSimulation<N> {
             .field("cycle", &self.cycle)
             .field("shards", &self.shards.len())
             .field("workers", &self.workers)
-            .field("nodes", &self.directory.len())
-            .field("alive", &self.alive_count)
+            .field("nodes", &self.dir.len())
+            .field("alive", &self.dir.alive_count())
             .field("growth", &self.growth)
             .field("message_loss", &self.message_loss)
             .finish()
@@ -677,7 +629,7 @@ fn phase_initiate<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>
         pop,
         rng,
         order,
-        out_requests,
+        requests,
         report,
         ..
     } = shard;
@@ -730,7 +682,7 @@ fn phase_initiate<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>
             }
             report.completed += 1;
         } else {
-            out_requests[dest.shard as usize].push(QueuedRequest {
+            requests.out[dest.shard as usize].push(QueuedRequest {
                 from: initiator,
                 to_slot: dest.slot,
                 request: exchange.request,
@@ -745,14 +697,14 @@ fn phase_respond<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>)
     let Shard {
         pop,
         rng,
-        in_requests,
-        out_replies,
+        requests,
+        replies,
         report,
         ..
     } = shard;
-    // Inbox index = sender shard: draining in vec order is sender-shard
+    // Inbox lane = sender shard: draining in lane order is sender-shard
     // order, the fixed ordering the determinism contract relies on.
-    for inbox in in_requests.iter_mut() {
+    for inbox in requests.inbox.iter_mut() {
         for queued in inbox.drain(..) {
             let responder = pop.slot_mut(queued.to_slot);
             let responder_id = responder.node.id();
@@ -764,7 +716,7 @@ fn phase_respond<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>)
                         continue;
                     }
                     let dest = ctx.directory[queued.from.as_index()];
-                    out_replies[dest.shard as usize].push(QueuedReply {
+                    replies.out[dest.shard as usize].push(QueuedReply {
                         from: responder_id,
                         to_slot: dest.slot,
                         reply,
@@ -782,102 +734,16 @@ fn phase_respond<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>)
 fn phase_absorb<N: GossipNode + Send>(shard: &mut Shard<N>) {
     let Shard {
         pop,
-        in_replies,
+        replies,
         report,
         ..
     } = shard;
-    for inbox in in_replies.iter_mut() {
+    for inbox in replies.inbox.iter_mut() {
         for queued in inbox.drain(..) {
             pop.slot_mut(queued.to_slot)
                 .node
                 .handle_reply(queued.from, queued.reply);
             report.completed += 1;
-        }
-    }
-}
-
-/// Runs `f` over every shard using up to `workers` scoped threads with a
-/// static round-robin shard assignment. The assignment is pure load
-/// balancing: shards are data-isolated within a phase, so which thread runs
-/// which shard can never affect results.
-fn run_phase<N, F>(shards: &mut [Shard<N>], workers: usize, f: F)
-where
-    N: GossipNode + Send,
-    F: Fn(&mut Shard<N>) + Sync,
-{
-    let workers = workers.clamp(1, shards.len().max(1));
-    if workers <= 1 {
-        for shard in shards.iter_mut() {
-            f(shard);
-        }
-        return;
-    }
-    let mut buckets: Vec<Vec<&mut Shard<N>>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, shard) in shards.iter_mut().enumerate() {
-        buckets[i % workers].push(shard);
-    }
-    let f = &f;
-    std::thread::scope(|scope| {
-        for bucket in buckets {
-            scope.spawn(move || {
-                // Warm this worker's staging arena once per phase batch.
-                pss_core::staging::prewarm(2, 64);
-                for shard in bucket {
-                    f(shard);
-                }
-            });
-        }
-    });
-}
-
-/// Two distinct mutable shards by index.
-///
-/// # Panics
-///
-/// Panics if `i == j` or either is out of range.
-fn shard_pair<N>(shards: &mut [Shard<N>], i: usize, j: usize) -> (&mut Shard<N>, &mut Shard<N>) {
-    assert_ne!(i, j);
-    if i < j {
-        let (lo, hi) = shards.split_at_mut(j);
-        (&mut lo[i], &mut hi[0])
-    } else {
-        let (lo, hi) = shards.split_at_mut(i);
-        (&mut hi[0], &mut lo[j])
-    }
-}
-
-/// Moves every `out_requests[dst]` queue into the destination's
-/// `in_requests[src]` slot: the mailbox transposition between phases 1 and
-/// 2. Vectors are swapped, not copied, and the drained inbox capacity flows
-/// back to the sender — O(S²) pointer swaps on the driver thread.
-fn transpose_requests<N>(shards: &mut [Shard<N>]) {
-    for src in 0..shards.len() {
-        for dst in 0..shards.len() {
-            if src == dst {
-                continue;
-            }
-            let (sender, receiver) = shard_pair(shards, src, dst);
-            let out = core::mem::take(&mut sender.out_requests[dst]);
-            let spent = core::mem::replace(&mut receiver.in_requests[src], out);
-            debug_assert!(spent.is_empty(), "inbox must be drained before refill");
-            sender.out_requests[dst] = spent; // recycle capacity
-        }
-    }
-}
-
-/// The reply-mailbox transposition between phases 2 and 3 (see
-/// [`transpose_requests`]).
-fn transpose_replies<N>(shards: &mut [Shard<N>]) {
-    for src in 0..shards.len() {
-        for dst in 0..shards.len() {
-            if src == dst {
-                continue;
-            }
-            let (sender, receiver) = shard_pair(shards, src, dst);
-            let out = core::mem::take(&mut sender.out_replies[dst]);
-            let spent = core::mem::replace(&mut receiver.in_replies[src], out);
-            debug_assert!(spent.is_empty(), "inbox must be drained before refill");
-            sender.out_replies[dst] = spent; // recycle capacity
         }
     }
 }

@@ -172,6 +172,103 @@ proptest! {
     }
 
     #[test]
+    fn event_bucket_exchange_invariants(
+        shards in 1usize..5,
+        n in 10usize..50,
+        min_latency in 1u64..20,
+        latency_spread in 0u64..30,
+        jitter in 0u64..80,
+        loss in 0.0f64..0.3,
+        duration in 200u64..3_000,
+        seed in 0u64..1_000,
+    ) {
+        // The three lookahead-engine invariants, checked on the delivery
+        // log of a randomized run: (1) no message is delivered before its
+        // send time plus the minimum latency; (2) a cross-shard message
+        // sent in bucket k is never delivered in bucket k (the lookahead
+        // window is never violated); (3) bucket-boundary exchange preserves
+        // per-(src, dst) FIFO order — same-tick arrivals from one sender
+        // shard are processed in send order.
+        let period = 200u64;
+        let event = EventConfig {
+            period,
+            jitter: jitter.min(period - 1),
+            latency: LatencyModel::Uniform {
+                min: min_latency,
+                max: min_latency + latency_spread,
+            },
+            loss_probability: loss,
+        };
+        let window = min_latency; // = sim.lookahead()
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 6).unwrap();
+        let mut sim = scenario::event_random_overlay_sharded(&config, event, n, seed, shards)
+            .expect("valid config");
+        prop_assert_eq!(sim.lookahead(), window);
+        sim.set_record_deliveries(true);
+        sim.run_for(duration);
+        let log = sim.take_deliveries();
+        prop_assert!(!log.is_empty());
+
+        let mut last_same_tick: std::collections::HashMap<(u32, u32, u64), u64> =
+            std::collections::HashMap::new();
+        for d in &log {
+            // (1) Physical latency floor.
+            prop_assert!(
+                d.delivered >= d.sent + min_latency,
+                "delivered {} < sent {} + min {}", d.delivered, d.sent, min_latency
+            );
+            // (2) Conservative lookahead across shards.
+            if d.src_shard != d.dst_shard {
+                prop_assert!(
+                    d.delivered / window > d.sent / window,
+                    "cross-shard message crossed within its bucket: sent {} delivered {} window {}",
+                    d.sent, d.delivered, window
+                );
+            }
+            // (3) Same (src, dst) pair + same arrival tick ⇒ send order.
+            let key = (d.src_shard, d.dst_shard, d.delivered);
+            if let Some(&prev) = last_same_tick.get(&key) {
+                prop_assert!(
+                    d.sent_seq > prev,
+                    "FIFO violated for {:?}: sent_seq {} after {}", key, d.sent_seq, prev
+                );
+            }
+            last_same_tick.insert(key, d.sent_seq);
+        }
+    }
+
+    #[test]
+    fn event_worker_count_never_changes_results(
+        shards in 2usize..5,
+        workers in 2usize..5,
+        n in 10usize..40,
+        duration in 200u64..2_000,
+        seed in 0u64..1_000,
+    ) {
+        // Randomized mini version of the worker-invariance regression test.
+        let event = EventConfig {
+            period: 150,
+            jitter: 40,
+            latency: LatencyModel::Uniform { min: 3, max: 25 },
+            loss_probability: 0.05,
+        };
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 6).unwrap();
+        let run = |w: usize| {
+            let mut sim =
+                scenario::event_random_overlay_sharded(&config, event, n, seed, shards)
+                    .expect("valid config");
+            sim.set_workers(w);
+            sim.run_for(duration);
+            let mut views = Vec::new();
+            sim.for_each_live_view(|id, view| {
+                views.push((id, view.ids().collect::<Vec<_>>()));
+            });
+            (views, sim.report(), sim.events_processed())
+        };
+        prop_assert_eq!(run(1), run(workers));
+    }
+
+    #[test]
     fn growing_simulation_monotonically_reaches_target(
         target in 10usize..80,
         per_cycle in 1usize..20,

@@ -13,39 +13,18 @@
 //!    sequential `Simulation`: identical `CycleReport`s and final views for
 //!    all three headline policies.
 
+mod common;
+
+use common::{digest_report, fnv1a, FNV_OFFSET};
 use pss_core::{GossipNode, NodeId, PolicyTriple, ProtocolConfig};
 use pss_graph::gen;
-use pss_sim::{scenario, ChurnProcess, CycleReport, FailureMode, ShardedSimulation};
+use pss_sim::{scenario, ChurnProcess, FailureMode, ShardedSimulation};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// FNV-1a over a `u64` stream: stable, dependency-free fingerprinting.
-fn fnv1a(digest: &mut u64, value: u64) {
-    for byte in value.to_le_bytes() {
-        *digest ^= byte as u64;
-        *digest = digest.wrapping_mul(0x1000_0000_01b3);
-    }
-}
-
-/// Digest of the full overlay state: every live node's id and exact view
-/// contents (ids and hop counts, in stored order).
+/// Digest of the full overlay state (see [`common::view_digest`]).
 fn view_digest<N: GossipNode + Send>(sim: &ShardedSimulation<N>) -> u64 {
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
-    sim.for_each_live_view(|id, view| {
-        fnv1a(&mut digest, id.as_u64());
-        for d in view.iter() {
-            fnv1a(&mut digest, d.id().as_u64());
-            fnv1a(&mut digest, d.hop_count() as u64);
-        }
-    });
-    digest
-}
-
-fn digest_report(digest: &mut u64, report: &CycleReport) {
-    fnv1a(digest, report.completed);
-    fnv1a(digest, report.failed_dead_peer);
-    fnv1a(digest, report.empty_view);
-    fnv1a(digest, report.dropped_messages);
+    common::view_digest(|f| sim.for_each_live_view(f))
 }
 
 /// Runs a 4-shard simulation under loss + churn and digests every cycle's
@@ -56,7 +35,7 @@ fn stressed_run(workers: usize) -> u64 {
     sim.set_workers(workers);
     sim.set_message_loss(0.05);
     let mut churn = ChurnProcess::balanced(0.03, 2, 5);
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut digest = FNV_OFFSET;
     for cycle in 0..12 {
         let (killed, joined) = churn.step(&mut sim);
         fnv1a(&mut digest, killed as u64);
@@ -109,7 +88,7 @@ fn pinned_digest_at_tiny_scale() {
     let config = ProtocolConfig::new(PolicyTriple::newscast(), 15).expect("valid");
     let mut sim = scenario::random_overlay_sharded(&config, 300, 20040601, 2);
     sim.set_workers(2);
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut digest = FNV_OFFSET;
     for _ in 0..60 {
         digest_report(&mut digest, &sim.run_cycle());
     }

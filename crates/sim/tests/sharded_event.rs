@@ -1,0 +1,370 @@
+//! Sharded event-engine regression tests — the event-driven analogue of
+//! `sharded.rs`.
+//!
+//! Contracts pinned here:
+//!
+//! 1. **1-shard equivalence** — `ShardedEventSimulation` with one shard is
+//!    the sequential `EventSimulation`: identical per-event delivery order,
+//!    final views, and event statistics for all three headline policies,
+//!    regardless of how the run is chunked into `run_until` calls.
+//! 2. **Worker invariance** — for a fixed `(seed, shard_count)`, the full
+//!    per-period digest stream is bit-identical at 1, 2, or 4 workers,
+//!    under timer jitter, message latency, message loss, and churn.
+//! 3. **Pinned digest** — a constant digest of a tiny-scale 2-shard run;
+//!    update the constant only for an intentional engine change, and say so
+//!    in the commit.
+//! 4. **Chunk invariance** — cross-shard mail is exchanged only at absolute
+//!    bucket boundaries, so splitting a run into arbitrary `run_until`
+//!    chunks can never change results.
+//! 5. **Parallel bootstrap invariance** — `add_nodes_bulk` builds the same
+//!    population and event schedule at any worker count, on both engines.
+
+mod common;
+
+use common::{digest_event_report, fnv1a, view_digest, FNV_OFFSET};
+use pss_core::{NodeDescriptor, NodeId, PolicyTriple, ProtocolConfig};
+use pss_graph::gen;
+use pss_sim::{
+    scenario, ChurnProcess, Engine, EventConfig, EventSimulation, LatencyModel,
+    ShardedEventSimulation, ShardedSimulation,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn stressed_config() -> EventConfig {
+    EventConfig {
+        period: 500,
+        jitter: 120,
+        latency: LatencyModel::Uniform { min: 9, max: 60 },
+        loss_probability: 0.04,
+    }
+}
+
+fn views_of(
+    sim: &ShardedEventSimulation<impl pss_core::GossipNode + Send>,
+) -> Vec<Vec<(u64, u32)>> {
+    sim.alive_ids()
+        .into_iter()
+        .map(|id| {
+            sim.view_of(id)
+                .expect("alive")
+                .iter()
+                .map(|d| (d.id().as_u64(), d.hop_count()))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn one_shard_matches_sequential_for_headline_policies() {
+    let policies: [(&str, PolicyTriple); 3] = [
+        ("newscast", PolicyTriple::newscast()),
+        ("lpbcast", PolicyTriple::lpbcast()),
+        (
+            "tail-pushpull",
+            "(tail,tail,pushpull)".parse().expect("valid policy"),
+        ),
+    ];
+    let event = EventConfig {
+        period: 400,
+        jitter: 90,
+        latency: LatencyModel::Uniform { min: 5, max: 45 },
+        loss_probability: 0.03,
+    };
+    for (name, policy) in policies {
+        let config = ProtocolConfig::new(policy, 10).expect("valid");
+        let mut topo = SmallRng::seed_from_u64(99);
+        let graph = gen::uniform_view_digraph(120, 10, &mut topo);
+
+        // The sequential engine, built through its own API...
+        let mut sequential = EventSimulation::new(config.clone(), event, 31).expect("valid");
+        for v in 0..graph.node_count() as u32 {
+            sequential.add_node(
+                graph
+                    .out_neighbors(v)
+                    .iter()
+                    .map(|&t| NodeDescriptor::fresh(NodeId::new(t as u64))),
+            );
+        }
+        // ...vs the 1-shard sharded engine built by the scenario
+        // constructor, run in a different chunking.
+        let mut sharded =
+            scenario::event_from_digraph_sharded(&config, event, &graph, 31, 1).expect("valid");
+
+        sequential.as_sharded_mut().set_record_deliveries(true);
+        sharded.set_record_deliveries(true);
+
+        sequential.run_for(4000);
+        let mut at = 0u64;
+        for chunk in [137u64, 600, 263, 1500, 1500] {
+            at += chunk;
+            sharded.run_until(at);
+        }
+        assert_eq!(at, 4000);
+
+        // Per-event delivery order, bit for bit.
+        let seq_log = sequential.as_sharded_mut().take_deliveries();
+        let sharded_log = sharded.take_deliveries();
+        assert_eq!(seq_log, sharded_log, "{name}: delivery order diverged");
+        assert!(!sharded_log.is_empty(), "{name}: no deliveries recorded");
+
+        // CycleReport-equivalent statistics.
+        assert_eq!(
+            sequential.report(),
+            sharded.report(),
+            "{name}: reports diverged"
+        );
+
+        // Final views.
+        assert_eq!(
+            views_of(sequential.as_sharded()),
+            views_of(&sharded),
+            "{name}: views diverged"
+        );
+    }
+}
+
+/// Runs a 4-shard event simulation under jitter + latency + loss + churn
+/// and digests every period's report and overlay stream.
+fn stressed_run(workers: usize) -> u64 {
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 8).expect("valid");
+    let mut sim = scenario::event_random_overlay_sharded(&config, stressed_config(), 120, 77, 4)
+        .expect("valid");
+    sim.set_workers(workers);
+    let mut churn = ChurnProcess::balanced(0.03, 2, 5);
+    let mut digest = FNV_OFFSET;
+    for period in 0..10 {
+        let (killed, joined) = churn.step(&mut sim);
+        fnv1a(&mut digest, killed as u64);
+        fnv1a(&mut digest, joined as u64);
+        // Engine-generic drive: one gossip period per cycle.
+        let report = Engine::run_cycle(&mut sim);
+        fnv1a(&mut digest, report.completed);
+        fnv1a(&mut digest, report.failed_dead_peer);
+        fnv1a(&mut digest, report.empty_view);
+        fnv1a(&mut digest, report.dropped_messages);
+        fnv1a(&mut digest, view_digest(|f| sim.for_each_live_view(f)));
+        if period == 5 {
+            // Mid-run mass failure exercises the dead-delivery paths.
+            sim.kill_random_fraction(0.2);
+            fnv1a(&mut digest, sim.alive_count() as u64);
+        }
+    }
+    digest_event_report(&mut digest, &sim.report());
+    fnv1a(&mut digest, sim.dead_link_count() as u64);
+    fnv1a(&mut digest, sim.events_processed());
+    digest
+}
+
+#[test]
+fn worker_count_never_changes_results() {
+    let one = stressed_run(1);
+    let two = stressed_run(2);
+    let four = stressed_run(4);
+    assert_eq!(one, two, "1 vs 2 workers diverged");
+    assert_eq!(one, four, "1 vs 4 workers diverged");
+}
+
+/// The pinned digest: `Scale::tiny()` parameters (N = 300, c = 15, seed
+/// 20040601) on 2 shards, 20 gossip periods of the default event config.
+/// If this fails and you did not intend to change engine semantics, you
+/// broke determinism.
+#[test]
+fn pinned_digest_at_tiny_scale() {
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 15).expect("valid");
+    let mut sim =
+        scenario::event_random_overlay_sharded(&config, EventConfig::default(), 300, 20040601, 2)
+            .expect("valid");
+    sim.set_workers(2);
+    let mut digest = FNV_OFFSET;
+    for _ in 0..20 {
+        sim.run_for(1000);
+        digest_event_report(&mut digest, &sim.report());
+    }
+    fnv1a(&mut digest, view_digest(|f| sim.for_each_live_view(f)));
+    assert_eq!(
+        digest, PINNED_TINY_EVENT_DIGEST,
+        "tiny-scale 2-shard event digest changed: engine semantics moved"
+    );
+}
+
+/// See [`pinned_digest_at_tiny_scale`].
+const PINNED_TINY_EVENT_DIGEST: u64 = 3724866096535109322;
+
+#[test]
+fn chunked_runs_are_bit_identical() {
+    // Cross-shard mail parks in its fixed-order lanes across mid-bucket
+    // stops, so arbitrary run_until chunkings merge it identically.
+    let run = |chunks: &[u64]| {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 9).expect("valid");
+        let mut sim = scenario::event_random_overlay_sharded(&config, stressed_config(), 90, 13, 3)
+            .expect("valid");
+        sim.set_record_deliveries(true);
+        let mut at = 0;
+        for &chunk in chunks {
+            at += chunk;
+            sim.run_until(at);
+        }
+        assert_eq!(at, 3000);
+        let mut digest = FNV_OFFSET;
+        for d in sim.take_deliveries() {
+            fnv1a(&mut digest, d.sent);
+            fnv1a(&mut digest, d.delivered);
+            fnv1a(&mut digest, d.from.as_u64());
+            fnv1a(&mut digest, d.to.as_u64());
+            fnv1a(&mut digest, d.sent_seq);
+        }
+        digest_event_report(&mut digest, &sim.report());
+        fnv1a(&mut digest, view_digest(|f| sim.for_each_live_view(f)));
+        digest
+    };
+    let whole = run(&[3000]);
+    assert_eq!(whole, run(&[1, 2, 4, 8, 985, 1000, 1000]));
+    assert_eq!(whole, run(&[299, 1, 700, 2000]));
+}
+
+#[test]
+fn shard_count_is_part_of_the_result_contract() {
+    // Different shard counts legitimately produce different (equally
+    // valid) trajectories — same-time deliveries tie-break in mailbox
+    // order. Pin that they are not accidentally identical, so nobody
+    // "simplifies" the bucket exchange into something serialized.
+    let run = |shards: usize| {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 8).expect("valid");
+        let mut sim =
+            scenario::event_random_overlay_sharded(&config, EventConfig::default(), 100, 7, shards)
+                .expect("valid");
+        sim.run_for(5000);
+        view_digest(|f| sim.for_each_live_view(f))
+    };
+    assert_ne!(run(1), run(4));
+}
+
+#[test]
+fn bulk_construction_is_worker_invariant_on_both_engines() {
+    // Event engine: population, views, and the initial event schedule.
+    let build_event = |workers: usize| {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 10).expect("valid");
+        let mut sim =
+            ShardedEventSimulation::typed(config, EventConfig::default(), 5, 4).expect("valid");
+        sim.set_workers(workers);
+        sim.add_nodes_bulk(200, |id| {
+            [NodeDescriptor::fresh(NodeId::new((id.as_u64() + 1) % 200))]
+        });
+        // Run a little so timer phases influence state.
+        sim.run_for(2500);
+        let mut digest = view_digest(|f| sim.for_each_live_view(f));
+        digest_event_report(&mut digest, &sim.report());
+        digest
+    };
+    assert_eq!(build_event(1), build_event(4));
+
+    // Cycle engine: same bulk path, same invariance.
+    let build_cycle = |workers: usize| {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 10).expect("valid");
+        let mut sim = ShardedSimulation::typed(config, 5, 4);
+        sim.set_workers(workers);
+        sim.add_nodes_bulk(200, |id| {
+            [NodeDescriptor::fresh(NodeId::new((id.as_u64() + 1) % 200))]
+        });
+        sim.run_cycles(5);
+        view_digest(|f| sim.for_each_live_view(f))
+    };
+    assert_eq!(build_cycle(1), build_cycle(4));
+}
+
+#[test]
+fn joins_after_a_frozen_bucket_respect_the_lookahead() {
+    // Ending a run one tick short of a bucket boundary freezes that bucket
+    // (its mail is already exchanged). A joiner drawing timer phase 0 would
+    // land inside it; the engine must clamp the timer to the processing
+    // frontier or a cross-shard message comes due before the next boundary
+    // (the merge-path debug_assert catches the violation in debug builds).
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 8).expect("valid");
+    let event = EventConfig {
+        period: 50,
+        jitter: 0,
+        latency: LatencyModel::Uniform { min: 10, max: 10 },
+        loss_probability: 0.0,
+    };
+    let mut sim = ShardedEventSimulation::typed(config, event, 40, 2).expect("valid");
+    sim.add_connected_nodes(10);
+    sim.run_until(9); // frontier lands exactly on the bucket boundary (10)
+    for _ in 0..200 {
+        // 200 control-RNG phase draws from [0, 50): phase 0 occurs.
+        sim.add_nodes_with_random_contacts(1, 2);
+    }
+    sim.run_until(2000);
+    assert_eq!(sim.now(), 2000);
+    assert_eq!(sim.alive_count(), 210);
+    assert!(sim.report().exchanges_completed > 0);
+}
+
+#[test]
+fn run_to_exhaustion_near_u64_max_does_not_overflow() {
+    // run_until(u64::MAX) is the idiomatic "drain everything" call; the
+    // saturated frontier must not overflow the bucket arithmetic when the
+    // engine is driven again afterwards.
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 8).expect("valid");
+    let event = EventConfig {
+        period: 100,
+        jitter: 0,
+        latency: LatencyModel::Uniform { min: 7, max: 13 },
+        loss_probability: 0.0,
+    };
+    let mut sim = ShardedEventSimulation::typed(config, event, 3, 2).expect("valid");
+    assert_eq!(sim.run_until(u64::MAX), 0);
+    assert_eq!(sim.now(), u64::MAX);
+    assert_eq!(sim.run_for(1000), 0);
+    assert_eq!(sim.run_until(u64::MAX), 0);
+}
+
+#[test]
+fn event_csr_snapshot_matches_vec_snapshot() {
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 7).expect("valid");
+    let mut sim = scenario::event_random_overlay_sharded(&config, EventConfig::default(), 70, 3, 2)
+        .expect("valid");
+    sim.run_for(4000);
+    sim.kill_random_fraction(0.2); // dead targets must be dropped by both
+    let snap = sim.snapshot();
+    let csr = sim.csr_snapshot();
+    assert_eq!(snap.node_count(), csr.node_count());
+    assert_eq!(snap.node_ids(), csr.node_ids());
+    for v in 0..snap.node_count() as u32 {
+        assert_eq!(
+            snap.directed().out_neighbors(v),
+            csr.graph().out_neighbors(v),
+            "row {v} diverged"
+        );
+    }
+}
+
+#[test]
+fn churn_and_observers_drive_the_event_engine() {
+    // The Engine impl: observers and churn processes run unchanged.
+    struct DegreeLog(Vec<f64>);
+    impl<E: Engine> pss_sim::observe::Observer<E> for DegreeLog {
+        fn observe(&mut self, ctx: &pss_sim::observe::CycleContext<'_, E>) {
+            self.0.push(ctx.graph.average_degree());
+        }
+    }
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 12).expect("valid");
+    let mut sim =
+        scenario::event_random_overlay_sharded(&config, EventConfig::default(), 150, 21, 2)
+            .expect("valid");
+    let mut log = DegreeLog(Vec::new());
+    pss_sim::observe::run_observed(&mut sim, 6, &mut [&mut log]);
+    assert_eq!(log.0.len(), 6);
+    assert_eq!(sim.cycle(), 6);
+    assert_eq!(sim.now(), 6000);
+    assert!(log.0.iter().all(|&d| d > 11.0));
+
+    let mut churn = ChurnProcess::balanced(0.05, 2, 9);
+    let before = sim.node_count();
+    for _ in 0..5 {
+        churn.step(&mut sim);
+        sim.run_cycle();
+    }
+    assert!(sim.node_count() > before, "churn joins must happen");
+    assert!(sim.alive_count() > 100);
+}

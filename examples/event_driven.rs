@@ -68,5 +68,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if connected { "yes" } else { "NO" },
         );
     }
+
+    // The same asynchrony, sharded: the conservative-lookahead engine runs
+    // the event queues shard-parallel, and worker count never changes
+    // results (only wall-clock) — the trajectory is fixed by (seed, shards).
+    println!("\nsharded event engine (N = 10_000, lookahead = min latency):");
+    for workers in [1usize, 4] {
+        let mut sim = peer_sampling::sim::scenario::event_random_overlay_sharded(
+            &protocol,
+            EventConfig::default(),
+            10_000,
+            2026,
+            4,
+        )?;
+        sim.set_workers(workers);
+        sim.run_for(20 * PERIOD);
+        let report = sim.report();
+        println!(
+            "  4 shards / {workers} worker(s): {} events, {} exchanges completed, \
+             avg degree {:.2}",
+            sim.events_processed(),
+            report.exchanges_completed,
+            sim.snapshot().undirected().average_degree(),
+        );
+    }
     Ok(())
 }

@@ -13,7 +13,9 @@
 //!   `(peer selection, view selection, view propagation)` policy space, the
 //!   Figure-1 state machine, and the `init`/`get_peer` service API.
 //! * [`sim`] ([`pss_sim`]) — cycle-driven (paper model) and event-driven
-//!   simulators, bootstrap scenarios, failure injection, observers.
+//!   simulators, both sharded across worker threads with a shared
+//!   deterministic mailbox skeleton; bootstrap scenarios, failure
+//!   injection, observers.
 //! * [`graph`] ([`pss_graph`]) — overlay graph analysis: components, path
 //!   lengths, clustering, degree distributions, generators.
 //! * [`stats`] ([`pss_stats`]) — summaries, histograms, autocorrelation.
@@ -52,4 +54,7 @@ pub use pss_core::{
     ConfigError, GossipNode, NodeDescriptor, NodeId, OracleSampler, PeerSampler, PeerSamplingNode,
     PeerSelection, PolicyTriple, ProtocolConfig, View, ViewPropagation, ViewSelection,
 };
-pub use pss_sim::{scenario, EventConfig, EventSimulation, Simulation, Snapshot};
+pub use pss_sim::{
+    scenario, EventConfig, EventSimulation, ShardedEventSimulation, ShardedSimulation, Simulation,
+    Snapshot,
+};
