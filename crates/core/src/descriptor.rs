@@ -13,6 +13,12 @@ use crate::NodeId;
 /// Views are ordered by increasing hop count: the *head* of a view is its
 /// freshest information, the *tail* its stalest.
 ///
+/// In-process the [`NodeId`] doubles as the node's address. On a real
+/// transport a descriptor additionally carries the node's network address —
+/// the wire form is `(id, age, address)`, see [`crate::wire`] — which
+/// runtimes strip into an id → address book on receipt, so the in-memory
+/// view entry stays this compact two-word `Copy` type.
+///
 /// # Examples
 ///
 /// ```

@@ -65,6 +65,7 @@ mod service;
 pub mod hs;
 pub mod staging;
 pub mod view;
+pub mod wire;
 
 pub use config::{ConfigError, ProtocolConfig};
 pub use descriptor::NodeDescriptor;

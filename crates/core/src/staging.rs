@@ -89,6 +89,42 @@ pub fn pooled_buffers() -> usize {
     with_arena(|arena| arena.pool.len())
 }
 
+/// Takes a recycled message buffer from this thread's pool (empty, capacity
+/// retained), or a fresh one if the pool is dry — the public entry point for
+/// external drivers (network runtimes, event engines) that build
+/// [`crate::Request`]/[`crate::Reply`] payloads outside a protocol node.
+pub fn take_buffer() -> Vec<NodeDescriptor> {
+    with_arena(|arena| arena.pool_take())
+}
+
+/// Returns a spent message buffer to this thread's pool (cleared; dropped
+/// if the pool is full). The inverse of [`take_buffer`].
+pub fn put_buffer(buffer: Vec<NodeDescriptor>) {
+    with_arena(|arena| arena.pool_put(buffer));
+}
+
+/// Pops one pooled buffer, moving its capacity out of the thread-local pool
+/// into caller-owned storage. Drivers whose worker threads are short-lived
+/// (scoped per phase) use this to rescue recycled capacity before the
+/// thread — and its pool — is dropped.
+pub fn reclaim_buffer() -> Option<Vec<NodeDescriptor>> {
+    with_arena(|arena| arena.pool.pop())
+}
+
+/// Tops up the thread pool from caller-owned storage: moves one buffer out
+/// of `reserve` if (and only if) the pool is currently empty, so the next
+/// [`take_buffer`]/`pool_take` hits recycled capacity instead of the
+/// allocator. The complement of [`reclaim_buffer`].
+pub fn refill_from(reserve: &mut Vec<Vec<NodeDescriptor>>) {
+    with_arena(|arena| {
+        if arena.pool.is_empty() {
+            if let Some(buffer) = reserve.pop() {
+                arena.pool.push(buffer);
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +153,35 @@ mod tests {
         });
         let buf = with_arena(|arena| arena.pool_take());
         assert!(buf.is_empty(), "recycled buffers must never leak content");
+    }
+
+    #[test]
+    fn take_put_reclaim_refill_roundtrip() {
+        with_arena(|arena| arena.pool.clear());
+        // take on a dry pool allocates fresh.
+        let buf = take_buffer();
+        assert!(buf.is_empty());
+        put_buffer({
+            let mut b = buf;
+            b.reserve(16);
+            b.push(NodeDescriptor::fresh(crate::NodeId::new(1)));
+            b
+        });
+        assert_eq!(pooled_buffers(), 1);
+        // reclaim moves the capacity out (cleared by put).
+        let rescued = reclaim_buffer().expect("one pooled");
+        assert!(rescued.is_empty());
+        assert!(rescued.capacity() >= 16);
+        assert_eq!(pooled_buffers(), 0);
+        assert!(reclaim_buffer().is_none());
+        // refill only feeds an empty pool, one buffer at a time.
+        let mut reserve = vec![rescued, Vec::with_capacity(4)];
+        refill_from(&mut reserve);
+        assert_eq!(pooled_buffers(), 1);
+        assert_eq!(reserve.len(), 1);
+        refill_from(&mut reserve);
+        assert_eq!(pooled_buffers(), 1, "non-empty pool must not be refilled");
+        assert_eq!(reserve.len(), 1);
     }
 
     #[test]

@@ -640,9 +640,14 @@ impl View {
             .entries
             .windows(2)
             .all(|w| w[0].hop_count() <= w[1].hop_count());
-        let mut ids: Vec<u64> = self.entries.iter().map(|d| d.id().as_u64()).collect();
-        ids.sort_unstable();
-        let unique = ids.windows(2).all(|w| w[0] != w[1]);
+        // Pairwise uniqueness scan: quadratic in the view size (≤ c, tiny)
+        // but allocation-free, so the debug_asserts in the absorb hot path
+        // don't make debug builds allocate per message.
+        let unique = self
+            .entries
+            .iter()
+            .enumerate()
+            .all(|(i, a)| self.entries[i + 1..].iter().all(|b| a.id() != b.id()));
         // The id index either mirrors the entries exactly or is absent
         // (views produced by the absorb fast path stay unindexed until an
         // operation materializes the index).

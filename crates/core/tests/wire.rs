@@ -1,0 +1,182 @@
+//! Property-based tests for the wire codec: encode → decode is the
+//! identity on arbitrary valid view content, and malformed frames are
+//! rejected — never mis-decoded, never panicking.
+
+use proptest::prelude::*;
+use pss_core::wire::{
+    self, DecodeError, DecodeScratch, FrameKind, NetAddr, DESCRIPTOR_LEN, HEADER_LEN,
+};
+use pss_core::{NodeDescriptor, NodeId};
+
+/// An arbitrary transport address across all three families.
+fn addr_strategy() -> impl Strategy<Value = NetAddr> {
+    (0u8..3, 0u64..u64::MAX, 0u16..u16::MAX).prop_map(|(family, raw, port)| match family {
+        0 => NetAddr::Sock(std::net::SocketAddr::new(
+            std::net::IpAddr::V4(std::net::Ipv4Addr::from((raw >> 32) as u32)),
+            port,
+        )),
+        1 => NetAddr::Sock(std::net::SocketAddr::new(
+            std::net::IpAddr::V6(std::net::Ipv6Addr::from((raw as u128) << 43 | port as u128)),
+            port,
+        )),
+        _ => NetAddr::Virtual(raw),
+    })
+}
+
+/// Arbitrary valid view content: distinct ids, arbitrary ages, an address
+/// per descriptor.
+fn view_content(max: usize) -> impl Strategy<Value = Vec<(NodeDescriptor, NetAddr)>> {
+    prop::collection::vec(((0u64..500, 0u32..2000), addr_strategy()), 0..max).prop_map(|raw| {
+        let mut seen = std::collections::HashSet::new();
+        raw.into_iter()
+            .filter(|((id, _), _)| seen.insert(*id))
+            .map(|((id, age), addr)| (NodeDescriptor::new(NodeId::new(id), age), addr))
+            .collect()
+    })
+}
+
+fn encode_frame(
+    kind: FrameKind,
+    wants_reply: bool,
+    src: u64,
+    dst: u64,
+    src_addr: NetAddr,
+    content: &[(NodeDescriptor, NetAddr)],
+) -> Vec<u8> {
+    let descriptors: Vec<NodeDescriptor> = content.iter().map(|&(d, _)| d).collect();
+    let mut buf = Vec::new();
+    wire::encode(
+        &mut buf,
+        kind,
+        wants_reply,
+        NodeId::new(src),
+        NodeId::new(dst),
+        src_addr,
+        &descriptors,
+        |id| {
+            content
+                .iter()
+                .find(|(d, _)| d.id() == id)
+                .map(|&(_, addr)| addr)
+        },
+    )
+    .expect("valid content encodes");
+    buf
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_is_identity(
+        content in view_content(40),
+        wants_reply in (0u8..2).prop_map(|b| b == 1),
+        src in 0u64..1000,
+        dst in 0u64..1000,
+        src_addr in addr_strategy(),
+        is_request in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let kind = if is_request { FrameKind::Request } else { FrameKind::Reply };
+        let buf = encode_frame(kind, wants_reply, src, dst, src_addr, &content);
+        prop_assert_eq!(buf.len(), HEADER_LEN + content.len() * DESCRIPTOR_LEN);
+
+        let frame = wire::decode(&buf).expect("own frames decode");
+        prop_assert_eq!(frame.kind, kind);
+        prop_assert_eq!(frame.wants_reply, wants_reply && is_request);
+        prop_assert_eq!(frame.src, NodeId::new(src));
+        prop_assert_eq!(frame.dst, NodeId::new(dst));
+        prop_assert_eq!(frame.src_addr, src_addr);
+        prop_assert_eq!(frame.count, content.len());
+
+        let mut out = Vec::new();
+        let mut learned = Vec::new();
+        wire::read_descriptors(&frame, &mut out, &mut DecodeScratch::new(), |id, addr| {
+            learned.push((id, addr));
+        })
+        .expect("own frames read");
+        let expect_ds: Vec<NodeDescriptor> = content.iter().map(|&(d, _)| d).collect();
+        let expect_addrs: Vec<(NodeId, NetAddr)> =
+            content.iter().map(|&(d, a)| (d.id(), a)).collect();
+        prop_assert_eq!(out, expect_ds);
+        prop_assert_eq!(learned, expect_addrs);
+    }
+
+    #[test]
+    fn any_truncation_is_rejected(
+        content in view_content(20),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let buf = encode_frame(
+            FrameKind::Request,
+            true,
+            1,
+            2,
+            NetAddr::Virtual(9),
+            &content,
+        );
+        let cut = ((buf.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < buf.len());
+        prop_assert!(wire::decode(&buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_are_always_rejected(
+        content in view_content(20),
+        dup_age in 0u32..100,
+    ) {
+        prop_assume!(!content.is_empty());
+        // Re-append the first descriptor with a different age: still a
+        // well-formed frame shape, but invalid view content.
+        let mut poisoned = content.clone();
+        let (first, addr) = poisoned[0];
+        poisoned.push((NodeDescriptor::new(first.id(), dup_age), addr));
+        let buf = encode_frame(
+            FrameKind::Reply,
+            false,
+            1,
+            2,
+            NetAddr::Virtual(9),
+            &poisoned,
+        );
+        let frame = wire::decode(&buf).expect("shape is valid");
+        let mut out = Vec::new();
+        let err = wire::read_descriptors(&frame, &mut out, &mut DecodeScratch::new(), |_, _| {})
+            .expect_err("duplicate ids must be rejected");
+        prop_assert_eq!(err, DecodeError::DuplicateId(first.id()));
+        prop_assert!(out.is_empty());
+    }
+
+    #[test]
+    fn corrupting_the_length_or_magic_is_rejected(
+        content in view_content(10),
+        byte in 0usize..8,
+        xor in 1u16..256,
+    ) {
+        // Bytes 0..8 are the length prefix and magic: any single-bit damage
+        // there must be fatal.
+        let mut buf = encode_frame(
+            FrameKind::Request,
+            false,
+            1,
+            2,
+            NetAddr::Virtual(9),
+            &content,
+        );
+        buf[byte] ^= xor as u8;
+        prop_assert!(wire::decode(&buf).is_err());
+    }
+}
+
+#[test]
+fn oversized_frames_are_rejected() {
+    // A descriptor count over the limit with a consistent length prefix
+    // and body size: only the explicit bound can reject it.
+    let count = wire::MAX_DESCRIPTORS + 1;
+    let mut buf = encode_frame(FrameKind::Request, false, 1, 2, NetAddr::Virtual(9), &[]);
+    buf[47..49].copy_from_slice(&(count as u16).to_le_bytes());
+    buf.resize(HEADER_LEN + count * DESCRIPTOR_LEN, 0);
+    let payload = (buf.len() - 4) as u32;
+    buf[0..4].copy_from_slice(&payload.to_le_bytes());
+    assert!(matches!(
+        wire::decode(&buf),
+        Err(DecodeError::Oversized { count: c }) if c == count
+    ));
+}

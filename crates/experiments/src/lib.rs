@@ -19,6 +19,7 @@
 //! | [`asynchrony`] | extension    | conclusions under the event-driven engine |
 //! | [`apps`]     | extension      | broadcast & aggregation vs sampling quality |
 //! | [`scaling`]  | extension      | sharded-engine throughput and overlay quality vs shard count |
+//! | [`net`]      | extension      | live loopback UDP cluster: wire codec + runtimes end to end |
 //!
 //! All experiments are deterministic given their seed and parallelize
 //! across protocols/runs with `std::thread::scope`.
@@ -36,6 +37,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod hs_ablation;
+pub mod net;
 pub mod policies;
 pub mod report;
 pub mod scaling;

@@ -18,6 +18,8 @@
 //!   apps     broadcast/aggregation sampling-quality comparison (extension)
 //!   hs       healer/swapper (H,S) ablation (extension)
 //!   scaling  sharded-engine throughput vs shard count (extension)
+//!   net      live loopback UDP cluster: convergence + throughput through
+//!            the wire codec (--workers sets the runtime-thread count)
 //!   all      everything above, in order
 //!
 //! options:
@@ -38,8 +40,8 @@ use std::time::Instant;
 
 use pss_experiments::report::Table;
 use pss_experiments::{
-    apps, asynchrony, fig2, fig3, fig4, fig5, fig6, fig7, hs_ablation, policies, scaling, table1,
-    table2, Scale,
+    apps, asynchrony, fig2, fig3, fig4, fig5, fig6, fig7, hs_ablation, net, policies, scaling,
+    table1, table2, Scale,
 };
 
 /// Parsed command-line options.
@@ -271,10 +273,29 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 result.cycles
             );
         }
+        "net" => {
+            let mut config = net::NetConfig::at_scale(scale);
+            if let Some(workers) = opts.workers {
+                config.runtimes = workers;
+            }
+            let result = net::run(&config);
+            emit(opts, "net", &result.table(), None);
+            eprintln!(
+                "   {} nodes on {} runtimes: {} frames/s, {} exchanges/s, healthy = {}",
+                result.nodes,
+                result.runtimes,
+                fmt_num(result.report.frames_per_sec()),
+                fmt_num(result.report.exchanges_per_sec()),
+                result.healthy()
+            );
+            if !result.healthy() {
+                return Err("loopback cluster failed to converge cleanly".into());
+            }
+        }
         "all" => {
             for c in [
                 "table1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "policies",
-                "async", "apps", "hs", "scaling",
+                "async", "apps", "hs", "scaling", "net",
             ] {
                 run_command(opts, c)?;
             }
@@ -309,9 +330,18 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: experiments \
-       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|all>
+       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|net|all>
        [--scale paper|small|tiny|million] [--nodes N] [--cycles N] [--view-size C]
        [--runs R] [--shards LIST] [--workers N] [--seed S] [--out DIR]";
+
+/// Human throughput formatting for the `net` summary line.
+fn fmt_num(x: f64) -> String {
+    if x >= 1000.0 {
+        format!("{:.1}k", x / 1000.0)
+    } else {
+        format!("{x:.0}")
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,165 @@
+//! **Extension X5** — the protocol on a *real* network: a live loopback
+//! UDP cluster.
+//!
+//! Every other experiment drives the protocol in-process. This one runs it
+//! end to end through the deployment stack: `pss-net`'s wire codec, UDP
+//! sockets on `127.0.0.1`, and multi-node runtimes on separate OS threads
+//! ([`pss_net::cluster`]). It reports the convergence trajectory (full-view
+//! fraction and in-degree statistics per gossip period, from the same CSR
+//! metrics the simulators use) plus live throughput — and the codec error
+//! count, which must be zero.
+//!
+//! Unlike the simulators this measures wall-clock behavior: results vary
+//! with machine load, and only the overlay statistics (not exact frame
+//! counts) are comparable across runs.
+
+use pss_core::{PolicyTriple, ProtocolConfig};
+use pss_net::cluster::{self, ClusterConfig, ClusterReport};
+
+use crate::report::{fmt_f64, fmt_percent, Table};
+use crate::Scale;
+
+/// Configuration for the loopback-cluster experiment.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Population size, view size and period budget (`cycles` = periods).
+    pub scale: Scale,
+    /// Runtime threads (one UDP socket each).
+    pub runtimes: usize,
+    /// Gossip period in milliseconds — also the wall-clock cost per period.
+    pub period_ms: u64,
+    /// Timer jitter in milliseconds.
+    pub jitter_ms: u64,
+    /// Bootstrap introducers per node.
+    pub introducers: usize,
+}
+
+impl NetConfig {
+    /// Default configuration at the given scale: nodes capped at 2000 (the
+    /// loopback run is wall-clock bound), 100 ms periods, at most 30
+    /// periods, 4 runtimes.
+    pub fn at_scale(scale: Scale) -> Self {
+        let mut scale = scale;
+        scale.nodes = scale.nodes.min(2000);
+        scale.cycles = scale.cycles.min(30);
+        NetConfig {
+            scale,
+            runtimes: 4,
+            period_ms: 100,
+            jitter_ms: 20,
+            introducers: 3,
+        }
+    }
+}
+
+/// Result of the loopback-cluster experiment.
+#[derive(Debug)]
+pub struct NetResult {
+    /// The cluster report (per-period stats, counters, throughput).
+    pub report: ClusterReport,
+    /// Nodes in the run.
+    pub nodes: usize,
+    /// Runtime threads used.
+    pub runtimes: usize,
+    /// The view size (for the in-degree ≈ c check).
+    pub view_size: usize,
+}
+
+impl NetResult {
+    /// Per-period convergence table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "period",
+            "full views",
+            "in-degree mean",
+            "in-degree sd",
+        ]);
+        for p in &self.report.periods {
+            table.row(vec![
+                p.period.to_string(),
+                fmt_percent(p.full_fraction()),
+                fmt_f64(p.in_degree_mean, 2),
+                fmt_f64(p.in_degree_sd, 2),
+            ]);
+        }
+        let stats = &self.report.stats;
+        table.row(vec![
+            "≥99% full at".into(),
+            self.report
+                .converged_at
+                .map_or("never".into(), |p| format!("period {p}")),
+            format!("{} frames", stats.frames_in + stats.frames_out),
+            format!(
+                "{} kfps / {} kxps",
+                fmt_f64(self.report.frames_per_sec() / 1000.0, 1),
+                fmt_f64(self.report.exchanges_per_sec() / 1000.0, 1)
+            ),
+        ]);
+        table.row(vec![
+            "codec errors".into(),
+            stats.decode_failures().to_string(),
+            format!("{} timeouts", stats.timeouts),
+            format!("{} send failures", stats.send_failures),
+        ]);
+        table
+    }
+
+    /// True when the final period has ≥ 99% full views, the in-degree mean
+    /// is within half a link of `c`, and no codec error occurred — the
+    /// acceptance gate the CI smoke checks.
+    pub fn healthy(&self) -> bool {
+        let Some(last) = self.report.periods.last() else {
+            return false;
+        };
+        last.full_fraction() >= 0.99
+            && (last.in_degree_mean - self.view_size as f64).abs() <= 0.5
+            && self.report.stats.decode_failures() == 0
+    }
+}
+
+/// Runs the loopback cluster experiment.
+///
+/// # Panics
+///
+/// Panics if the loopback sockets cannot be bound (no loopback interface —
+/// not a scenario the experiment supports degrading through).
+pub fn run(config: &NetConfig) -> NetResult {
+    let protocol =
+        ProtocolConfig::new(PolicyTriple::newscast(), config.scale.view_size).expect("valid scale");
+    let cluster_config = ClusterConfig {
+        nodes: config.scale.nodes,
+        runtimes: config.runtimes.min(config.scale.nodes),
+        protocol,
+        period_ms: config.period_ms,
+        jitter_ms: config.jitter_ms,
+        periods: config.scale.cycles,
+        introducers: config.introducers,
+        seed: config.scale.seed,
+    };
+    let report = cluster::run(&cluster_config).expect("loopback sockets available");
+    NetResult {
+        report,
+        nodes: config.scale.nodes,
+        runtimes: cluster_config.runtimes,
+        view_size: config.scale.view_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_cluster_runs_and_reports() {
+        let mut scale = Scale::tiny();
+        scale.nodes = 48;
+        scale.cycles = 12;
+        let mut config = NetConfig::at_scale(scale);
+        config.runtimes = 2;
+        let result = run(&config);
+        assert_eq!(result.report.periods.len(), 12);
+        assert!(result.healthy(), "{:?}", result.report);
+        // Table has one row per period plus two summary rows.
+        assert_eq!(result.table().len(), 14);
+    }
+}

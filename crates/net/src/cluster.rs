@@ -1,0 +1,365 @@
+//! Loopback cluster harness: N nodes across K runtime threads on UDP.
+//!
+//! [`run`] binds one [`UdpTransport`] per runtime on `127.0.0.1:0`, splits
+//! the node population into contiguous id ranges (the sharded engines'
+//! placement), bootstraps every node off earlier nodes (a tree plus random
+//! extra introducers, the join pattern of the simulators' churn scenarios),
+//! and drives all runtimes against the shared wall clock — 1 tick = 1 ms.
+//!
+//! At every period boundary each runtime thread snapshots its nodes' views
+//! and sends them to the driver, which assembles the global overlay into a
+//! [`pss_sim::CsrSnapshot`] — the same CSR metrics path the simulators use
+//! — and records in-degree statistics plus the full-view fraction. Threads
+//! realign on a barrier per period so snapshot skew stays bounded by the
+//! slowest runtime, not the full run.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use pss_core::wire::NetAddr;
+use pss_core::{NodeId, PeerSamplingNode, ProtocolConfig};
+use pss_sim::CsrSnapshot;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::runtime::{NetConfig, NetRuntime, RuntimeStats};
+use crate::udp::UdpTransport;
+
+/// Parameters of a loopback cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Total nodes, split contiguously across the runtimes.
+    pub nodes: usize,
+    /// Runtime threads (one UDP socket each).
+    pub runtimes: usize,
+    /// The protocol every node runs.
+    pub protocol: ProtocolConfig,
+    /// Gossip period in milliseconds.
+    pub period_ms: u64,
+    /// Timer jitter in milliseconds (strictly below the period).
+    pub jitter_ms: u64,
+    /// Gossip periods to run.
+    pub periods: u64,
+    /// Bootstrap introducers per node (tree parent + random earlier nodes).
+    pub introducers: usize,
+    /// Master seed for node RNGs, phases, and bootstrap choices.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A small default: 256 nodes on 2 runtimes, 100 ms periods.
+    pub fn small(protocol: ProtocolConfig) -> Self {
+        ClusterConfig {
+            nodes: 256,
+            runtimes: 2,
+            protocol,
+            period_ms: 100,
+            jitter_ms: 20,
+            periods: 20,
+            introducers: 3,
+            seed: 20040601,
+        }
+    }
+}
+
+/// Overlay statistics of one period-boundary snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodStats {
+    /// 1-based period index.
+    pub period: u64,
+    /// Nodes whose view is full (length = c).
+    pub full_views: usize,
+    /// Nodes in the snapshot.
+    pub nodes: usize,
+    /// Mean in-degree of the directed view graph.
+    pub in_degree_mean: f64,
+    /// Standard deviation of the in-degree.
+    pub in_degree_sd: f64,
+}
+
+impl PeriodStats {
+    /// Fraction of nodes with full views.
+    pub fn full_fraction(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.full_views as f64 / self.nodes as f64
+        }
+    }
+}
+
+/// The result of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-period overlay statistics, in period order.
+    pub periods: Vec<PeriodStats>,
+    /// First period at which ≥ 99% of nodes had full views.
+    pub converged_at: Option<u64>,
+    /// Runtime statistics summed across all runtimes (final).
+    pub stats: RuntimeStats,
+    /// Wall-clock duration of the driven phase.
+    pub elapsed: Duration,
+}
+
+impl ClusterReport {
+    /// Frames per wall-clock second across the cluster.
+    pub fn frames_per_sec(&self) -> f64 {
+        (self.stats.frames_in + self.stats.frames_out) as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Completed gossip exchanges per wall-clock second (replies absorbed
+    /// plus push-only requests absorbed — the event engine's notion; a
+    /// pushpull exchange whose reply was lost does not count).
+    pub fn exchanges_per_sec(&self) -> f64 {
+        self.stats.exchanges_completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The contiguous id range runtime `r` of `k` owns under `n` nodes — the
+/// sharded engines' planned-range formula.
+fn range_of(n: usize, k: usize, r: usize) -> (usize, usize) {
+    let start = (r * n).div_ceil(k);
+    let end = ((r + 1) * n).div_ceil(k);
+    (start, end.min(n))
+}
+
+fn runtime_of(n: usize, k: usize, id: usize) -> usize {
+    (id * k) / n
+}
+
+/// SplitMix64 finalizer for (seed, id)-pure node seeds.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One runtime thread's per-period message to the driver.
+struct PeriodSnapshot {
+    runtime: usize,
+    period: u64,
+    rows: Vec<(NodeId, Vec<NodeId>)>,
+    stats: RuntimeStats,
+}
+
+/// Runs a loopback UDP cluster; see the [module docs](self).
+///
+/// # Errors
+///
+/// Socket-level errors from binding the loopback transports, or an invalid
+/// timer configuration surfaced as `InvalidInput`.
+///
+/// # Panics
+///
+/// Panics if `nodes < 2` or `runtimes` is zero or exceeds `nodes`.
+pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
+    assert!(config.nodes >= 2, "need at least two nodes");
+    assert!(
+        config.runtimes >= 1 && config.runtimes <= config.nodes,
+        "need 1..=nodes runtimes"
+    );
+    let net_config = NetConfig {
+        period: config.period_ms,
+        jitter: config.jitter_ms,
+        reply_timeout: config.period_ms,
+    };
+    net_config
+        .validate()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+
+    // Bind every runtime's socket first so the full id → address map is
+    // known before any node bootstraps.
+    let transports: Vec<UdpTransport> = (0..config.runtimes)
+        .map(|_| UdpTransport::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()?;
+    let addrs: Vec<NetAddr> = transports.iter().map(UdpTransport::net_addr).collect();
+    let addr_of = |id: usize| addrs[runtime_of(config.nodes, config.runtimes, id)];
+
+    // Build the runtimes and their node populations.
+    let mut runtimes = Vec::with_capacity(config.runtimes);
+    let mut boot_rng = SmallRng::seed_from_u64(config.seed ^ 0xb007_b007_b007_b007);
+    for (r, transport) in transports.into_iter().enumerate() {
+        let mut rt = NetRuntime::new(transport, net_config, mix(config.seed ^ (r as u64 + 1)))
+            .expect("validated above");
+        let (start, end) = range_of(config.nodes, config.runtimes, r);
+        for i in start..end {
+            let node = PeerSamplingNode::with_seed(
+                NodeId::new(i as u64),
+                config.protocol.clone(),
+                mix(config.seed ^ 0x5eed ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)),
+            );
+            let mut introducers: Vec<(NodeId, NetAddr)> = Vec::new();
+            if i > 0 {
+                // Tree parent first (guarantees a connected bootstrap
+                // graph), then random earlier nodes.
+                let parent = i / 2;
+                introducers.push((NodeId::new(parent as u64), addr_of(parent)));
+                while introducers.len() < config.introducers.min(i) {
+                    let pick = boot_rng.random_range(0..i);
+                    if introducers.iter().all(|(id, _)| id.as_index() != pick) {
+                        introducers.push((NodeId::new(pick as u64), addr_of(pick)));
+                    }
+                }
+            }
+            rt.add_node(node, &introducers);
+        }
+        runtimes.push(rt);
+    }
+
+    // Drive: every thread follows the shared wall clock (1 tick = 1 ms),
+    // snapshots at period boundaries, and realigns on the barrier.
+    let started = Instant::now();
+    let barrier = Arc::new(Barrier::new(config.runtimes));
+    let (tx, rx) = mpsc::channel::<PeriodSnapshot>();
+    let periods = config.periods;
+    let period_ms = config.period_ms;
+    let view_size = config.protocol.view_size();
+
+    std::thread::scope(|scope| {
+        for (runtime_idx, mut rt) in runtimes.drain(..).enumerate() {
+            let tx = tx.clone();
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                for p in 1..=periods {
+                    let target = p * period_ms;
+                    loop {
+                        let elapsed = started.elapsed().as_millis() as u64;
+                        rt.run_until(elapsed.min(target));
+                        if elapsed >= target {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                    let mut rows = Vec::with_capacity(rt.node_count());
+                    rt.for_each_live_view(|id, view| {
+                        rows.push((id, view.ids().collect::<Vec<NodeId>>()));
+                    });
+                    let snapshot = PeriodSnapshot {
+                        runtime: runtime_idx,
+                        period: p,
+                        rows,
+                        stats: rt.stats(),
+                    };
+                    if tx.send(snapshot).is_err() {
+                        return;
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+        drop(tx);
+
+        // Driver side: assemble K snapshots per period into the CSR
+        // metrics while the threads run the next period.
+        let mut period_stats: Vec<PeriodStats> = Vec::with_capacity(periods as usize);
+        let mut latest_stats: Vec<RuntimeStats> = vec![RuntimeStats::default(); config.runtimes];
+        let mut pending: Vec<Vec<PeriodSnapshot>> = (0..periods).map(|_| Vec::new()).collect();
+        for snapshot in rx.iter() {
+            latest_stats[snapshot.runtime] = snapshot.stats;
+            let p = snapshot.period as usize - 1;
+            pending[p].push(snapshot);
+            if pending[p].len() == config.runtimes {
+                let mut batch = std::mem::take(&mut pending[p]);
+                // Each runtime's rows are sorted (contiguous id ranges);
+                // ordering batches by first id concatenates in id order.
+                batch.sort_by_key(|s| s.rows.first().map_or(u64::MAX, |(id, _)| id.as_u64()));
+                let rows: Vec<(NodeId, Vec<NodeId>)> =
+                    batch.into_iter().flat_map(|s| s.rows).collect();
+                period_stats.push(measure(config.nodes, p as u64 + 1, &rows, view_size));
+            }
+        }
+        period_stats.sort_by_key(|s| s.period);
+
+        let elapsed = started.elapsed();
+        let mut stats = RuntimeStats::default();
+        for s in &latest_stats {
+            stats.merge(s);
+        }
+        let converged_at = period_stats
+            .iter()
+            .find(|s| s.full_fraction() >= 0.99)
+            .map(|s| s.period);
+        Ok(ClusterReport {
+            periods: period_stats,
+            converged_at,
+            stats,
+            elapsed,
+        })
+    })
+}
+
+/// Builds the CSR snapshot for one period and reduces it to
+/// [`PeriodStats`].
+fn measure(id_space: usize, period: u64, rows: &[(NodeId, Vec<NodeId>)], c: usize) -> PeriodStats {
+    let snapshot = CsrSnapshot::from_rows(id_space, rows);
+    let in_degrees = snapshot.graph().in_degrees();
+    let n = in_degrees.len().max(1) as f64;
+    let mean = in_degrees.iter().map(|&d| d as f64).sum::<f64>() / n;
+    let var = in_degrees
+        .iter()
+        .map(|&d| {
+            let diff = d as f64 - mean;
+            diff * diff
+        })
+        .sum::<f64>()
+        / n;
+    PeriodStats {
+        period,
+        full_views: rows
+            .iter()
+            .filter(|(_, targets)| targets.len() == c)
+            .count(),
+        nodes: rows.len(),
+        in_degree_mean: mean,
+        in_degree_sd: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_core::PolicyTriple;
+
+    #[test]
+    fn range_partition_covers_all_ids_in_order() {
+        for (n, k) in [(10, 3), (7, 7), (1000, 4), (5, 1)] {
+            let mut seen = 0usize;
+            for r in 0..k {
+                let (start, end) = range_of(n, k, r);
+                assert_eq!(start, seen, "gap at runtime {r} for ({n}, {k})");
+                for id in start..end {
+                    assert_eq!(runtime_of(n, k, id), r, "id {id} misrouted");
+                }
+                seen = end;
+            }
+            assert_eq!(seen, n);
+        }
+    }
+
+    #[test]
+    fn small_loopback_cluster_converges() {
+        // Wall-clock test: 64 nodes, 2 runtimes, 100 ms periods. Generous
+        // period budget for a loaded CI box; typically converges in ~6.
+        let protocol = ProtocolConfig::new(PolicyTriple::newscast(), 12).unwrap();
+        let mut config = ClusterConfig::small(protocol);
+        config.nodes = 64;
+        config.periods = 15;
+        let report = run(&config).expect("cluster runs");
+        assert_eq!(report.periods.len(), 15);
+        let last = report.periods.last().unwrap();
+        assert!(
+            last.full_fraction() >= 0.99,
+            "only {}/{} full views",
+            last.full_views,
+            last.nodes
+        );
+        // Mean in-degree of a converged overlay equals c.
+        assert!((last.in_degree_mean - 12.0).abs() < 0.5, "{last:?}");
+        assert_eq!(report.stats.decode_failures(), 0, "{:?}", report.stats);
+        assert!(report.stats.frames_in > 0);
+        assert!(report.converged_at.is_some());
+        assert!(report.frames_per_sec() > 0.0);
+        assert!(report.exchanges_per_sec() > 0.0);
+    }
+}

@@ -1,0 +1,842 @@
+//! The node runtime: many gossip nodes on one OS thread, over any
+//! [`Transport`].
+//!
+//! A [`NetRuntime`] owns a set of [`GossipNode`]s, a timer wheel that fires
+//! each node's active cycle once per period (± uniform jitter, mirroring
+//! the event engine's timer model), and one transport endpoint multiplexing
+//! all of them. Time is abstract **ticks**: real-time drivers map wall
+//! milliseconds to ticks and call [`NetRuntime::run_until`] in a loop (see
+//! [`crate::cluster`]); deterministic tests drive virtual time directly.
+//!
+//! # The receive path is allocation-free in steady state
+//!
+//! Incoming frames are decoded ([`pss_core::wire`]) straight into recycled
+//! [`pss_core::staging`] message buffers; the node's absorb path consumes
+//! the buffer through the fused `merge_select_from_slice` and recycles it
+//! back to the pool. One reusable receive buffer, one reusable encode
+//! buffer, one decode scratch table — nothing per-frame.
+//!
+//! # Addresses
+//!
+//! Nodes address each other by [`NodeId`]; the runtime's **address book**
+//! maps ids to transport addresses. It is fed by bootstrap introducers
+//! ([`NetRuntime::add_node`]) and by every received frame (sender address
+//! and all descriptor addresses), so any id a view can contain is
+//! resolvable by construction. An unresolvable id is counted, never fatal.
+
+use std::collections::HashMap;
+
+use pss_core::wire::{self, DecodeScratch, EncodeError, FrameKind, NetAddr};
+use pss_core::{staging, Exchange, GossipNode, NodeDescriptor, NodeId, Reply, Request, View};
+use pss_sim::{EventConfig, EventConfigError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::transport::Transport;
+use crate::wheel::TimerWheel;
+
+/// Timing parameters of a runtime, in abstract ticks (the loopback cluster
+/// drives 1 tick = 1 ms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Gossip period `T`: every node initiates once per period.
+    pub period: u64,
+    /// Uniform timer jitter, applied as ± `jitter` around the period; must
+    /// be strictly below the period (the event engine's rule).
+    pub jitter: u64,
+    /// Ticks after which an unanswered pushpull request counts as a
+    /// timeout. An outstanding exchange is also counted as timed out when
+    /// the initiator's next exchange supersedes it, whichever comes first
+    /// (the runtime tracks one outstanding exchange per node).
+    pub reply_timeout: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            period: 1000,
+            jitter: 100,
+            reply_timeout: 1000,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Takes `period`/`jitter` from an event-engine configuration (latency
+    /// and loss are transport-side, see [`crate::MemNetwork::from_event`]),
+    /// with the reply timeout set to one period.
+    pub fn from_event(config: &EventConfig) -> Self {
+        NetConfig {
+            period: config.period,
+            jitter: config.jitter,
+            reply_timeout: config.period,
+        }
+    }
+
+    /// Checks the timer invariants — the event engine's rules.
+    ///
+    /// # Errors
+    ///
+    /// [`EventConfigError::ZeroPeriod`] or
+    /// [`EventConfigError::JitterNotBelowPeriod`].
+    pub fn validate(&self) -> Result<(), EventConfigError> {
+        if self.period == 0 {
+            return Err(EventConfigError::ZeroPeriod);
+        }
+        if self.jitter >= self.period {
+            return Err(EventConfigError::JitterNotBelowPeriod {
+                jitter: self.jitter,
+                period: self.period,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-node accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Protocol messages (requests + replies) absorbed by this node.
+    pub msgs_in: u64,
+    /// Protocol messages sent on this node's behalf.
+    pub msgs_out: u64,
+    /// Frames addressed to this node whose descriptor body was rejected.
+    pub decode_failures: u64,
+    /// Pushpull requests whose reply never arrived — expired after
+    /// [`NetConfig::reply_timeout`] ticks, or superseded by the node's next
+    /// initiated exchange, whichever came first.
+    pub timeouts: u64,
+    /// Timer fires that could not initiate (empty view).
+    pub empty_view: u64,
+}
+
+/// Aggregated runtime statistics: runtime-level counters plus the sums of
+/// every node's [`NodeCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Frames pulled off the transport.
+    pub frames_in: u64,
+    /// Frames handed to the transport.
+    pub frames_out: u64,
+    /// Frames rejected before the destination node was known (header-level
+    /// decode errors) — attributable to no node.
+    pub header_decode_failures: u64,
+    /// Frames rejected at the descriptor level (per-node
+    /// [`NodeCounters::decode_failures`], summed).
+    pub body_decode_failures: u64,
+    /// Frames addressed to a node this runtime does not host.
+    pub unknown_destination: u64,
+    /// Frames addressed to a node that has left.
+    pub dead_deliveries: u64,
+    /// Sends the transport refused (unroutable address, socket error).
+    pub send_failures: u64,
+    /// Sends skipped because the address book had no entry.
+    pub missing_address: u64,
+    /// Timer events fired for live nodes.
+    pub timers_fired: u64,
+    /// Requests absorbed.
+    pub requests_in: u64,
+    /// Replies absorbed.
+    pub replies_in: u64,
+    /// Exchanges completed — the event engine's notion: push-only requests
+    /// absorbed plus replies absorbed by their initiators.
+    pub exchanges_completed: u64,
+    /// Summed [`NodeCounters::timeouts`].
+    pub timeouts: u64,
+    /// Summed [`NodeCounters::empty_view`].
+    pub empty_view: u64,
+}
+
+impl RuntimeStats {
+    /// Total decode failures (header- plus body-level) — the "zero codec
+    /// errors" acceptance number.
+    pub fn decode_failures(&self) -> u64 {
+        self.header_decode_failures + self.body_decode_failures
+    }
+
+    /// Field-wise sum, for aggregating across runtimes.
+    pub fn merge(&mut self, other: &RuntimeStats) {
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.header_decode_failures += other.header_decode_failures;
+        self.body_decode_failures += other.body_decode_failures;
+        self.unknown_destination += other.unknown_destination;
+        self.dead_deliveries += other.dead_deliveries;
+        self.send_failures += other.send_failures;
+        self.missing_address += other.missing_address;
+        self.timers_fired += other.timers_fired;
+        self.requests_in += other.requests_in;
+        self.replies_in += other.replies_in;
+        self.exchanges_completed += other.exchanges_completed;
+        self.timeouts += other.timeouts;
+        self.empty_view += other.empty_view;
+    }
+}
+
+struct Slot<N> {
+    node: N,
+    alive: bool,
+    counters: NodeCounters,
+    /// An outstanding pushpull exchange: `(peer, sent tick)`.
+    pending_reply: Option<(NodeId, u64)>,
+}
+
+/// See the [module docs](self) and the [crate example](crate).
+pub struct NetRuntime<T: Transport, N: GossipNode = pss_core::PeerSamplingNode> {
+    transport: T,
+    config: NetConfig,
+    nodes: Vec<Slot<N>>,
+    /// Hosted node id → slot index.
+    index: HashMap<u64, u32>,
+    /// Node id → transport address, cluster-wide (learned).
+    book: HashMap<u64, NetAddr>,
+    wheel: TimerWheel,
+    rng: SmallRng,
+    now: u64,
+    // Reused buffers: the steady-state-allocation-free receive/send path.
+    recv_buf: Vec<u8>,
+    encode_buf: Vec<u8>,
+    fired: Vec<u32>,
+    scratch: DecodeScratch,
+    // Runtime-level counters (per-node ones live in the slots).
+    frames_in: u64,
+    frames_out: u64,
+    header_decode_failures: u64,
+    unknown_destination: u64,
+    dead_deliveries: u64,
+    send_failures: u64,
+    missing_address: u64,
+    timers_fired: u64,
+    requests_in: u64,
+    replies_in: u64,
+    exchanges_completed: u64,
+}
+
+impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
+    /// Creates an empty runtime over `transport`. All stochastic choices
+    /// (timer phases and jitter) derive from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// [`EventConfigError`] if `config` violates a timer invariant.
+    pub fn new(transport: T, config: NetConfig, seed: u64) -> Result<Self, EventConfigError> {
+        config.validate()?;
+        Ok(NetRuntime {
+            transport,
+            config,
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            book: HashMap::new(),
+            wheel: TimerWheel::new(config.period + 2 * config.jitter + 1),
+            rng: SmallRng::seed_from_u64(seed),
+            now: 0,
+            recv_buf: Vec::new(),
+            encode_buf: Vec::new(),
+            fired: Vec::new(),
+            scratch: DecodeScratch::new(),
+            frames_in: 0,
+            frames_out: 0,
+            header_decode_failures: 0,
+            unknown_destination: 0,
+            dead_deliveries: 0,
+            send_failures: 0,
+            missing_address: 0,
+            timers_fired: 0,
+            requests_in: 0,
+            replies_in: 0,
+            exchanges_completed: 0,
+        })
+    }
+
+    /// The transport's address (what other runtimes' address books should
+    /// hold for every node hosted here).
+    pub fn local_addr(&self) -> NetAddr {
+        self.transport.local_addr()
+    }
+
+    /// Current runtime time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> NetConfig {
+        self.config
+    }
+
+    /// Nodes hosted (left ones included).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes hosted and still participating.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|s| s.alive).count()
+    }
+
+    /// Adds a node, bootstrapping its view from the introducers'
+    /// descriptors and priming the address book with their addresses. The
+    /// node's first timer fires at a uniform-random phase within one period
+    /// (nodes are not synchronized), from the runtime's RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node with the same id is already hosted here.
+    pub fn add_node(&mut self, mut node: N, introducers: &[(NodeId, NetAddr)]) -> NodeId {
+        let id = node.id();
+        assert!(
+            !self.index.contains_key(&id.as_u64()),
+            "node {id} already hosted"
+        );
+        self.book.insert(id.as_u64(), self.transport.local_addr());
+        for &(peer, addr) in introducers {
+            self.book.insert(peer.as_u64(), addr);
+        }
+        node.init(
+            &mut introducers
+                .iter()
+                .map(|&(peer, _)| NodeDescriptor::fresh(peer)),
+        );
+        let slot = self.nodes.len() as u32;
+        self.nodes.push(Slot {
+            node,
+            alive: true,
+            counters: NodeCounters::default(),
+            pending_reply: None,
+        });
+        self.index.insert(id.as_u64(), slot);
+        let phase = self.rng.random_range(0..self.config.period);
+        // Never into the fired past (phase 0 right after a run).
+        let due = (self.now + phase).max(self.wheel.next_tick());
+        self.wheel.schedule(due, slot);
+        id
+    }
+
+    /// Graceful leave: the node stops initiating, and frames addressed to
+    /// it are dropped (counted as dead deliveries). The protocol has no
+    /// unsubscribe message — the rest of the overlay forgets the node
+    /// through view selection, exactly as the paper's model heals failures.
+    /// Returns false if the node is unknown or already gone.
+    pub fn leave(&mut self, id: NodeId) -> bool {
+        match self.index.get(&id.as_u64()) {
+            Some(&slot) if self.nodes[slot as usize].alive => {
+                self.nodes[slot as usize].alive = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The view of a hosted, live node.
+    pub fn view_of(&self, id: NodeId) -> Option<&View> {
+        let &slot = self.index.get(&id.as_u64())?;
+        let slot = &self.nodes[slot as usize];
+        slot.alive.then(|| slot.node.view())
+    }
+
+    /// A hosted node's counters.
+    pub fn node_counters(&self, id: NodeId) -> Option<NodeCounters> {
+        let &slot = self.index.get(&id.as_u64())?;
+        Some(self.nodes[slot as usize].counters)
+    }
+
+    /// The learned address for `id`, if any.
+    pub fn address_of(&self, id: NodeId) -> Option<NetAddr> {
+        self.book.get(&id.as_u64()).copied()
+    }
+
+    /// Visits every live hosted node's `(id, view)` in add order.
+    pub fn for_each_live_view(&self, mut f: impl FnMut(NodeId, &View)) {
+        for slot in &self.nodes {
+            if slot.alive {
+                f(slot.node.id(), slot.node.view());
+            }
+        }
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut stats = RuntimeStats {
+            frames_in: self.frames_in,
+            frames_out: self.frames_out,
+            header_decode_failures: self.header_decode_failures,
+            unknown_destination: self.unknown_destination,
+            dead_deliveries: self.dead_deliveries,
+            send_failures: self.send_failures,
+            missing_address: self.missing_address,
+            timers_fired: self.timers_fired,
+            requests_in: self.requests_in,
+            replies_in: self.replies_in,
+            exchanges_completed: self.exchanges_completed,
+            ..RuntimeStats::default()
+        };
+        for slot in &self.nodes {
+            stats.body_decode_failures += slot.counters.decode_failures;
+            stats.timeouts += slot.counters.timeouts;
+            stats.empty_view += slot.counters.empty_view;
+        }
+        stats
+    }
+
+    /// Advances runtime time to `deadline`, tick by tick: each tick first
+    /// drains and processes every pending frame, then fires the timers due.
+    /// Real-time drivers call this in a loop with the wall-derived tick;
+    /// deterministic tests drive virtual time directly.
+    pub fn run_until(&mut self, deadline: u64) {
+        while self.now < deadline {
+            let t = self.now + 1;
+            self.transport.advance_to(t);
+            while let Some(from) = self.transport.try_recv(&mut self.recv_buf) {
+                self.process_frame(from);
+            }
+            self.fire_timers(t);
+            self.now = t;
+        }
+    }
+
+    /// One full gossip period from the current time.
+    pub fn run_period(&mut self) {
+        self.run_until(self.now + self.config.period);
+    }
+
+    fn process_frame(&mut self, _from: NetAddr) {
+        self.frames_in += 1;
+        let frame = match wire::decode(&self.recv_buf) {
+            Ok(frame) => frame,
+            Err(_) => {
+                self.header_decode_failures += 1;
+                return;
+            }
+        };
+        // Learn the sender's address — frames are the freshest source.
+        self.book.insert(frame.src.as_u64(), frame.src_addr);
+        let Some(&slot_idx) = self.index.get(&frame.dst.as_u64()) else {
+            self.unknown_destination += 1;
+            return;
+        };
+        let slot = &mut self.nodes[slot_idx as usize];
+        if !slot.alive {
+            self.dead_deliveries += 1;
+            return;
+        }
+        let mut payload = staging::take_buffer();
+        let book = &mut self.book;
+        if wire::read_descriptors(&frame, &mut payload, &mut self.scratch, |id, addr| {
+            book.insert(id.as_u64(), addr);
+        })
+        .is_err()
+        {
+            slot.counters.decode_failures += 1;
+            staging::put_buffer(payload);
+            return;
+        }
+        slot.counters.msgs_in += 1;
+        match frame.kind {
+            FrameKind::Request => {
+                self.requests_in += 1;
+                let request = Request {
+                    descriptors: payload,
+                    wants_reply: frame.wants_reply,
+                };
+                match slot.node.handle_request(frame.src, request) {
+                    Some(reply) => self.send_reply(slot_idx, frame.src, frame.src_addr, reply),
+                    // Push-only exchange: complete on request delivery.
+                    None => self.exchanges_completed += 1,
+                }
+            }
+            FrameKind::Reply => {
+                self.replies_in += 1;
+                if slot
+                    .pending_reply
+                    .is_some_and(|(peer, _)| peer == frame.src)
+                {
+                    slot.pending_reply = None;
+                }
+                slot.node.handle_reply(
+                    frame.src,
+                    Reply {
+                        descriptors: payload,
+                    },
+                );
+                self.exchanges_completed += 1;
+            }
+        }
+    }
+
+    fn fire_timers(&mut self, t: u64) {
+        debug_assert!(self.fired.is_empty());
+        let mut fired = core::mem::take(&mut self.fired);
+        // Catch the wheel up through tick `t` (tick 0 is only reachable on
+        // the very first call; afterwards this loop runs exactly once).
+        while self.wheel.next_tick() <= t {
+            self.wheel.due_at(self.wheel.next_tick(), &mut fired);
+        }
+        for slot_idx in fired.drain(..) {
+            let slot = &mut self.nodes[slot_idx as usize];
+            if !slot.alive {
+                continue; // left: the timer dies here
+            }
+            self.timers_fired += 1;
+            // Expire a stale pushpull exchange.
+            if let Some((_, sent)) = slot.pending_reply {
+                if t.saturating_sub(sent) >= self.config.reply_timeout {
+                    slot.counters.timeouts += 1;
+                    slot.pending_reply = None;
+                }
+            }
+            match slot.node.initiate() {
+                Some(exchange) => self.send_request(slot_idx, exchange, t),
+                None => {
+                    self.nodes[slot_idx as usize].counters.empty_view += 1;
+                }
+            }
+            // Re-arm with jitter, the event engine's formula.
+            let jitter = if self.config.jitter == 0 {
+                0
+            } else {
+                self.rng.random_range(0..=2 * self.config.jitter)
+            };
+            self.wheel.schedule(
+                t + self.config.period - self.config.jitter + jitter,
+                slot_idx,
+            );
+        }
+        self.fired = fired;
+    }
+
+    fn send_request(&mut self, slot_idx: u32, exchange: Exchange, now: u64) {
+        let Exchange { peer, request } = exchange;
+        let src = self.nodes[slot_idx as usize].node.id();
+        let Some(&to) = self.book.get(&peer.as_u64()) else {
+            self.missing_address += 1;
+            staging::put_buffer(request.descriptors);
+            return;
+        };
+        let sent = self.send_frame(
+            FrameKind::Request,
+            request.wants_reply,
+            src,
+            peer,
+            to,
+            &request.descriptors,
+        );
+        if sent {
+            let slot = &mut self.nodes[slot_idx as usize];
+            slot.counters.msgs_out += 1;
+            if request.wants_reply {
+                // A still-outstanding exchange being superseded is a
+                // timeout too — its reply never arrived in a full period.
+                if slot.pending_reply.take().is_some() {
+                    slot.counters.timeouts += 1;
+                }
+                slot.pending_reply = Some((peer, now));
+            }
+        }
+        staging::put_buffer(request.descriptors);
+    }
+
+    fn send_reply(&mut self, slot_idx: u32, to_id: NodeId, to_addr: NetAddr, reply: Reply) {
+        let src = self.nodes[slot_idx as usize].node.id();
+        let sent = self.send_frame(
+            FrameKind::Reply,
+            false,
+            src,
+            to_id,
+            to_addr,
+            &reply.descriptors,
+        );
+        if sent {
+            self.nodes[slot_idx as usize].counters.msgs_out += 1;
+        }
+        staging::put_buffer(reply.descriptors);
+    }
+
+    /// Encodes and sends one frame; false on any counted failure.
+    fn send_frame(
+        &mut self,
+        kind: FrameKind,
+        wants_reply: bool,
+        src: NodeId,
+        dst: NodeId,
+        to: NetAddr,
+        descriptors: &[NodeDescriptor],
+    ) -> bool {
+        let book = &self.book;
+        let local = self.transport.local_addr();
+        match wire::encode(
+            &mut self.encode_buf,
+            kind,
+            wants_reply,
+            src,
+            dst,
+            local,
+            descriptors,
+            |id| book.get(&id.as_u64()).copied(),
+        ) {
+            Ok(()) => {
+                if self.transport.send(to, &self.encode_buf) {
+                    self.frames_out += 1;
+                    true
+                } else {
+                    self.send_failures += 1;
+                    false
+                }
+            }
+            Err(EncodeError::MissingAddress(_)) => {
+                // Unreachable by construction (the book covers every view
+                // entry); counted rather than asserted so a regression
+                // shows up as a statistic, not a crash mid-cluster.
+                self.missing_address += 1;
+                false
+            }
+            Err(EncodeError::TooManyDescriptors(_)) => {
+                self.send_failures += 1;
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemNetwork;
+    use crate::MemTransport;
+    use pss_core::{PeerSamplingNode, PolicyTriple, ProtocolConfig};
+    use pss_sim::LatencyModel;
+
+    fn protocol(c: usize) -> ProtocolConfig {
+        ProtocolConfig::new(PolicyTriple::newscast(), c).unwrap()
+    }
+
+    fn config() -> NetConfig {
+        NetConfig {
+            period: 100,
+            jitter: 10,
+            reply_timeout: 100,
+        }
+    }
+
+    fn node(id: u64, c: usize) -> PeerSamplingNode {
+        PeerSamplingNode::with_seed(NodeId::new(id), protocol(c), id * 31 + 5)
+    }
+
+    /// A mesh runtime hosting `n` chain-bootstrapped nodes.
+    fn mesh_runtime(
+        n: u64,
+        latency: LatencyModel,
+        loss: f64,
+    ) -> (MemNetwork, NetRuntime<MemTransport>) {
+        let net = MemNetwork::new(77, latency, loss).expect("valid");
+        let transport = net.endpoint();
+        let addr = transport.net_addr();
+        let mut rt = NetRuntime::new(transport, config(), 5).expect("valid");
+        for i in 0..n {
+            let introducers: Vec<(NodeId, NetAddr)> = if i == 0 {
+                Vec::new()
+            } else {
+                vec![(NodeId::new(i - 1), addr)]
+            };
+            rt.add_node(node(i, 8), &introducers);
+        }
+        (net, rt)
+    }
+
+    #[test]
+    fn config_validation_mirrors_event_rules() {
+        assert!(config().validate().is_ok());
+        assert_eq!(
+            NetConfig {
+                period: 0,
+                ..config()
+            }
+            .validate(),
+            Err(EventConfigError::ZeroPeriod)
+        );
+        assert_eq!(
+            NetConfig {
+                period: 10,
+                jitter: 10,
+                reply_timeout: 5
+            }
+            .validate(),
+            Err(EventConfigError::JitterNotBelowPeriod {
+                jitter: 10,
+                period: 10
+            })
+        );
+        let from = NetConfig::from_event(&EventConfig::default());
+        assert_eq!(from.period, 1000);
+        assert_eq!(from.jitter, 100);
+    }
+
+    #[test]
+    fn two_nodes_learn_each_other_over_the_mesh() {
+        let (_net, mut rt) = mesh_runtime(2, LatencyModel::Uniform { min: 1, max: 5 }, 0.0);
+        rt.run_until(1000); // 10 periods
+        assert!(rt.view_of(NodeId::new(0)).unwrap().contains(NodeId::new(1)));
+        assert!(rt.view_of(NodeId::new(1)).unwrap().contains(NodeId::new(0)));
+        let stats = rt.stats();
+        assert!(stats.timers_fired >= 18);
+        assert!(stats.requests_in > 0);
+        assert!(stats.replies_in > 0);
+        // Newscast is pushpull: exchanges complete on reply absorption.
+        assert_eq!(stats.exchanges_completed, stats.replies_in);
+        assert_eq!(stats.decode_failures(), 0);
+        assert_eq!(stats.missing_address, 0);
+        let c0 = rt.node_counters(NodeId::new(0)).unwrap();
+        assert!(c0.msgs_in > 0 && c0.msgs_out > 0);
+    }
+
+    #[test]
+    fn overlay_converges_on_one_runtime() {
+        let (_net, mut rt) = mesh_runtime(40, LatencyModel::Uniform { min: 1, max: 20 }, 0.0);
+        rt.run_until(20 * 100);
+        let full = {
+            let mut full = 0;
+            rt.for_each_live_view(|_, view| {
+                if view.len() == 8 {
+                    full += 1;
+                }
+            });
+            full
+        };
+        assert!(full >= 39, "only {full}/40 views full");
+        assert_eq!(rt.stats().decode_failures(), 0);
+    }
+
+    #[test]
+    fn total_loss_counts_timeouts_and_freezes_views() {
+        let (net, mut rt) = mesh_runtime(4, LatencyModel::Zero, 1.0);
+        rt.run_until(1000);
+        let stats = rt.stats();
+        assert_eq!(stats.requests_in, 0);
+        assert!(net.lost() > 0);
+        // Every pushpull initiation eventually times out.
+        assert!(stats.timeouts > 0, "no timeouts recorded");
+    }
+
+    #[test]
+    fn leave_stops_participation() {
+        let (_net, mut rt) = mesh_runtime(3, LatencyModel::Uniform { min: 1, max: 3 }, 0.0);
+        rt.run_until(500);
+        assert!(rt.leave(NodeId::new(2)));
+        assert!(!rt.leave(NodeId::new(2)), "double leave");
+        assert_eq!(rt.alive_count(), 2);
+        assert!(rt.view_of(NodeId::new(2)).is_none());
+        let timers_before = rt.stats().timers_fired;
+        rt.run_until(1500);
+        // Node 2's timer never re-arms; frames to it are dead deliveries.
+        let stats = rt.stats();
+        assert!(stats.timers_fired > timers_before);
+        assert!(stats.dead_deliveries > 0, "peers still gossip at node 2");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seeds() {
+        let digest = || {
+            let (_net, mut rt) = mesh_runtime(20, LatencyModel::Uniform { min: 2, max: 30 }, 0.1);
+            rt.run_until(2000);
+            let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+            rt.for_each_live_view(|id, view| {
+                for d in view.iter() {
+                    acc ^= id.as_u64()
+                        ^ d.id().as_u64().rotate_left(17)
+                        ^ (d.hop_count() as u64).rotate_left(43);
+                    acc = acc.wrapping_mul(0x1000_0000_01b3);
+                }
+            });
+            let stats = rt.stats();
+            (acc, stats.frames_in, stats.frames_out)
+        };
+        assert_eq!(digest(), digest());
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_not_fatal() {
+        let net = MemNetwork::new(3, LatencyModel::Zero, 0.0).expect("valid");
+        let mut raw = net.endpoint();
+        let transport = net.endpoint();
+        let addr = transport.net_addr();
+        let mut rt: NetRuntime<MemTransport> =
+            NetRuntime::new(transport, config(), 8).expect("valid");
+        rt.add_node(node(0, 8), &[]);
+        // Garbage, a truncated header, and a frame for an unknown node.
+        raw.send(addr, b"not a frame");
+        raw.send(addr, &[0, 0, 0]);
+        let mut buf = Vec::new();
+        wire::encode(
+            &mut buf,
+            FrameKind::Request,
+            false,
+            NodeId::new(50),
+            NodeId::new(49),
+            NetAddr::Virtual(0),
+            &[],
+            |_| Some(NetAddr::Virtual(0)),
+        )
+        .unwrap();
+        raw.send(addr, &buf);
+        rt.run_until(5);
+        let stats = rt.stats();
+        assert_eq!(stats.frames_in, 3);
+        assert_eq!(stats.header_decode_failures, 2);
+        assert_eq!(stats.unknown_destination, 1);
+        assert_eq!(rt.node_counters(NodeId::new(0)).unwrap().decode_failures, 0);
+    }
+
+    #[test]
+    fn body_decode_failures_attribute_to_the_destination() {
+        let net = MemNetwork::new(3, LatencyModel::Zero, 0.0).expect("valid");
+        let mut raw = net.endpoint();
+        let transport = net.endpoint();
+        let addr = transport.net_addr();
+        let mut rt: NetRuntime<MemTransport> =
+            NetRuntime::new(transport, config(), 8).expect("valid");
+        rt.add_node(node(0, 8), &[]);
+        // Duplicate-id body addressed to node 0.
+        let dup = [
+            NodeDescriptor::new(NodeId::new(7), 1),
+            NodeDescriptor::new(NodeId::new(7), 2),
+        ];
+        let mut buf = Vec::new();
+        wire::encode(
+            &mut buf,
+            FrameKind::Request,
+            false,
+            NodeId::new(9),
+            NodeId::new(0),
+            NetAddr::Virtual(0),
+            &dup,
+            |_| Some(NetAddr::Virtual(0)),
+        )
+        .unwrap();
+        raw.send(addr, &buf);
+        rt.run_until(5);
+        assert_eq!(rt.node_counters(NodeId::new(0)).unwrap().decode_failures, 1);
+        assert_eq!(rt.stats().body_decode_failures, 1);
+        // The view stays untouched.
+        assert!(rt.view_of(NodeId::new(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already hosted")]
+    fn duplicate_node_ids_are_rejected() {
+        let net = MemNetwork::new(3, LatencyModel::Zero, 0.0).expect("valid");
+        let mut rt: NetRuntime<MemTransport> =
+            NetRuntime::new(net.endpoint(), config(), 8).expect("valid");
+        rt.add_node(node(0, 8), &[]);
+        rt.add_node(node(0, 8), &[]);
+    }
+
+    #[test]
+    fn join_after_a_run_clamps_the_timer_phase() {
+        let (_net, mut rt) = mesh_runtime(2, LatencyModel::Uniform { min: 1, max: 3 }, 0.0);
+        rt.run_until(1000);
+        // Joining later must not schedule into the fired past.
+        let addr = rt.local_addr();
+        rt.add_node(node(2, 8), &[(NodeId::new(0), addr)]);
+        rt.run_until(1200);
+        assert!(rt.view_of(NodeId::new(2)).is_some());
+    }
+}

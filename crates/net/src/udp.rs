@@ -1,0 +1,187 @@
+//! The UDP transport: one socket per runtime, many virtual nodes.
+//!
+//! A [`UdpTransport`] owns one `std::net::UdpSocket` plus a background
+//! receive thread. The thread blocks on the socket (with a short timeout so
+//! shutdown is prompt) and hands each datagram — one wire frame, see
+//! [`pss_core::wire`] — to the runtime through a channel. Spent receive
+//! buffers flow back to the thread over a return channel, so the datagram
+//! path recycles its allocations in steady state.
+//!
+//! Virtual-node multiplexing happens one layer up: frames carry their own
+//! destination node id, the runtime routes them. The transport never looks
+//! inside a frame.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pss_core::wire::NetAddr;
+
+use crate::transport::Transport;
+
+/// Largest datagram the receive loop accepts: the codec's own frame bound,
+/// so every frame `wire::encode` can legally produce fits (~32 KB at
+/// `MAX_DESCRIPTORS`; typical frames are ~1 KB at the paper's c = 30).
+/// Larger datagrams are truncated by the OS and then rejected by the
+/// codec's length check, which the runtime counts as a decode failure.
+const RECV_BUFFER_LEN: usize = pss_core::wire::MAX_FRAME_LEN;
+
+/// See the [module docs](self).
+pub struct UdpTransport {
+    socket: UdpSocket,
+    local: SocketAddr,
+    frames: Receiver<(SocketAddr, Vec<u8>)>,
+    spent: Sender<Vec<u8>>,
+    stop: Arc<AtomicBool>,
+    recv_thread: Option<JoinHandle<()>>,
+}
+
+impl UdpTransport {
+    /// Binds a socket (`"127.0.0.1:0"` for an ephemeral loopback port) and
+    /// starts the receive thread.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level error from binding or configuring the socket.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let socket = UdpSocket::bind(addr)?;
+        let local = socket.local_addr()?;
+        let reader = socket.try_clone()?;
+        // A finite read timeout lets the receive thread notice `stop`
+        // without any platform-specific socket shutdown dance.
+        reader.set_read_timeout(Some(Duration::from_millis(25)))?;
+        let (frame_tx, frames) = mpsc::channel();
+        let (spent, spent_rx) = mpsc::channel::<Vec<u8>>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let recv_thread = std::thread::spawn(move || {
+            recv_loop(&reader, &frame_tx, &spent_rx, &thread_stop);
+        });
+        Ok(UdpTransport {
+            socket,
+            local,
+            frames,
+            spent,
+            stop,
+            recv_thread: Some(recv_thread),
+        })
+    }
+
+    /// The bound socket address.
+    pub fn local_socket_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// The bound address as a [`NetAddr`] (what peers put in frames).
+    pub fn net_addr(&self) -> NetAddr {
+        NetAddr::Sock(self.local)
+    }
+}
+
+fn recv_loop(
+    socket: &UdpSocket,
+    frames: &Sender<(SocketAddr, Vec<u8>)>,
+    spent: &Receiver<Vec<u8>>,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        // Reuse a spent buffer when the runtime has returned one.
+        let mut buf = spent.try_recv().unwrap_or_default();
+        buf.resize(RECV_BUFFER_LEN, 0);
+        match socket.recv_from(&mut buf) {
+            Ok((n, from)) => {
+                buf.truncate(n);
+                if frames.send((from, buf)).is_err() {
+                    return; // runtime gone
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            // Transient ICMP-induced errors (e.g. a peer's port closed)
+            // surface here on some platforms; keep receiving.
+            Err(_) => {}
+        }
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_addr(&self) -> NetAddr {
+        NetAddr::Sock(self.local)
+    }
+
+    fn send(&mut self, to: NetAddr, frame: &[u8]) -> bool {
+        match to {
+            NetAddr::Sock(addr) => {
+                matches!(self.socket.send_to(frame, addr), Ok(n) if n == frame.len())
+            }
+            NetAddr::Virtual(_) => false,
+        }
+    }
+
+    fn try_recv(&mut self, buf: &mut Vec<u8>) -> Option<NetAddr> {
+        match self.frames.try_recv() {
+            Ok((from, bytes)) => {
+                buf.clear();
+                buf.extend_from_slice(&bytes);
+                let _ = self.spent.send(bytes); // recycle
+                Some(NetAddr::Sock(from))
+            }
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
+        }
+    }
+}
+
+impl Drop for UdpTransport {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.recv_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_roundtrip_and_recycling() {
+        let mut a = UdpTransport::bind("127.0.0.1:0").expect("bind a");
+        let mut b = UdpTransport::bind("127.0.0.1:0").expect("bind b");
+        assert!(a.send(b.net_addr(), b"frame-1"));
+        assert!(a.send(b.net_addr(), b"frame-2"));
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.len() < 2 && std::time::Instant::now() < deadline {
+            match b.try_recv(&mut buf) {
+                Some(from) => {
+                    assert_eq!(from, a.net_addr());
+                    got.push(buf.clone());
+                }
+                None => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        got.sort();
+        assert_eq!(got, vec![b"frame-1".to_vec(), b"frame-2".to_vec()]);
+    }
+
+    #[test]
+    fn virtual_addresses_are_unroutable() {
+        let mut a = UdpTransport::bind("127.0.0.1:0").expect("bind");
+        assert!(!a.send(NetAddr::Virtual(3), b"x"));
+    }
+
+    #[test]
+    fn drop_joins_the_receive_thread() {
+        let t = UdpTransport::bind("127.0.0.1:0").expect("bind");
+        let started = std::time::Instant::now();
+        drop(t);
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -70,7 +70,10 @@ pub enum LatencyModel {
 }
 
 impl LatencyModel {
-    fn sample(self, rng: &mut impl Rng) -> u64 {
+    /// Draws one message latency. Public so transports outside this crate
+    /// (the `pss-net` in-memory mesh) can mirror the engine's per-message
+    /// model exactly.
+    pub fn sample(self, rng: &mut impl Rng) -> u64 {
         match self {
             LatencyModel::Zero => 0,
             LatencyModel::Uniform { min, max } => {
@@ -352,6 +355,11 @@ enum WireMsg {
     Reply(Reply),
 }
 
+/// Upper bound on recycled payload buffers parked per shard; beyond this,
+/// spent buffers are dropped. Sized to cover the in-flight payload demand
+/// of large-c, high-loss runs without letting a transient spike pin memory.
+const PAYLOAD_POOL_LIMIT: usize = 1024;
+
 /// One shard of the event engine: a node partition, its local event queue,
 /// its RNG stream, and its cross-shard mailboxes.
 struct EventShard<N> {
@@ -363,6 +371,17 @@ struct EventShard<N> {
     /// Monotone event sequence; tie-breaks equal times, orders sends.
     seq: u64,
     mail: Mailboxes<WireEvent>,
+    /// Spent payload buffers riding back to their sender shard: lane
+    /// `returns.out[src]` collects capacity this shard absorbed from
+    /// `src`'s messages, transposed at bucket boundaries alongside `mail`.
+    /// Worker threads are scoped per bucket, so capacity left in the
+    /// thread-local staging pool would die with the thread — parking it in
+    /// the shard (which persists) is what makes recycling effective.
+    returns: Mailboxes<Vec<NodeDescriptor>>,
+    /// Recycled payload buffers owned by this shard: refills the staging
+    /// pool before message builds, absorbs reclaimed buffers after local
+    /// deliveries and returned capacity at bucket boundaries.
+    payload_pool: Vec<Vec<NodeDescriptor>>,
     report: EventReport,
     /// Events processed by this shard (monotone).
     processed: u64,
@@ -380,6 +399,22 @@ impl<N> EventShard<N> {
     fn schedule(&mut self, time: u64, kind: EventKind) {
         let seq = self.next_seq();
         self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Rescues one spent payload buffer from the thread-local staging pool
+    /// (where the node's absorb just recycled it) into shard-owned storage:
+    /// back to the sender shard's lane for cross-shard messages, into this
+    /// shard's own pool for local ones. Purely a capacity transfer —
+    /// buffer contents are cleared and can never affect protocol output.
+    fn reclaim_payload(&mut self, src_shard: u32) {
+        let Some(buffer) = pss_core::staging::reclaim_buffer() else {
+            return;
+        };
+        if src_shard as usize != self.index {
+            self.returns.out[src_shard as usize].push(buffer);
+        } else if self.payload_pool.len() < PAYLOAD_POOL_LIMIT {
+            self.payload_pool.push(buffer);
+        }
     }
 }
 
@@ -506,6 +541,8 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
                 queue: BinaryHeap::new(),
                 seq: 0,
                 mail: Mailboxes::new(shards),
+                returns: Mailboxes::new(shards),
+                payload_pool: Vec::new(),
                 report: EventReport::default(),
                 processed: 0,
                 deliveries: Vec::new(),
@@ -574,6 +611,19 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
     /// Total events processed since construction.
     pub fn events_processed(&self) -> u64 {
         self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Recycled payload buffers currently parked across all shards (pools
+    /// plus in-flight return lanes) — a pooling diagnostic.
+    pub fn pooled_payloads(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.payload_pool.len()
+                    + s.returns.out.iter().map(Vec::len).sum::<usize>()
+                    + s.returns.inbox.iter().map(Vec::len).sum::<usize>()
+            })
+            .sum()
     }
 
     /// Turns the per-arrival delivery log on or off (off by default; the
@@ -884,8 +934,10 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
             if full {
                 let end = bucket_end.expect("full implies a boundary");
                 // Bucket boundary: exchange mailboxes and merge, in fixed
-                // sender-shard order.
+                // sender-shard order. Spent payload capacity rides back to
+                // its sender shard on the same transposition.
                 exec::transpose(shards, |shard| &mut shard.mail);
+                exec::transpose(shards, |shard| &mut shard.returns);
                 exec::run_phase(shards, *workers, |shard| merge_inbox(shard, end));
                 *pending_mail = false;
                 *frontier = end;
@@ -935,6 +987,16 @@ fn earliest<N>(shards: &[EventShard<N>]) -> Option<u64> {
 /// sender-shard lane order (FIFO within each lane): the deterministic
 /// cross-shard arrival order of the engine's contract.
 fn merge_inbox<N: GossipNode + Send>(shard: &mut EventShard<N>, horizon: u64) {
+    // Returned payload capacity first: buffers this shard's messages used,
+    // sent back by the shards that absorbed them.
+    for lane in 0..shard.returns.inbox.len() {
+        while let Some(buffer) = shard.returns.inbox[lane].pop() {
+            if shard.payload_pool.len() < PAYLOAD_POOL_LIMIT {
+                debug_assert!(buffer.is_empty(), "returned buffers must be spent");
+                shard.payload_pool.push(buffer);
+            }
+        }
+    }
     let mut inbox = core::mem::take(&mut shard.mail.inbox);
     for (src_shard, lane) in inbox.iter_mut().enumerate() {
         for wire in lane.drain(..) {
@@ -991,6 +1053,9 @@ fn dispatch<N: GossipNode + Send>(shard: &mut EventShard<N>, event: Event, ctx: 
                 return;
             }
             shard.report.timers_fired += 1;
+            // Hand recycled capacity to the staging pool the node's
+            // message build draws from.
+            pss_core::staging::refill_from(&mut shard.payload_pool);
             let entry = shard.pop.slot_mut(slot);
             let initiator = entry.node.id();
             match entry.node.initiate() {
@@ -1034,6 +1099,10 @@ fn dispatch<N: GossipNode + Send>(shard: &mut EventShard<N>, event: Event, ctx: 
                 return;
             }
             shard.report.requests_delivered += 1;
+            // The reply (if any) builds from the staging pool; the spent
+            // request buffer lands there right after. Refill before, then
+            // rescue the net surplus into shard-owned storage.
+            pss_core::staging::refill_from(&mut shard.payload_pool);
             let responder = shard.pop.slot_mut(to_slot);
             let responder_id = responder.node.id();
             match responder.node.handle_request(from, request) {
@@ -1047,6 +1116,7 @@ fn dispatch<N: GossipNode + Send>(shard: &mut EventShard<N>, event: Event, ctx: 
                 // Push-only exchange: complete on request delivery.
                 None => shard.report.exchanges_completed += 1,
             }
+            shard.reclaim_payload(src_shard);
         }
         EventKind::Reply {
             from,
@@ -1064,6 +1134,9 @@ fn dispatch<N: GossipNode + Send>(shard: &mut EventShard<N>, event: Event, ctx: 
             shard.pop.slot_mut(to_slot).node.handle_reply(from, reply);
             shard.report.replies_delivered += 1;
             shard.report.exchanges_completed += 1;
+            // The absorbed reply buffer was just recycled to the staging
+            // pool; rescue it into shard-owned storage.
+            shard.reclaim_payload(src_shard);
         }
     }
 }

@@ -133,6 +133,10 @@ pub fn star_overlay(config: &ProtocolConfig, n: usize, seed: u64) -> Simulation 
 /// draws, same views). With `shards == 1` the two engines then produce
 /// identical cycles — the differential tests pin this.
 ///
+/// Deliberately **serial** (control-RNG node seeds, unlike the bulk path of
+/// [`random_overlay_sharded`]): the 1-shard-equals-`Simulation` contract
+/// requires drawing node seeds exactly as `Simulation`'s `add_node` does.
+///
 /// # Panics
 ///
 /// Panics if any out-degree exceeds the configured view size.
@@ -168,6 +172,13 @@ pub fn from_digraph_sharded(
 /// The topology depends only on `(seed, n, view size)`: runs with different
 /// shard counts start from the *identical* overlay (the cycle dynamics then
 /// diverge per the sharding contract, like a seed change would).
+///
+/// Construction is **worker-parallel** via
+/// [`ShardedSimulation::add_nodes_bulk`]: node RNG seeds are `(seed, id)`-
+/// pure, so the built population is bit-identical at any worker count.
+/// (Bulk seeds differ from the control-RNG seeds serial `add_node` draws —
+/// switching this constructor over reseeded its trajectories once, see the
+/// pinned-digest test.)
 pub fn random_overlay_sharded(
     config: &ProtocolConfig,
     n: usize,
@@ -175,11 +186,8 @@ pub fn random_overlay_sharded(
     shards: usize,
 ) -> ShardedSimulation<PeerSamplingNode> {
     let mut sim = ShardedSimulation::typed(config.clone(), seed, shards);
-    sim.plan_capacity(n);
     let want = config.view_size().min(n.saturating_sub(1));
-    for i in 0..n {
-        sim.add_node(random_view_for(seed, n, want, i));
-    }
+    sim.add_nodes_bulk(n, move |id| random_view_for(seed, n, want, id.as_index()));
     sim
 }
 

@@ -102,6 +102,41 @@ impl CsrSnapshot {
         CsrSnapshot { graph, ids }
     }
 
+    /// Builds a CSR snapshot from raw `(id, view-target ids)` rows — the
+    /// entry point for drivers outside this crate (the `pss-net` cluster
+    /// harness gathers rows from runtime threads and feeds them here, so
+    /// live-network overlays flow into the same CSR metrics the simulators
+    /// use). Rows must be in increasing id order with every id below
+    /// `id_space`; targets without a row (dead or remote-unknown nodes) are
+    /// dropped, exactly as in the engine-built snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are out of order or an id is at or above `id_space`.
+    pub fn from_rows(id_space: usize, rows: &[(NodeId, Vec<NodeId>)]) -> Self {
+        let mut index = vec![u32::MAX; id_space];
+        for (i, (id, _)) in rows.iter().enumerate() {
+            assert!(
+                i == 0 || rows[i - 1].0 < *id,
+                "rows must be sorted by increasing id"
+            );
+            index[id.as_index()] = i as u32;
+        }
+        let per_node = rows.first().map_or(0, |(_, targets)| targets.len());
+        let mut builder =
+            pss_graph::csr::CsrBuilder::with_capacity(rows.len(), rows.len() * per_node);
+        for (_, targets) in rows {
+            builder.push_node(targets.iter().filter_map(|t| {
+                index
+                    .get(t.as_index())
+                    .copied()
+                    .filter(|&compact| compact != u32::MAX)
+            }));
+        }
+        let graph = builder.finish().expect("compact indices are in range");
+        CsrSnapshot::new(graph, rows.iter().map(|(id, _)| *id).collect())
+    }
+
     /// The directed view graph over compact indices.
     pub fn graph(&self) -> &Csr {
         &self.graph
@@ -189,6 +224,31 @@ mod tests {
         assert_eq!(snap.node_count(), 0);
         assert_eq!(snap.undirected().node_count(), 0);
         assert_eq!(snap.index_of(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn csr_from_rows_matches_build_semantics() {
+        // Nodes 0, 2, 5 live; node 1 has no row (dead): edges to it drop.
+        let rows = vec![
+            (NodeId::new(0), vec![NodeId::new(2), NodeId::new(1)]),
+            (NodeId::new(2), vec![NodeId::new(0), NodeId::new(5)]),
+            (NodeId::new(5), vec![NodeId::new(2)]),
+        ];
+        let snap = CsrSnapshot::from_rows(6, &rows);
+        assert_eq!(snap.node_count(), 3);
+        assert_eq!(snap.graph().edge_count(), 4);
+        assert_eq!(snap.graph().out_neighbors(0), &[1]); // dead 1 dropped
+        assert_eq!(snap.graph().in_degrees(), vec![1, 2, 1]);
+        assert_eq!(snap.node_id(2), NodeId::new(5));
+        assert_eq!(snap.index_of(NodeId::new(2)), Some(1));
+        assert_eq!(snap.index_of(NodeId::new(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn csr_from_rows_rejects_unsorted_rows() {
+        let rows = vec![(NodeId::new(2), vec![]), (NodeId::new(0), vec![])];
+        let _ = CsrSnapshot::from_rows(3, &rows);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Allocation accounting for the event engine's message pooling.
+//!
+//! Cross-shard `Request`/`Reply` payload buffers ride back to their sender
+//! shard through the mailbox transposition and local ones park in the
+//! shard's payload pool, so the steady-state event loop should touch the
+//! allocator only incidentally (heap growth of long-lived structures), not
+//! once per message. This test pins that with a counting global allocator:
+//! after a warm-up phase, ten further gossip periods must allocate far less
+//! than once per message.
+//!
+//! Kept in its own integration-test binary because the `#[global_allocator]`
+//! is process-wide; the single `#[test]` keeps the measurement window free
+//! of concurrent test allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pss_core::{PolicyTriple, ProtocolConfig};
+use pss_sim::{scenario, EventConfig, LatencyModel};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to the system allocator; the counter is the
+// only addition and is atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_event_loop_is_nearly_allocation_free() {
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 8).expect("valid");
+    let event = EventConfig {
+        period: 100,
+        jitter: 10,
+        latency: LatencyModel::Uniform { min: 10, max: 30 },
+        loss_probability: 0.0,
+    };
+    // Two shards so the cross-shard return lanes are actually exercised;
+    // one worker so the run stays on this thread (scoped worker spawns
+    // would add per-bucket thread allocations that are not the message
+    // path under test).
+    let mut sim =
+        scenario::event_random_overlay_sharded(&config, event, 64, 11, 2).expect("valid config");
+    sim.set_workers(1);
+
+    // Warm up: pools, queues, mailbox lanes and view buffers grow to their
+    // steady-state footprint.
+    sim.run_for(10 * event.period);
+    let report_before = sim.report();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    sim.run_for(10 * event.period);
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    let delta = sim.report().since(&report_before);
+    let messages = delta.requests_delivered + delta.replies_delivered + delta.dropped_messages;
+    assert!(
+        messages > 500,
+        "window too quiet to be meaningful: {messages} messages"
+    );
+    // Without pooling every delivered message allocates (at least) its
+    // payload Vec; with the return path the window should be close to
+    // allocation-free. The bound leaves slack for occasional heap/lane
+    // growth while staying far below one allocation per message.
+    assert!(
+        during < messages / 4,
+        "{during} allocations for {messages} messages — payload pooling regressed"
+    );
+}

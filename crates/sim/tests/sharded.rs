@@ -83,6 +83,11 @@ fn worker_invariance_under_attempt_and_lose() {
 /// The pinned digest: `Scale::tiny()` parameters (N = 300, c = 15,
 /// 60 cycles, seed 20040601) on 2 shards. If this fails and you did not
 /// intend to change engine semantics, you broke determinism.
+///
+/// History: re-pinned once when `random_overlay_sharded` switched from
+/// serial `add_node` (control-RNG node seeds) to worker-parallel
+/// `add_nodes_bulk` ((seed, id)-pure node seeds) — a declared reseeding,
+/// not an engine change (previous value: 11722229421366107334).
 #[test]
 fn pinned_digest_at_tiny_scale() {
     let config = ProtocolConfig::new(PolicyTriple::newscast(), 15).expect("valid");
@@ -100,7 +105,7 @@ fn pinned_digest_at_tiny_scale() {
 }
 
 /// See [`pinned_digest_at_tiny_scale`].
-const PINNED_TINY_DIGEST: u64 = 11722229421366107334;
+const PINNED_TINY_DIGEST: u64 = 17857917930071933123;
 
 #[test]
 fn one_shard_matches_sequential_for_headline_policies() {

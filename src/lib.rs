@@ -16,6 +16,9 @@
 //!   simulators, both sharded across worker threads with a shared
 //!   deterministic mailbox skeleton; bootstrap scenarios, failure
 //!   injection, observers.
+//! * [`net`] ([`pss_net`]) — the network layer: the versioned wire codec
+//!   ([`pss_core::wire`]), UDP and deterministic in-memory transports, the
+//!   multi-node [`pss_net::NetRuntime`], and the loopback cluster harness.
 //! * [`graph`] ([`pss_graph`]) — overlay graph analysis: components, path
 //!   lengths, clustering, degree distributions, generators.
 //! * [`stats`] ([`pss_stats`]) — summaries, histograms, autocorrelation.
@@ -46,6 +49,7 @@
 
 pub use pss_core as core;
 pub use pss_graph as graph;
+pub use pss_net as net;
 pub use pss_protocols as protocols;
 pub use pss_sim as sim;
 pub use pss_stats as stats;
