@@ -20,6 +20,7 @@
 //! | [`apps`]     | extension      | broadcast & aggregation vs sampling quality |
 //! | [`scaling`]  | extension      | sharded-engine throughput and overlay quality vs shard count |
 //! | [`net`]      | extension      | live loopback UDP cluster: wire codec + runtimes end to end |
+//! | [`workload`] | extension      | membership-dynamics schedules (churn, catastrophe, flash crowd, partition) cross-engine |
 //!
 //! All experiments are deterministic given their seed and parallelize
 //! across protocols/runs with `std::thread::scope`.
@@ -43,6 +44,7 @@ pub mod report;
 pub mod scaling;
 pub mod table1;
 pub mod table2;
+pub mod workload;
 
 mod parallel;
 mod scale;

@@ -20,6 +20,9 @@
 //!   scaling  sharded-engine throughput vs shard count (extension)
 //!   net      live loopback UDP cluster: convergence + throughput through
 //!            the wire codec (--workers sets the runtime-thread count)
+//!   workload membership-dynamics schedule on the cycle AND event engines
+//!            (--schedule "quiet:10,kill:0.5,churn:0.01x20"; grammar also
+//!            has flash:N and part:GxP — see pss_sim::workload)
 //!   all      everything above, in order
 //!
 //! options:
@@ -28,8 +31,10 @@
 //!   --cycles N                 override cycle budget
 //!   --view-size C              override view size
 //!   --runs R                   override runs/repetitions (table1, fig6)
-//!   --shards LIST              comma-separated shard counts (scaling, async)
-//!   --workers N                worker-thread override (scaling, async)
+//!   --shards LIST              comma-separated shard counts (scaling, async;
+//!                              workload uses the first entry)
+//!   --workers N                worker-thread override (scaling, async, workload)
+//!   --schedule S               workload schedule string (workload)
 //!   --seed S                   override master seed
 //!   --out DIR                  also write CSV series under DIR
 //! ```
@@ -41,7 +46,7 @@ use std::time::Instant;
 use pss_experiments::report::Table;
 use pss_experiments::{
     apps, asynchrony, fig2, fig3, fig4, fig5, fig6, fig7, hs_ablation, net, policies, scaling,
-    table1, table2, Scale,
+    table1, table2, workload, Scale,
 };
 
 /// Parsed command-line options.
@@ -52,6 +57,7 @@ struct Options {
     runs: Option<usize>,
     shards: Option<Vec<usize>>,
     workers: Option<usize>,
+    schedule: Option<String>,
     out: Option<PathBuf>,
 }
 
@@ -65,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut runs = None;
     let mut shards = None;
     let mut workers = None;
+    let mut schedule = None;
     let mut out = None;
 
     let mut it = args.iter();
@@ -106,6 +113,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 workers = Some(n);
             }
+            "--schedule" => schedule = Some(grab("--schedule")?),
             "--out" => out = Some(PathBuf::from(grab("--out")?)),
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
@@ -140,6 +148,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         runs,
         shards,
         workers,
+        schedule,
         out,
     })
 }
@@ -292,10 +301,43 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 return Err("loopback cluster failed to converge cleanly".into());
             }
         }
+        "workload" => {
+            let mut wl_scale = scale;
+            // Two engines × full per-period metrics: cap the population
+            // and say so, rather than silently measuring a different N.
+            wl_scale.nodes = wl_scale.nodes.min(20_000);
+            if wl_scale.nodes < scale.nodes {
+                eprintln!(
+                    "   note: workload caps the population at {} nodes ({} requested)",
+                    wl_scale.nodes, scale.nodes
+                );
+            }
+            let mut config = workload::WorkloadConfig::at_scale(wl_scale);
+            if let Some(schedule) = &opts.schedule {
+                config.schedule = schedule.clone();
+            }
+            if let Some(shards) = &opts.shards {
+                config.shards = shards[0];
+            }
+            config.workers = opts.workers;
+            let result = workload::run(&config)?;
+            emit(opts, "workload", &result.table(), None);
+            eprintln!(
+                "   {} nodes, schedule `{}`, {} shards: healthy = {} \
+                 (periods marked * ran under a partition)",
+                result.nodes,
+                config.schedule,
+                config.shards,
+                result.healthy()
+            );
+            if !result.healthy() {
+                return Err("workload left an unhealthy overlay".into());
+            }
+        }
         "all" => {
             for c in [
                 "table1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "policies",
-                "async", "apps", "hs", "scaling", "net",
+                "async", "apps", "hs", "scaling", "net", "workload",
             ] {
                 run_command(opts, c)?;
             }
@@ -330,9 +372,9 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: experiments \
-       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|net|all>
+       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|net|workload|all>
        [--scale paper|small|tiny|million] [--nodes N] [--cycles N] [--view-size C]
-       [--runs R] [--shards LIST] [--workers N] [--seed S] [--out DIR]";
+       [--runs R] [--shards LIST] [--workers N] [--schedule S] [--seed S] [--out DIR]";
 
 /// Human throughput formatting for the `net` summary line.
 fn fmt_num(x: f64) -> String {
@@ -384,6 +426,13 @@ mod tests {
         assert!(parse_args(&args("scaling --shards 0,2")).is_err());
         assert!(parse_args(&args("scaling --shards 1,x")).is_err());
         assert!(parse_args(&args("scaling --workers 0")).is_err());
+    }
+
+    #[test]
+    fn parses_schedule() {
+        let o = parse_args(&args("workload --schedule quiet:5,kill:0.5 --shards 2")).unwrap();
+        assert_eq!(o.schedule.as_deref(), Some("quiet:5,kill:0.5"));
+        assert!(parse_args(&args("workload --schedule")).is_err());
     }
 
     #[test]

@@ -135,6 +135,7 @@ pub fn run(config: &NetConfig) -> NetResult {
         periods: config.scale.cycles,
         introducers: config.introducers,
         seed: config.scale.seed,
+        workload: None,
     };
     let report = cluster::run(&cluster_config).expect("loopback sockets available");
     NetResult {

@@ -1,0 +1,187 @@
+//! **Extension X6** — membership-dynamics workloads, cross-engine.
+//!
+//! Runs one declarative [`Workload`] schedule (churn phases, catastrophic
+//! kills, flash crowds, partition/heal — see the `pss_sim::workload`
+//! grammar) on **both** simulation stacks — the sharded cycle engine (the
+//! paper's model) and the sharded event engine (jitter + latency + loss) —
+//! through the same compiled per-period operations, and tabulates the two
+//! recovery trajectories side by side: live population, full-view
+//! fraction, in-degree mean, dead-link fraction, largest live component.
+//!
+//! This is the CLI face of the conformance suite: the same schedules that
+//! `tests/workload_conformance.rs` and the `pss-net` loopback harness pin
+//! are explorable at any scale with `--schedule`.
+
+use pss_core::{NodeDescriptor, NodeId, PolicyTriple, ProtocolConfig};
+use pss_sim::workload::{run_workload, PeriodRecord, Workload};
+use pss_sim::{EventConfig, LatencyModel, ShardedEventSimulation, ShardedSimulation};
+
+use crate::report::{fmt_f64, fmt_percent, Table};
+use crate::Scale;
+
+/// The default schedule: the conformance suite's headline — converge,
+/// kill half, churn at 1%/period through recovery.
+pub const DEFAULT_SCHEDULE: &str = "quiet:10,kill:0.5,churn:0.01x20";
+
+/// Configuration of a cross-engine workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Population, view size and seed (`cycles` is ignored — the schedule
+    /// fixes the period count).
+    pub scale: Scale,
+    /// The schedule string ([`pss_sim::workload`] grammar).
+    pub schedule: String,
+    /// Shard count for both engines.
+    pub shards: usize,
+    /// Worker-thread override (results are worker-invariant).
+    pub workers: Option<usize>,
+}
+
+impl WorkloadConfig {
+    /// Defaults at the given scale: the acceptance schedule, 2 shards.
+    pub fn at_scale(scale: Scale) -> Self {
+        WorkloadConfig {
+            scale,
+            schedule: DEFAULT_SCHEDULE.to_owned(),
+            shards: 2,
+            workers: None,
+        }
+    }
+}
+
+/// The two per-period trajectories of one schedule.
+#[derive(Debug)]
+pub struct WorkloadResult {
+    /// The parsed schedule.
+    pub workload: Workload,
+    /// Cycle-engine records.
+    pub cycle: Vec<PeriodRecord>,
+    /// Event-engine records.
+    pub event: Vec<PeriodRecord>,
+    /// Population the schedule was compiled for.
+    pub nodes: usize,
+}
+
+impl WorkloadResult {
+    /// Side-by-side per-period table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "period",
+            "live",
+            "cyc full",
+            "cyc in-deg",
+            "cyc dead",
+            "evt full",
+            "evt in-deg",
+            "evt dead",
+            "largest comp",
+        ]);
+        for (c, e) in self.cycle.iter().zip(self.event.iter()) {
+            table.row(vec![
+                format!("{}{}", c.period, if c.partitioned { "*" } else { "" }),
+                c.live.to_string(),
+                fmt_percent(c.full_fraction()),
+                fmt_f64(c.in_degree_mean, 2),
+                fmt_percent(c.dead_link_fraction()),
+                fmt_percent(e.full_fraction()),
+                fmt_f64(e.in_degree_mean, 2),
+                fmt_percent(e.dead_link_fraction()),
+                fmt_percent(e.component_fraction()),
+            ]);
+        }
+        table
+    }
+
+    /// True when both engines end healthy: largest component ≥ 95% of the
+    /// live population and dead links ≤ 10% of view entries.
+    pub fn healthy(&self) -> bool {
+        [self.cycle.last(), self.event.last()]
+            .into_iter()
+            .flatten()
+            .all(|r| r.component_fraction() >= 0.95 && r.dead_link_fraction() <= 0.10)
+    }
+}
+
+/// Runs the schedule on both engines.
+///
+/// # Errors
+///
+/// Returns the schedule-parse error text verbatim.
+pub fn run(config: &WorkloadConfig) -> Result<WorkloadResult, String> {
+    let workload =
+        Workload::parse(&config.schedule, config.scale.seed).map_err(|e| e.to_string())?;
+    let compiled = workload.compile(config.scale.nodes);
+    let c = config.scale.view_size;
+    let protocol = ProtocolConfig::new(PolicyTriple::newscast(), c).map_err(|e| e.to_string())?;
+    let seeds = |i: u64| -> Vec<NodeDescriptor> {
+        if i == 0 {
+            Vec::new()
+        } else {
+            vec![NodeDescriptor::fresh(NodeId::new(i / 2))]
+        }
+    };
+
+    let mut cycle = ShardedSimulation::new(protocol.clone(), config.scale.seed, config.shards);
+    for i in 0..config.scale.nodes as u64 {
+        cycle.add_node(seeds(i));
+    }
+    if let Some(w) = config.workers {
+        cycle.set_workers(w);
+    }
+    let cycle_records = run_workload(&mut cycle, &compiled, c);
+
+    let event_config = EventConfig {
+        period: 1000,
+        jitter: 200,
+        latency: LatencyModel::Uniform { min: 10, max: 200 },
+        loss_probability: 0.01,
+    };
+    let mut event =
+        ShardedEventSimulation::new(protocol, event_config, config.scale.seed, config.shards)
+            .map_err(|e| e.to_string())?;
+    for i in 0..config.scale.nodes as u64 {
+        event.add_node(seeds(i));
+    }
+    if let Some(w) = config.workers {
+        event.set_workers(w);
+    }
+    let event_records = run_workload(&mut event, &compiled, c);
+
+    Ok(WorkloadResult {
+        workload,
+        cycle: cycle_records,
+        event: event_records,
+        nodes: config.scale.nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_workload_runs_both_engines() {
+        let mut scale = Scale::tiny();
+        scale.nodes = 150;
+        scale.view_size = 12;
+        let mut config = WorkloadConfig::at_scale(scale);
+        config.schedule = "quiet:6,kill:0.5,churn:0.02x10".into();
+        let result = run(&config).expect("valid schedule");
+        assert_eq!(result.cycle.len(), 16);
+        assert_eq!(result.event.len(), 16);
+        // Identical compiled membership on both engines.
+        for (c, e) in result.cycle.iter().zip(result.event.iter()) {
+            assert_eq!((c.live, c.killed, c.joined), (e.live, e.killed, e.joined));
+        }
+        assert!(result.healthy(), "{result:?}");
+        assert_eq!(result.table().len(), 16);
+    }
+
+    #[test]
+    fn bad_schedule_is_reported() {
+        let mut config = WorkloadConfig::at_scale(Scale::tiny());
+        config.schedule = "bogus:1".into();
+        let err = run(&config).unwrap_err();
+        assert!(err.contains("bogus"));
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use crate::csr::Csr;
 use crate::UGraph;
 
 /// The result of a connected-components analysis.
@@ -143,6 +144,44 @@ pub fn is_connected(g: &UGraph) -> bool {
     visited == n
 }
 
+/// Size of the largest *weakly* connected component of a directed CSR
+/// graph — directed edges treated as undirected, by union-find with path
+/// halving straight over the edge array, with no undirected-adjacency
+/// materialization. This is the snapshot-scale companion to
+/// [`connected_components`]: per-period overlay monitoring (the workload
+/// schedules) calls it on every CSR snapshot, where building a [`UGraph`]
+/// first would double the work.
+pub fn largest_weak_component(graph: &Csr) -> usize {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize]; // path halving
+            v = parent[v as usize];
+        }
+        v
+    }
+    for v in 0..n as u32 {
+        for &w in graph.out_neighbors(v) {
+            let (a, b) = (find(&mut parent, v), find(&mut parent, w));
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+    }
+    let mut sizes = vec![0usize; n];
+    let mut largest = 0;
+    for v in 0..n as u32 {
+        let root = find(&mut parent, v) as usize;
+        sizes[root] += 1;
+        largest = largest.max(sizes[root]);
+    }
+    largest
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +254,27 @@ mod tests {
         let g = graph(9, &[(0, 1), (2, 3), (3, 4), (6, 7)]);
         let r = connected_components(&g);
         assert_eq!(r.sizes().iter().sum::<usize>(), 9);
+    }
+
+    fn csr(n: usize, views: &[&[u32]]) -> Csr {
+        let mut builder = crate::csr::CsrBuilder::new();
+        for v in 0..n {
+            builder.push_node(views.get(v).copied().unwrap_or(&[]).iter().copied());
+        }
+        builder.finish().expect("valid indices")
+    }
+
+    #[test]
+    fn largest_weak_component_matches_the_undirected_analysis() {
+        // Directed edges count as undirected: 0→1, 2→1 is one weak
+        // component of 3; nodes 3..5 are a chain; 6 is isolated.
+        let g = csr(7, &[&[1], &[], &[1], &[4], &[5], &[]]);
+        assert_eq!(largest_weak_component(&g), 3);
+        assert_eq!(largest_weak_component(&csr(0, &[])), 0);
+        // Fully disconnected.
+        assert_eq!(largest_weak_component(&csr(4, &[])), 1);
+        // Duplicate and self edges are harmless.
+        let dup = csr(3, &[&[1, 1, 0], &[2], &[]]);
+        assert_eq!(largest_weak_component(&dup), 3);
     }
 }

@@ -12,6 +12,21 @@
 //! — and records in-degree statistics plus the full-view fraction. Threads
 //! realign on a barrier per period so snapshot skew stays bounded by the
 //! slowest runtime, not the full run.
+//!
+//! # Workload schedules
+//!
+//! A [`ClusterConfig::workload`] compiles a
+//! [`pss_sim::workload::Workload`] against the initial population and
+//! executes every membership event at the matching period boundary:
+//! kills become [`NetRuntime::leave`] on the hosting runtime, joins become
+//! late [`NetRuntime::add_node`] calls with resolved introducer addresses
+//! (initial ids stay on their contiguous range; joined ids land on runtime
+//! `id mod K`), and partition ops install the same loss matrix on *every*
+//! runtime. The driver reduces each period's assembled rows to the same
+//! [`pss_sim::workload::PeriodRecord`]s the simulators report, so one
+//! schedule yields directly comparable recovery trajectories on the
+//! simulated and the deployed stack — the conformance suite pins exactly
+//! that.
 
 use std::sync::mpsc;
 use std::sync::{Arc, Barrier};
@@ -19,12 +34,13 @@ use std::time::{Duration, Instant};
 
 use pss_core::wire::NetAddr;
 use pss_core::{NodeId, PeerSamplingNode, ProtocolConfig};
-use pss_sim::CsrSnapshot;
+use pss_sim::workload::{self, CompiledWorkload, Op, Partition, PeriodRecord, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::runtime::{NetConfig, NetRuntime, RuntimeStats};
 use crate::udp::UdpTransport;
+use crate::workload::{mix, node_seed};
 
 /// Parameters of a loopback cluster run.
 #[derive(Debug, Clone)]
@@ -45,6 +61,10 @@ pub struct ClusterConfig {
     pub introducers: usize,
     /// Master seed for node RNGs, phases, and bootstrap choices.
     pub seed: u64,
+    /// Optional membership-dynamics schedule. When set, it is compiled
+    /// against `nodes` and **its period count overrides `periods`**; every
+    /// kill/join/partition op executes at the matching period boundary.
+    pub workload: Option<Workload>,
 }
 
 impl ClusterConfig {
@@ -59,6 +79,7 @@ impl ClusterConfig {
             periods: 20,
             introducers: 3,
             seed: 20040601,
+            workload: None,
         }
     }
 }
@@ -94,6 +115,10 @@ impl PeriodStats {
 pub struct ClusterReport {
     /// Per-period overlay statistics, in period order.
     pub periods: Vec<PeriodStats>,
+    /// Per-period workload-grade records (dead links, components,
+    /// membership deltas) — the cross-stack comparable trajectory, from
+    /// the same rows as [`ClusterReport::periods`].
+    pub records: Vec<PeriodRecord>,
     /// First period at which ≥ 99% of nodes had full views.
     pub converged_at: Option<u64>,
     /// Runtime statistics summed across all runtimes (final).
@@ -128,19 +153,23 @@ fn runtime_of(n: usize, k: usize, id: usize) -> usize {
     (id * k) / n
 }
 
-/// SplitMix64 finalizer for (seed, id)-pure node seeds.
-fn mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 /// One runtime thread's per-period message to the driver.
 struct PeriodSnapshot {
     runtime: usize,
     period: u64,
     rows: Vec<(NodeId, Vec<NodeId>)>,
     stats: RuntimeStats,
+}
+
+/// A compiled workload op routed to one runtime thread, with introducer
+/// addresses already resolved on the driver.
+enum RtOp {
+    Leave(NodeId),
+    Join {
+        id: NodeId,
+        introducers: Vec<(NodeId, NetAddr)>,
+    },
+    SetPartition(Option<Partition>),
 }
 
 /// Runs a loopback UDP cluster; see the [module docs](self).
@@ -168,13 +197,61 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
         .validate()
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
 
+    // A workload fixes the membership trajectory (and the run length) up
+    // front; without one the run is the bootstrap-only schedule.
+    let compiled: Option<CompiledWorkload> =
+        config.workload.as_ref().map(|w| w.compile(config.nodes));
+    let periods = compiled.as_ref().map_or(config.periods, |c| c.periods());
+    let id_space = compiled.as_ref().map_or(config.nodes, |c| c.id_space);
+    // Initial ids keep their contiguous range; workload joiners land on
+    // runtime `id mod K`.
+    let placement = |id: usize| {
+        if id < config.nodes {
+            runtime_of(config.nodes, config.runtimes, id)
+        } else {
+            id % config.runtimes
+        }
+    };
+
     // Bind every runtime's socket first so the full id → address map is
     // known before any node bootstraps.
     let transports: Vec<UdpTransport> = (0..config.runtimes)
         .map(|_| UdpTransport::bind("127.0.0.1:0"))
         .collect::<std::io::Result<_>>()?;
     let addrs: Vec<NetAddr> = transports.iter().map(UdpTransport::net_addr).collect();
-    let addr_of = |id: usize| addrs[runtime_of(config.nodes, config.runtimes, id)];
+    let addr_of = |id: usize| addrs[placement(id)];
+
+    // Route every compiled op to the runtime that must execute it, with
+    // introducer addresses resolved: one op list per (runtime, period).
+    let mut schedules: Vec<Vec<Vec<RtOp>>> = (0..config.runtimes)
+        .map(|_| (0..periods as usize).map(|_| Vec::new()).collect())
+        .collect();
+    if let Some(compiled) = &compiled {
+        for (p, step) in compiled.steps.iter().enumerate() {
+            for op in &step.ops {
+                match op {
+                    Op::Kill(id) => {
+                        schedules[placement(id.as_index())][p].push(RtOp::Leave(*id));
+                    }
+                    Op::Join { id, contacts } => {
+                        let introducers = contacts
+                            .iter()
+                            .map(|&c| (c, addr_of(c.as_index())))
+                            .collect();
+                        schedules[placement(id.as_index())][p].push(RtOp::Join {
+                            id: *id,
+                            introducers,
+                        });
+                    }
+                    Op::SetPartition(partition) => {
+                        for schedule in schedules.iter_mut() {
+                            schedule[p].push(RtOp::SetPartition(*partition));
+                        }
+                    }
+                }
+            }
+        }
+    }
 
     // Build the runtimes and their node populations.
     let mut runtimes = Vec::with_capacity(config.runtimes);
@@ -184,10 +261,12 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
             .expect("validated above");
         let (start, end) = range_of(config.nodes, config.runtimes, r);
         for i in start..end {
+            // The same (seed, id)-pure node seed workload joiners get, so
+            // a node's RNG stream does not depend on when it joined.
             let node = PeerSamplingNode::with_seed(
                 NodeId::new(i as u64),
                 config.protocol.clone(),
-                mix(config.seed ^ 0x5eed ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)),
+                node_seed(config.seed, i as u64),
             );
             let mut introducers: Vec<(NodeId, NetAddr)> = Vec::new();
             if i > 0 {
@@ -208,20 +287,46 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
     }
 
     // Drive: every thread follows the shared wall clock (1 tick = 1 ms),
-    // snapshots at period boundaries, and realigns on the barrier.
+    // applies its workload ops at period boundaries, snapshots, and
+    // realigns on the barrier.
     let started = Instant::now();
     let barrier = Arc::new(Barrier::new(config.runtimes));
     let (tx, rx) = mpsc::channel::<PeriodSnapshot>();
-    let periods = config.periods;
     let period_ms = config.period_ms;
     let view_size = config.protocol.view_size();
+    let protocol = &config.protocol;
+    let seed = config.seed;
 
     std::thread::scope(|scope| {
-        for (runtime_idx, mut rt) in runtimes.drain(..).enumerate() {
+        for ((runtime_idx, mut rt), mut schedule) in
+            runtimes.drain(..).enumerate().zip(schedules.drain(..))
+        {
             let tx = tx.clone();
             let barrier = Arc::clone(&barrier);
             scope.spawn(move || {
                 for p in 1..=periods {
+                    // Membership events fire at the boundary, before the
+                    // period's gossip — the workload runner's semantics.
+                    for op in schedule[p as usize - 1].drain(..) {
+                        match op {
+                            RtOp::Leave(id) => {
+                                // Routing guarantees this runtime hosts a
+                                // live `id`; a no-op leave means the
+                                // placement map diverged from the schedule.
+                                let left = rt.leave(id);
+                                debug_assert!(left, "leave of live node {id} was a no-op");
+                            }
+                            RtOp::Join { id, introducers } => {
+                                let node = PeerSamplingNode::with_seed(
+                                    id,
+                                    protocol.clone(),
+                                    node_seed(seed, id.as_u64()),
+                                );
+                                rt.add_node(node, &introducers);
+                            }
+                            RtOp::SetPartition(partition) => rt.set_partition(partition),
+                        }
+                    }
                     let target = p * period_ms;
                     loop {
                         let elapsed = started.elapsed().as_millis() as u64;
@@ -251,25 +356,60 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
         drop(tx);
 
         // Driver side: assemble K snapshots per period into the CSR
-        // metrics while the threads run the next period.
+        // metrics while the threads run the next period. The end-of-period
+        // barrier guarantees periods complete in order, so the workload's
+        // dead set can advance step by step.
         let mut period_stats: Vec<PeriodStats> = Vec::with_capacity(periods as usize);
+        let mut records: Vec<PeriodRecord> = Vec::with_capacity(periods as usize);
         let mut latest_stats: Vec<RuntimeStats> = vec![RuntimeStats::default(); config.runtimes];
         let mut pending: Vec<Vec<PeriodSnapshot>> = (0..periods).map(|_| Vec::new()).collect();
+        let mut dead = vec![false; id_space];
+        let mut partitioned = false;
         for snapshot in rx.iter() {
             latest_stats[snapshot.runtime] = snapshot.stats;
             let p = snapshot.period as usize - 1;
             pending[p].push(snapshot);
             if pending[p].len() == config.runtimes {
-                let mut batch = std::mem::take(&mut pending[p]);
-                // Each runtime's rows are sorted (contiguous id ranges);
-                // ordering batches by first id concatenates in id order.
-                batch.sort_by_key(|s| s.rows.first().map_or(u64::MAX, |(id, _)| id.as_u64()));
-                let rows: Vec<(NodeId, Vec<NodeId>)> =
+                assert_eq!(
+                    records.len(),
+                    p,
+                    "period snapshots must complete in order (barrier contract)"
+                );
+                let batch = std::mem::take(&mut pending[p]);
+                let mut rows: Vec<(NodeId, Vec<NodeId>)> =
                     batch.into_iter().flat_map(|s| s.rows).collect();
-                period_stats.push(measure(config.nodes, p as u64 + 1, &rows, view_size));
+                // Joined ids land out of range order; sort globally.
+                rows.sort_by_key(|(id, _)| *id);
+                let mut killed = 0;
+                let mut joined = 0;
+                if let Some(compiled) = &compiled {
+                    for op in &compiled.steps[p].ops {
+                        match op {
+                            Op::Kill(id) => {
+                                dead[id.as_index()] = true;
+                                killed += 1;
+                            }
+                            Op::Join { .. } => joined += 1,
+                            Op::SetPartition(partition) => partitioned = partition.is_some(),
+                        }
+                    }
+                }
+                let mut record =
+                    workload::measure_rows(id_space, &rows, |id| !dead[id.as_index()], view_size);
+                record.period = p as u64 + 1;
+                record.killed = killed;
+                record.joined = joined;
+                record.partitioned = partitioned;
+                period_stats.push(PeriodStats {
+                    period: record.period,
+                    full_views: record.full_views,
+                    nodes: record.live,
+                    in_degree_mean: record.in_degree_mean,
+                    in_degree_sd: record.in_degree_sd,
+                });
+                records.push(record);
             }
         }
-        period_stats.sort_by_key(|s| s.period);
 
         let elapsed = started.elapsed();
         let mut stats = RuntimeStats::default();
@@ -282,38 +422,12 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
             .map(|s| s.period);
         Ok(ClusterReport {
             periods: period_stats,
+            records,
             converged_at,
             stats,
             elapsed,
         })
     })
-}
-
-/// Builds the CSR snapshot for one period and reduces it to
-/// [`PeriodStats`].
-fn measure(id_space: usize, period: u64, rows: &[(NodeId, Vec<NodeId>)], c: usize) -> PeriodStats {
-    let snapshot = CsrSnapshot::from_rows(id_space, rows);
-    let in_degrees = snapshot.graph().in_degrees();
-    let n = in_degrees.len().max(1) as f64;
-    let mean = in_degrees.iter().map(|&d| d as f64).sum::<f64>() / n;
-    let var = in_degrees
-        .iter()
-        .map(|&d| {
-            let diff = d as f64 - mean;
-            diff * diff
-        })
-        .sum::<f64>()
-        / n;
-    PeriodStats {
-        period,
-        full_views: rows
-            .iter()
-            .filter(|(_, targets)| targets.len() == c)
-            .count(),
-        nodes: rows.len(),
-        in_degree_mean: mean,
-        in_degree_sd: var.sqrt(),
-    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,12 @@
 //!   reply timeouts.
 //! * [`cluster`] — a loopback harness: N nodes across K runtime threads on
 //!   UDP, with per-period overlay snapshots flowing into the simulators'
-//!   CSR metrics.
+//!   CSR metrics, and optional [`pss_sim::workload`] schedule execution
+//!   (churn, catastrophe, flash crowds, partition/heal) at period
+//!   boundaries.
+//! * [`workload`] — [`RuntimeWorkload`], a single-runtime
+//!   [`pss_sim::workload::WorkloadTarget`] so the simulators' membership
+//!   schedules drive the deployed stack unchanged.
 //!
 //! # Quickstart
 //!
@@ -70,9 +75,11 @@ mod udp;
 mod wheel;
 
 pub mod cluster;
+pub mod workload;
 
 pub use mem::{MemNetwork, MemTransport};
 pub use pss_core::wire::NetAddr;
 pub use runtime::{NetConfig, NetRuntime, NodeCounters, RuntimeStats};
 pub use transport::Transport;
 pub use udp::UdpTransport;
+pub use workload::RuntimeWorkload;

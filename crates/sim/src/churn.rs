@@ -6,16 +6,64 @@
 //! random nodes crash and fresh nodes join via random live contacts — so
 //! the steady-state quality of the overlay under turnover can be measured.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::Engine;
+
+/// Deterministic fractional-rate rounding: converts a stream of expected
+/// per-step counts into integers by carrying the fractional remainder
+/// forward.
+///
+/// After any number of steps the emitted total differs from the exact sum
+/// of expectations by strictly less than one (the outstanding carry), so
+/// `k` steps at a constant expectation `r·N` emit `⌊r·N·k⌋` or `⌈r·N·k⌉`
+/// events — never drifting, never random. [`ChurnProcess`] uses one
+/// accumulator per direction, and workload schedules
+/// ([`crate::workload`]) compile churn phases through the same arithmetic,
+/// which is what makes the membership trajectory identical across engines
+/// and the deployed runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RateAccumulator {
+    carry: f64,
+}
+
+impl RateAccumulator {
+    /// A fresh accumulator with zero carry.
+    pub fn new() -> Self {
+        RateAccumulator::default()
+    }
+
+    /// Adds `expected` events to the accumulator and returns the integer
+    /// count due now; the fractional remainder carries to the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected` is negative or not finite.
+    pub fn step(&mut self, expected: f64) -> usize {
+        assert!(
+            expected >= 0.0 && expected.is_finite(),
+            "expected count must be a non-negative finite number"
+        );
+        self.carry += expected;
+        let due = self.carry.floor();
+        self.carry -= due;
+        due as usize
+    }
+
+    /// The outstanding fractional carry, always in `[0, 1)`.
+    pub fn carry(&self) -> f64 {
+        self.carry
+    }
+}
 
 /// A sustained churn process: per-cycle departure and arrival rates.
 ///
 /// Rates are expressed as fractions of the *current* live population, so a
-/// `leave_rate` of 0.01 kills 1 % of live nodes each cycle (rounded
-/// stochastically: 0.5 expected kills become one kill half the time).
+/// `leave_rate` of 0.01 kills 1 % of live nodes each cycle. Fractional
+/// expectations are rounded deterministically by a carry accumulator
+/// ([`RateAccumulator`]): 0.5 expected kills become one kill every second
+/// cycle. Which *specific* nodes die or serve as join contacts is drawn
+/// from the driven engine's own control RNG, so the process itself holds
+/// no randomness — churn event *counts* are a pure function of the rates
+/// and the live-population trajectory.
 ///
 /// # Examples
 ///
@@ -27,7 +75,7 @@ use crate::Engine;
 /// let mut sim = scenario::random_overlay(&config, 500, 3);
 /// sim.run_cycles(20);
 ///
-/// let mut churn = ChurnProcess::balanced(0.02, 2, 7);
+/// let mut churn = ChurnProcess::balanced(0.02, 2);
 /// for _ in 0..30 {
 ///     churn.step(&mut sim);
 ///     sim.run_cycle();
@@ -41,7 +89,8 @@ pub struct ChurnProcess {
     leave_rate: f64,
     join_rate: f64,
     contacts_per_join: usize,
-    rng: SmallRng,
+    leaves: RateAccumulator,
+    joins: RateAccumulator,
 }
 
 impl ChurnProcess {
@@ -50,7 +99,7 @@ impl ChurnProcess {
     /// # Panics
     ///
     /// Panics if either rate is negative or not finite.
-    pub fn new(leave_rate: f64, join_rate: f64, contacts_per_join: usize, seed: u64) -> Self {
+    pub fn new(leave_rate: f64, join_rate: f64, contacts_per_join: usize) -> Self {
         assert!(
             leave_rate >= 0.0 && leave_rate.is_finite(),
             "leave rate must be a non-negative finite number"
@@ -63,14 +112,15 @@ impl ChurnProcess {
             leave_rate,
             join_rate,
             contacts_per_join,
-            rng: SmallRng::seed_from_u64(seed),
+            leaves: RateAccumulator::new(),
+            joins: RateAccumulator::new(),
         }
     }
 
     /// Balanced churn: equal leave and join rates, keeping the expected
     /// population constant.
-    pub fn balanced(rate: f64, contacts_per_join: usize, seed: u64) -> Self {
-        ChurnProcess::new(rate, rate, contacts_per_join, seed)
+    pub fn balanced(rate: f64, contacts_per_join: usize) -> Self {
+        ChurnProcess::new(rate, rate, contacts_per_join)
     }
 
     /// The per-cycle departure rate.
@@ -83,22 +133,15 @@ impl ChurnProcess {
         self.join_rate
     }
 
-    /// Converts an expected count into an integer by stochastic rounding.
-    fn stochastic_round(&mut self, expected: f64) -> usize {
-        let base = expected.floor();
-        let frac = expected - base;
-        base as usize + usize::from(self.rng.random::<f64>() < frac)
-    }
-
     /// Applies one churn step: kills and joins according to the rates.
     /// Returns `(killed, joined)` counts. Works on any [`Engine`] — the
-    /// sequential simulator or the sharded parallel one.
+    /// cycle simulators or the event-driven ones.
     ///
     /// Call once per cycle, before or after [`Engine::run_cycle`].
     pub fn step<E: Engine>(&mut self, sim: &mut E) -> (usize, usize) {
         let live = sim.alive_count() as f64;
-        let kills = self.stochastic_round(live * self.leave_rate);
-        let joins = self.stochastic_round(live * self.join_rate);
+        let kills = self.leaves.step(live * self.leave_rate);
+        let joins = self.joins.step(live * self.join_rate);
         let killed = sim.kill_random(kills).len();
         let joined = sim
             .add_nodes_with_random_contacts(joins, self.contacts_per_join)
@@ -124,19 +167,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "leave rate")]
     fn negative_leave_rate_rejected() {
-        let _ = ChurnProcess::new(-0.1, 0.0, 1, 1);
+        let _ = ChurnProcess::new(-0.1, 0.0, 1);
     }
 
     #[test]
     #[should_panic(expected = "join rate")]
     fn nan_join_rate_rejected() {
-        let _ = ChurnProcess::new(0.1, f64::NAN, 1, 1);
+        let _ = ChurnProcess::new(0.1, f64::NAN, 1);
     }
 
     #[test]
     fn zero_rates_do_nothing() {
         let mut s = sim(100, 10, 1);
-        let mut churn = ChurnProcess::new(0.0, 0.0, 1, 2);
+        let mut churn = ChurnProcess::new(0.0, 0.0, 1);
         let (killed, joined) = churn.step(&mut s);
         assert_eq!((killed, joined), (0, 0));
         assert_eq!(s.alive_count(), 100);
@@ -145,7 +188,7 @@ mod tests {
     #[test]
     fn balanced_churn_keeps_population_stable() {
         let mut s = sim(300, 15, 3);
-        let mut churn = ChurnProcess::balanced(0.05, 2, 4);
+        let mut churn = ChurnProcess::balanced(0.05, 2);
         for _ in 0..40 {
             churn.step(&mut s);
             s.run_cycle();
@@ -157,7 +200,7 @@ mod tests {
     #[test]
     fn overlay_survives_sustained_churn() {
         let mut s = sim(400, 20, 5);
-        let mut churn = ChurnProcess::balanced(0.02, 3, 6);
+        let mut churn = ChurnProcess::balanced(0.02, 3);
         for _ in 0..50 {
             churn.step(&mut s);
             s.run_cycle();
@@ -176,7 +219,7 @@ mod tests {
     #[test]
     fn pure_departures_shrink_population() {
         let mut s = sim(200, 10, 7);
-        let mut churn = ChurnProcess::new(0.1, 0.0, 1, 8);
+        let mut churn = ChurnProcess::new(0.1, 0.0, 1);
         for _ in 0..10 {
             churn.step(&mut s);
             s.run_cycle();
@@ -185,16 +228,17 @@ mod tests {
     }
 
     #[test]
-    fn stochastic_rounding_matches_expectation() {
-        let mut churn = ChurnProcess::new(0.0, 0.0, 1, 9);
-        let total: usize = (0..2000).map(|_| churn.stochastic_round(0.25)).sum();
-        // Mean 0.25 → about 500 of 2000; allow generous slack.
-        assert!((350..=650).contains(&total), "total {total}");
+    fn accumulator_rounding_matches_expectation_exactly() {
+        let mut acc = RateAccumulator::new();
+        let total: usize = (0..2000).map(|_| acc.step(0.25)).sum();
+        // 2000 × 0.25 = 500 exactly; the carry bound allows at most ±1.
+        assert_eq!(total, 500);
+        assert!(acc.carry() < 1.0);
     }
 
     #[test]
     fn accessors() {
-        let churn = ChurnProcess::new(0.01, 0.02, 3, 1);
+        let churn = ChurnProcess::new(0.01, 0.02, 3);
         assert_eq!(churn.leave_rate(), 0.01);
         assert_eq!(churn.join_rate(), 0.02);
     }

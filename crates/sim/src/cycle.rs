@@ -11,6 +11,7 @@ use pss_core::{GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, ProtocolCon
 
 use crate::population::BoxedNode;
 use crate::shard::ShardedSimulation;
+use crate::workload::Partition;
 use crate::{CycleReport, FailureMode, GrowthPlan, Snapshot};
 
 /// The sequential cycle-driven simulator.
@@ -102,6 +103,12 @@ impl<N: GossipNode + Send> Simulation<N> {
     /// Panics if `p` is not within `[0, 1]`.
     pub fn set_message_loss(&mut self, p: f64) {
         self.inner.set_message_loss(p);
+    }
+
+    /// Installs (`Some`) or lifts (`None`) a partition loss matrix; see
+    /// [`ShardedSimulation::set_partition`].
+    pub fn set_partition(&mut self, partition: Option<Partition>) {
+        self.inner.set_partition(partition);
     }
 
     /// Adds one node bootstrapped from `seeds` and returns its id.

@@ -2,6 +2,7 @@
 
 use pss_core::{NodeId, View};
 
+use crate::workload::Partition;
 use crate::{CycleReport, Snapshot};
 
 /// What every cycle-driven engine exposes to generic drivers: the
@@ -46,6 +47,16 @@ pub trait Engine {
     /// Adds `count` nodes, each bootstrapped with `contacts` uniform-random
     /// live contacts. Returns the new ids.
     fn add_nodes_with_random_contacts(&mut self, count: usize, contacts: usize) -> Vec<NodeId>;
+
+    /// Adds one node bootstrapped off exactly these contacts (fresh
+    /// descriptors) and returns its id — the deterministic join primitive
+    /// workload schedules use ([`crate::workload`]).
+    fn add_seeded_node(&mut self, contacts: &[NodeId]) -> NodeId;
+
+    /// Installs (`Some`) or lifts (`None`) a partition loss matrix:
+    /// messages between different [`Partition`] groups are silently
+    /// dropped (counted with the engine's dropped-message statistic).
+    fn set_partition(&mut self, partition: Option<Partition>);
 }
 
 macro_rules! delegate_engine {
@@ -91,6 +102,16 @@ macro_rules! delegate_engine {
             ) -> Vec<NodeId> {
                 self.add_nodes_with_random_contacts(count, contacts)
             }
+            fn add_seeded_node(&mut self, contacts: &[NodeId]) -> NodeId {
+                self.add_node(
+                    contacts
+                        .iter()
+                        .map(|&id| pss_core::NodeDescriptor::fresh(id)),
+                )
+            }
+            fn set_partition(&mut self, partition: Option<crate::workload::Partition>) {
+                self.set_partition(partition)
+            }
         }
     };
 }
@@ -130,6 +151,13 @@ mod tests {
         assert!(sim.dead_link_count() > 0);
         let joined = sim.add_nodes_with_random_contacts(3, 2);
         assert_eq!(joined.len(), 3);
+        let live = sim.alive_ids()[0];
+        let seeded = sim.add_seeded_node(&[live]);
+        assert!(sim.is_alive(seeded));
+        sim.set_partition(Some(Partition::new(2)));
+        sim.run_cycle();
+        sim.set_partition(None);
+        sim.run_cycle();
     }
 
     fn populate(sim: &mut impl Engine, n: usize) {

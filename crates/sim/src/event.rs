@@ -52,6 +52,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::exec::{self, lose, Directory, Mailboxes, SlotRef};
 use crate::population::{BoxedNode, Population};
+use crate::workload::Partition;
 use crate::{CycleReport, Snapshot};
 
 /// Message latency model, in abstract time ticks.
@@ -422,6 +423,7 @@ impl<N> EventShard<N> {
 struct EventCtx<'a> {
     directory: &'a [SlotRef],
     config: EventConfig,
+    partition: Option<Partition>,
 }
 
 /// The sharded discrete-event simulator over the same node population
@@ -464,6 +466,8 @@ pub struct ShardedEventSimulation<N: GossipNode + Send = BoxedNode> {
     pending_mail: bool,
     /// Completed [`ShardedEventSimulation::run_cycle`] calls.
     cycles: u64,
+    /// Installed partition loss matrix, if any.
+    partition: Option<Partition>,
 }
 
 impl ShardedEventSimulation {
@@ -562,6 +566,7 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
             workers: default_workers,
             pending_mail: false,
             cycles: 0,
+            partition: None,
         })
     }
 
@@ -624,6 +629,17 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
                     + s.returns.inbox.iter().map(Vec::len).sum::<usize>()
             })
             .sum()
+    }
+
+    /// Installs (`Some`) or lifts (`None`) a partition loss matrix
+    /// ([`Partition`]): messages whose sender and destination sit in
+    /// different groups are dropped at send time (before any latency draw),
+    /// counted as [`EventReport::dropped_messages`]. Messages already in
+    /// flight still deliver — a partition cuts links, it does not reach
+    /// into the network and destroy packets. The check is a pure function
+    /// of the two ids, so the worker-invariance contract is unaffected.
+    pub fn set_partition(&mut self, partition: Option<Partition>) {
+        self.partition = partition;
     }
 
     /// Turns the per-arrival delivery log on or off (off by default; the
@@ -878,11 +894,13 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
             frontier,
             workers,
             pending_mail,
+            partition,
             ..
         } = self;
         let ctx = EventCtx {
             directory: dir.slots(),
             config: *config,
+            partition: *partition,
         };
 
         if shards.len() == 1 {
@@ -1153,6 +1171,12 @@ fn send<N: GossipNode + Send>(
     to: NodeId,
     msg: WireMsg,
 ) {
+    // Partition loss matrix: blocked before the latency draw, so a
+    // partitioned run consumes no RNG for traffic that never leaves.
+    if ctx.partition.is_some_and(|p| p.blocks(from, to)) {
+        shard.report.dropped_messages += 1;
+        return;
+    }
     let latency = ctx.config.latency.sample(&mut shard.rng);
     let at = now + latency;
     let sent_seq = shard.next_seq();
@@ -1330,6 +1354,12 @@ impl EventSimulation {
     /// delivery time.
     pub fn kill(&mut self, id: NodeId) -> bool {
         self.inner.kill(id)
+    }
+
+    /// Installs (`Some`) or lifts (`None`) a partition loss matrix; see
+    /// [`ShardedEventSimulation::set_partition`].
+    pub fn set_partition(&mut self, partition: Option<Partition>) {
+        self.inner.set_partition(partition);
     }
 
     /// Runs until simulation time reaches `deadline`, processing every

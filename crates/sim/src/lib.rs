@@ -25,6 +25,10 @@
 //! Scenario constructors ([`scenario`]) reproduce the paper's three
 //! bootstrap regimes — growing overlay, ring lattice, uniform random — and
 //! [`observe`] provides per-cycle recorders for the published metrics.
+//! [`workload`] declares seed-deterministic membership-dynamics schedules
+//! (churn, catastrophic failure, flash crowds, partition/heal) that compile
+//! to concrete per-period operations and run identically on every engine
+//! and on the deployed `pss-net` runtime.
 //!
 //! # Examples
 //!
@@ -57,8 +61,9 @@ mod snapshot;
 
 pub mod observe;
 pub mod scenario;
+pub mod workload;
 
-pub use churn::ChurnProcess;
+pub use churn::{ChurnProcess, RateAccumulator};
 pub use cycle::Simulation;
 pub use engine::Engine;
 pub use event::{
@@ -68,3 +73,4 @@ pub use event::{
 pub use population::BoxedNode;
 pub use shard::{CycleReport, FailureMode, GrowthPlan, ShardedSimulation};
 pub use snapshot::{CsrSnapshot, Snapshot};
+pub use workload::{Partition, Workload, WorkloadTarget};

@@ -45,6 +45,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::exec::{self, lose, Directory, Mailboxes, SlotRef};
 use crate::population::{BoxedNode, Population};
+use crate::workload::Partition;
 use crate::Snapshot;
 
 /// Per-cycle accounting returned by [`ShardedSimulation::run_cycle`] and
@@ -147,6 +148,7 @@ struct CycleCtx<'a> {
     alive: &'a [u64],
     loss: f64,
     mode: FailureMode,
+    partition: Option<Partition>,
 }
 
 impl CycleCtx<'_> {
@@ -174,6 +176,7 @@ pub struct ShardedSimulation<N: GossipNode + Send = BoxedNode> {
     growth: Option<GrowthPlan>,
     message_loss: f64,
     failure_mode: FailureMode,
+    partition: Option<Partition>,
     workers: usize,
     /// Per-cycle liveness snapshot buffer, reused across cycles.
     alive_snapshot: Vec<u64>,
@@ -246,6 +249,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             growth: None,
             message_loss: 0.0,
             failure_mode: FailureMode::default(),
+            partition: None,
             workers: default_workers,
             alive_snapshot: Vec::new(),
         }
@@ -311,6 +315,15 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             "loss probability must be in [0,1]"
         );
         self.message_loss = p;
+    }
+
+    /// Installs (`Some`) or lifts (`None`) a partition loss matrix
+    /// ([`crate::workload::Partition`]): exchanges whose initiator and peer
+    /// sit in different groups are dropped before the request is sent,
+    /// counted as [`CycleReport::dropped_messages`]. The check is a pure
+    /// function of the two ids, so the determinism contract is unaffected.
+    pub fn set_partition(&mut self, partition: Option<Partition>) {
+        self.partition = partition;
     }
 
     /// Adds one node bootstrapped from `seeds` and returns its id.
@@ -413,6 +426,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             workers,
             message_loss,
             failure_mode,
+            partition,
             ..
         } = self;
         let ctx = CycleCtx {
@@ -420,6 +434,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             alive: alive_snapshot.as_slice(),
             loss: *message_loss,
             mode: *failure_mode,
+            partition: *partition,
         };
 
         exec::run_phase(shards, *workers, |shard| phase_initiate(shard, &ctx));
@@ -617,6 +632,7 @@ impl<N: GossipNode + Send> std::fmt::Debug for ShardedSimulation<N> {
             .field("alive", &self.dir.alive_count())
             .field("growth", &self.growth)
             .field("message_loss", &self.message_loss)
+            .field("partition", &self.partition)
             .finish()
     }
 }
@@ -659,6 +675,13 @@ fn phase_initiate<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>
         let peer = exchange.peer;
         if !ctx.is_live(peer) {
             report.failed_dead_peer += 1;
+            continue;
+        }
+        // Partition loss matrix: the request never reaches the other
+        // group, so the whole exchange is lost. The reply path needs no
+        // check — a delivered request proves both endpoints share a group.
+        if ctx.partition.is_some_and(|p| p.blocks(initiator, peer)) {
+            report.dropped_messages += 1;
             continue;
         }
         if lose(rng, ctx.loss) {

@@ -1,0 +1,942 @@
+//! Declarative, seed-deterministic membership-dynamics schedules that run
+//! identically on every engine **and** on the deployed network runtime.
+//!
+//! The paper's evaluation is scenario-driven — bootstrapping, catastrophic
+//! failure (Section 7), sustained membership change — but each scenario
+//! used to be hand-rolled per driver. A [`Workload`] names the scenario
+//! once as a sequence of [`PhaseSpec`]s (quiet windows, churn phases,
+//! catastrophic kills, flash-crowd bulk joins, network partition/heal) and
+//! **compiles** it, from a seed and the initial population size alone, down
+//! to concrete per-period operations ([`Op`]): *this* node dies at period
+//! 12, *this* node joins at period 15 bootstrapping off *these* contacts.
+//!
+//! Because the compiled schedule fixes the full membership trajectory up
+//! front, the same [`CompiledWorkload`] drives the cycle engines, the
+//! event engines and the loopback UDP cluster through the same sequence of
+//! joins, failures and partitions — anything that executes the small
+//! [`WorkloadTarget`] trait. Per-period snapshots flow into the same CSR
+//! metrics on every stack ([`measure_rows`]), so recovery trajectories are
+//! directly comparable: the conformance suite pins the simulated and
+//! deployed stacks against each other on exactly this path.
+//!
+//! # Determinism
+//!
+//! Compilation draws victims and join contacts from its own seeded RNG and
+//! rounds fractional churn rates through the carry accumulator
+//! ([`crate::RateAccumulator`]) — no stochastic rounding, no dependence on
+//! the target's RNG streams. Running a compiled workload on a sharded
+//! engine therefore inherits the engine's own contract: bit-identical
+//! results per `(seed, shard_count)` at any worker count.
+//!
+//! # Partitions
+//!
+//! A [`Partition`] is a *loss matrix*, not a membership change: node `i`
+//! belongs to group `i mod groups`, and while the partition is installed
+//! every engine and the network runtime silently drop messages whose
+//! endpoints sit in different groups (counted as dropped/blocked traffic).
+//! Healing lifts the matrix. Views are untouched — whether the overlay
+//! re-merges after a heal depends on whether any cross-group descriptors
+//! survived view selection, which is precisely the experiment.
+//!
+//! # Schedule grammar
+//!
+//! [`Workload::parse`] accepts a compact comma-separated schedule string
+//! (used by the `workload` experiment command's `--schedule` flag):
+//!
+//! ```text
+//! quiet:P          P quiet periods (gossip only)
+//! churn:RxP        balanced churn at rate R per period, for P periods
+//! churn:L/JxP      independent leave rate L and join rate J
+//! kill:F           catastrophic kill of fraction F (instantaneous)
+//! flash:N          flash crowd: N simultaneous joins (instantaneous)
+//! part:GxP         partition into G groups for P periods, then heal
+//! ```
+//!
+//! Example — the conformance suite's headline schedule, a converged-start
+//! catastrophe with churned recovery:
+//!
+//! ```text
+//! quiet:10,kill:0.5,churn:0.01x20
+//! ```
+
+use std::collections::HashSet;
+
+use pss_core::NodeId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::churn::RateAccumulator;
+use crate::CsrSnapshot;
+
+/// A loss-matrix partition of the id space into `groups` groups: node `i`
+/// is in group `i mod groups`, and traffic between different groups is
+/// blocked while the partition is installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    groups: u32,
+}
+
+impl Partition {
+    /// A partition into `groups` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups < 2` (one group blocks nothing).
+    pub fn new(groups: u32) -> Self {
+        assert!(groups >= 2, "a partition needs at least two groups");
+        Partition { groups }
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> u32 {
+        self.groups
+    }
+
+    /// The group of `id`.
+    pub fn group_of(&self, id: NodeId) -> u32 {
+        (id.as_u64() % u64::from(self.groups)) as u32
+    }
+
+    /// True if traffic between `a` and `b` is blocked (different groups).
+    pub fn blocks(&self, a: NodeId, b: NodeId) -> bool {
+        self.group_of(a) != self.group_of(b)
+    }
+}
+
+/// One phase of a workload schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhaseSpec {
+    /// `periods` gossip periods with no membership events.
+    Quiet {
+        /// Length in periods.
+        periods: u64,
+    },
+    /// Sustained churn: per-period leave/join rates as fractions of the
+    /// live population, for `periods` periods.
+    Churn {
+        /// Length in periods.
+        periods: u64,
+        /// Per-period departure rate.
+        leave_rate: f64,
+        /// Per-period arrival rate.
+        join_rate: f64,
+    },
+    /// Instantaneous catastrophic kill of `fraction` of the live
+    /// population, at the next period boundary.
+    Catastrophe {
+        /// Fraction of live nodes killed, clamped to `[0, 1]`.
+        fraction: f64,
+    },
+    /// Instantaneous flash crowd: `joins` nodes join at the next period
+    /// boundary, each bootstrapping off random live contacts.
+    FlashCrowd {
+        /// Number of simultaneous joins.
+        joins: usize,
+    },
+    /// Network partition into `groups` groups for `periods` periods; the
+    /// loss matrix lifts (heals) at the boundary after the last period.
+    Partition {
+        /// Number of groups (≥ 2).
+        groups: u32,
+        /// Length in periods.
+        periods: u64,
+    },
+}
+
+/// Why a schedule string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleParseError {
+    /// The offending schedule item.
+    pub item: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad schedule item `{}`: {}", self.item, self.reason)
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+/// A declarative membership-dynamics schedule; see the [module
+/// docs](self). Build with the phase methods or [`Workload::parse`], then
+/// [`Workload::compile`] against an initial population size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    seed: u64,
+    contacts_per_join: usize,
+    phases: Vec<PhaseSpec>,
+}
+
+impl Workload {
+    /// An empty workload; all compilation randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Workload {
+            seed,
+            contacts_per_join: 3,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Sets how many random live contacts each joiner bootstraps off
+    /// (default 3).
+    pub fn contacts_per_join(mut self, contacts: usize) -> Self {
+        self.contacts_per_join = contacts;
+        self
+    }
+
+    /// Appends `periods` quiet periods.
+    pub fn quiet(mut self, periods: u64) -> Self {
+        self.phases.push(PhaseSpec::Quiet { periods });
+        self
+    }
+
+    /// Appends a balanced churn phase (equal leave and join rates).
+    pub fn churn(self, rate: f64, periods: u64) -> Self {
+        self.churn_rates(rate, rate, periods)
+    }
+
+    /// Appends a churn phase with independent leave and join rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is negative or not finite.
+    pub fn churn_rates(mut self, leave_rate: f64, join_rate: f64, periods: u64) -> Self {
+        assert!(
+            leave_rate >= 0.0 && leave_rate.is_finite(),
+            "leave rate must be a non-negative finite number"
+        );
+        assert!(
+            join_rate >= 0.0 && join_rate.is_finite(),
+            "join rate must be a non-negative finite number"
+        );
+        self.phases.push(PhaseSpec::Churn {
+            periods,
+            leave_rate,
+            join_rate,
+        });
+        self
+    }
+
+    /// Appends an instantaneous catastrophic kill of `fraction` of the
+    /// live population.
+    pub fn catastrophe(mut self, fraction: f64) -> Self {
+        self.phases.push(PhaseSpec::Catastrophe {
+            fraction: fraction.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// Appends an instantaneous flash crowd of `joins` joins.
+    pub fn flash_crowd(mut self, joins: usize) -> Self {
+        self.phases.push(PhaseSpec::FlashCrowd { joins });
+        self
+    }
+
+    /// Appends a partition into `groups` groups for `periods` periods,
+    /// healed afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups < 2`.
+    pub fn partition(mut self, groups: u32, periods: u64) -> Self {
+        let _ = Partition::new(groups); // validate
+        self.phases.push(PhaseSpec::Partition { groups, periods });
+        self
+    }
+
+    /// The phases in order.
+    pub fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    /// The compilation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Parses the schedule grammar (see the [module docs](self)) on top of
+    /// a fresh workload.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleParseError`] naming the first malformed item.
+    pub fn parse(schedule: &str, seed: u64) -> Result<Self, ScheduleParseError> {
+        let mut workload = Workload::new(seed);
+        for item in schedule.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let bad = |reason: &str| ScheduleParseError {
+                item: item.to_owned(),
+                reason: reason.to_owned(),
+            };
+            let (kind, spec) = item
+                .split_once(':')
+                .ok_or_else(|| bad("expected `kind:spec`"))?;
+            match kind {
+                "quiet" => {
+                    let periods = spec.parse().map_err(|_| bad("bad period count"))?;
+                    workload = workload.quiet(periods);
+                }
+                "churn" => {
+                    let (rates, periods) = spec
+                        .split_once('x')
+                        .ok_or_else(|| bad("expected `churn:RxP`"))?;
+                    let periods = periods.parse().map_err(|_| bad("bad period count"))?;
+                    let (leave, join) = match rates.split_once('/') {
+                        Some((l, j)) => (
+                            l.parse().map_err(|_| bad("bad leave rate"))?,
+                            j.parse().map_err(|_| bad("bad join rate"))?,
+                        ),
+                        None => {
+                            let r: f64 = rates.parse().map_err(|_| bad("bad rate"))?;
+                            (r, r)
+                        }
+                    };
+                    if !(leave >= 0.0 && leave.is_finite() && join >= 0.0 && join.is_finite()) {
+                        return Err(bad("rates must be non-negative finite numbers"));
+                    }
+                    workload = workload.churn_rates(leave, join, periods);
+                }
+                "kill" => {
+                    let fraction: f64 = spec.parse().map_err(|_| bad("bad fraction"))?;
+                    if !(0.0..=1.0).contains(&fraction) {
+                        return Err(bad("fraction must be within [0, 1]"));
+                    }
+                    workload = workload.catastrophe(fraction);
+                }
+                "flash" => {
+                    let joins = spec.parse().map_err(|_| bad("bad join count"))?;
+                    workload = workload.flash_crowd(joins);
+                }
+                "part" => {
+                    let (groups, periods) = spec
+                        .split_once('x')
+                        .ok_or_else(|| bad("expected `part:GxP`"))?;
+                    let groups: u32 = groups.parse().map_err(|_| bad("bad group count"))?;
+                    if groups < 2 {
+                        return Err(bad("need at least two groups"));
+                    }
+                    let periods = periods.parse().map_err(|_| bad("bad period count"))?;
+                    workload = workload.partition(groups, periods);
+                }
+                other => return Err(bad(&format!("unknown phase kind `{other}`"))),
+            }
+        }
+        Ok(workload)
+    }
+
+    /// Compiles the schedule for an initial population of ids
+    /// `0..initial_nodes`, fixing every membership event up front. The
+    /// result depends only on `(schedule, seed, initial_nodes)`.
+    pub fn compile(&self, initial_nodes: usize) -> CompiledWorkload {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x3057_10ad_5c8e_d01e);
+        // The live membership as compilation tracks it. Kills remove by
+        // swap, joins push — selection over this vec with the compile RNG
+        // is what makes victims/contacts pure functions of the seed.
+        let mut live: Vec<NodeId> = (0..initial_nodes as u64).map(NodeId::new).collect();
+        let mut next_id = initial_nodes as u64;
+        let mut steps: Vec<Step> = Vec::new();
+        // Instantaneous phases buffer their ops into the next period step.
+        let mut pending: Vec<Op> = Vec::new();
+
+        fn kill_into(ops: &mut Vec<Op>, live: &mut Vec<NodeId>, count: usize, rng: &mut SmallRng) {
+            for _ in 0..count.min(live.len()) {
+                let pick = rand::Rng::random_range(rng, 0..live.len());
+                let victim = live.swap_remove(pick);
+                ops.push(Op::Kill(victim));
+            }
+        }
+        fn join_into(
+            ops: &mut Vec<Op>,
+            live: &mut Vec<NodeId>,
+            next_id: &mut u64,
+            count: usize,
+            contacts: usize,
+            rng: &mut SmallRng,
+        ) {
+            for _ in 0..count {
+                let picks = contacts.min(live.len());
+                let (chosen, _) = live.partial_shuffle(rng, picks);
+                let contacts = chosen.to_vec();
+                let id = NodeId::new(*next_id);
+                *next_id += 1;
+                live.push(id);
+                ops.push(Op::Join { id, contacts });
+            }
+        }
+
+        for phase in &self.phases {
+            match *phase {
+                PhaseSpec::Quiet { periods } => {
+                    for _ in 0..periods {
+                        steps.push(Step {
+                            ops: std::mem::take(&mut pending),
+                        });
+                    }
+                }
+                PhaseSpec::Churn {
+                    periods,
+                    leave_rate,
+                    join_rate,
+                } => {
+                    let mut leaves = RateAccumulator::new();
+                    let mut joins = RateAccumulator::new();
+                    for _ in 0..periods {
+                        let mut ops = std::mem::take(&mut pending);
+                        let n = live.len() as f64;
+                        kill_into(&mut ops, &mut live, leaves.step(n * leave_rate), &mut rng);
+                        join_into(
+                            &mut ops,
+                            &mut live,
+                            &mut next_id,
+                            joins.step(n * join_rate),
+                            self.contacts_per_join,
+                            &mut rng,
+                        );
+                        steps.push(Step { ops });
+                    }
+                }
+                PhaseSpec::Catastrophe { fraction } => {
+                    let count = (live.len() as f64 * fraction).round() as usize;
+                    kill_into(&mut pending, &mut live, count, &mut rng);
+                }
+                PhaseSpec::FlashCrowd { joins } => {
+                    join_into(
+                        &mut pending,
+                        &mut live,
+                        &mut next_id,
+                        joins,
+                        self.contacts_per_join,
+                        &mut rng,
+                    );
+                }
+                PhaseSpec::Partition { groups, periods } => {
+                    pending.push(Op::SetPartition(Some(Partition::new(groups))));
+                    for _ in 0..periods {
+                        steps.push(Step {
+                            ops: std::mem::take(&mut pending),
+                        });
+                    }
+                    pending.push(Op::SetPartition(None));
+                }
+            }
+        }
+        if !pending.is_empty() {
+            // Trailing instantaneous ops (or a final heal) get one period
+            // to act on, so their effect is observable.
+            steps.push(Step { ops: pending });
+        }
+        CompiledWorkload {
+            initial_nodes,
+            id_space: next_id as usize,
+            steps,
+        }
+    }
+}
+
+/// One concrete membership operation, applied at a period boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Crash-stop (or gracefully leave, on the network runtime) one node.
+    Kill(NodeId),
+    /// One node joins with exactly this id, bootstrapping off exactly
+    /// these contacts. Targets must assign ids sequentially, so the
+    /// compiled id always matches — the conformance harness asserts it.
+    Join {
+        /// The id the target must assign.
+        id: NodeId,
+        /// Live contacts the joiner bootstraps off.
+        contacts: Vec<NodeId>,
+    },
+    /// Installs (`Some`) or heals (`None`) a partition loss matrix.
+    SetPartition(Option<Partition>),
+}
+
+/// The operations to apply *before* running one gossip period.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Step {
+    /// Operations in application order.
+    pub ops: Vec<Op>,
+}
+
+/// A fully-resolved schedule: every membership event of every period,
+/// fixed at compile time. See [`Workload::compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledWorkload {
+    /// The initial population size the schedule was compiled for.
+    pub initial_nodes: usize,
+    /// Total id space touched by the run: initial nodes plus every join.
+    pub id_space: usize,
+    /// One step per gossip period.
+    pub steps: Vec<Step>,
+}
+
+impl CompiledWorkload {
+    /// Number of gossip periods the schedule spans.
+    pub fn periods(&self) -> u64 {
+        self.steps.len() as u64
+    }
+
+    /// Total joins across the schedule.
+    pub fn total_joins(&self) -> usize {
+        self.id_space - self.initial_nodes
+    }
+}
+
+/// What a workload drives: any engine ([`crate::Engine`] gets a blanket
+/// implementation) or the deployed network stack (`pss-net` implements it
+/// for the runtime and executes compiled steps inside the UDP cluster
+/// harness).
+pub trait WorkloadTarget {
+    /// Kills (crash-stops or gracefully leaves) one node.
+    fn kill(&mut self, id: NodeId) -> bool;
+
+    /// Adds one node bootstrapped off `contacts`. Must assign exactly
+    /// `id` — ids are sequential on every stack, and the compiled
+    /// schedule's ids are the cross-stack membership contract.
+    fn join(&mut self, id: NodeId, contacts: &[NodeId]);
+
+    /// Installs or lifts the partition loss matrix.
+    fn set_partition(&mut self, partition: Option<Partition>);
+
+    /// Runs one gossip period (one cycle on the cycle engines, one period
+    /// of virtual or wall time elsewhere).
+    fn run_period(&mut self);
+
+    /// Appends every live node's `(id, view targets)` in increasing id
+    /// order.
+    fn collect_rows(&self, rows: &mut Vec<(NodeId, Vec<NodeId>)>);
+}
+
+impl<E: crate::Engine> WorkloadTarget for E {
+    fn kill(&mut self, id: NodeId) -> bool {
+        crate::Engine::kill(self, id)
+    }
+
+    fn join(&mut self, id: NodeId, contacts: &[NodeId]) {
+        let got = self.add_seeded_node(contacts);
+        assert_eq!(
+            got, id,
+            "engine assigned id {got}, workload compiled id {id}"
+        );
+    }
+
+    fn set_partition(&mut self, partition: Option<Partition>) {
+        crate::Engine::set_partition(self, partition);
+    }
+
+    fn run_period(&mut self) {
+        self.run_cycle();
+    }
+
+    fn collect_rows(&self, rows: &mut Vec<(NodeId, Vec<NodeId>)>) {
+        for id in self.alive_ids() {
+            let view = self.view_of(id).expect("alive ids have views");
+            rows.push((id, view.ids().collect()));
+        }
+    }
+}
+
+/// Overlay statistics of one period under a workload — the paper's
+/// convergence metrics plus the self-healing and partition observables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodRecord {
+    /// 1-based period index.
+    pub period: u64,
+    /// Live nodes after this period.
+    pub live: usize,
+    /// Nodes killed at the period boundary.
+    pub killed: usize,
+    /// Nodes joined at the period boundary.
+    pub joined: usize,
+    /// Live nodes whose view is full (length = c).
+    pub full_views: usize,
+    /// Mean in-degree of the live-to-live view graph.
+    pub in_degree_mean: f64,
+    /// Standard deviation of the live-to-live in-degree.
+    pub in_degree_sd: f64,
+    /// View entries pointing at dead nodes, across all live views.
+    pub dead_links: usize,
+    /// Total view entries across all live views.
+    pub total_links: usize,
+    /// Largest connected component of the undirected live overlay.
+    pub largest_component: usize,
+    /// True while a partition loss matrix was installed.
+    pub partitioned: bool,
+}
+
+impl PeriodRecord {
+    /// Fraction of live nodes with full views.
+    pub fn full_fraction(&self) -> f64 {
+        if self.live == 0 {
+            0.0
+        } else {
+            self.full_views as f64 / self.live as f64
+        }
+    }
+
+    /// Fraction of view entries that are dead links (Figure 7's y-axis,
+    /// normalized).
+    pub fn dead_link_fraction(&self) -> f64 {
+        if self.total_links == 0 {
+            0.0
+        } else {
+            self.dead_links as f64 / self.total_links as f64
+        }
+    }
+
+    /// Largest-component size as a fraction of the live population.
+    pub fn component_fraction(&self) -> f64 {
+        if self.live == 0 {
+            0.0
+        } else {
+            self.largest_component as f64 / self.live as f64
+        }
+    }
+}
+
+/// Reduces one period's live view rows to a [`PeriodRecord`] through the
+/// CSR metrics path shared with the simulators and the cluster harness.
+/// `rows` must be sorted by increasing id below `id_space`; `is_live`
+/// classifies view targets (dead targets count as dead links and are
+/// excluded from the in-degree graph and components).
+pub fn measure_rows(
+    id_space: usize,
+    rows: &[(NodeId, Vec<NodeId>)],
+    is_live: impl Fn(NodeId) -> bool,
+    view_size: usize,
+) -> PeriodRecord {
+    let csr = CsrSnapshot::from_rows(id_space, rows);
+    let in_degrees = csr.graph().in_degrees();
+    let n = in_degrees.len().max(1) as f64;
+    let mean = in_degrees.iter().map(|&d| f64::from(d)).sum::<f64>() / n;
+    let var = in_degrees
+        .iter()
+        .map(|&d| {
+            let diff = f64::from(d) - mean;
+            diff * diff
+        })
+        .sum::<f64>()
+        / n;
+
+    let mut dead_links = 0;
+    let mut total_links = 0;
+    for (_, targets) in rows {
+        total_links += targets.len();
+        dead_links += targets.iter().filter(|&&t| !is_live(t)).count();
+    }
+
+    // Components over the same live-to-live graph, directed edges treated
+    // as undirected, straight over the CSR.
+    let largest_component = pss_graph::components::largest_weak_component(csr.graph());
+
+    PeriodRecord {
+        period: 0,
+        live: rows.len(),
+        killed: 0,
+        joined: 0,
+        full_views: rows
+            .iter()
+            .filter(|(_, targets)| targets.len() == view_size)
+            .count(),
+        in_degree_mean: mean,
+        in_degree_sd: var.sqrt(),
+        dead_links,
+        total_links,
+        largest_component,
+        partitioned: false,
+    }
+}
+
+/// Drives `target` through every step of a compiled workload: apply the
+/// step's operations, run one period, snapshot. Returns one
+/// [`PeriodRecord`] per period.
+///
+/// `view_size` is the protocol's `c`, for the full-view statistic.
+pub fn run_workload<T: WorkloadTarget>(
+    target: &mut T,
+    compiled: &CompiledWorkload,
+    view_size: usize,
+) -> Vec<PeriodRecord> {
+    let mut dead: HashSet<NodeId> = HashSet::new();
+    let mut partitioned = false;
+    let mut rows: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+    let mut records = Vec::with_capacity(compiled.steps.len());
+    for (i, step) in compiled.steps.iter().enumerate() {
+        let mut killed = 0;
+        let mut joined = 0;
+        for op in &step.ops {
+            match op {
+                Op::Kill(id) => {
+                    // Compilation guarantees the victim is live; a false
+                    // here means the target diverged from the schedule,
+                    // which would otherwise only surface as a distant
+                    // statistical assertion.
+                    assert!(target.kill(*id), "kill of live node {id} was a no-op");
+                    dead.insert(*id);
+                    killed += 1;
+                }
+                Op::Join { id, contacts } => {
+                    target.join(*id, contacts);
+                    joined += 1;
+                }
+                Op::SetPartition(partition) => {
+                    target.set_partition(*partition);
+                    partitioned = partition.is_some();
+                }
+            }
+        }
+        target.run_period();
+        rows.clear();
+        target.collect_rows(&mut rows);
+        let mut record = measure_rows(
+            compiled.id_space,
+            &rows,
+            |id| !dead.contains(&id),
+            view_size,
+        );
+        record.period = i as u64 + 1;
+        record.killed = killed;
+        record.joined = joined;
+        record.partitioned = partitioned;
+        records.push(record);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scenario, Simulation};
+    use pss_core::{PolicyTriple, ProtocolConfig};
+
+    fn acceptance() -> Workload {
+        Workload::new(7).quiet(10).catastrophe(0.5).churn(0.01, 20)
+    }
+
+    #[test]
+    fn partition_groups_and_blocking() {
+        let p = Partition::new(2);
+        assert_eq!(p.groups(), 2);
+        assert_eq!(p.group_of(NodeId::new(4)), 0);
+        assert_eq!(p.group_of(NodeId::new(7)), 1);
+        assert!(p.blocks(NodeId::new(0), NodeId::new(1)));
+        assert!(!p.blocks(NodeId::new(2), NodeId::new(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "two groups")]
+    fn single_group_partition_rejected() {
+        let _ = Partition::new(1);
+    }
+
+    #[test]
+    fn parse_round_trips_the_builder() {
+        let parsed = Workload::parse("quiet:10,kill:0.5,churn:0.01x20", 7).unwrap();
+        assert_eq!(parsed, acceptance());
+        let full = Workload::parse("churn:0.02/0.03x5,flash:40,part:2x3,quiet:1", 1).unwrap();
+        assert_eq!(
+            full.phases(),
+            &[
+                PhaseSpec::Churn {
+                    periods: 5,
+                    leave_rate: 0.02,
+                    join_rate: 0.03
+                },
+                PhaseSpec::FlashCrowd { joins: 40 },
+                PhaseSpec::Partition {
+                    groups: 2,
+                    periods: 3
+                },
+                PhaseSpec::Quiet { periods: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_items() {
+        for bad in [
+            "quiet",
+            "quiet:x",
+            "churn:0.1",
+            "churn:ax5",
+            "kill:1.5",
+            "kill:x",
+            "flash:x",
+            "part:1x5",
+            "part:2",
+            "bogus:1",
+        ] {
+            let err = Workload::parse(bad, 0).unwrap_err();
+            assert_eq!(err.item, bad.split_once(',').map_or(bad, |(a, _)| a));
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn compile_is_deterministic_and_seed_sensitive() {
+        let w = acceptance();
+        let a = w.compile(200);
+        let b = w.compile(200);
+        assert_eq!(a, b);
+        let c = Workload::new(8).quiet(10).catastrophe(0.5).churn(0.01, 20);
+        assert_ne!(a, c.compile(200));
+    }
+
+    #[test]
+    fn compiled_catastrophe_lands_on_the_next_period() {
+        let compiled = acceptance().compile(100);
+        assert_eq!(compiled.periods(), 30);
+        assert_eq!(compiled.initial_nodes, 100);
+        // Periods 1..=10 are quiet; period 11 opens with the 50% kill.
+        for step in &compiled.steps[..10] {
+            assert!(step.ops.is_empty());
+        }
+        let kills = compiled.steps[10]
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::Kill(_)))
+            .count();
+        assert_eq!(kills, 50);
+        // Kills are distinct ids.
+        let mut victims: Vec<NodeId> = compiled.steps[10]
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Kill(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        victims.sort();
+        victims.dedup();
+        assert_eq!(victims.len(), 50);
+    }
+
+    #[test]
+    fn churn_counts_follow_the_carry_accumulator() {
+        // 1% of 100 live = 1 kill + 1 join every period, exactly.
+        let compiled = Workload::new(3).churn(0.01, 10).compile(100);
+        for step in &compiled.steps {
+            let kills = step.ops.iter().filter(|o| matches!(o, Op::Kill(_))).count();
+            let joins = step
+                .ops
+                .iter()
+                .filter(|o| matches!(o, Op::Join { .. }))
+                .count();
+            assert_eq!((kills, joins), (1, 1), "{step:?}");
+        }
+        assert_eq!(compiled.total_joins(), 10);
+        assert_eq!(compiled.id_space, 110);
+    }
+
+    #[test]
+    fn joins_get_sequential_ids_and_live_contacts() {
+        let compiled = Workload::new(5).flash_crowd(20).compile(50);
+        // Trailing instantaneous phase gets its own observation period.
+        assert_eq!(compiled.periods(), 1);
+        for (expected, op) in (50u64..).zip(compiled.steps[0].ops.iter()) {
+            let Op::Join { id, contacts } = op else {
+                panic!("expected joins, got {op:?}");
+            };
+            assert_eq!(id.as_u64(), expected);
+            assert!(!contacts.is_empty() && contacts.len() <= 3);
+            for c in contacts {
+                assert!(c.as_u64() < 50 || c.as_u64() < id.as_u64());
+            }
+        }
+        assert_eq!(compiled.id_space, 70);
+    }
+
+    #[test]
+    fn partition_heals_on_the_following_period() {
+        let compiled = Workload::new(1)
+            .quiet(2)
+            .partition(2, 3)
+            .quiet(2)
+            .compile(10);
+        assert_eq!(compiled.periods(), 7);
+        assert_eq!(
+            compiled.steps[2].ops,
+            vec![Op::SetPartition(Some(Partition::new(2)))]
+        );
+        assert_eq!(compiled.steps[5].ops, vec![Op::SetPartition(None)]);
+        // Trailing partition gets a synthetic heal step.
+        let tail = Workload::new(1).partition(2, 2).compile(10);
+        assert_eq!(tail.periods(), 3);
+        assert_eq!(tail.steps[2].ops, vec![Op::SetPartition(None)]);
+    }
+
+    #[test]
+    fn zero_rate_churn_never_mutates_membership() {
+        let compiled = Workload::new(9).churn(0.0, 25).compile(64);
+        assert!(compiled.steps.iter().all(|s| s.ops.is_empty()));
+        assert_eq!(compiled.id_space, 64);
+    }
+
+    #[test]
+    fn runs_on_the_cycle_engine_end_to_end() {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 10).unwrap();
+        let mut sim = scenario::random_overlay(&config, 120, 11);
+        sim.run_cycles(15);
+        let compiled = Workload::new(2)
+            .quiet(2)
+            .catastrophe(0.5)
+            .churn(0.02, 8)
+            .compile(120);
+        let records = run_workload(&mut sim, &compiled, 10);
+        // 2 quiet + 8 churn periods; the catastrophe merges into period 3.
+        assert_eq!(records.len(), 10);
+        // Period 3 opens with the 50% kill plus that period's churn share.
+        assert!(records[2].killed >= 60, "{:?}", records[2]);
+        let last = records.last().unwrap();
+        assert!(last.live > 40 && last.live < 80, "{last:?}");
+        // Healing: dead-link fraction decays well below the catastrophe's.
+        assert!(records[2].dead_link_fraction() > 0.2, "{:?}", records[2]);
+        assert!(last.dead_link_fraction() < 0.1, "{last:?}");
+        assert!(last.component_fraction() > 0.95, "{last:?}");
+    }
+
+    #[test]
+    fn measure_rows_reports_the_basics() {
+        let rows = vec![
+            (NodeId::new(0), vec![NodeId::new(1), NodeId::new(3)]),
+            (NodeId::new(1), vec![NodeId::new(0)]),
+        ];
+        // Node 3 is dead: one dead link, excluded from the graph.
+        let r = measure_rows(4, &rows, |id| id.as_u64() < 2, 2);
+        assert_eq!(r.live, 2);
+        assert_eq!(r.dead_links, 1);
+        assert_eq!(r.total_links, 3);
+        assert_eq!(r.full_views, 1);
+        assert_eq!(r.largest_component, 2);
+        assert!((r.in_degree_mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_satisfies_workload_target() {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 5).unwrap();
+        let mut sim = Simulation::new(config, 3);
+        sim.add_node([]);
+        sim.add_node([pss_core::NodeDescriptor::fresh(NodeId::new(0))]);
+        WorkloadTarget::join(&mut sim, NodeId::new(2), &[NodeId::new(0)]);
+        assert_eq!(sim.node_count(), 3);
+        WorkloadTarget::set_partition(&mut sim, Some(Partition::new(2)));
+        WorkloadTarget::run_period(&mut sim);
+        WorkloadTarget::set_partition(&mut sim, None);
+        assert!(WorkloadTarget::kill(&mut sim, NodeId::new(2)));
+        let mut rows = Vec::new();
+        WorkloadTarget::collect_rows(&sim, &mut rows);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "workload compiled id")]
+    fn join_id_mismatch_is_detected() {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 5).unwrap();
+        let mut sim = Simulation::new(config, 3);
+        sim.add_node([]);
+        WorkloadTarget::join(&mut sim, NodeId::new(5), &[NodeId::new(0)]);
+    }
+}

@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use pss_core::{NodeDescriptor, NodeId, PolicyTriple, ProtocolConfig};
-use pss_sim::{scenario, EventConfig, EventSimulation, FailureMode, LatencyModel};
+use pss_sim::{
+    scenario, ChurnProcess, EventConfig, EventSimulation, FailureMode, LatencyModel,
+    RateAccumulator,
+};
 
 fn policies() -> impl Strategy<Value = PolicyTriple> {
     prop::sample::select(PolicyTriple::paper_eight().to_vec())
@@ -266,6 +269,72 @@ proptest! {
             (views, sim.report(), sim.events_processed())
         };
         prop_assert_eq!(run(1), run(workers));
+    }
+
+    #[test]
+    fn rate_accumulator_totals_stay_within_carry_bounds(
+        expected in 0.0f64..7.5,
+        k in 1usize..200,
+    ) {
+        // k steps at a constant expectation emit ⌊k·e⌋ or ⌈k·e⌉ events:
+        // the emitted total differs from the exact sum only by the
+        // outstanding carry, which never reaches one.
+        let mut acc = RateAccumulator::new();
+        let total: usize = (0..k).map(|_| acc.step(expected)).sum();
+        let exact = expected * k as f64;
+        prop_assert!((total as f64 - exact).abs() < 1.0,
+            "total {total} vs exact {exact}");
+        prop_assert!((0.0..1.0).contains(&acc.carry()));
+    }
+
+    #[test]
+    fn churn_counts_match_rate_times_population_within_carry_bounds(
+        leave in 0.0f64..0.06,
+        join in 0.0f64..0.06,
+        n in 30usize..120,
+        k in 1u64..25,
+        seed in 0u64..1_000,
+    ) {
+        // Over k cycles, total kills (joins) must equal the summed
+        // per-cycle expectations rate·live within the accumulator's carry
+        // bound — for a constant population that is rate·N·k ± 1, with no
+        // stochastic drift.
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 6).unwrap();
+        let mut sim = scenario::random_overlay(&config, n, seed);
+        let mut churn = ChurnProcess::new(leave, join, 2);
+        let (mut expect_leave, mut expect_join) = (0.0f64, 0.0f64);
+        let (mut killed, mut joined) = (0usize, 0usize);
+        for _ in 0..k {
+            let live = sim.alive_count() as f64;
+            expect_leave += live * leave;
+            expect_join += live * join;
+            let (kd, jd) = churn.step(&mut sim);
+            killed += kd;
+            joined += jd;
+            sim.run_cycle();
+        }
+        prop_assert!((killed as f64 - expect_leave).abs() < 1.0,
+            "killed {killed} vs expected {expect_leave}");
+        prop_assert!((joined as f64 - expect_join).abs() < 1.0,
+            "joined {joined} vs expected {expect_join}");
+        prop_assert_eq!(sim.alive_count(), n + joined - killed);
+    }
+
+    #[test]
+    fn zero_rate_churn_never_mutates(
+        n in 10usize..80,
+        k in 1u64..20,
+        seed in 0u64..1_000,
+    ) {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 6).unwrap();
+        let mut sim = scenario::random_overlay(&config, n, seed);
+        let mut churn = ChurnProcess::new(0.0, 0.0, 3);
+        for _ in 0..k {
+            let (killed, joined) = churn.step(&mut sim);
+            prop_assert_eq!((killed, joined), (0, 0));
+        }
+        prop_assert_eq!(sim.alive_count(), n);
+        prop_assert_eq!(sim.node_count(), n);
     }
 
     #[test]

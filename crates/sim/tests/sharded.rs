@@ -34,7 +34,7 @@ fn stressed_run(workers: usize) -> u64 {
     let mut sim = scenario::random_overlay_sharded(&config, 120, 77, 4);
     sim.set_workers(workers);
     sim.set_message_loss(0.05);
-    let mut churn = ChurnProcess::balanced(0.03, 2, 5);
+    let mut churn = ChurnProcess::balanced(0.03, 2);
     let mut digest = FNV_OFFSET;
     for cycle in 0..12 {
         let (killed, joined) = churn.step(&mut sim);
@@ -170,7 +170,7 @@ fn shard_count_is_part_of_the_result_contract() {
 fn multi_shard_population_and_view_invariants_hold_under_churn() {
     let config = ProtocolConfig::new(PolicyTriple::newscast(), 9).expect("valid");
     let mut sim = scenario::random_overlay_sharded(&config, 90, 13, 3);
-    let mut churn = ChurnProcess::balanced(0.05, 2, 21);
+    let mut churn = ChurnProcess::balanced(0.05, 2);
     for _ in 0..15 {
         churn.step(&mut sim);
         sim.run_cycle();

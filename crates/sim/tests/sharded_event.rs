@@ -131,7 +131,7 @@ fn stressed_run(workers: usize) -> u64 {
     let mut sim = scenario::event_random_overlay_sharded(&config, stressed_config(), 120, 77, 4)
         .expect("valid");
     sim.set_workers(workers);
-    let mut churn = ChurnProcess::balanced(0.03, 2, 5);
+    let mut churn = ChurnProcess::balanced(0.03, 2);
     let mut digest = FNV_OFFSET;
     for period in 0..10 {
         let (killed, joined) = churn.step(&mut sim);
@@ -359,7 +359,7 @@ fn churn_and_observers_drive_the_event_engine() {
     assert_eq!(sim.now(), 6000);
     assert!(log.0.iter().all(|&d| d > 11.0));
 
-    let mut churn = ChurnProcess::balanced(0.05, 2, 9);
+    let mut churn = ChurnProcess::balanced(0.05, 2);
     let before = sim.node_count();
     for _ in 0..5 {
         churn.step(&mut sim);

@@ -1,0 +1,341 @@
+//! Cross-engine workload conformance: the same compiled schedule —
+//! churn, catastrophe, flash crowd, partition/heal — must (a) be
+//! bit-deterministic per `(seed, shard_count)` at any worker count on the
+//! sharded engines, (b) produce statistically agreeing recovery
+//! trajectories across engines, and (c) satisfy the self-healing bounds
+//! (dead-link decay, largest-live-component recovery) on every schedule in
+//! the family — generalizing `tests/self_healing.rs` from one hand-rolled
+//! catastrophe to the whole schedule family.
+
+mod common;
+
+use common::view_digest;
+use pss_core::{NodeDescriptor, NodeId, PolicyTriple, ProtocolConfig};
+use pss_sim::workload::{run_workload, PeriodRecord, Workload};
+use pss_sim::{EventConfig, LatencyModel, ShardedEventSimulation, ShardedSimulation, Simulation};
+
+const N: usize = 200;
+const C: usize = 15;
+
+fn headline_policies() -> [(&'static str, PolicyTriple); 3] {
+    [
+        ("newscast", PolicyTriple::newscast()),
+        ("lpbcast", PolicyTriple::lpbcast()),
+        (
+            "tail-pushpull",
+            "(tail,tail,pushpull)".parse().expect("valid policy"),
+        ),
+    ]
+}
+
+/// The schedule family under test. Every schedule starts with a quiet
+/// convergence window so dynamics hit a warm overlay.
+fn schedule_family() -> Vec<(&'static str, Workload)> {
+    vec![
+        (
+            "churn",
+            Workload::parse("quiet:6,churn:0.02x12", 41).unwrap(),
+        ),
+        (
+            "catastrophe",
+            Workload::parse("quiet:6,kill:0.5,churn:0.01x14", 42).unwrap(),
+        ),
+        (
+            "flash-crowd",
+            Workload::parse("quiet:6,flash:100,quiet:10", 43).unwrap(),
+        ),
+        (
+            "partition",
+            Workload::parse("quiet:6,part:2x3,quiet:8", 44).unwrap(),
+        ),
+    ]
+}
+
+fn event_config() -> EventConfig {
+    EventConfig {
+        period: 100,
+        jitter: 20,
+        latency: LatencyModel::Uniform { min: 1, max: 20 },
+        loss_probability: 0.02,
+    }
+}
+
+/// Tree-bootstrapped sharded event engine (node `i` knows node `i / 2`).
+fn event_sim(policy: PolicyTriple, seed: u64, shards: usize) -> ShardedEventSimulation {
+    let protocol = ProtocolConfig::new(policy, C).expect("valid");
+    let mut sim =
+        ShardedEventSimulation::new(protocol, event_config(), seed, shards).expect("valid");
+    for i in 0..N as u64 {
+        let seeds: Vec<NodeDescriptor> = if i == 0 {
+            Vec::new()
+        } else {
+            vec![NodeDescriptor::fresh(NodeId::new(i / 2))]
+        };
+        sim.add_node(seeds);
+    }
+    sim
+}
+
+/// Tree-bootstrapped sharded cycle engine.
+fn cycle_sim(policy: PolicyTriple, seed: u64, shards: usize) -> ShardedSimulation {
+    let protocol = ProtocolConfig::new(policy, C).expect("valid");
+    let mut sim = ShardedSimulation::new(protocol, seed, shards);
+    for i in 0..N as u64 {
+        let seeds: Vec<NodeDescriptor> = if i == 0 {
+            Vec::new()
+        } else {
+            vec![NodeDescriptor::fresh(NodeId::new(i / 2))]
+        };
+        sim.add_node(seeds);
+    }
+    sim
+}
+
+/// (a) Bit-determinism: for a fixed `(seed, shard_count)`, the full
+/// per-period trajectory and the final overlay are identical at any worker
+/// count — for every headline policy and every schedule in the family, on
+/// both sharded engines.
+#[test]
+fn every_schedule_is_bit_deterministic_across_worker_counts() {
+    for (policy_name, policy) in headline_policies() {
+        for (schedule_name, workload) in schedule_family() {
+            let compiled = workload.compile(N);
+
+            let run_event = |workers: usize| {
+                let mut sim = event_sim(policy, 7, 2);
+                sim.set_workers(workers);
+                let records = run_workload(&mut sim, &compiled, C);
+                (records, view_digest(|f| sim.for_each_live_view(f)))
+            };
+            let (records1, digest1) = run_event(1);
+            let (records2, digest2) = run_event(2);
+            assert_eq!(
+                records1, records2,
+                "event-engine records diverged across worker counts \
+                 ({policy_name}, {schedule_name})"
+            );
+            assert_eq!(
+                digest1, digest2,
+                "event-engine overlays diverged across worker counts \
+                 ({policy_name}, {schedule_name})"
+            );
+
+            let run_cycle = |workers: usize| {
+                let mut sim = cycle_sim(policy, 7, 2);
+                sim.set_workers(workers);
+                let records = run_workload(&mut sim, &compiled, C);
+                (records, view_digest(|f| sim.for_each_live_view(f)))
+            };
+            let (records1, digest1) = run_cycle(1);
+            let (records2, digest2) = run_cycle(2);
+            assert_eq!(
+                records1, records2,
+                "cycle-engine records diverged across worker counts \
+                 ({policy_name}, {schedule_name})"
+            );
+            assert_eq!(
+                digest1, digest2,
+                "cycle-engine overlays diverged across worker counts \
+                 ({policy_name}, {schedule_name})"
+            );
+        }
+    }
+}
+
+/// The sequential wrapper stays the literal 1-shard special case under
+/// workload driving: `Simulation` and 1-shard `ShardedSimulation` produce
+/// identical trajectories for the same schedule.
+#[test]
+fn sequential_wrapper_matches_one_shard_under_workloads() {
+    let compiled = Workload::parse("quiet:4,kill:0.3,churn:0.02x6", 3)
+        .unwrap()
+        .compile(N);
+    let protocol = ProtocolConfig::new(PolicyTriple::newscast(), C).expect("valid");
+    let mut wrapper = Simulation::new(protocol.clone(), 5);
+    let mut sharded = ShardedSimulation::new(protocol, 5, 1);
+    for sim_adds in 0..N as u64 {
+        let seeds: Vec<NodeDescriptor> = if sim_adds == 0 {
+            Vec::new()
+        } else {
+            vec![NodeDescriptor::fresh(NodeId::new(sim_adds / 2))]
+        };
+        wrapper.add_node(seeds.clone());
+        sharded.add_node(seeds);
+    }
+    let a = run_workload(&mut wrapper, &compiled, C);
+    let b = run_workload(&mut sharded, &compiled, C);
+    assert_eq!(a, b);
+    assert_eq!(
+        view_digest(|f| wrapper.as_sharded().for_each_live_view(f)),
+        view_digest(|f| sharded.for_each_live_view(f))
+    );
+}
+
+/// (b) Cross-engine statistical agreement on the acceptance schedule
+/// (catastrophic 50% kill, 1%/period churn thereafter): the cycle engine
+/// (the paper's SkipDead model) and the event engine (liveness-blind,
+/// jitter + latency + loss) must both recover — ≥ 99% full views by the
+/// pinned period, post-recovery in-degree means within 1.0 of each other.
+#[test]
+fn cycle_and_event_recovery_trajectories_agree() {
+    let workload = Workload::parse("quiet:10,kill:0.5,churn:0.01x20", 42).unwrap();
+    let compiled = workload.compile(N);
+
+    let mut cycle = cycle_sim(PolicyTriple::newscast(), 11, 2);
+    let cycle_records = run_workload(&mut cycle, &compiled, C);
+    let mut event = event_sim(PolicyTriple::newscast(), 11, 2);
+    let event_records = run_workload(&mut event, &compiled, C);
+
+    // Pinned recovery period: 14 periods after the kill at period 11.
+    const RECOVERED_BY: usize = 25;
+    for records in [&cycle_records, &event_records] {
+        let r = &records[RECOVERED_BY - 1];
+        assert!(
+            r.full_fraction() >= 0.99,
+            "not ≥99% full views by period {RECOVERED_BY}: {r:?}"
+        );
+    }
+    for p in RECOVERED_BY..compiled.periods() as usize {
+        let (c_rec, e_rec) = (&cycle_records[p], &event_records[p]);
+        assert!(
+            (c_rec.in_degree_mean - e_rec.in_degree_mean).abs() <= 1.0,
+            "post-recovery in-degree means diverged at period {}: cycle {c_rec:?} vs event {e_rec:?}",
+            p + 1
+        );
+    }
+    // Both engines executed the identical membership trajectory.
+    for (c_rec, e_rec) in cycle_records.iter().zip(event_records.iter()) {
+        assert_eq!(
+            (c_rec.live, c_rec.killed, c_rec.joined),
+            (e_rec.live, e_rec.killed, e_rec.joined)
+        );
+    }
+}
+
+/// (c) Self-healing bounds across the schedule family, on the event
+/// engine with jitter, latency and loss on.
+#[test]
+fn self_healing_bounds_hold_for_every_schedule() {
+    let check = |records: &[PeriodRecord], name: &str| {
+        let last = records.last().unwrap();
+        assert!(
+            last.dead_link_fraction() <= 0.06,
+            "{name}: dead links did not decay: {last:?}"
+        );
+        assert!(
+            last.component_fraction() >= 0.98,
+            "{name}: live overlay did not recover: {last:?}"
+        );
+        assert!(
+            last.full_fraction() >= 0.95,
+            "{name}: views did not refill: {last:?}"
+        );
+    };
+
+    for (name, workload) in schedule_family() {
+        let compiled = workload.compile(N);
+        let mut sim = event_sim(PolicyTriple::newscast(), 23, 2);
+        let records = run_workload(&mut sim, &compiled, C);
+        check(&records, name);
+
+        match name {
+            "catastrophe" => {
+                // Half the population died at period 7: the damage must be
+                // visible before it heals (healing is the claim, not the
+                // absence of damage).
+                assert!(records[6].killed >= N / 2, "{:?}", records[6]);
+                assert!(records[6].dead_link_fraction() >= 0.3, "{:?}", records[6]);
+                // Exponential decay: monotone-ish halving over recovery.
+                let mid = &records[15];
+                assert!(
+                    mid.dead_link_fraction() < records[6].dead_link_fraction() / 2.0,
+                    "decay too slow: {mid:?}"
+                );
+            }
+            "churn" => {
+                // Sustained 2%/period churn keeps dead links bounded.
+                for r in &records[6..] {
+                    assert!(
+                        r.dead_link_fraction() <= 0.2,
+                        "churn dead links unbounded: {r:?}"
+                    );
+                    assert!(r.component_fraction() >= 0.95, "{r:?}");
+                }
+            }
+            "flash-crowd" => {
+                // 100 joiners all integrated: population grew, everyone
+                // reaches a full view by the end.
+                assert_eq!(records.last().unwrap().live, N + 100);
+                assert_eq!(records[6].joined, 100);
+            }
+            "partition" => {
+                // Covered in detail below.
+            }
+            other => panic!("unknown schedule {other}"),
+        }
+    }
+}
+
+/// Partition/heal in detail: the loss matrix actually blocks traffic
+/// (dropped messages spike), a *short* partition leaves enough stale
+/// cross-group descriptors for the overlay to re-merge after healing, and
+/// the healed overlay recovers full quality.
+#[test]
+fn short_partition_blocks_traffic_then_remerges() {
+    let workload = Workload::parse("quiet:6,part:2x3,quiet:8", 9).unwrap();
+    let compiled = workload.compile(N);
+    let mut sim = event_sim(PolicyTriple::newscast(), 31, 2);
+
+    let records = run_workload(&mut sim, &compiled, C);
+    let report = sim.report();
+    assert!(
+        report.dropped_messages > (N as u64) / 2,
+        "partition never blocked traffic: {report:?}"
+    );
+    for r in &records[6..9] {
+        assert!(r.partitioned, "{r:?}");
+    }
+    let last = records.last().unwrap();
+    assert!(!last.partitioned);
+    assert_eq!(
+        last.largest_component, N,
+        "overlay failed to re-merge after a short partition: {last:?}"
+    );
+    assert!(last.full_fraction() >= 0.99, "{last:?}");
+    assert!(
+        (last.in_degree_mean - C as f64).abs() < 0.5,
+        "healed overlay should be converged: {last:?}"
+    );
+}
+
+/// A *long* partition is genuinely destructive under head view selection:
+/// cross-group descriptors age out, the live communication graph splits
+/// into the two groups, and healing the loss matrix cannot re-merge what
+/// no view remembers. This is the honest gossip result — partitions heal
+/// only if the partition is shorter than the views' memory.
+#[test]
+fn long_partition_splits_the_overlay() {
+    let workload = Workload::parse("quiet:6,part:2x20,quiet:6", 9).unwrap();
+    let compiled = workload.compile(N);
+    let mut sim = event_sim(PolicyTriple::newscast(), 13, 2);
+    let records = run_workload(&mut sim, &compiled, C);
+
+    // Hop-count freshness decays cross-group entries slowly (they only
+    // age on transfer), so the split takes a dozen-plus periods — but late
+    // in the partition no component spans both groups any more (and the
+    // marooned halves may fragment further as views collapse onto
+    // self-reinforcing subsets).
+    let during = &records[25];
+    assert!(during.partitioned);
+    assert!(
+        during.component_fraction() <= 0.55,
+        "cross-group links should have aged out: {during:?}"
+    );
+    // And the split survives the heal: no view remembers the other side.
+    let last = records.last().unwrap();
+    assert!(!last.partitioned);
+    assert!(
+        last.component_fraction() <= 0.55,
+        "nothing should re-introduce the groups: {last:?}"
+    );
+}

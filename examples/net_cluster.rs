@@ -1,20 +1,29 @@
 //! Loopback UDP cluster smoke: N nodes across K runtime threads, real
-//! sockets, real wire frames.
+//! sockets, real wire frames — optionally under membership dynamics.
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example net_cluster            # 256 nodes, 2 runtimes
 //! NET_NODES=1000 NET_RUNTIMES=4 cargo run --release --example net_cluster
+//!
+//! # Dynamics: catastrophic kill + sustained churn through the workload
+//! # scheduler (same schedule machinery the simulators run):
+//! NET_KILL_FRACTION=0.5 NET_CHURN=0.01 cargo run --release --example net_cluster
 //! ```
 //!
-//! Exits non-zero unless the overlay converges (≥ 99% of nodes reach full
-//! views) with **zero** codec errors — the CI loopback smoke gate.
+//! Without dynamics, exits non-zero unless the overlay converges (≥ 99%
+//! of nodes reach full views) with **zero** codec errors. With
+//! `NET_CHURN` / `NET_KILL_FRACTION` set, the gate becomes a *recovery*
+//! gate: by the final period the live overlay must be ≥ 95% full views,
+//! essentially one component (≥ 95%), with dead links decayed below 10%
+//! of view entries — still with zero codec errors. Both are CI gates.
 
 use std::process::ExitCode;
 
 use pss_core::{PolicyTriple, ProtocolConfig};
 use pss_net::cluster::{run, ClusterConfig};
+use pss_sim::workload::Workload;
 
 fn env_or(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -23,12 +32,47 @@ fn env_or(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn env_f64(name: &str) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
 fn main() -> ExitCode {
     let nodes = env_or("NET_NODES", 256) as usize;
     let runtimes = env_or("NET_RUNTIMES", 2) as usize;
     let periods = env_or("NET_PERIODS", 25);
     let view_size = env_or("NET_VIEW_SIZE", 20) as usize;
     let period_ms = env_or("NET_PERIOD_MS", 100);
+    // Dynamics knobs: a catastrophic kill fraction and/or a balanced
+    // per-period churn rate, compiled into a workload schedule.
+    let kill_fraction = env_f64("NET_KILL_FRACTION").clamp(0.0, 1.0);
+    let churn_rate = env_f64("NET_CHURN").max(0.0);
+    let dynamic = kill_fraction > 0.0 || churn_rate > 0.0;
+
+    // A workload's period count overrides NET_PERIODS: a third of the
+    // budget converges the overlay, the rest recovers, and both windows
+    // are floored at 5 periods (which can lengthen short budgets — report
+    // the real total).
+    let mut total_periods = periods;
+    let workload = dynamic.then(|| {
+        let quiet = (periods / 3).max(5);
+        let rest = periods.saturating_sub(quiet).max(5);
+        // The instantaneous kill merges into the first recovery period,
+        // so the schedule spans exactly quiet + rest periods.
+        total_periods = quiet + rest;
+        let mut w = Workload::new(20040601).quiet(quiet);
+        if kill_fraction > 0.0 {
+            w = w.catastrophe(kill_fraction);
+        }
+        if churn_rate > 0.0 {
+            w = w.churn(churn_rate, rest);
+        } else {
+            w = w.quiet(rest);
+        }
+        w
+    });
 
     let protocol = ProtocolConfig::new(PolicyTriple::newscast(), view_size).expect("valid c");
     let config = ClusterConfig {
@@ -40,10 +84,16 @@ fn main() -> ExitCode {
         periods,
         introducers: 3,
         seed: 20040601,
+        workload,
     };
     println!(
         "loopback cluster: {nodes} nodes / {runtimes} runtimes, c = {view_size}, \
-         {periods} periods of {period_ms} ms"
+         {total_periods} periods of {period_ms} ms{}",
+        if dynamic {
+            format!(" (kill {kill_fraction}, churn {churn_rate}/period)")
+        } else {
+            String::new()
+        }
     );
     let report = match run(&config) {
         Ok(report) => report,
@@ -53,13 +103,17 @@ fn main() -> ExitCode {
         }
     };
 
-    for p in &report.periods {
+    for r in &report.records {
         println!(
-            "period {:>3}: {:>5.1}% full views, in-degree {:>5.2} ± {:>5.2}",
-            p.period,
-            p.full_fraction() * 100.0,
-            p.in_degree_mean,
-            p.in_degree_sd
+            "period {:>3}: {:>4} live, {:>5.1}% full views, in-degree {:>5.2} ± {:>5.2}, \
+             {:>4.1}% dead links, {:>5.1}% in largest component",
+            r.period,
+            r.live,
+            r.full_fraction() * 100.0,
+            r.in_degree_mean,
+            r.in_degree_sd,
+            r.dead_link_fraction() * 100.0,
+            r.component_fraction() * 100.0,
         );
     }
     let stats = &report.stats;
@@ -76,22 +130,31 @@ fn main() -> ExitCode {
         stats.send_failures
     );
 
-    let last = report.periods.last().expect("at least one period");
-    let converged = last.full_fraction() >= 0.99;
+    let last = report.records.last().expect("at least one period");
     let clean = stats.decode_failures() == 0;
+    let healthy = if dynamic {
+        // Recovery gate: the overlay took real damage and must have healed.
+        last.full_fraction() >= 0.95
+            && last.component_fraction() >= 0.95
+            && last.dead_link_fraction() <= 0.10
+    } else {
+        last.full_fraction() >= 0.99
+    };
     match report.converged_at {
         Some(p) => println!("converged (≥99% full views) at period {p}"),
         None => println!("never reached 99% full views"),
     }
-    if converged && clean {
+    if healthy && clean {
         println!("OK");
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "FAILED: converged = {converged}, codec clean = {clean} \
-             ({}/{} full views, {} codec errors)",
+            "FAILED: healthy = {healthy}, codec clean = {clean} \
+             ({}/{} full views, {:.1}% dead links, {:.1}% largest component, {} codec errors)",
             last.full_views,
-            last.nodes,
+            last.live,
+            last.dead_link_fraction() * 100.0,
+            last.component_fraction() * 100.0,
             stats.decode_failures()
         );
         ExitCode::FAILURE

@@ -60,5 +60,5 @@ pub use pss_core::{
 };
 pub use pss_sim::{
     scenario, EventConfig, EventSimulation, ShardedEventSimulation, ShardedSimulation, Simulation,
-    Snapshot,
+    Snapshot, Workload,
 };
