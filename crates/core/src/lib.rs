@@ -62,6 +62,7 @@ mod node;
 mod policy;
 mod service;
 
+pub mod adversary;
 pub mod hs;
 pub mod staging;
 pub mod view;

@@ -144,6 +144,57 @@ proptest! {
         prop_assert!(out.is_empty());
     }
 
+    /// Fuzz-style mutation: XOR a handful of random bytes at random
+    /// offsets of a valid frame. Decoding must stay *total* — every
+    /// mutant either still parses (and then content reads are total too)
+    /// or is rejected with a typed [`DecodeError`]; nothing panics, and a
+    /// mutation set that cancels itself out must still round-trip.
+    #[test]
+    fn random_byte_mutations_never_panic_and_decode_stays_total(
+        content in view_content(12),
+        wants_reply in (0u8..2).prop_map(|b| b == 1),
+        is_request in (0u8..2).prop_map(|b| b == 1),
+        mutations in prop::collection::vec((0usize..4096, 1u16..256), 1..8),
+    ) {
+        let kind = if is_request { FrameKind::Request } else { FrameKind::Reply };
+        let original = encode_frame(kind, wants_reply, 1, 2, NetAddr::Virtual(9), &content);
+        let mut buf = original.clone();
+        for &(offset, xor) in &mutations {
+            let i = offset % buf.len();
+            buf[i] ^= xor as u8;
+        }
+        match wire::decode(&buf) {
+            Ok(frame) => {
+                let mut out = Vec::new();
+                let read = wire::read_descriptors(
+                    &frame,
+                    &mut out,
+                    &mut DecodeScratch::new(),
+                    |_, _| {},
+                );
+                if buf == original {
+                    // The XORs cancelled out: this is the valid frame and
+                    // the full round-trip must hold.
+                    prop_assert_eq!(frame.kind, kind);
+                    prop_assert_eq!(frame.count, content.len());
+                    prop_assert!(read.is_ok());
+                    let expect: Vec<NodeDescriptor> =
+                        content.iter().map(|&(d, _)| d).collect();
+                    prop_assert_eq!(out, expect);
+                } else if let Err(err) = read {
+                    // Mutants that survive the frame checks but carry
+                    // poisoned content fail with a typed error and leave
+                    // no partial output behind.
+                    let _: DecodeError = err;
+                    prop_assert!(out.is_empty(), "partial output after {err:?}");
+                }
+            }
+            // Rejected mutants carry a typed error — reaching here at all
+            // (rather than unwinding) is the property.
+            Err(err) => { let _: DecodeError = err; }
+        }
+    }
+
     #[test]
     fn corrupting_the_length_or_magic_is_rejected(
         content in view_content(10),

@@ -21,6 +21,7 @@
 //! | [`scaling`]  | extension      | sharded-engine throughput and overlay quality vs shard count |
 //! | [`net`]      | extension      | live loopback UDP cluster: wire codec + runtimes end to end |
 //! | [`workload`] | extension      | membership-dynamics schedules (churn, catastrophe, flash crowd, partition) cross-engine |
+//! | [`adversary`] | extension     | Byzantine attack metrics per honest policy, cross-engine |
 //!
 //! All experiments are deterministic given their seed and parallelize
 //! across protocols/runs with `std::thread::scope`.
@@ -28,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod apps;
 pub mod asynchrony;
 pub mod dynamics;

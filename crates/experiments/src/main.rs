@@ -23,6 +23,9 @@
 //!   workload membership-dynamics schedule on the cycle AND event engines
 //!            (--schedule "quiet:10,kill:0.5,churn:0.01x20"; grammar also
 //!            has flash:N and part:GxP — see pss_sim::workload)
+//!   adversary Byzantine attack sweep: one adv: schedule across the honest
+//!            policy corners (newscast, blind, H&S healer, H&S swapper)
+//!            on both engines (--schedule "adv:hub@0.02,quiet:30")
 //!   all      everything above, in order
 //!
 //! options:
@@ -45,8 +48,8 @@ use std::time::Instant;
 
 use pss_experiments::report::Table;
 use pss_experiments::{
-    apps, asynchrony, fig2, fig3, fig4, fig5, fig6, fig7, hs_ablation, net, policies, scaling,
-    table1, table2, workload, Scale,
+    adversary, apps, asynchrony, fig2, fig3, fig4, fig5, fig6, fig7, hs_ablation, net, policies,
+    scaling, table1, table2, workload, Scale,
 };
 
 /// Parsed command-line options.
@@ -334,10 +337,58 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 return Err("workload left an unhealthy overlay".into());
             }
         }
+        "adversary" => {
+            let mut adv_scale = scale;
+            // Four policy corners × two engines with full per-period
+            // audits: cap the population and say so.
+            adv_scale.nodes = adv_scale.nodes.min(10_000);
+            if adv_scale.nodes < scale.nodes {
+                eprintln!(
+                    "   note: adversary caps the population at {} nodes ({} requested)",
+                    adv_scale.nodes, scale.nodes
+                );
+            }
+            let mut config = adversary::AdversaryConfig::at_scale(adv_scale);
+            if let Some(schedule) = &opts.schedule {
+                config.schedule = schedule.clone();
+            }
+            if let Some(shards) = &opts.shards {
+                config.shards = shards[0];
+            }
+            config.workers = opts.workers;
+            let result = adversary::run(&config)?;
+            emit(opts, "adversary", &result.table(), None);
+            eprintln!(
+                "   {} nodes, schedule `{}`, {} shards: healthy = {}",
+                result.nodes,
+                config.schedule,
+                config.shards,
+                result.healthy()
+            );
+            if !result.healthy() {
+                return Err(
+                    "adversary sweep broke the honest overlay or the defense ordering".into(),
+                );
+            }
+        }
         "all" => {
             for c in [
-                "table1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "policies",
-                "async", "apps", "hs", "scaling", "net", "workload",
+                "table1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "table2",
+                "fig5",
+                "fig6",
+                "fig7",
+                "policies",
+                "async",
+                "apps",
+                "hs",
+                "scaling",
+                "net",
+                "workload",
+                "adversary",
             ] {
                 run_command(opts, c)?;
             }
@@ -372,7 +423,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: experiments \
-       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|net|workload|all>
+       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|net|workload|adversary|all>
        [--scale paper|small|tiny|million] [--nodes N] [--cycles N] [--view-size C]
        [--runs R] [--shards LIST] [--workers N] [--schedule S] [--seed S] [--out DIR]";
 

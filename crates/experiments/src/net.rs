@@ -136,6 +136,7 @@ pub fn run(config: &NetConfig) -> NetResult {
         introducers: config.introducers,
         seed: config.scale.seed,
         workload: None,
+        honest_policy: None,
     };
     let report = cluster::run(&cluster_config).expect("loopback sockets available");
     NetResult {

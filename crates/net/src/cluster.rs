@@ -32,9 +32,12 @@ use std::sync::mpsc;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
+use pss_core::adversary::AdversaryKind;
 use pss_core::wire::NetAddr;
-use pss_core::{NodeId, PeerSamplingNode, ProtocolConfig};
+use pss_core::{NodeId, ProtocolConfig};
+use pss_sim::audit::{audit_rows, role_factory, AttackRecord, HonestPolicy};
 use pss_sim::workload::{self, CompiledWorkload, Op, Partition, PeriodRecord, Workload};
+use pss_sim::BoxedNode;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -63,8 +66,16 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Optional membership-dynamics schedule. When set, it is compiled
     /// against `nodes` and **its period count overrides `periods`**; every
-    /// kill/join/partition op executes at the matching period boundary.
+    /// kill/join/partition op executes at the matching period boundary. A
+    /// schedule with an `adv:` placement deploys real attacker nodes (the
+    /// same even-spread ids as the simulators) and makes the report carry
+    /// per-period [`AttackRecord`]s.
     pub workload: Option<Workload>,
+    /// Honest-node policy override: when set, honest nodes run this policy
+    /// (e.g. an H&S healer/swapper corner) instead of `protocol`, and its
+    /// view size governs the full-view metric. Attackers always mimic the
+    /// skeleton at the same view size.
+    pub honest_policy: Option<HonestPolicy>,
 }
 
 impl ClusterConfig {
@@ -80,6 +91,7 @@ impl ClusterConfig {
             introducers: 3,
             seed: 20040601,
             workload: None,
+            honest_policy: None,
         }
     }
 }
@@ -119,6 +131,9 @@ pub struct ClusterReport {
     /// membership deltas) — the cross-stack comparable trajectory, from
     /// the same rows as [`ClusterReport::periods`].
     pub records: Vec<PeriodRecord>,
+    /// Per-period attack observables, from the same rows; empty unless the
+    /// workload placed adversaries.
+    pub attack_records: Vec<AttackRecord>,
     /// First period at which ≥ 99% of nodes had full views.
     pub converged_at: Option<u64>,
     /// Runtime statistics summed across all runtimes (final).
@@ -253,8 +268,25 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
         }
     }
 
+    // Mixed honest/adversarial population: the same role dispatch as the
+    // simulators' engine factories, shared across runtime threads.
+    let roles = compiled.as_ref().and_then(|c| c.adversary);
+    let policy = config
+        .honest_policy
+        .clone()
+        .unwrap_or_else(|| HonestPolicy::Sampling(config.protocol.clone()));
+    let build: Arc<dyn Fn(NodeId, u64) -> BoxedNode + Send + Sync> =
+        Arc::new(role_factory(policy.clone(), roles));
+    // Eclipse attackers address their victims directly, so their hosting
+    // runtime's book must resolve the victim ids up front.
+    let victim_intros: Vec<(NodeId, NetAddr)> = roles
+        .filter(|r| r.kind() == AdversaryKind::Eclipse)
+        .map(|r| r.victim_ids().map(|v| (v, addr_of(v.as_index()))).collect())
+        .unwrap_or_default();
+
     // Build the runtimes and their node populations.
-    let mut runtimes = Vec::with_capacity(config.runtimes);
+    let mut runtimes: Vec<NetRuntime<UdpTransport, BoxedNode>> =
+        Vec::with_capacity(config.runtimes);
     let mut boot_rng = SmallRng::seed_from_u64(config.seed ^ 0xb007_b007_b007_b007);
     for (r, transport) in transports.into_iter().enumerate() {
         let mut rt = NetRuntime::new(transport, net_config, mix(config.seed ^ (r as u64 + 1)))
@@ -263,11 +295,7 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
         for i in start..end {
             // The same (seed, id)-pure node seed workload joiners get, so
             // a node's RNG stream does not depend on when it joined.
-            let node = PeerSamplingNode::with_seed(
-                NodeId::new(i as u64),
-                config.protocol.clone(),
-                node_seed(config.seed, i as u64),
-            );
+            let node = build(NodeId::new(i as u64), node_seed(config.seed, i as u64));
             let mut introducers: Vec<(NodeId, NetAddr)> = Vec::new();
             if i > 0 {
                 // Tree parent first (guarantees a connected bootstrap
@@ -281,6 +309,9 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
                     }
                 }
             }
+            if roles.is_some_and(|r| r.is_attacker(NodeId::new(i as u64))) {
+                introducers.extend(victim_intros.iter().copied());
+            }
             rt.add_node(node, &introducers);
         }
         runtimes.push(rt);
@@ -293,8 +324,7 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
     let barrier = Arc::new(Barrier::new(config.runtimes));
     let (tx, rx) = mpsc::channel::<PeriodSnapshot>();
     let period_ms = config.period_ms;
-    let view_size = config.protocol.view_size();
-    let protocol = &config.protocol;
+    let view_size = policy.view_size();
     let seed = config.seed;
 
     std::thread::scope(|scope| {
@@ -303,6 +333,7 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
         {
             let tx = tx.clone();
             let barrier = Arc::clone(&barrier);
+            let build = Arc::clone(&build);
             scope.spawn(move || {
                 for p in 1..=periods {
                     // Membership events fire at the boundary, before the
@@ -317,11 +348,7 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
                                 debug_assert!(left, "leave of live node {id} was a no-op");
                             }
                             RtOp::Join { id, introducers } => {
-                                let node = PeerSamplingNode::with_seed(
-                                    id,
-                                    protocol.clone(),
-                                    node_seed(seed, id.as_u64()),
-                                );
+                                let node = build(id, node_seed(seed, id.as_u64()));
                                 rt.add_node(node, &introducers);
                             }
                             RtOp::SetPartition(partition) => rt.set_partition(partition),
@@ -361,6 +388,7 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
         // dead set can advance step by step.
         let mut period_stats: Vec<PeriodStats> = Vec::with_capacity(periods as usize);
         let mut records: Vec<PeriodRecord> = Vec::with_capacity(periods as usize);
+        let mut attack_records: Vec<AttackRecord> = Vec::new();
         let mut latest_stats: Vec<RuntimeStats> = vec![RuntimeStats::default(); config.runtimes];
         let mut pending: Vec<Vec<PeriodSnapshot>> = (0..periods).map(|_| Vec::new()).collect();
         let mut dead = vec![false; id_space];
@@ -400,6 +428,9 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
                 record.killed = killed;
                 record.joined = joined;
                 record.partitioned = partitioned;
+                if let Some(roles) = &roles {
+                    attack_records.push(audit_rows(roles, id_space, &rows, record.period));
+                }
                 period_stats.push(PeriodStats {
                     period: record.period,
                     full_views: record.full_views,
@@ -423,6 +454,7 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
         Ok(ClusterReport {
             periods: period_stats,
             records,
+            attack_records,
             converged_at,
             stats,
             elapsed,

@@ -132,6 +132,15 @@ pub struct RuntimeStats {
     pub send_failures: u64,
     /// Sends skipped because the address book had no entry.
     pub missing_address: u64,
+    /// Frame source addresses that tried to rebind an established address
+    /// book entry and were refused. A frame header may *introduce* an id's
+    /// address, never change it — otherwise one forged-src frame could
+    /// redirect an established peer's traffic to the forger.
+    pub addr_rebinds_rejected: u64,
+    /// Replies dropped because the sender did not match the destination of
+    /// the receiving node's pending exchange (forged, unsolicited, or
+    /// arriving after timeout/supersession).
+    pub forged_replies_rejected: u64,
     /// Frames suppressed by an installed partition loss matrix
     /// ([`NetRuntime::set_partition`]).
     pub partition_blocked: u64,
@@ -167,6 +176,8 @@ impl RuntimeStats {
         self.dead_deliveries += other.dead_deliveries;
         self.send_failures += other.send_failures;
         self.missing_address += other.missing_address;
+        self.addr_rebinds_rejected += other.addr_rebinds_rejected;
+        self.forged_replies_rejected += other.forged_replies_rejected;
         self.partition_blocked += other.partition_blocked;
         self.timers_fired += other.timers_fired;
         self.requests_in += other.requests_in;
@@ -212,6 +223,8 @@ pub struct NetRuntime<T: Transport, N: GossipNode = pss_core::PeerSamplingNode> 
     dead_deliveries: u64,
     send_failures: u64,
     missing_address: u64,
+    addr_rebinds_rejected: u64,
+    forged_replies_rejected: u64,
     partition_blocked: u64,
     timers_fired: u64,
     requests_in: u64,
@@ -249,6 +262,8 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             dead_deliveries: 0,
             send_failures: 0,
             missing_address: 0,
+            addr_rebinds_rejected: 0,
+            forged_replies_rejected: 0,
             partition_blocked: 0,
             timers_fired: 0,
             requests_in: 0,
@@ -387,6 +402,8 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             dead_deliveries: self.dead_deliveries,
             send_failures: self.send_failures,
             missing_address: self.missing_address,
+            addr_rebinds_rejected: self.addr_rebinds_rejected,
+            forged_replies_rejected: self.forged_replies_rejected,
             partition_blocked: self.partition_blocked,
             timers_fired: self.timers_fired,
             requests_in: self.requests_in,
@@ -432,8 +449,21 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                 return;
             }
         };
-        // Learn the sender's address — frames are the freshest source.
-        self.book.insert(frame.src.as_u64(), frame.src_addr);
+        // Learn the sender's address — but a frame header may only
+        // *introduce* an id, never rebind an established entry: a single
+        // forged-src frame must not redirect a known peer's traffic.
+        // Genuine address changes propagate through descriptor-carried
+        // addresses (gossip content, learned below).
+        match self.book.entry(frame.src.as_u64()) {
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert(frame.src_addr);
+            }
+            std::collections::hash_map::Entry::Occupied(existing) => {
+                if *existing.get() != frame.src_addr {
+                    self.addr_rebinds_rejected += 1;
+                }
+            }
+        }
         let Some(&slot_idx) = self.index.get(&frame.dst.as_u64()) else {
             self.unknown_destination += 1;
             return;
@@ -454,9 +484,9 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             staging::put_buffer(payload);
             return;
         }
-        slot.counters.msgs_in += 1;
         match frame.kind {
             FrameKind::Request => {
+                slot.counters.msgs_in += 1;
                 self.requests_in += 1;
                 let request = Request {
                     descriptors: payload,
@@ -469,13 +499,22 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                 }
             }
             FrameKind::Reply => {
-                self.replies_in += 1;
+                // Only the reply this node is actually waiting for is
+                // absorbed: anything else — forged, unsolicited, or
+                // arriving after timeout/supersession — is dropped, so an
+                // attacker cannot inject view content by blind-firing
+                // reply frames.
                 if slot
                     .pending_reply
-                    .is_some_and(|(peer, _)| peer == frame.src)
+                    .is_none_or(|(peer, _)| peer != frame.src)
                 {
-                    slot.pending_reply = None;
+                    self.forged_replies_rejected += 1;
+                    staging::put_buffer(payload);
+                    return;
                 }
+                slot.counters.msgs_in += 1;
+                self.replies_in += 1;
+                slot.pending_reply = None;
                 slot.node.handle_reply(
                     frame.src,
                     Reply {

@@ -13,7 +13,7 @@
 //! threads.
 
 use pss_core::wire::NetAddr;
-use pss_core::{NodeId, PeerSamplingNode, ProtocolConfig};
+use pss_core::{GossipNode, NodeId, PeerSamplingNode, ProtocolConfig};
 use pss_sim::workload::{Partition, WorkloadTarget};
 
 use crate::runtime::NetRuntime;
@@ -36,27 +36,51 @@ pub(crate) fn node_seed(seed: u64, id: u64) -> u64 {
 
 /// A single [`NetRuntime`] hosting the whole population, driven as a
 /// [`WorkloadTarget`]; see the [module docs](self).
-pub struct RuntimeWorkload<T: Transport> {
-    runtime: NetRuntime<T, PeerSamplingNode>,
-    protocol: ProtocolConfig,
+///
+/// The population is produced by a node builder `(id, node_seed) → N`, so
+/// mixed honest/adversarial populations (e.g.
+/// `pss_sim::audit::role_factory`) plug straight in via
+/// [`RuntimeWorkload::with_builder`]; [`RuntimeWorkload::new`] is the
+/// all-honest [`PeerSamplingNode`] special case.
+pub struct RuntimeWorkload<T: Transport, N: GossipNode = PeerSamplingNode> {
+    runtime: NetRuntime<T, N>,
+    builder: Box<dyn Fn(NodeId, u64) -> N + Send>,
     seed: u64,
 }
 
 impl<T: Transport> RuntimeWorkload<T> {
-    /// Wraps `runtime`, hosting `initial_nodes` nodes with ids
-    /// `0..initial_nodes` bootstrapped in the simulators' tree pattern
-    /// (node `i` is introduced to node `i / 2`). Node RNG seeds are
-    /// `(seed, id)`-pure.
+    /// Wraps `runtime`, hosting `initial_nodes` honest
+    /// [`PeerSamplingNode`]s with ids `0..initial_nodes` bootstrapped in
+    /// the simulators' tree pattern (node `i` is introduced to node
+    /// `i / 2`). Node RNG seeds are `(seed, id)`-pure.
     pub fn new(
-        mut runtime: NetRuntime<T, PeerSamplingNode>,
+        runtime: NetRuntime<T, PeerSamplingNode>,
         protocol: ProtocolConfig,
+        seed: u64,
+        initial_nodes: usize,
+    ) -> Self {
+        Self::with_builder(
+            runtime,
+            move |id, node_seed| PeerSamplingNode::with_seed(id, protocol.clone(), node_seed),
+            seed,
+            initial_nodes,
+        )
+    }
+}
+
+impl<T: Transport, N: GossipNode> RuntimeWorkload<T, N> {
+    /// Wraps `runtime`, hosting `initial_nodes` nodes built by `builder`
+    /// (tree-pattern bootstrap, `(seed, id)`-pure node seeds — identical
+    /// to [`RuntimeWorkload::new`] apart from the node construction).
+    pub fn with_builder(
+        mut runtime: NetRuntime<T, N>,
+        builder: impl Fn(NodeId, u64) -> N + Send + 'static,
         seed: u64,
         initial_nodes: usize,
     ) -> Self {
         let addr = runtime.local_addr();
         for i in 0..initial_nodes as u64 {
-            let node =
-                PeerSamplingNode::with_seed(NodeId::new(i), protocol.clone(), node_seed(seed, i));
+            let node = builder(NodeId::new(i), node_seed(seed, i));
             let introducers: Vec<(NodeId, NetAddr)> = if i == 0 {
                 Vec::new()
             } else {
@@ -66,35 +90,31 @@ impl<T: Transport> RuntimeWorkload<T> {
         }
         RuntimeWorkload {
             runtime,
-            protocol,
+            builder: Box::new(builder),
             seed,
         }
     }
 
     /// The wrapped runtime.
-    pub fn runtime(&self) -> &NetRuntime<T, PeerSamplingNode> {
+    pub fn runtime(&self) -> &NetRuntime<T, N> {
         &self.runtime
     }
 
     /// Mutable access to the wrapped runtime (e.g. to drive extra time or
     /// read counters mid-schedule).
-    pub fn runtime_mut(&mut self) -> &mut NetRuntime<T, PeerSamplingNode> {
+    pub fn runtime_mut(&mut self) -> &mut NetRuntime<T, N> {
         &mut self.runtime
     }
 }
 
-impl<T: Transport> WorkloadTarget for RuntimeWorkload<T> {
+impl<T: Transport, N: GossipNode> WorkloadTarget for RuntimeWorkload<T, N> {
     fn kill(&mut self, id: NodeId) -> bool {
         self.runtime.leave(id)
     }
 
     fn join(&mut self, id: NodeId, contacts: &[NodeId]) {
         let addr = self.runtime.local_addr();
-        let node = PeerSamplingNode::with_seed(
-            id,
-            self.protocol.clone(),
-            node_seed(self.seed, id.as_u64()),
-        );
+        let node = (self.builder)(id, node_seed(self.seed, id.as_u64()));
         let introducers: Vec<(NodeId, NetAddr)> = contacts.iter().map(|&c| (c, addr)).collect();
         self.runtime.add_node(node, &introducers);
     }

@@ -63,6 +63,7 @@ fn acceptance_schedule_agrees_between_event_engine_and_udp_cluster() {
         introducers: 3,
         seed: 20040601,
         workload: Some(workload),
+        honest_policy: None,
     };
     let report = cluster::run(&config).expect("cluster runs");
     let net_records = &report.records;

@@ -26,9 +26,11 @@
 //! bootstrap regimes — growing overlay, ring lattice, uniform random — and
 //! [`observe`] provides per-cycle recorders for the published metrics.
 //! [`workload`] declares seed-deterministic membership-dynamics schedules
-//! (churn, catastrophic failure, flash crowds, partition/heal) that compile
-//! to concrete per-period operations and run identically on every engine
-//! and on the deployed `pss-net` runtime.
+//! (churn, catastrophic failure, flash crowds, partition/heal, Byzantine
+//! adversary placement) that compile to concrete per-period operations and
+//! run identically on every engine and on the deployed `pss-net` runtime;
+//! [`audit`] layers attack observables (in-degree capture, victim
+//! isolation, chi-square randomness) on attacked runs.
 //!
 //! # Examples
 //!
@@ -59,6 +61,7 @@ mod population;
 mod shard;
 mod snapshot;
 
+pub mod audit;
 pub mod observe;
 pub mod scenario;
 pub mod workload;

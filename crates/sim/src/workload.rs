@@ -50,7 +50,16 @@
 //! kill:F           catastrophic kill of fraction F (instantaneous)
 //! flash:N          flash crowd: N simultaneous joins (instantaneous)
 //! part:GxP         partition into G groups for P periods, then heal
+//! adv:K@F          fraction F of the initial ids run attack K
+//!                  (hub | liar | forge); at most one adv item
+//! adv:eclipse@F>victims:N   eclipse attack against the N smallest
+//!                  honest ids
 //! ```
+//!
+//! Adversary placement is not a phase: it declares which initial ids are
+//! Byzantine ([`pss_core::adversary`]) for the whole run. Roles compile to
+//! a pure per-id assignment ([`AdversaryRoles`]), so the same ids attack on
+//! every engine and transport; late joiners are always honest.
 //!
 //! Example — the conformance suite's headline schedule, a converged-start
 //! catastrophe with churned recovery:
@@ -61,6 +70,7 @@
 
 use std::collections::HashSet;
 
+use pss_core::adversary::{AdversaryKind, AdversaryRoles, AdversarySpec};
 use pss_core::NodeId;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -169,6 +179,7 @@ pub struct Workload {
     seed: u64,
     contacts_per_join: usize,
     phases: Vec<PhaseSpec>,
+    adversary: Option<AdversarySpec>,
 }
 
 impl Workload {
@@ -178,6 +189,7 @@ impl Workload {
             seed,
             contacts_per_join: 3,
             phases: Vec::new(),
+            adversary: None,
         }
     }
 
@@ -246,6 +258,19 @@ impl Workload {
         let _ = Partition::new(groups); // validate
         self.phases.push(PhaseSpec::Partition { groups, periods });
         self
+    }
+
+    /// Declares an adversary placement: the spec's fraction of the initial
+    /// ids run the attack for the whole schedule. At most one placement;
+    /// a second call replaces the first.
+    pub fn adversary(mut self, spec: AdversarySpec) -> Self {
+        self.adversary = Some(spec);
+        self
+    }
+
+    /// The declared adversary placement, if any.
+    pub fn adversary_spec(&self) -> Option<&AdversarySpec> {
+        self.adversary.as_ref()
     }
 
     /// The phases in order.
@@ -320,6 +345,39 @@ impl Workload {
                     }
                     let periods = periods.parse().map_err(|_| bad("bad period count"))?;
                     workload = workload.partition(groups, periods);
+                }
+                "adv" => {
+                    let (kind, rest) = spec
+                        .split_once('@')
+                        .ok_or_else(|| bad("expected `adv:kind@fraction`"))?;
+                    let kind: AdversaryKind = kind.parse().map_err(|e| bad(&format!("{e}")))?;
+                    let (fraction, victims) = match rest.split_once('>') {
+                        Some((f, extra)) => {
+                            let victims = extra
+                                .strip_prefix("victims:")
+                                .ok_or_else(|| bad("expected `>victims:N`"))?;
+                            let victims: u64 =
+                                victims.parse().map_err(|_| bad("bad victim count"))?;
+                            (f, Some(victims))
+                        }
+                        None => (rest, None),
+                    };
+                    let fraction: f64 = fraction.parse().map_err(|_| bad("bad fraction"))?;
+                    let adversary = match (kind, victims) {
+                        (AdversaryKind::Eclipse, Some(victims)) => {
+                            AdversarySpec::eclipse(fraction, victims)
+                        }
+                        (AdversaryKind::Eclipse, None) => {
+                            return Err(bad("eclipse needs `>victims:N`"))
+                        }
+                        (_, Some(_)) => return Err(bad("only eclipse takes a victim set")),
+                        (kind, None) => AdversarySpec::new(kind, fraction),
+                    }
+                    .map_err(|e| bad(&format!("{e}")))?;
+                    if workload.adversary.is_some() {
+                        return Err(bad("at most one adv item per schedule"));
+                    }
+                    workload = workload.adversary(adversary);
                 }
                 other => return Err(bad(&format!("unknown phase kind `{other}`"))),
             }
@@ -432,6 +490,9 @@ impl Workload {
             initial_nodes,
             id_space: next_id as usize,
             steps,
+            adversary: self
+                .adversary
+                .map(|spec| AdversaryRoles::new(spec, initial_nodes as u64)),
         }
     }
 }
@@ -471,6 +532,8 @@ pub struct CompiledWorkload {
     pub id_space: usize,
     /// One step per gossip period.
     pub steps: Vec<Step>,
+    /// Per-id Byzantine role assignment, if the schedule declared one.
+    pub adversary: Option<AdversaryRoles>,
 }
 
 impl CompiledWorkload {
@@ -660,6 +723,26 @@ pub fn run_workload<T: WorkloadTarget>(
     compiled: &CompiledWorkload,
     view_size: usize,
 ) -> Vec<PeriodRecord> {
+    run_workload_observed(target, compiled, view_size, &mut |_, _, _| {})
+}
+
+/// The per-period observer hook of [`run_workload_observed`]: receives the
+/// 1-based period index, the sorted live view rows, and the liveness
+/// predicate.
+pub type PeriodObserver<'a> =
+    dyn FnMut(u64, &[(NodeId, Vec<NodeId>)], &dyn Fn(NodeId) -> bool) + 'a;
+
+/// [`run_workload`] with a per-period observer: after each period's
+/// snapshot, `observe` sees the 1-based period index, the sorted live view
+/// rows, and the liveness predicate. The overlay health auditor
+/// ([`crate::audit`]) taps attacked runs through this hook without touching
+/// the driver loop.
+pub fn run_workload_observed<T: WorkloadTarget>(
+    target: &mut T,
+    compiled: &CompiledWorkload,
+    view_size: usize,
+    observe: &mut PeriodObserver<'_>,
+) -> Vec<PeriodRecord> {
     let mut dead: HashSet<NodeId> = HashSet::new();
     let mut partitioned = false;
     let mut rows: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
@@ -701,6 +784,7 @@ pub fn run_workload<T: WorkloadTarget>(
         record.killed = killed;
         record.joined = joined;
         record.partitioned = partitioned;
+        observe(record.period, &rows, &|id| !dead.contains(&id));
         records.push(record);
     }
     records
@@ -756,6 +840,42 @@ mod tests {
     }
 
     #[test]
+    fn parse_compiles_adversary_roles() {
+        let parsed = Workload::parse("adv:hub@0.02,quiet:5", 7).unwrap();
+        assert_eq!(
+            parsed.adversary_spec(),
+            Some(&AdversarySpec::new(AdversaryKind::Hub, 0.02).unwrap())
+        );
+        let compiled = parsed.compile(200);
+        let roles = compiled.adversary.expect("adv compiles to roles");
+        assert_eq!(roles.kind(), AdversaryKind::Hub);
+        assert_eq!(roles.attacker_count(), 4);
+
+        let eclipse = Workload::parse("adv:eclipse@0.05>victims:8,quiet:3", 7).unwrap();
+        let roles = eclipse.compile(100).adversary.unwrap();
+        assert_eq!(roles.kind(), AdversaryKind::Eclipse);
+        assert_eq!(roles.victim_count(), 8);
+
+        // Identical schedules place identical roles regardless of phases.
+        let a = Workload::parse("adv:liar@0.1,quiet:1", 1)
+            .unwrap()
+            .compile(64);
+        let b = Workload::parse("adv:liar@0.1,churn:0.01x4", 1)
+            .unwrap()
+            .compile(64);
+        assert_eq!(a.adversary, b.adversary);
+
+        // Clean schedules compile no roles.
+        assert_eq!(
+            Workload::parse("quiet:2", 0).unwrap().compile(10).adversary,
+            None
+        );
+
+        // One placement per schedule.
+        assert!(Workload::parse("adv:hub@0.1,adv:liar@0.1", 0).is_err());
+    }
+
+    #[test]
     fn parse_rejects_malformed_items() {
         for bad in [
             "quiet",
@@ -768,6 +888,14 @@ mod tests {
             "part:1x5",
             "part:2",
             "bogus:1",
+            "adv:hub",
+            "adv:gremlin@0.1",
+            "adv:hub@0.9",
+            "adv:hub@x",
+            "adv:hub@0.1>victims:4",
+            "adv:eclipse@0.1",
+            "adv:eclipse@0.1>victims:x",
+            "adv:eclipse@0.1>foes:4",
         ] {
             let err = Workload::parse(bad, 0).unwrap_err();
             assert_eq!(err.item, bad.split_once(',').map_or(bad, |(a, _)| a));

@@ -1,0 +1,219 @@
+//! Chi-square goodness-of-fit testing, dependency-free.
+//!
+//! The PeerSwap-style randomness audit of the adversarial evaluation suite
+//! tests whether an observer's peer-sample stream is consistent with
+//! uniform sampling: under a clean run the per-peer sample counts are
+//! multinomial-uniform and the Pearson statistic follows a chi-square
+//! distribution; under a hub attack the attacker ids soak up the stream
+//! and the statistic explodes.
+//!
+//! The p-value comes from the regularized incomplete gamma function
+//! `Q(df/2, x/2)` computed with the classic series / continued-fraction
+//! pair (Numerical Recipes §6.2) — no external math crates.
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The Pearson statistic `Σ (observed − expected)² / expected`.
+    pub statistic: f64,
+    /// Degrees of freedom (bins − 1).
+    pub df: usize,
+    /// Upper-tail probability of the statistic under H₀.
+    pub p_value: f64,
+}
+
+impl ChiSquare {
+    /// Whether the data is consistent with the null hypothesis at
+    /// significance level `alpha` (i.e. the test does *not* reject).
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Pearson chi-square test of `observed` counts against `expected` counts.
+/// Returns `None` for fewer than two bins, a non-positive expected bin, or
+/// mismatched lengths.
+pub fn chi_square(observed: &[u64], expected: &[f64]) -> Option<ChiSquare> {
+    if observed.len() != expected.len() || observed.len() < 2 {
+        return None;
+    }
+    if expected.iter().any(|&e| !e.is_finite() || e <= 0.0) {
+        return None;
+    }
+    let statistic = observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            let diff = o as f64 - e;
+            diff * diff / e
+        })
+        .sum();
+    let df = observed.len() - 1;
+    Some(ChiSquare {
+        statistic,
+        df,
+        p_value: chi_square_sf(statistic, df as f64),
+    })
+}
+
+/// Chi-square test of `counts` against the uniform distribution over its
+/// bins. Returns `None` for fewer than two bins or an all-zero stream.
+pub fn chi_square_uniform(counts: &[u64]) -> Option<ChiSquare> {
+    let total: u64 = counts.iter().sum();
+    if counts.len() < 2 || total == 0 {
+        return None;
+    }
+    let expected = total as f64 / counts.len() as f64;
+    chi_square(counts, &vec![expected; counts.len()])
+}
+
+/// Survival function of the chi-square distribution: `P(X > x)` with `df`
+/// degrees of freedom, i.e. `Q(df/2, x/2)`.
+pub fn chi_square_sf(x: f64, df: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(df / 2.0, x / 2.0)
+}
+
+/// `ln Γ(x)` for `x > 0` (Lanczos approximation, |ε| < 2e-10).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut series = 1.000_000_000_190_015;
+    for c in COEFFS {
+        y += 1.0;
+        series += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * series / x).ln()
+}
+
+const MAX_ITERATIONS: usize = 500;
+const EPSILON: f64 = 3.0e-12;
+
+/// Regularized lower incomplete gamma `P(a, x)` by series expansion
+/// (converges fast for `x < a + 1`).
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut delta = sum;
+    for _ in 0..MAX_ITERATIONS {
+        ap += 1.0;
+        delta *= x / ap;
+        sum += delta;
+        if delta.abs() < sum.abs() * EPSILON {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)` by Lentz continued
+/// fraction (converges fast for `x ≥ a + 1`).
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1.0e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITERATIONS {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPSILON {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+fn gamma_q(a: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && x >= 0.0);
+    let q = if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_continued_fraction(a, x)
+    };
+    q.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_matches_critical_values() {
+        // Textbook (df, critical value at α = 0.05) pairs.
+        for (df, crit) in [(1.0, 3.841), (2.0, 5.991), (5.0, 11.070), (10.0, 18.307)] {
+            let p = chi_square_sf(crit, df);
+            assert!((p - 0.05).abs() < 1e-3, "df={df}: p={p}");
+        }
+        // And at α = 0.01.
+        for (df, crit) in [(1.0, 6.635), (4.0, 13.277), (9.0, 21.666)] {
+            let p = chi_square_sf(crit, df);
+            assert!((p - 0.01).abs() < 1e-3, "df={df}: p={p}");
+        }
+        assert_eq!(chi_square_sf(0.0, 3.0), 1.0);
+        assert!(chi_square_sf(1e4, 3.0) < 1e-12);
+        // Median of chi-square(2) is 2·ln 2.
+        let p = chi_square_sf(2.0 * std::f64::consts::LN_2, 2.0);
+        assert!((p - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_counts_pass_and_skewed_counts_fail() {
+        let balanced = ChiSquare {
+            ..chi_square_uniform(&[10, 11, 9, 10, 10]).unwrap()
+        };
+        assert!(balanced.passes(0.05), "{balanced:?}");
+        assert!(balanced.statistic < 1.0);
+
+        let skewed = chi_square_uniform(&[100, 1, 2, 1, 0]).unwrap();
+        assert!(!skewed.passes(0.01), "{skewed:?}");
+        assert_eq!(skewed.df, 4);
+    }
+
+    #[test]
+    fn exact_uniform_has_zero_statistic_and_p_one() {
+        let t = chi_square_uniform(&[7, 7, 7, 7]).unwrap();
+        assert_eq!(t.statistic, 0.0);
+        assert!((t.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert_eq!(chi_square_uniform(&[5]), None);
+        assert_eq!(chi_square_uniform(&[0, 0, 0]), None);
+        assert_eq!(chi_square(&[1, 2], &[1.0]), None);
+        assert_eq!(chi_square(&[1, 2], &[1.0, 0.0]), None);
+    }
+
+    #[test]
+    fn against_known_pearson_example() {
+        // Classic die-fairness example: 60 rolls, observed
+        // [5, 8, 9, 8, 10, 20] → χ² = 13.4, df = 5, p ≈ 0.0199.
+        let t = chi_square_uniform(&[5, 8, 9, 8, 10, 20]).unwrap();
+        assert!((t.statistic - 13.4).abs() < 1e-9, "{t:?}");
+        assert!((t.p_value - 0.0199).abs() < 5e-4, "{t:?}");
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`Histogram`] and [`LogHistogram`] — linear and logarithmic binning for
 //!   the degree distributions of Figure 4.
 //! * [`CountDistribution`] — exact integer frequency counts.
+//! * [`chi_square_uniform`] — Pearson goodness-of-fit against uniform, the
+//!   PeerSwap-style randomness audit of the adversarial suite.
 //! * [`TimeSeries`] — a cycle-indexed recorder for per-cycle metrics.
 //! * [`quantile`] — quantile estimation on sorted data.
 //!
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod autocorr;
+mod chi2;
 mod distribution;
 mod histogram;
 mod quantiles;
@@ -36,6 +39,7 @@ mod series;
 mod summary;
 
 pub use autocorr::{autocorrelation, autocorrelation_at, white_noise_band, Autocorrelation};
+pub use chi2::{chi_square, chi_square_sf, chi_square_uniform, ChiSquare};
 pub use distribution::CountDistribution;
 pub use histogram::{Histogram, HistogramError, LogHistogram};
 pub use quantiles::{median, quantile, QuantileError};

@@ -85,6 +85,7 @@ fn main() -> ExitCode {
         introducers: 3,
         seed: 20040601,
         workload,
+        honest_policy: None,
     };
     println!(
         "loopback cluster: {nodes} nodes / {runtimes} runtimes, c = {view_size}, \
