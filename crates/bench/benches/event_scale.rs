@@ -19,6 +19,13 @@
 //! `BENCH_EVENT_NODES=20000`. On a single-core host the sweep
 //! measures pure sharding overhead (workers collapse to 1); >1 speedups
 //! appear on multi-core hardware.
+//!
+//! Set `BENCH_WORKERS=1,2,4` to sweep the **worker-pool width** instead:
+//! a fixed 4-shard overlay rerun at each pool width (ids
+//! `event_scale/newscast-workers/{w}`), isolating the persistent pool's
+//! parallel speedup from sharding overhead. The CI `perf-smoke` job
+//! records this sweep as `BENCH_multicore.json`; optionally set
+//! `PSS_PIN_WORKERS=1` to pin pool threads to cores.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pss_core::PolicyTriple;
@@ -38,6 +45,33 @@ fn bench_event_cycles(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(n as u64 * periods));
     let config = scale.protocol(PolicyTriple::newscast());
+    let worker_sweep: Option<Vec<usize>> = std::env::var("BENCH_WORKERS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|w| w.trim().parse().ok()).collect());
+    if let Some(worker_counts) = worker_sweep {
+        // Pool-width sweep: one fixed 4-shard overlay, re-run at each
+        // worker count (`set_workers` rebuilds the persistent pool), so
+        // the only variable is how many pool threads share the shards.
+        let shards = 4;
+        let mut sim = scenario::event_random_overlay_sharded(&config, event, n, scale.seed, shards)
+            .expect("default event config is valid");
+        sim.run_for(2 * event.period);
+        for workers in worker_counts {
+            sim.set_workers(workers);
+            group.bench_with_input(
+                BenchmarkId::new("newscast-workers", workers),
+                &workers,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        sim.run_for(periods * event.period);
+                        black_box(sim.now())
+                    });
+                },
+            );
+        }
+        group.finish();
+        return;
+    }
     for shards in [1usize, 2, 4] {
         // Warm a converged overlay once per shard count; each iteration
         // advances it further (steady-state gossip, not bootstrap).

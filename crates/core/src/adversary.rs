@@ -35,6 +35,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::policy::ViewSelection;
+use crate::staging::Arena;
 use crate::{
     Exchange, GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, ProtocolConfig, Reply, Request,
     View,
@@ -334,10 +335,15 @@ impl AdversaryRoles {
 }
 
 /// Builds a forged wire buffer: `own` (if any) followed by colluders, all
-/// at age 0, capped at `cap` entries. Uses the staging pool like honest
-/// senders do.
-fn forged_buffer(own: Option<NodeId>, colluders: &[NodeId], cap: usize) -> Vec<NodeDescriptor> {
-    let mut buffer = crate::staging::take_buffer();
+/// at age 0, capped at `cap` entries. Uses the driver's recycled message
+/// pool like honest senders do.
+fn forged_buffer(
+    arena: &mut Arena,
+    own: Option<NodeId>,
+    colluders: &[NodeId],
+    cap: usize,
+) -> Vec<NodeDescriptor> {
+    let mut buffer = arena.take_buffer();
     if let Some(id) = own {
         buffer.push(NodeDescriptor::fresh(id));
     }
@@ -428,19 +434,28 @@ impl GossipNode for HubAttacker {
             .learn(self.id, &self.colluders, &seeds, &mut self.rng);
     }
 
-    fn initiate_filtered(&mut self, eligible: &mut dyn FnMut(NodeId) -> bool) -> Option<Exchange> {
+    fn initiate_filtered(
+        &mut self,
+        arena: &mut Arena,
+        eligible: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<Exchange> {
         let peer = self.targets.view.sample_filtered(&mut self.rng, eligible)?;
         Some(Exchange {
             peer,
             request: Request {
-                descriptors: forged_buffer(Some(self.id), &self.colluders, self.view_size),
+                descriptors: forged_buffer(arena, Some(self.id), &self.colluders, self.view_size),
                 // Pull back the victim's view: free target reconnaissance.
                 wants_reply: true,
             },
         })
     }
 
-    fn handle_request(&mut self, from: NodeId, request: Request) -> Option<Reply> {
+    fn handle_request(
+        &mut self,
+        arena: &mut Arena,
+        from: NodeId,
+        request: Request,
+    ) -> Option<Reply> {
         let wants_reply = request.wants_reply;
         self.targets.learn(
             self.id,
@@ -451,16 +466,16 @@ impl GossipNode for HubAttacker {
         if from != self.id && !self.colluders.contains(&from) {
             self.targets.view.insert(NodeDescriptor::fresh(from));
         }
-        crate::staging::put_buffer(request.descriptors);
+        arena.put_buffer(request.descriptors);
         wants_reply.then(|| Reply {
-            descriptors: forged_buffer(Some(self.id), &self.colluders, self.view_size),
+            descriptors: forged_buffer(arena, Some(self.id), &self.colluders, self.view_size),
         })
     }
 
-    fn handle_reply(&mut self, _from: NodeId, reply: Reply) {
+    fn handle_reply(&mut self, arena: &mut Arena, _from: NodeId, reply: Reply) {
         self.targets
             .learn(self.id, &self.colluders, &reply.descriptors, &mut self.rng);
-        crate::staging::put_buffer(reply.descriptors);
+        arena.put_buffer(reply.descriptors);
     }
 }
 
@@ -501,20 +516,29 @@ impl GossipNode for AgeLiar {
         GossipNode::init(&mut self.inner, seeds)
     }
 
-    fn initiate_filtered(&mut self, eligible: &mut dyn FnMut(NodeId) -> bool) -> Option<Exchange> {
-        let mut exchange = self.inner.initiate_filtered(eligible)?;
+    fn initiate_filtered(
+        &mut self,
+        arena: &mut Arena,
+        eligible: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<Exchange> {
+        let mut exchange = self.inner.initiate_filtered(arena, eligible)?;
         zero_ages(&mut exchange.request.descriptors);
         Some(exchange)
     }
 
-    fn handle_request(&mut self, from: NodeId, request: Request) -> Option<Reply> {
-        let mut reply = self.inner.handle_request(from, request)?;
+    fn handle_request(
+        &mut self,
+        arena: &mut Arena,
+        from: NodeId,
+        request: Request,
+    ) -> Option<Reply> {
+        let mut reply = self.inner.handle_request(arena, from, request)?;
         zero_ages(&mut reply.descriptors);
         Some(reply)
     }
 
-    fn handle_reply(&mut self, from: NodeId, reply: Reply) {
-        self.inner.handle_reply(from, reply)
+    fn handle_reply(&mut self, arena: &mut Arena, from: NodeId, reply: Reply) {
+        self.inner.handle_reply(arena, from, reply)
     }
 }
 
@@ -553,22 +577,31 @@ impl GossipNode for ReplyForger {
         GossipNode::init(&mut self.inner, seeds)
     }
 
-    fn initiate_filtered(&mut self, eligible: &mut dyn FnMut(NodeId) -> bool) -> Option<Exchange> {
-        self.inner.initiate_filtered(eligible)
+    fn initiate_filtered(
+        &mut self,
+        arena: &mut Arena,
+        eligible: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<Exchange> {
+        self.inner.initiate_filtered(arena, eligible)
     }
 
-    fn handle_request(&mut self, from: NodeId, request: Request) -> Option<Reply> {
+    fn handle_request(
+        &mut self,
+        arena: &mut Arena,
+        from: NodeId,
+        request: Request,
+    ) -> Option<Reply> {
         // Absorb honestly (the inner node stays embedded), then swap the
         // real reply for the forgery.
-        let real = self.inner.handle_request(from, request)?;
-        crate::staging::put_buffer(real.descriptors);
+        let real = self.inner.handle_request(arena, from, request)?;
+        arena.put_buffer(real.descriptors);
         Some(Reply {
-            descriptors: forged_buffer(Some(self.id()), &self.colluders, self.view_size),
+            descriptors: forged_buffer(arena, Some(self.id()), &self.colluders, self.view_size),
         })
     }
 
-    fn handle_reply(&mut self, from: NodeId, reply: Reply) {
-        self.inner.handle_reply(from, reply)
+    fn handle_reply(&mut self, arena: &mut Arena, from: NodeId, reply: Reply) {
+        self.inner.handle_reply(arena, from, reply)
     }
 }
 
@@ -642,8 +675,8 @@ impl EclipseAttacker {
 
     /// A plausible reply for a non-victim: learned honest descriptors, ages
     /// intact, no colluders, no self-promotion.
-    fn decoy_buffer(&self) -> Vec<NodeDescriptor> {
-        let mut buffer = crate::staging::take_buffer();
+    fn decoy_buffer(&self, arena: &mut Arena) -> Vec<NodeDescriptor> {
+        let mut buffer = arena.take_buffer();
         buffer.extend(self.decoys.descriptors().iter().take(self.view_size));
         buffer
     }
@@ -664,7 +697,11 @@ impl GossipNode for EclipseAttacker {
         self.learn_decoys(&seeds);
     }
 
-    fn initiate_filtered(&mut self, eligible: &mut dyn FnMut(NodeId) -> bool) -> Option<Exchange> {
+    fn initiate_filtered(
+        &mut self,
+        arena: &mut Arena,
+        eligible: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<Exchange> {
         let len = self.victims.len();
         for step in 0..len {
             let victim = self.victims[(self.cursor + step) % len];
@@ -673,7 +710,12 @@ impl GossipNode for EclipseAttacker {
                 return Some(Exchange {
                     peer: victim,
                     request: Request {
-                        descriptors: forged_buffer(Some(self.id), &self.colluders, self.view_size),
+                        descriptors: forged_buffer(
+                            arena,
+                            Some(self.id),
+                            &self.colluders,
+                            self.view_size,
+                        ),
                         // Pure push: saturate, don't converse.
                         wants_reply: false,
                     },
@@ -683,22 +725,27 @@ impl GossipNode for EclipseAttacker {
         None
     }
 
-    fn handle_request(&mut self, from: NodeId, request: Request) -> Option<Reply> {
+    fn handle_request(
+        &mut self,
+        arena: &mut Arena,
+        from: NodeId,
+        request: Request,
+    ) -> Option<Reply> {
         let wants_reply = request.wants_reply;
         self.learn_decoys(&request.descriptors);
-        crate::staging::put_buffer(request.descriptors);
+        arena.put_buffer(request.descriptors);
         wants_reply.then(|| Reply {
             descriptors: if self.victims.contains(&from) {
-                forged_buffer(Some(self.id), &self.colluders, self.view_size)
+                forged_buffer(arena, Some(self.id), &self.colluders, self.view_size)
             } else {
-                self.decoy_buffer()
+                self.decoy_buffer(arena)
             },
         })
     }
 
-    fn handle_reply(&mut self, _from: NodeId, reply: Reply) {
+    fn handle_reply(&mut self, arena: &mut Arena, _from: NodeId, reply: Reply) {
         self.learn_decoys(&reply.descriptors);
-        crate::staging::put_buffer(reply.descriptors);
+        arena.put_buffer(reply.descriptors);
     }
 }
 
@@ -810,7 +857,8 @@ mod tests {
             &mut hub,
             &mut [NodeDescriptor::new(NodeId::new(3), 4)].into_iter(),
         );
-        let exchange = hub.initiate().expect("has a target");
+        let mut arena = Arena::new();
+        let exchange = hub.initiate(&mut arena).expect("has a target");
         assert_eq!(exchange.peer, NodeId::new(3));
         assert!(exchange.request.wants_reply);
         let ids: Vec<NodeId> = exchange
@@ -830,6 +878,7 @@ mod tests {
         // the requester as a target.
         let reply = hub
             .handle_request(
+                &mut arena,
                 NodeId::new(9),
                 Request {
                     descriptors: vec![NodeDescriptor::new(NodeId::new(9), 1)],
@@ -854,7 +903,8 @@ mod tests {
             ]
             .into_iter(),
         );
-        let exchange = liar.initiate().expect("non-empty view");
+        let mut arena = Arena::new();
+        let exchange = liar.initiate(&mut arena).expect("non-empty view");
         assert!(exchange
             .request
             .descriptors
@@ -862,6 +912,7 @@ mod tests {
             .all(|d| d.hop_count() == 0));
         let reply = liar
             .handle_request(
+                &mut arena,
                 NodeId::new(2),
                 Request {
                     descriptors: vec![NodeDescriptor::fresh(NodeId::new(2))],
@@ -880,8 +931,10 @@ mod tests {
             &mut forger,
             &mut [NodeDescriptor::new(NodeId::new(5), 2)].into_iter(),
         );
+        let mut arena = Arena::new();
         let reply = forger
             .handle_request(
+                &mut arena,
                 NodeId::new(5),
                 Request {
                     descriptors: vec![NodeDescriptor::fresh(NodeId::new(5))],
@@ -905,8 +958,9 @@ mod tests {
             8,
             7,
         );
-        let first = attacker.initiate().expect("victims configured");
-        let second = attacker.initiate().expect("victims configured");
+        let mut arena = Arena::new();
+        let first = attacker.initiate(&mut arena).expect("victims configured");
+        let second = attacker.initiate(&mut arena).expect("victims configured");
         assert_ne!(first.peer, second.peer);
         assert!(victims.contains(&first.peer) && victims.contains(&second.peer));
         assert!(!first.request.wants_reply);
@@ -914,11 +968,13 @@ mod tests {
 
         // Dead victims are skipped.
         let third = attacker
-            .initiate_filtered(&mut |id| id != NodeId::new(3))
+            .initiate_filtered(&mut arena, &mut |id| id != NodeId::new(3))
             .expect("two victims still alive");
         assert_ne!(third.peer, NodeId::new(3));
         // All victims dead: no exchange.
-        assert!(attacker.initiate_filtered(&mut |_| false).is_none());
+        assert!(attacker
+            .initiate_filtered(&mut arena, &mut |_| false)
+            .is_none());
     }
 
     #[test]
@@ -939,8 +995,9 @@ mod tests {
         };
         // A non-victim pull gets decoys only: learned honest ids, original
         // ages, no attacker or victim ids.
+        let mut arena = Arena::new();
         let reply = attacker
-            .handle_request(NodeId::new(5), request)
+            .handle_request(&mut arena, NodeId::new(5), request)
             .expect("pull answered");
         assert_eq!(reply.descriptors.len(), 1);
         assert_eq!(reply.descriptors[0].id(), NodeId::new(5));
@@ -952,7 +1009,7 @@ mod tests {
             wants_reply: true,
         };
         let forged = attacker
-            .handle_request(NodeId::new(1), victim_pull)
+            .handle_request(&mut arena, NodeId::new(1), victim_pull)
             .expect("pull answered");
         assert!(forged.descriptors.iter().all(|d| d.hop_count() == 0));
         assert!(forged.descriptors.iter().all(|d| d.id() == NodeId::new(10)

@@ -29,6 +29,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::staging::Arena;
 use crate::{Exchange, GossipNode, NodeDescriptor, NodeId, Reply, Request, View};
 
 /// Peer selection for the H&S protocol: TOCS 2007 considers uniform random
@@ -177,7 +178,7 @@ impl HsNode {
     /// Builds the outgoing buffer: own fresh descriptor plus up to
     /// `c/2 − 1` random view entries, preferring entries that are not among
     /// the `H` oldest. Records what was sent for the swapper step.
-    fn build_buffer(&mut self) -> Vec<NodeDescriptor> {
+    fn build_buffer(&mut self, arena: &mut Arena) -> Vec<NodeDescriptor> {
         let want = self.config.buffer_size().saturating_sub(1);
         let len = self.view.len();
         // The H oldest entries sit at the tail of the age-ordered view.
@@ -192,7 +193,7 @@ impl HsNode {
             chosen.extend(old.into_iter().take(want - chosen.len()));
         }
         self.sent = chosen.iter().map(|d| d.id()).collect();
-        let mut buffer = crate::staging::with_arena(|arena| arena.pool_take());
+        let mut buffer = arena.pool_take();
         buffer.reserve(chosen.len() + 1);
         buffer.push(NodeDescriptor::fresh(self.id));
         buffer.extend(chosen);
@@ -200,16 +201,14 @@ impl HsNode {
     }
 
     /// The TOCS 2007 `view.select(c, H, S, buffer)` step.
-    fn select(&mut self, received: Vec<NodeDescriptor>) {
-        crate::staging::with_arena(|arena| {
-            arena
-                .rx_view
-                .assign_aged(received.iter().copied(), 1, &mut arena.scratch);
-            self.view
-                .merge_from(&arena.rx_view, Some(self.id), &mut arena.scratch);
-            // Recycle the spent wire buffer for future outgoing messages.
-            arena.pool_put(received);
-        });
+    fn select(&mut self, arena: &mut Arena, received: Vec<NodeDescriptor>) {
+        arena
+            .rx_view
+            .assign_aged(received.iter().copied(), 1, &mut arena.scratch);
+        self.view
+            .merge_from(&arena.rx_view, Some(self.id), &mut arena.scratch);
+        // Recycle the spent wire buffer for future outgoing messages.
+        arena.pool_put(received);
         let merged = &mut self.view;
         let c = self.config.view_size();
 
@@ -266,7 +265,11 @@ impl GossipNode for HsNode {
         }
     }
 
-    fn initiate_filtered(&mut self, eligible: &mut dyn FnMut(NodeId) -> bool) -> Option<Exchange> {
+    fn initiate_filtered(
+        &mut self,
+        arena: &mut Arena,
+        eligible: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<Exchange> {
         // Ages advance once per own cycle, whether or not the exchange
         // succeeds — they count cycles, not hops, in the H&S protocol.
         self.view.increase_hop_counts();
@@ -282,7 +285,7 @@ impl GossipNode for HsNode {
                 last
             }
         }?;
-        let descriptors = self.build_buffer();
+        let descriptors = self.build_buffer(arena);
         Some(Exchange {
             peer,
             request: Request {
@@ -292,16 +295,21 @@ impl GossipNode for HsNode {
         })
     }
 
-    fn handle_request(&mut self, _from: NodeId, request: Request) -> Option<Reply> {
+    fn handle_request(
+        &mut self,
+        arena: &mut Arena,
+        _from: NodeId,
+        request: Request,
+    ) -> Option<Reply> {
         let reply = Reply {
-            descriptors: self.build_buffer(),
+            descriptors: self.build_buffer(arena),
         };
-        self.select(request.descriptors);
+        self.select(arena, request.descriptors);
         Some(reply)
     }
 
-    fn handle_reply(&mut self, _from: NodeId, reply: Reply) {
-        self.select(reply.descriptors);
+    fn handle_reply(&mut self, arena: &mut Arena, _from: NodeId, reply: Reply) {
+        self.select(arena, reply.descriptors);
     }
 }
 
@@ -354,8 +362,9 @@ mod tests {
 
     #[test]
     fn buffer_has_own_fresh_descriptor_first() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, config(10, 1, 1), &[(1, 1), (2, 2), (3, 3)]);
-        let ex = n.initiate().unwrap();
+        let ex = n.initiate(&mut arena).unwrap();
         assert_eq!(
             ex.request.descriptors[0],
             NodeDescriptor::fresh(NodeId::new(0))
@@ -367,33 +376,37 @@ mod tests {
 
     #[test]
     fn initiate_ages_view() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, config(10, 1, 1), &[(1, 1)]);
-        let _ = n.initiate().unwrap();
+        let _ = n.initiate(&mut arena).unwrap();
         assert_eq!(n.view().hop_count_of(NodeId::new(1)), Some(2));
     }
 
     #[test]
     fn initiate_on_empty_view_is_none() {
+        let mut arena = Arena::new();
         let mut n = HsNode::with_seed(NodeId::new(0), config(10, 1, 1), 3);
-        assert!(n.initiate().is_none());
+        assert!(n.initiate(&mut arena).is_none());
     }
 
     #[test]
     fn oldest_peer_selection() {
+        let mut arena = Arena::new();
         let cfg = HsConfig::new(10, 1, 1, HsPeerSelection::Oldest).unwrap();
         let mut n = seeded(0, cfg, &[(1, 5), (2, 9), (3, 1)]);
-        let ex = n.initiate().unwrap();
+        let ex = n.initiate(&mut arena).unwrap();
         assert_eq!(ex.peer, NodeId::new(2));
     }
 
     #[test]
     fn exchange_keeps_views_within_capacity() {
+        let mut arena = Arena::new();
         let cfg = config(6, 1, 1);
         let mut a = seeded(0, cfg, &[(1, 1), (2, 2), (3, 3), (4, 4), (5, 5), (6, 6)]);
         let mut b = seeded(1, cfg, &[(0, 1), (7, 2), (8, 3), (9, 4), (10, 5), (11, 6)]);
-        let ex = a.initiate().unwrap();
-        let reply = b.handle_request(a.id(), ex.request).unwrap();
-        a.handle_reply(b.id(), reply);
+        let ex = a.initiate(&mut arena).unwrap();
+        let reply = b.handle_request(&mut arena, a.id(), ex.request).unwrap();
+        a.handle_reply(&mut arena, b.id(), reply);
         assert!(a.view().len() <= 6);
         assert!(b.view().len() <= 6);
         assert!(a.view().invariants_hold());
@@ -402,11 +415,13 @@ mod tests {
 
     #[test]
     fn healer_removes_oldest_on_surplus() {
+        let mut arena = Arena::new();
         // View at capacity with one ancient entry; merging new content must
         // push the ancient entry out when H >= 1.
         let cfg = config(4, 2, 0);
         let mut n = seeded(0, cfg, &[(1, 100), (2, 1), (3, 1), (4, 1)]);
         n.handle_reply(
+            &mut arena,
             NodeId::new(2),
             Reply {
                 descriptors: vec![
@@ -425,11 +440,13 @@ mod tests {
 
     #[test]
     fn swapper_removes_sent_entries_on_surplus() {
+        let mut arena = Arena::new();
         let cfg = config(4, 0, 2);
         let mut n = seeded(0, cfg, &[(1, 1), (2, 2), (3, 3), (4, 4)]);
-        let ex = n.initiate().unwrap();
+        let ex = n.initiate(&mut arena).unwrap();
         let sent_ids: Vec<NodeId> = ex.request.descriptors[1..].iter().map(|d| d.id()).collect();
         n.handle_reply(
+            &mut arena,
             ex.peer,
             Reply {
                 descriptors: vec![
@@ -450,8 +467,10 @@ mod tests {
 
     #[test]
     fn own_descriptor_never_stored() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, config(10, 1, 1), &[(1, 1)]);
         n.handle_reply(
+            &mut arena,
             NodeId::new(1),
             Reply {
                 descriptors: vec![NodeDescriptor::new(NodeId::new(0), 3)],
@@ -472,13 +491,14 @@ mod tests {
 
     #[test]
     fn request_reply_cycle_spreads_fresh_descriptors() {
+        let mut arena = Arena::new();
         let cfg = config(10, 2, 2);
         let mut a = seeded(0, cfg, &[(1, 3)]);
         let mut b = seeded(1, cfg, &[(2, 3)]);
-        let ex = a.initiate().unwrap();
+        let ex = a.initiate(&mut arena).unwrap();
         assert_eq!(ex.peer, NodeId::new(1));
-        let reply = b.handle_request(a.id(), ex.request).unwrap();
-        a.handle_reply(b.id(), reply);
+        let reply = b.handle_request(&mut arena, a.id(), ex.request).unwrap();
+        a.handle_reply(&mut arena, b.id(), reply);
         // b learned a (fresh), a learned b and/or node 2.
         assert!(b.view().contains(NodeId::new(0)));
         assert!(a.view().contains(NodeId::new(1)) || a.view().contains(NodeId::new(2)));

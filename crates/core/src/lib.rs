@@ -31,23 +31,27 @@
 //!
 //! # Examples
 //!
-//! Two nodes bootstrapping off each other and gossiping one exchange:
+//! Two nodes bootstrapping off each other and gossiping one exchange. The
+//! driver owns the staging [`Arena`] and lends it to every protocol call:
 //!
 //! ```
 //! use pss_core::{
-//!     GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, PolicyTriple, ProtocolConfig,
+//!     Arena, GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, PolicyTriple, ProtocolConfig,
 //! };
 //!
 //! let config = ProtocolConfig::new(PolicyTriple::newscast(), 30)?;
+//! let mut arena = Arena::new();
 //! let mut a = PeerSamplingNode::with_seed(NodeId::new(0), config.clone(), 1);
 //! let mut b = PeerSamplingNode::with_seed(NodeId::new(1), config, 2);
 //! a.init([NodeDescriptor::fresh(b.id())]);
 //! b.init([NodeDescriptor::fresh(a.id())]);
 //!
-//! let exchange = a.initiate().expect("non-empty view");
+//! let exchange = a.initiate(&mut arena).expect("non-empty view");
 //! assert_eq!(exchange.peer, b.id());
-//! let reply = b.handle_request(a.id(), exchange.request).expect("pushpull replies");
-//! a.handle_reply(b.id(), reply);
+//! let reply = b
+//!     .handle_request(&mut arena, a.id(), exchange.request)
+//!     .expect("pushpull replies");
+//! a.handle_reply(&mut arena, b.id(), reply);
 //! # Ok::<(), pss_core::ConfigError>(())
 //! ```
 
@@ -75,4 +79,5 @@ pub use message::{Exchange, Reply, Request};
 pub use node::{GossipNode, PeerSamplingNode};
 pub use policy::{ParsePolicyError, PeerSelection, PolicyTriple, ViewPropagation, ViewSelection};
 pub use service::{OracleSampler, PeerSampler};
+pub use staging::Arena;
 pub use view::{MergeScratch, View};

@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::staging;
+use crate::staging::Arena;
 use crate::{
     Exchange, NodeDescriptor, NodeId, PeerSelection, ProtocolConfig, Reply, Request, View,
 };
@@ -23,6 +23,13 @@ use crate::{
 /// If the peer is unreachable the driver simply drops the messages: the
 /// protocol has no failure detector and heals only through view selection,
 /// exactly as in the paper.
+///
+/// Every protocol call borrows the driver's staging [`Arena`]: scratch
+/// space and the recycled message-buffer pool are owned by whoever drives
+/// the node (a simulation shard, a network runtime), not hidden in
+/// thread-local state. Arena reuse never affects protocol output — buffer
+/// contents are cleared before every use — so any arena works with any
+/// node; passing the same one per shard keeps the hot path allocation-free.
 pub trait GossipNode {
     /// This node's address.
     fn id(&self) -> NodeId;
@@ -40,8 +47,8 @@ pub trait GossipNode {
     ///
     /// Equivalent to [`GossipNode::initiate_filtered`] with every peer
     /// eligible.
-    fn initiate(&mut self) -> Option<Exchange> {
-        self.initiate_filtered(&mut |_| true)
+    fn initiate(&mut self, arena: &mut Arena) -> Option<Exchange> {
+        self.initiate_filtered(arena, &mut |_| true)
     }
 
     /// Runs one step of the active thread, selecting a peer only among view
@@ -53,14 +60,23 @@ pub trait GossipNode {
     /// deployment performs within one period. Returns `None` when no
     /// eligible entry exists. Side effects that happen once per cycle (view
     /// aging) still apply even when `None` is returned.
-    fn initiate_filtered(&mut self, eligible: &mut dyn FnMut(NodeId) -> bool) -> Option<Exchange>;
+    fn initiate_filtered(
+        &mut self,
+        arena: &mut Arena,
+        eligible: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<Exchange>;
 
     /// Runs the passive thread on an incoming request, returning the reply
     /// to send back if the request wants one.
-    fn handle_request(&mut self, from: NodeId, request: Request) -> Option<Reply>;
+    fn handle_request(
+        &mut self,
+        arena: &mut Arena,
+        from: NodeId,
+        request: Request,
+    ) -> Option<Reply>;
 
     /// Completes an exchange on the active side with the received reply.
-    fn handle_reply(&mut self, from: NodeId, reply: Reply);
+    fn handle_reply(&mut self, arena: &mut Arena, from: NodeId, reply: Reply);
 }
 
 /// Boxed nodes forward to the inner implementation, so heterogeneous
@@ -79,16 +95,25 @@ impl<T: GossipNode + ?Sized> GossipNode for Box<T> {
         (**self).init(seeds)
     }
 
-    fn initiate_filtered(&mut self, eligible: &mut dyn FnMut(NodeId) -> bool) -> Option<Exchange> {
-        (**self).initiate_filtered(eligible)
+    fn initiate_filtered(
+        &mut self,
+        arena: &mut Arena,
+        eligible: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<Exchange> {
+        (**self).initiate_filtered(arena, eligible)
     }
 
-    fn handle_request(&mut self, from: NodeId, request: Request) -> Option<Reply> {
-        (**self).handle_request(from, request)
+    fn handle_request(
+        &mut self,
+        arena: &mut Arena,
+        from: NodeId,
+        request: Request,
+    ) -> Option<Reply> {
+        (**self).handle_request(arena, from, request)
     }
 
-    fn handle_reply(&mut self, from: NodeId, reply: Reply) {
-        (**self).handle_reply(from, reply)
+    fn handle_reply(&mut self, arena: &mut Arena, from: NodeId, reply: Reply) {
+        (**self).handle_reply(arena, from, reply)
     }
 }
 
@@ -158,15 +183,15 @@ impl PeerSamplingNode {
 
     /// The content pushed to a peer: `merge(view, {(self, 0)})`.
     ///
-    /// Built directly into the message buffer (one exact-size allocation,
-    /// which the request/reply then owns): the view cannot contain the
-    /// node's own descriptor, so the merge reduces to splicing `(self, 0)`
-    /// in after any existing hop-0 entries (the view's entries keep tie
-    /// precedence, exactly as in `merge(view, {myDescriptor})`).
-    fn outgoing_descriptors(&self) -> Vec<NodeDescriptor> {
+    /// Built directly into a recycled message buffer (which the request or
+    /// reply then owns): the view cannot contain the node's own descriptor,
+    /// so the merge reduces to splicing `(self, 0)` in after any existing
+    /// hop-0 entries (the view's entries keep tie precedence, exactly as in
+    /// `merge(view, {myDescriptor})`).
+    fn outgoing_descriptors(&self, arena: &mut Arena) -> Vec<NodeDescriptor> {
         let entries = self.view.descriptors();
         let at = entries.partition_point(|d| d.hop_count() == 0);
-        let mut buffer = staging::with_arena(|arena| arena.pool_take());
+        let mut buffer = arena.pool_take();
         buffer.reserve(entries.len() + 1);
         buffer.extend_from_slice(&entries[..at]);
         buffer.push(NodeDescriptor::fresh(self.id));
@@ -176,42 +201,40 @@ impl PeerSamplingNode {
 
     /// Runs the receive side of an exchange on `descriptors`:
     /// `view ← selectView(merge(increaseHopCount(view_p), view))`, using the
-    /// shared staging buffers (no steady-state allocation).
-    fn absorb(&mut self, descriptors: Vec<NodeDescriptor>) {
+    /// arena's staging buffers (no steady-state allocation).
+    fn absorb(&mut self, arena: &mut Arena, descriptors: Vec<NodeDescriptor>) {
         let policy = self.config.policy().view_selection;
         let c = self.config.view_size();
-        staging::with_arena(|arena| {
-            // Fast path: protocol messages carry well-formed view content
-            // (hop-sorted, one descriptor per node), absorbed straight off
-            // the wire buffer. Malformed content (possible only through
-            // hand-crafted requests) is rejected untouched and goes through
-            // the general dedup path.
-            arena.rx_buf.clear();
-            arena.rx_buf.extend(descriptors.iter().map(|d| d.aged()));
-            let absorbed = self.view.merge_select_from_slice(
-                &arena.rx_buf,
+        // Fast path: protocol messages carry well-formed view content
+        // (hop-sorted, one descriptor per node), absorbed straight off
+        // the wire buffer. Malformed content (possible only through
+        // hand-crafted requests) is rejected untouched and goes through
+        // the general dedup path.
+        arena.rx_buf.clear();
+        arena.rx_buf.extend(descriptors.iter().map(|d| d.aged()));
+        let absorbed = self.view.merge_select_from_slice(
+            &arena.rx_buf,
+            Some(self.id),
+            policy,
+            c,
+            &mut self.rng,
+            &mut arena.scratch,
+        );
+        if !absorbed {
+            arena
+                .rx_view
+                .assign_aged(descriptors.iter().copied(), 1, &mut arena.scratch);
+            self.view.merge_select_from(
+                &arena.rx_view,
                 Some(self.id),
                 policy,
                 c,
                 &mut self.rng,
                 &mut arena.scratch,
             );
-            if !absorbed {
-                arena
-                    .rx_view
-                    .assign_aged(descriptors.iter().copied(), 1, &mut arena.scratch);
-                self.view.merge_select_from(
-                    &arena.rx_view,
-                    Some(self.id),
-                    policy,
-                    c,
-                    &mut self.rng,
-                    &mut arena.scratch,
-                );
-            }
-            // Recycle the spent message buffer for future outgoing messages.
-            arena.pool_put(descriptors);
-        });
+        }
+        // Recycle the spent message buffer for future outgoing messages.
+        arena.pool_put(descriptors);
         debug_assert!(self.view.invariants_hold());
     }
 
@@ -243,7 +266,11 @@ impl GossipNode for PeerSamplingNode {
         self.view.select(vs, c, &mut self.rng);
     }
 
-    fn initiate_filtered(&mut self, eligible: &mut dyn FnMut(NodeId) -> bool) -> Option<Exchange> {
+    fn initiate_filtered(
+        &mut self,
+        arena: &mut Arena,
+        eligible: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<Exchange> {
         // Age the stored view once per cycle. The paper's pseudocode only
         // shows hop counts incremented on receipt, but its published
         // dynamics (e.g. exponential dead-link removal under head view
@@ -256,7 +283,7 @@ impl GossipNode for PeerSamplingNode {
         let peer = self.select_exchange_peer(eligible)?;
         let propagation = self.config.policy().propagation;
         let descriptors = if propagation.is_push() {
-            self.outgoing_descriptors()
+            self.outgoing_descriptors(arena)
         } else {
             Vec::new() // "empty view to trigger response"
         };
@@ -269,17 +296,22 @@ impl GossipNode for PeerSamplingNode {
         })
     }
 
-    fn handle_request(&mut self, _from: NodeId, request: Request) -> Option<Reply> {
+    fn handle_request(
+        &mut self,
+        arena: &mut Arena,
+        _from: NodeId,
+        request: Request,
+    ) -> Option<Reply> {
         // Build the reply from the *pre-merge* view, as in the skeleton.
         let reply = request.wants_reply.then(|| Reply {
-            descriptors: self.outgoing_descriptors(),
+            descriptors: self.outgoing_descriptors(arena),
         });
-        self.absorb(request.descriptors);
+        self.absorb(arena, request.descriptors);
         reply
     }
 
-    fn handle_reply(&mut self, _from: NodeId, reply: Reply) {
-        self.absorb(reply.descriptors);
+    fn handle_reply(&mut self, arena: &mut Arena, _from: NodeId, reply: Reply) {
+        self.absorb(arena, reply.descriptors);
     }
 }
 
@@ -323,14 +355,16 @@ mod tests {
 
     #[test]
     fn initiate_with_empty_view_is_none() {
+        let mut arena = Arena::new();
         let mut n = node(0, "(rand,head,pushpull)", 30);
-        assert!(n.initiate().is_none());
+        assert!(n.initiate(&mut arena).is_none());
     }
 
     #[test]
     fn push_request_carries_view_plus_self() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, "(rand,head,push)", 30, &[(1, 4), (2, 2)]);
-        let ex = n.initiate().unwrap();
+        let ex = n.initiate(&mut arena).unwrap();
         assert!(!ex.request.wants_reply);
         assert_eq!(ex.request.len(), 3);
         let own = ex
@@ -344,31 +378,35 @@ mod tests {
 
     #[test]
     fn pull_request_is_empty_and_wants_reply() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, "(rand,head,pull)", 30, &[(1, 4)]);
-        let ex = n.initiate().unwrap();
+        let ex = n.initiate(&mut arena).unwrap();
         assert!(ex.request.is_empty());
         assert!(ex.request.wants_reply);
     }
 
     #[test]
     fn pushpull_request_carries_view_and_wants_reply() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, "(rand,head,pushpull)", 30, &[(1, 4)]);
-        let ex = n.initiate().unwrap();
+        let ex = n.initiate(&mut arena).unwrap();
         assert_eq!(ex.request.len(), 2);
         assert!(ex.request.wants_reply);
     }
 
     #[test]
     fn head_peer_selection_picks_freshest() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, "(head,head,pushpull)", 30, &[(1, 4), (2, 1), (3, 9)]);
-        let ex = n.initiate().unwrap();
+        let ex = n.initiate(&mut arena).unwrap();
         assert_eq!(ex.peer, NodeId::new(2));
     }
 
     #[test]
     fn tail_peer_selection_picks_stalest() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, "(tail,head,pushpull)", 30, &[(1, 4), (2, 1), (3, 9)]);
-        let ex = n.initiate().unwrap();
+        let ex = n.initiate(&mut arena).unwrap();
         assert_eq!(ex.peer, NodeId::new(3));
     }
 
@@ -376,9 +414,10 @@ mod tests {
     fn rand_peer_selection_consults_filter_once_per_entry() {
         // `eligible` is a FnMut; stateful filters rely on one call per view
         // entry per initiation.
+        let mut arena = Arena::new();
         let mut n = seeded(0, "(rand,head,pushpull)", 30, &[(1, 1), (2, 2), (3, 3)]);
         let mut calls = 0usize;
-        let ex = n.initiate_filtered(&mut |_| {
+        let ex = n.initiate_filtered(&mut arena, &mut |_| {
             calls += 1;
             true
         });
@@ -388,33 +427,38 @@ mod tests {
 
     #[test]
     fn rand_peer_selection_stays_in_view() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, "(rand,head,pushpull)", 30, &[(1, 1), (2, 2), (3, 3)]);
         for _ in 0..50 {
-            let ex = n.initiate().unwrap();
+            let ex = n.initiate(&mut arena).unwrap();
             assert!(n.view().contains(ex.peer));
         }
     }
 
     #[test]
     fn handle_request_increments_hop_counts() {
+        let mut arena = Arena::new();
         let mut receiver = seeded(1, "(rand,head,pushpull)", 30, &[(2, 5)]);
         let request = Request {
             descriptors: vec![NodeDescriptor::fresh(NodeId::new(0))],
             wants_reply: false,
         };
-        receiver.handle_request(NodeId::new(0), request);
+        receiver.handle_request(&mut arena, NodeId::new(0), request);
         // Received at hop 0, stored at hop 1.
         assert_eq!(receiver.view().hop_count_of(NodeId::new(0)), Some(1));
     }
 
     #[test]
     fn handle_request_reply_is_pre_merge_view() {
+        let mut arena = Arena::new();
         let mut receiver = seeded(1, "(rand,head,pushpull)", 30, &[(2, 5)]);
         let request = Request {
             descriptors: vec![NodeDescriptor::fresh(NodeId::new(0))],
             wants_reply: true,
         };
-        let reply = receiver.handle_request(NodeId::new(0), request).unwrap();
+        let reply = receiver
+            .handle_request(&mut arena, NodeId::new(0), request)
+            .unwrap();
         // Reply contains the old view (n2) plus self (n1), but NOT the just
         // received n0.
         let ids: Vec<NodeId> = reply.descriptors.iter().map(|d| d.id()).collect();
@@ -425,18 +469,23 @@ mod tests {
 
     #[test]
     fn push_request_gets_no_reply() {
+        let mut arena = Arena::new();
         let mut receiver = seeded(1, "(rand,head,push)", 30, &[(2, 5)]);
         let request = Request {
             descriptors: vec![NodeDescriptor::fresh(NodeId::new(0))],
             wants_reply: false,
         };
-        assert!(receiver.handle_request(NodeId::new(0), request).is_none());
+        assert!(receiver
+            .handle_request(&mut arena, NodeId::new(0), request)
+            .is_none());
     }
 
     #[test]
     fn handle_reply_merges_and_ages() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, "(rand,head,pushpull)", 30, &[(1, 3)]);
         n.handle_reply(
+            &mut arena,
             NodeId::new(1),
             Reply {
                 descriptors: vec![
@@ -452,8 +501,10 @@ mod tests {
 
     #[test]
     fn own_descriptor_never_enters_own_view() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, "(rand,head,pushpull)", 30, &[(1, 3)]);
         n.handle_reply(
+            &mut arena,
             NodeId::new(1),
             Reply {
                 descriptors: vec![NodeDescriptor::new(NodeId::new(0), 2)],
@@ -464,29 +515,33 @@ mod tests {
 
     #[test]
     fn view_never_exceeds_capacity() {
+        let mut arena = Arena::new();
         let mut n = seeded(0, "(rand,rand,pushpull)", 3, &[(1, 1), (2, 2), (3, 3)]);
         let reply = Reply {
             descriptors: (10..30)
                 .map(|i| NodeDescriptor::new(NodeId::new(i), i as u32))
                 .collect(),
         };
-        n.handle_reply(NodeId::new(1), reply);
+        n.handle_reply(&mut arena, NodeId::new(1), reply);
         assert_eq!(n.view().len(), 3);
         assert!(n.view().invariants_hold());
     }
 
     #[test]
     fn full_pushpull_exchange_symmetric_learning() {
+        let mut arena = Arena::new();
         let cfg = config("(rand,head,pushpull)", 30);
         let mut a = PeerSamplingNode::with_seed(NodeId::new(0), cfg.clone(), 1);
         let mut b = PeerSamplingNode::with_seed(NodeId::new(1), cfg, 2);
         a.init([NodeDescriptor::fresh(NodeId::new(1))]);
         b.init([NodeDescriptor::fresh(NodeId::new(2))]);
 
-        let ex = a.initiate().unwrap();
+        let ex = a.initiate(&mut arena).unwrap();
         assert_eq!(ex.peer, NodeId::new(1));
-        let reply = b.handle_request(NodeId::new(0), ex.request).unwrap();
-        a.handle_reply(NodeId::new(1), reply);
+        let reply = b
+            .handle_request(&mut arena, NodeId::new(0), ex.request)
+            .unwrap();
+        a.handle_reply(&mut arena, NodeId::new(1), reply);
 
         // b learned about a; a learned about node 2 via b.
         assert!(b.view().contains(NodeId::new(0)));
@@ -496,6 +551,7 @@ mod tests {
     #[test]
     fn deterministic_under_same_seed() {
         let make = || {
+            let mut arena = Arena::new();
             let mut n = seeded(
                 0,
                 "(rand,rand,pushpull)",
@@ -504,9 +560,10 @@ mod tests {
             );
             let mut trace = Vec::new();
             for _ in 0..10 {
-                let ex = n.initiate().unwrap();
+                let ex = n.initiate(&mut arena).unwrap();
                 trace.push(ex.peer);
                 n.handle_reply(
+                    &mut arena,
                     ex.peer,
                     Reply {
                         descriptors: vec![NodeDescriptor::fresh(ex.peer)],
@@ -516,6 +573,41 @@ mod tests {
             trace
         };
         assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn any_arena_yields_identical_protocol_output() {
+        // The arena is pure scratch: a fresh arena per call and one shared
+        // arena must produce bit-identical exchanges and views.
+        let run = |fresh_arena_per_call: bool| {
+            let mut shared = Arena::new();
+            let mut n = seeded(
+                0,
+                "(rand,rand,pushpull)",
+                5,
+                &[(1, 1), (2, 2), (3, 3), (4, 4)],
+            );
+            let mut trace = Vec::new();
+            for i in 0..12 {
+                let mut fresh = Arena::new();
+                let arena = if fresh_arena_per_call {
+                    &mut fresh
+                } else {
+                    &mut shared
+                };
+                let ex = n.initiate(arena).unwrap();
+                trace.push((ex.peer, ex.request.descriptors.clone()));
+                n.handle_reply(
+                    arena,
+                    ex.peer,
+                    Reply {
+                        descriptors: vec![NodeDescriptor::new(ex.peer, i as u32 % 3)],
+                    },
+                );
+            }
+            (trace, n.view().descriptors().to_vec())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

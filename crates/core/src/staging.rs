@@ -1,128 +1,128 @@
-//! Per-thread staging arena shared by every protocol node implementation.
+//! Explicitly-owned staging arena shared by every protocol node
+//! implementation.
 //!
 //! The receive side of an exchange needs a handful of scratch buffers: an
 //! aged copy of the wire content, a staging [`View`] for the general merge
 //! fallback, a [`MergeScratch`], and a pool of recycled message buffers.
-//! These are deliberately **per worker thread** rather than per node: a
-//! simulation drives many thousands of nodes from one thread, and per-node
-//! buffers would add kilobytes of cold memory to every exchange (measurably
-//! slower at N = 10⁴ than the allocations they save). One shared arena
-//! stays hot in cache and keeps the steady state allocation-free.
+//! These are deliberately **per driver** rather than per node: a simulation
+//! drives many thousands of nodes from one arena, and per-node buffers would
+//! add kilobytes of cold memory to every exchange (measurably slower at
+//! N = 10⁴ than the allocations they save). One shared arena stays hot in
+//! cache and keeps the steady state allocation-free.
 //!
-//! The same reasoning extends to the sharded multi-threaded engine: each
-//! worker thread owns its own arena (via `thread_local`), so recycling is
-//! contention-free by construction, and — because buffer *contents* never
-//! leak between exchanges (every use starts with `clear()`) — arena reuse
-//! can never affect protocol output. Determinism therefore holds regardless
-//! of which worker thread processes which shard. Workers that want to avoid
-//! first-touch allocation jitter can call [`prewarm`] before a batch.
+//! Ownership is explicit: the driver (a simulation shard, an event shard, a
+//! network runtime) constructs an [`Arena`] and passes `&mut Arena` into
+//! every [`crate::GossipNode`] call. Earlier revisions hid the arena in a
+//! `thread_local!`, which coupled recycling to accidental thread identity;
+//! with shard-owned arenas, recycled capacity stays with the shard that will
+//! reuse it no matter which worker thread runs the shard, and the borrow
+//! checker — not a `RefCell` — enforces exclusive access. Because buffer
+//! *contents* never leak between exchanges (every use starts with
+//! `clear()`), arena reuse can never affect protocol output; determinism
+//! holds regardless of which arena processes which exchange.
 
 use crate::view::MergeScratch;
 use crate::{NodeDescriptor, View};
 
-/// Upper bound on pooled message buffers per thread; beyond this, spent
-/// buffers are simply dropped. Exchanges hold at most two buffers in flight
-/// per node being driven, so a small pool suffices.
+/// Default upper bound on pooled message buffers per arena; beyond this,
+/// spent buffers are simply dropped. Cycle-driven exchanges hold at most two
+/// buffers in flight per node being driven, so a small pool suffices; event
+/// drivers with many in-flight messages raise the limit via
+/// [`Arena::with_pool_limit`].
 pub const POOL_LIMIT: usize = 8;
 
-/// The per-thread staging buffers (see the module docs).
-#[derive(Default)]
-pub(crate) struct Arena {
+/// The staging buffers every protocol node call works out of (see the
+/// module docs). One per driver; passed explicitly as `&mut Arena`.
+pub struct Arena {
     /// Aged copy of the received wire buffer.
     pub(crate) rx_buf: Vec<NodeDescriptor>,
     /// Staging view for the (rare) general fallback merge path.
     pub(crate) rx_view: View,
-    /// Merge scratch shared by all merge/select calls on this thread.
+    /// Merge scratch shared by all merge/select calls through this arena.
     pub(crate) scratch: MergeScratch,
     /// Recycled message buffers: absorbed request/reply vectors are parked
     /// here and reused when building outgoing messages, keeping message
     /// construction allocation-free in steady state.
     pool: Vec<Vec<NodeDescriptor>>,
+    /// Upper bound on `pool.len()`.
+    pool_limit: usize,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::new()
+    }
 }
 
 impl Arena {
+    /// Creates an empty arena with the default message-buffer pool limit
+    /// ([`POOL_LIMIT`]).
+    pub fn new() -> Self {
+        Arena::with_pool_limit(POOL_LIMIT)
+    }
+
+    /// Creates an empty arena that pools up to `pool_limit` message
+    /// buffers. Event-driven shards park one payload per in-flight message,
+    /// so they size the pool to their expected message backlog.
+    pub fn with_pool_limit(pool_limit: usize) -> Self {
+        Arena {
+            rx_buf: Vec::new(),
+            rx_view: View::default(),
+            scratch: MergeScratch::default(),
+            pool: Vec::new(),
+            pool_limit,
+        }
+    }
+
+    /// The configured message-buffer pool limit.
+    pub fn pool_limit(&self) -> usize {
+        self.pool_limit
+    }
+
+    /// Pre-sizes the arena: fills the message-buffer pool with `buffers`
+    /// buffers of `descriptor_capacity` each and reserves the wire staging
+    /// buffer. Purely an allocation warm-up (drivers call it so first-touch
+    /// faulting happens on the owning worker) — it has no observable effect
+    /// on protocol output.
+    pub fn prewarm(&mut self, buffers: usize, descriptor_capacity: usize) {
+        self.rx_buf.reserve(descriptor_capacity);
+        while self.pool.len() < buffers.min(self.pool_limit) {
+            self.pool.push(Vec::with_capacity(descriptor_capacity));
+        }
+    }
+
+    /// Number of message buffers currently pooled (diagnostic).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.len()
+    }
+
     /// Takes a recycled message buffer (empty, capacity retained), or a
-    /// fresh one if the pool is dry.
-    pub(crate) fn pool_take(&mut self) -> Vec<NodeDescriptor> {
+    /// fresh one if the pool is dry. Drivers use this to build
+    /// [`crate::Request`]/[`crate::Reply`] payloads outside a protocol
+    /// node; node implementations use it for their outgoing buffers.
+    pub fn take_buffer(&mut self) -> Vec<NodeDescriptor> {
         self.pool.pop().unwrap_or_default()
     }
 
     /// Parks a spent message buffer for reuse; drops it if the pool is
     /// full. The buffer is cleared here, so takers never see stale content.
-    pub(crate) fn pool_put(&mut self, mut buffer: Vec<NodeDescriptor>) {
-        if self.pool.len() < POOL_LIMIT {
+    /// The inverse of [`Arena::take_buffer`].
+    pub fn put_buffer(&mut self, mut buffer: Vec<NodeDescriptor>) {
+        if self.pool.len() < self.pool_limit {
             buffer.clear();
             self.pool.push(buffer);
         }
     }
-}
 
-std::thread_local! {
-    static ARENA: core::cell::RefCell<Arena> = core::cell::RefCell::new(Arena::default());
-}
+    /// Legacy internal alias of [`Arena::take_buffer`].
+    pub(crate) fn pool_take(&mut self) -> Vec<NodeDescriptor> {
+        self.take_buffer()
+    }
 
-/// Runs `f` with this thread's staging arena.
-///
-/// # Panics
-///
-/// Panics on re-entrant use (an absorb cannot trigger another absorb on the
-/// same thread; no protocol path does).
-pub(crate) fn with_arena<R>(f: impl FnOnce(&mut Arena) -> R) -> R {
-    ARENA.with(|arena| f(&mut arena.borrow_mut()))
-}
-
-/// Pre-sizes this thread's arena: fills the message-buffer pool with
-/// `buffers` buffers of `descriptor_capacity` each and reserves the wire
-/// staging buffer. Purely an allocation warm-up for worker threads — has no
-/// observable effect on protocol output.
-pub fn prewarm(buffers: usize, descriptor_capacity: usize) {
-    with_arena(|arena| {
-        arena.rx_buf.reserve(descriptor_capacity);
-        while arena.pool.len() < buffers.min(POOL_LIMIT) {
-            arena.pool.push(Vec::with_capacity(descriptor_capacity));
-        }
-    });
-}
-
-/// Number of message buffers currently pooled on this thread (diagnostic).
-pub fn pooled_buffers() -> usize {
-    with_arena(|arena| arena.pool.len())
-}
-
-/// Takes a recycled message buffer from this thread's pool (empty, capacity
-/// retained), or a fresh one if the pool is dry — the public entry point for
-/// external drivers (network runtimes, event engines) that build
-/// [`crate::Request`]/[`crate::Reply`] payloads outside a protocol node.
-pub fn take_buffer() -> Vec<NodeDescriptor> {
-    with_arena(|arena| arena.pool_take())
-}
-
-/// Returns a spent message buffer to this thread's pool (cleared; dropped
-/// if the pool is full). The inverse of [`take_buffer`].
-pub fn put_buffer(buffer: Vec<NodeDescriptor>) {
-    with_arena(|arena| arena.pool_put(buffer));
-}
-
-/// Pops one pooled buffer, moving its capacity out of the thread-local pool
-/// into caller-owned storage. Drivers whose worker threads are short-lived
-/// (scoped per phase) use this to rescue recycled capacity before the
-/// thread — and its pool — is dropped.
-pub fn reclaim_buffer() -> Option<Vec<NodeDescriptor>> {
-    with_arena(|arena| arena.pool.pop())
-}
-
-/// Tops up the thread pool from caller-owned storage: moves one buffer out
-/// of `reserve` if (and only if) the pool is currently empty, so the next
-/// [`take_buffer`]/`pool_take` hits recycled capacity instead of the
-/// allocator. The complement of [`reclaim_buffer`].
-pub fn refill_from(reserve: &mut Vec<Vec<NodeDescriptor>>) {
-    with_arena(|arena| {
-        if arena.pool.is_empty() {
-            if let Some(buffer) = reserve.pop() {
-                arena.pool.push(buffer);
-            }
-        }
-    });
+    /// Legacy internal alias of [`Arena::put_buffer`].
+    pub(crate) fn pool_put(&mut self, buffer: Vec<NodeDescriptor>) {
+        self.put_buffer(buffer);
+    }
 }
 
 #[cfg(test)]
@@ -131,68 +131,53 @@ mod tests {
 
     #[test]
     fn pool_recycles_up_to_limit() {
-        with_arena(|arena| arena.pool.clear());
-        assert_eq!(pooled_buffers(), 0);
-        with_arena(|arena| {
-            for _ in 0..POOL_LIMIT + 3 {
-                arena.pool_put(Vec::with_capacity(4));
-            }
-        });
-        assert_eq!(pooled_buffers(), POOL_LIMIT);
-        let buf = with_arena(|arena| arena.pool_take());
+        let mut arena = Arena::new();
+        assert_eq!(arena.pooled_buffers(), 0);
+        for _ in 0..POOL_LIMIT + 3 {
+            arena.put_buffer(Vec::with_capacity(4));
+        }
+        assert_eq!(arena.pooled_buffers(), POOL_LIMIT);
+        let buf = arena.take_buffer();
         assert!(buf.is_empty());
         assert_eq!(buf.capacity(), 4);
-        assert_eq!(pooled_buffers(), POOL_LIMIT - 1);
+        assert_eq!(arena.pooled_buffers(), POOL_LIMIT - 1);
     }
 
     #[test]
     fn pool_put_clears_content() {
-        with_arena(|arena| arena.pool.clear());
-        with_arena(|arena| {
-            arena.pool_put(vec![NodeDescriptor::fresh(crate::NodeId::new(7))]);
-        });
-        let buf = with_arena(|arena| arena.pool_take());
+        let mut arena = Arena::new();
+        arena.put_buffer(vec![NodeDescriptor::fresh(crate::NodeId::new(7))]);
+        let buf = arena.take_buffer();
         assert!(buf.is_empty(), "recycled buffers must never leak content");
     }
 
     #[test]
-    fn take_put_reclaim_refill_roundtrip() {
-        with_arena(|arena| arena.pool.clear());
-        // take on a dry pool allocates fresh.
-        let buf = take_buffer();
+    fn take_on_a_dry_pool_allocates_fresh() {
+        let mut arena = Arena::new();
+        let buf = arena.take_buffer();
         assert!(buf.is_empty());
-        put_buffer({
-            let mut b = buf;
-            b.reserve(16);
-            b.push(NodeDescriptor::fresh(crate::NodeId::new(1)));
-            b
-        });
-        assert_eq!(pooled_buffers(), 1);
-        // reclaim moves the capacity out (cleared by put).
-        let rescued = reclaim_buffer().expect("one pooled");
-        assert!(rescued.is_empty());
-        assert!(rescued.capacity() >= 16);
-        assert_eq!(pooled_buffers(), 0);
-        assert!(reclaim_buffer().is_none());
-        // refill only feeds an empty pool, one buffer at a time.
-        let mut reserve = vec![rescued, Vec::with_capacity(4)];
-        refill_from(&mut reserve);
-        assert_eq!(pooled_buffers(), 1);
-        assert_eq!(reserve.len(), 1);
-        refill_from(&mut reserve);
-        assert_eq!(pooled_buffers(), 1, "non-empty pool must not be refilled");
-        assert_eq!(reserve.len(), 1);
+        assert_eq!(buf.capacity(), 0);
+    }
+
+    #[test]
+    fn custom_pool_limit_is_honored() {
+        let mut arena = Arena::with_pool_limit(2);
+        assert_eq!(arena.pool_limit(), 2);
+        for _ in 0..5 {
+            arena.put_buffer(Vec::with_capacity(8));
+        }
+        assert_eq!(arena.pooled_buffers(), 2);
     }
 
     #[test]
     fn prewarm_fills_pool() {
-        with_arena(|arena| arena.pool.clear());
-        prewarm(4, 31);
-        assert_eq!(pooled_buffers(), 4);
+        let mut arena = Arena::new();
+        arena.prewarm(4, 31);
+        assert_eq!(arena.pooled_buffers(), 4);
         // Idempotent: never exceeds the requested count or the limit.
-        prewarm(4, 31);
-        assert_eq!(pooled_buffers(), 4);
-        prewarm(100, 31);
-        assert_eq!(pooled_buffers(), POOL_LIMIT);
+        arena.prewarm(4, 31);
+        assert_eq!(arena.pooled_buffers(), 4);
+        arena.prewarm(100, 31);
+        assert_eq!(arena.pooled_buffers(), POOL_LIMIT);
     }
 }

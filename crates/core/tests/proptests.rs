@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use pss_core::{
-    GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, PolicyTriple, ProtocolConfig, Reply,
-    View, ViewSelection,
+    Arena, GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, PolicyTriple, ProtocolConfig,
+    Reply, View, ViewSelection,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -145,7 +145,7 @@ proptest! {
         let mut node = PeerSamplingNode::with_seed(NodeId::new(999), config, seed);
         node.init(seeds);
         prop_assert!(node.view().len() <= c);
-        node.handle_reply(NodeId::new(0), Reply { descriptors: incoming });
+        node.handle_reply(&mut Arena::new(), NodeId::new(0), Reply { descriptors: incoming });
         prop_assert!(node.view().len() <= c);
         prop_assert!(node.view().invariants_hold());
         prop_assert!(!node.view().contains(NodeId::new(999)));
@@ -162,7 +162,7 @@ proptest! {
         let mut node = PeerSamplingNode::with_seed(NodeId::new(999), config, seed);
         node.init(seeds);
         prop_assume!(!node.view().is_empty());
-        let ex = node.initiate().unwrap();
+        let ex = node.initiate(&mut Arena::new()).unwrap();
         prop_assert!(node.view().contains(ex.peer));
         prop_assert_eq!(ex.request.wants_reply, policy.propagation.is_pull());
         if policy.propagation.is_push() {
@@ -189,11 +189,12 @@ proptest! {
             let mut b = PeerSamplingNode::with_seed(NodeId::new(1), config, seed + 1);
             a.init(seeds.clone().into_iter().chain([NodeDescriptor::fresh(NodeId::new(1))]));
             b.init(seeds.clone());
+            let mut arena = Arena::new();
             for _ in 0..5 {
-                if let Some(ex) = a.initiate() {
+                if let Some(ex) = a.initiate(&mut arena) {
                     if ex.peer == b.id() {
-                        if let Some(reply) = b.handle_request(a.id(), ex.request) {
-                            a.handle_reply(b.id(), reply);
+                        if let Some(reply) = b.handle_request(&mut arena, a.id(), ex.request) {
+                            a.handle_reply(&mut arena, b.id(), reply);
                         }
                     }
                 }

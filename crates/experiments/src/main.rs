@@ -36,7 +36,9 @@
 //!   --runs R                   override runs/repetitions (table1, fig6)
 //!   --shards LIST              comma-separated shard counts (scaling, async;
 //!                              workload uses the first entry)
-//!   --workers N                worker-thread override (scaling, async, workload)
+//!   --workers N                worker-pool width override (scaling, async,
+//!                              workload); set PSS_PIN_WORKERS=1 to pin pool
+//!                              threads to cores
 //!   --schedule S               workload schedule string (workload)
 //!   --seed S                   override master seed
 //!   --out DIR                  also write CSV series under DIR

@@ -18,7 +18,7 @@
 //!   tests do exactly that).
 //! * [`NetRuntime`] — hosts many gossip nodes on one OS thread: a timer
 //!   wheel fires each node's active cycle with jitter, incoming frames are
-//!   decoded straight into recycled staging buffers
+//!   decoded straight into arena-recycled message buffers
 //!   ([`pss_core::wire`]), an address book maps node ids to transport
 //!   addresses (learned from bootstrap introducers and from every received
 //!   descriptor), and per-node counters track messages, decode failures and

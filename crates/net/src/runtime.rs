@@ -10,11 +10,13 @@
 //!
 //! # The receive path is allocation-free in steady state
 //!
-//! Incoming frames are decoded ([`pss_core::wire`]) straight into recycled
-//! [`pss_core::staging`] message buffers; the node's absorb path consumes
-//! the buffer through the fused `merge_select_from_slice` and recycles it
-//! back to the pool. One reusable receive buffer, one reusable encode
-//! buffer, one decode scratch table — nothing per-frame.
+//! Incoming frames are decoded ([`pss_core::wire`]) straight into message
+//! buffers recycled through the runtime's own [`pss_core::Arena`]; the
+//! node's absorb path consumes the buffer through the fused
+//! `merge_select_from_slice` and recycles it back to the arena. One
+//! reusable receive buffer (swapped, not copied, against the transport's
+//! receive ring), one reusable encode buffer, one decode scratch table —
+//! nothing per-frame.
 //!
 //! # Addresses
 //!
@@ -27,7 +29,7 @@
 use std::collections::HashMap;
 
 use pss_core::wire::{self, DecodeScratch, EncodeError, FrameKind, NetAddr};
-use pss_core::{staging, Exchange, GossipNode, NodeDescriptor, NodeId, Reply, Request, View};
+use pss_core::{Arena, Exchange, GossipNode, NodeDescriptor, NodeId, Reply, Request, View};
 use pss_sim::{workload::Partition, EventConfig, EventConfigError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -157,6 +159,11 @@ pub struct RuntimeStats {
     pub timeouts: u64,
     /// Summed [`NodeCounters::empty_view`].
     pub empty_view: u64,
+    /// Receive-ring refills that had to allocate because the transport's
+    /// spent ring was dry ([`crate::transport::Transport::recv_ring_empty`]).
+    /// Zero in steady state on ring-backed transports; growth means the
+    /// ring depth is too small for the frame rate.
+    pub recv_ring_empty: u64,
 }
 
 impl RuntimeStats {
@@ -185,6 +192,7 @@ impl RuntimeStats {
         self.exchanges_completed += other.exchanges_completed;
         self.timeouts += other.timeouts;
         self.empty_view += other.empty_view;
+        self.recv_ring_empty += other.recv_ring_empty;
     }
 }
 
@@ -210,6 +218,8 @@ pub struct NetRuntime<T: Transport, N: GossipNode = pss_core::PeerSamplingNode> 
     now: u64,
     /// Installed partition loss matrix, if any (egress-side blocking).
     partition: Option<Partition>,
+    /// Recycled message buffers for the decode → node → encode path.
+    arena: Arena,
     // Reused buffers: the steady-state-allocation-free receive/send path.
     recv_buf: Vec<u8>,
     encode_buf: Vec<u8>,
@@ -251,6 +261,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             rng: SmallRng::seed_from_u64(seed),
             now: 0,
             partition: None,
+            arena: Arena::new(),
             recv_buf: Vec::new(),
             encode_buf: Vec::new(),
             fired: Vec::new(),
@@ -409,6 +420,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             requests_in: self.requests_in,
             replies_in: self.replies_in,
             exchanges_completed: self.exchanges_completed,
+            recv_ring_empty: self.transport.recv_ring_empty(),
             ..RuntimeStats::default()
         };
         for slot in &self.nodes {
@@ -473,7 +485,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             self.dead_deliveries += 1;
             return;
         }
-        let mut payload = staging::take_buffer();
+        let mut payload = self.arena.take_buffer();
         let book = &mut self.book;
         if wire::read_descriptors(&frame, &mut payload, &mut self.scratch, |id, addr| {
             book.insert(id.as_u64(), addr);
@@ -481,7 +493,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
         .is_err()
         {
             slot.counters.decode_failures += 1;
-            staging::put_buffer(payload);
+            self.arena.put_buffer(payload);
             return;
         }
         match frame.kind {
@@ -492,7 +504,10 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                     descriptors: payload,
                     wants_reply: frame.wants_reply,
                 };
-                match slot.node.handle_request(frame.src, request) {
+                match slot
+                    .node
+                    .handle_request(&mut self.arena, frame.src, request)
+                {
                     Some(reply) => self.send_reply(slot_idx, frame.src, frame.src_addr, reply),
                     // Push-only exchange: complete on request delivery.
                     None => self.exchanges_completed += 1,
@@ -504,18 +519,16 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                 // arriving after timeout/supersession — is dropped, so an
                 // attacker cannot inject view content by blind-firing
                 // reply frames.
-                if slot
-                    .pending_reply
-                    .is_none_or(|(peer, _)| peer != frame.src)
-                {
+                if slot.pending_reply.is_none_or(|(peer, _)| peer != frame.src) {
                     self.forged_replies_rejected += 1;
-                    staging::put_buffer(payload);
+                    self.arena.put_buffer(payload);
                     return;
                 }
                 slot.counters.msgs_in += 1;
                 self.replies_in += 1;
                 slot.pending_reply = None;
                 slot.node.handle_reply(
+                    &mut self.arena,
                     frame.src,
                     Reply {
                         descriptors: payload,
@@ -547,7 +560,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                     slot.pending_reply = None;
                 }
             }
-            match slot.node.initiate() {
+            match slot.node.initiate(&mut self.arena) {
                 Some(exchange) => self.send_request(slot_idx, exchange, t),
                 None => {
                     self.nodes[slot_idx as usize].counters.empty_view += 1;
@@ -585,7 +598,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
         let src = self.nodes[slot_idx as usize].node.id();
         let Some(to) = self.addr_of_or_local(peer) else {
             self.missing_address += 1;
-            staging::put_buffer(request.descriptors);
+            self.arena.put_buffer(request.descriptors);
             return;
         };
         let sent = self.send_frame(
@@ -608,7 +621,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                 slot.pending_reply = Some((peer, now));
             }
         }
-        staging::put_buffer(request.descriptors);
+        self.arena.put_buffer(request.descriptors);
     }
 
     fn send_reply(&mut self, slot_idx: u32, to_id: NodeId, to_addr: NetAddr, reply: Reply) {
@@ -624,7 +637,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
         if sent {
             self.nodes[slot_idx as usize].counters.msgs_out += 1;
         }
-        staging::put_buffer(reply.descriptors);
+        self.arena.put_buffer(reply.descriptors);
     }
 
     /// Encodes and sends one frame; false on any counted failure.

@@ -45,12 +45,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use pss_core::{
-    GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, ProtocolConfig, Reply, Request, View,
+    Arena, GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, ProtocolConfig, Reply, Request,
+    View,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::exec::{self, lose, Directory, Mailboxes, SlotRef};
+use crate::pool::WorkerPool;
 use crate::population::{BoxedNode, Population};
 use crate::workload::Partition;
 use crate::{CycleReport, Snapshot};
@@ -356,9 +358,10 @@ enum WireMsg {
     Reply(Reply),
 }
 
-/// Upper bound on recycled payload buffers parked per shard; beyond this,
-/// spent buffers are dropped. Sized to cover the in-flight payload demand
-/// of large-c, high-loss runs without letting a transient spike pin memory.
+/// Upper bound on recycled payload buffers pooled per shard arena; beyond
+/// this, spent buffers are dropped. Sized to cover the in-flight payload
+/// demand of large-c, high-loss runs without letting a transient spike pin
+/// memory.
 const PAYLOAD_POOL_LIMIT: usize = 1024;
 
 /// One shard of the event engine: a node partition, its local event queue,
@@ -366,23 +369,19 @@ const PAYLOAD_POOL_LIMIT: usize = 1024;
 struct EventShard<N> {
     index: usize,
     pop: Population<N>,
+    /// Shard-owned staging arena. Every protocol call on this shard's nodes
+    /// works out of it: absorbed payload buffers are parked in its pool and
+    /// reused for outgoing messages. Sends and receives balance per shard
+    /// in steady state, so ownership replaces the cross-shard
+    /// capacity-return lanes earlier revisions needed when the pool was
+    /// tied to short-lived worker threads.
+    arena: Arena,
     /// Shard-local RNG: timer jitter, message latency, message loss.
     rng: SmallRng,
     queue: BinaryHeap<Reverse<Event>>,
     /// Monotone event sequence; tie-breaks equal times, orders sends.
     seq: u64,
     mail: Mailboxes<WireEvent>,
-    /// Spent payload buffers riding back to their sender shard: lane
-    /// `returns.out[src]` collects capacity this shard absorbed from
-    /// `src`'s messages, transposed at bucket boundaries alongside `mail`.
-    /// Worker threads are scoped per bucket, so capacity left in the
-    /// thread-local staging pool would die with the thread — parking it in
-    /// the shard (which persists) is what makes recycling effective.
-    returns: Mailboxes<Vec<NodeDescriptor>>,
-    /// Recycled payload buffers owned by this shard: refills the staging
-    /// pool before message builds, absorbs reclaimed buffers after local
-    /// deliveries and returned capacity at bucket boundaries.
-    payload_pool: Vec<Vec<NodeDescriptor>>,
     report: EventReport,
     /// Events processed by this shard (monotone).
     processed: u64,
@@ -400,22 +399,6 @@ impl<N> EventShard<N> {
     fn schedule(&mut self, time: u64, kind: EventKind) {
         let seq = self.next_seq();
         self.queue.push(Reverse(Event { time, seq, kind }));
-    }
-
-    /// Rescues one spent payload buffer from the thread-local staging pool
-    /// (where the node's absorb just recycled it) into shard-owned storage:
-    /// back to the sender shard's lane for cross-shard messages, into this
-    /// shard's own pool for local ones. Purely a capacity transfer —
-    /// buffer contents are cleared and can never affect protocol output.
-    fn reclaim_payload(&mut self, src_shard: u32) {
-        let Some(buffer) = pss_core::staging::reclaim_buffer() else {
-            return;
-        };
-        if src_shard as usize != self.index {
-            self.returns.out[src_shard as usize].push(buffer);
-        } else if self.payload_pool.len() < PAYLOAD_POOL_LIMIT {
-            self.payload_pool.push(buffer);
-        }
     }
 }
 
@@ -461,7 +444,8 @@ pub struct ShardedEventSimulation<N: GossipNode + Send = BoxedNode> {
     frontier: u64,
     /// Construction seed, kept for (seed, id)-pure bulk construction.
     seed: u64,
-    workers: usize,
+    /// Persistent bucket executor: threads live as long as the simulation.
+    pool: WorkerPool,
     /// True while cross-shard messages are parked in out-lanes mid-bucket.
     pending_mail: bool,
     /// Completed [`ShardedEventSimulation::run_cycle`] calls.
@@ -541,12 +525,11 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
             .map(|index| EventShard {
                 index,
                 pop: Population::new(),
+                arena: Arena::with_pool_limit(PAYLOAD_POOL_LIMIT),
                 rng: SmallRng::seed_from_u64(exec::shard_seed(seed, index)),
                 queue: BinaryHeap::new(),
                 seq: 0,
                 mail: Mailboxes::new(shards),
-                returns: Mailboxes::new(shards),
-                payload_pool: Vec::new(),
                 report: EventReport::default(),
                 processed: 0,
                 deliveries: Vec::new(),
@@ -563,7 +546,7 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
             now: 0,
             frontier: 0,
             seed,
-            workers: default_workers,
+            pool: WorkerPool::new(default_workers),
             pending_mail: false,
             cycles: 0,
             partition: None,
@@ -578,14 +561,17 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
 
     /// Worker threads used per bucket.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.pool.workers()
     }
 
-    /// Sets the worker-thread count (clamped to `1..=shard_count`).
-    /// Affects wall-clock time only; results are bit-identical for any
-    /// value.
+    /// Sets the worker-thread count (clamped to `1..=shard_count`),
+    /// rebuilding the persistent pool. Affects wall-clock time only;
+    /// results are bit-identical for any value.
     pub fn set_workers(&mut self, workers: usize) {
-        self.workers = workers.clamp(1, self.shards.len());
+        let workers = workers.clamp(1, self.shards.len());
+        if workers != self.pool.workers() {
+            self.pool = WorkerPool::new(workers);
+        }
     }
 
     /// The conservative lookahead window in ticks (= the minimum latency,
@@ -618,17 +604,10 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
         self.shards.iter().map(|s| s.processed).sum()
     }
 
-    /// Recycled payload buffers currently parked across all shards (pools
-    /// plus in-flight return lanes) — a pooling diagnostic.
+    /// Recycled payload buffers currently pooled across all shard arenas —
+    /// a pooling diagnostic.
     pub fn pooled_payloads(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.payload_pool.len()
-                    + s.returns.out.iter().map(Vec::len).sum::<usize>()
-                    + s.returns.inbox.iter().map(Vec::len).sum::<usize>()
-            })
-            .sum()
+        self.shards.iter().map(|s| s.arena.pooled_buffers()).sum()
     }
 
     /// Installs (`Some`) or lifts (`None`) a partition loss matrix
@@ -727,7 +706,7 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
         exec::bulk_build(
             &mut self.dir,
             &mut self.shards,
-            self.workers,
+            &self.pool,
             n,
             seed,
             self.factory.as_ref(),
@@ -877,6 +856,13 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
         })
     }
 
+    /// Estimates overlay health by streaming view rows — the O(id-space)
+    /// alternative to materializing [`ShardedEventSimulation::csr_snapshot`]'s
+    /// edge arrays at very large N (see [`crate::StreamingMetrics`]).
+    pub fn streaming_metrics(&self) -> crate::StreamingMetrics {
+        crate::StreamingMetrics::from_views(self.dir.len(), |f| self.for_each_live_view(f))
+    }
+
     /// Runs until simulation time reaches `deadline`: every event at or
     /// before it is processed. Returns the number of events processed.
     ///
@@ -892,7 +878,7 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
             config,
             window,
             frontier,
-            workers,
+            pool,
             pending_mail,
             partition,
             ..
@@ -946,17 +932,15 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
                 Some(end) if full => end - 1,
                 _ => deadline,
             };
-            exec::run_phase(shards, *workers, |shard| {
+            exec::run_phase(shards, pool, |shard| {
                 process_until(shard, limit, &ctx);
             });
             if full {
                 let end = bucket_end.expect("full implies a boundary");
                 // Bucket boundary: exchange mailboxes and merge, in fixed
-                // sender-shard order. Spent payload capacity rides back to
-                // its sender shard on the same transposition.
+                // sender-shard order.
                 exec::transpose(shards, |shard| &mut shard.mail);
-                exec::transpose(shards, |shard| &mut shard.returns);
-                exec::run_phase(shards, *workers, |shard| merge_inbox(shard, end));
+                exec::run_phase(shards, pool, |shard| merge_inbox(shard, end));
                 *pending_mail = false;
                 *frontier = end;
             } else {
@@ -1005,16 +989,6 @@ fn earliest<N>(shards: &[EventShard<N>]) -> Option<u64> {
 /// sender-shard lane order (FIFO within each lane): the deterministic
 /// cross-shard arrival order of the engine's contract.
 fn merge_inbox<N: GossipNode + Send>(shard: &mut EventShard<N>, horizon: u64) {
-    // Returned payload capacity first: buffers this shard's messages used,
-    // sent back by the shards that absorbed them.
-    for lane in 0..shard.returns.inbox.len() {
-        while let Some(buffer) = shard.returns.inbox[lane].pop() {
-            if shard.payload_pool.len() < PAYLOAD_POOL_LIMIT {
-                debug_assert!(buffer.is_empty(), "returned buffers must be spent");
-                shard.payload_pool.push(buffer);
-            }
-        }
-    }
     let mut inbox = core::mem::take(&mut shard.mail.inbox);
     for (src_shard, lane) in inbox.iter_mut().enumerate() {
         for wire in lane.drain(..) {
@@ -1071,12 +1045,9 @@ fn dispatch<N: GossipNode + Send>(shard: &mut EventShard<N>, event: Event, ctx: 
                 return;
             }
             shard.report.timers_fired += 1;
-            // Hand recycled capacity to the staging pool the node's
-            // message build draws from.
-            pss_core::staging::refill_from(&mut shard.payload_pool);
             let entry = shard.pop.slot_mut(slot);
             let initiator = entry.node.id();
-            match entry.node.initiate() {
+            match entry.node.initiate(&mut shard.arena) {
                 Some(exchange) => {
                     if lose(&mut shard.rng, ctx.config.loss_probability) {
                         shard.report.dropped_messages += 1;
@@ -1117,13 +1088,15 @@ fn dispatch<N: GossipNode + Send>(shard: &mut EventShard<N>, event: Event, ctx: 
                 return;
             }
             shard.report.requests_delivered += 1;
-            // The reply (if any) builds from the staging pool; the spent
-            // request buffer lands there right after. Refill before, then
-            // rescue the net surplus into shard-owned storage.
-            pss_core::staging::refill_from(&mut shard.payload_pool);
+            // The reply (if any) builds from the shard arena's pool; the
+            // spent request buffer is recycled into the same pool by the
+            // node's absorb, whichever shard it was allocated on.
             let responder = shard.pop.slot_mut(to_slot);
             let responder_id = responder.node.id();
-            match responder.node.handle_request(from, request) {
+            match responder
+                .node
+                .handle_request(&mut shard.arena, from, request)
+            {
                 Some(reply) => {
                     if lose(&mut shard.rng, ctx.config.loss_probability) {
                         shard.report.dropped_messages += 1;
@@ -1134,7 +1107,6 @@ fn dispatch<N: GossipNode + Send>(shard: &mut EventShard<N>, event: Event, ctx: 
                 // Push-only exchange: complete on request delivery.
                 None => shard.report.exchanges_completed += 1,
             }
-            shard.reclaim_payload(src_shard);
         }
         EventKind::Reply {
             from,
@@ -1149,12 +1121,13 @@ fn dispatch<N: GossipNode + Send>(shard: &mut EventShard<N>, event: Event, ctx: 
                 shard.report.dead_deliveries += 1;
                 return;
             }
-            shard.pop.slot_mut(to_slot).node.handle_reply(from, reply);
+            shard
+                .pop
+                .slot_mut(to_slot)
+                .node
+                .handle_reply(&mut shard.arena, from, reply);
             shard.report.replies_delivered += 1;
             shard.report.exchanges_completed += 1;
-            // The absorbed reply buffer was just recycled to the staging
-            // pool; rescue it into shard-owned storage.
-            shard.reclaim_payload(src_shard);
         }
     }
 }
@@ -1246,7 +1219,7 @@ impl<N: GossipNode + Send> std::fmt::Debug for ShardedEventSimulation<N> {
         f.debug_struct("ShardedEventSimulation")
             .field("now", &self.now)
             .field("shards", &self.shards.len())
-            .field("workers", &self.workers)
+            .field("workers", &self.pool.workers())
             .field("lookahead", &self.window)
             .field("nodes", &self.dir.len())
             .field("alive", &self.dir.alive_count())

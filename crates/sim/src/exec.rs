@@ -3,14 +3,17 @@
 //! Both parallel engines — the cycle-driven [`crate::ShardedSimulation`]
 //! and the event-driven [`crate::ShardedEventSimulation`] — run the same
 //! execution skeleton: a population partitioned into shards, phases executed
-//! by scoped worker threads with a static round-robin shard assignment, and
-//! fixed-order per-`(src, dst)` mailboxes that are pointer-swap transposed
-//! on the driver thread between phases. This module holds that skeleton so
-//! the two engines share one implementation (and one set of invariants):
+//! by a persistent [`WorkerPool`] with a static contiguous shard→worker
+//! assignment, and fixed-order per-`(src, dst)` mailboxes that are
+//! pointer-swap transposed on the driver thread between phases. This module
+//! holds that skeleton so the two engines share one implementation (and one
+//! set of invariants):
 //!
-//! * [`run_phase`] — scoped-worker execution of a per-shard closure. Shards
-//!   are data-isolated within a phase, so the thread assignment is pure load
-//!   balancing and can never affect results.
+//! * [`run_phase`] — pool execution of a per-shard closure. Shards are
+//!   data-isolated within a phase, so the shard→worker assignment is pure
+//!   load balancing and can never affect results; it is *contiguous and
+//!   static* (worker `w` always owns the same shard range) so each shard's
+//!   memory stays affine to one worker across phases and cycles.
 //! * [`Mailboxes`]/[`transpose`] — the fixed-order cross-shard queues. A
 //!   mailbox lane is written by exactly one shard and read by exactly one
 //!   shard, on opposite sides of a phase barrier; transposition swaps the
@@ -20,10 +23,13 @@
 //!   with its liveness bitset, the single source of truth shared by every
 //!   accessor on both engines.
 
+use std::sync::Mutex;
+
 use pss_core::{GossipNode, NodeDescriptor, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::pool::WorkerPool;
 use crate::population::Population;
 
 /// Where a global node id lives: `(shard, slot within the shard)`.
@@ -203,7 +209,7 @@ pub(crate) fn kill_node<S, N: GossipNode>(
 pub(crate) fn bulk_build<S, N, I>(
     dir: &mut Directory,
     shards: &mut [S],
-    workers: usize,
+    pool: &WorkerPool,
     n: usize,
     seed: u64,
     factory: &(dyn Fn(NodeId, u64) -> N + Send + Sync),
@@ -218,7 +224,10 @@ pub(crate) fn bulk_build<S, N, I>(
 {
     dir.plan_capacity(n);
     let shard_count = shards.len();
-    run_phase(shards, workers, |shard| {
+    // Routed through the pool with the same contiguous partition the
+    // phases use, so each shard's nodes are first-touched (and thus, on
+    // NUMA systems, placed) by the worker that will run them.
+    run_phase(shards, pool, |shard| {
         let (start, end) = planned_range(n, shard_count, index(shard));
         for raw in start..end {
             let id = NodeId::new(raw as u64);
@@ -360,36 +369,46 @@ pub(crate) fn transpose<S, T>(shards: &mut [S], mail: impl Fn(&mut S) -> &mut Ma
     }
 }
 
-/// Runs `f` over every shard using up to `workers` scoped threads with a
-/// static round-robin shard assignment. The assignment is pure load
-/// balancing: shards are data-isolated within a phase, so which thread runs
-/// which shard can never affect results.
-pub(crate) fn run_phase<S, F>(shards: &mut [S], workers: usize, f: F)
+/// Runs `f` over every shard on the persistent [`WorkerPool`], with a
+/// static *contiguous* shard→worker partition: worker `w` of `W` owns the
+/// shard range [`planned_range`]`(shards, W, w)`. The assignment is pure
+/// load balancing — shards are data-isolated within a phase, so which
+/// worker runs which shard can never affect results — but keeping it
+/// static and contiguous means a shard's memory is always touched by the
+/// same pool thread, so caches (and, under first-touch placement, pages)
+/// stay local to that worker.
+pub(crate) fn run_phase<S, F>(shards: &mut [S], pool: &WorkerPool, f: F)
 where
     S: Send,
     F: Fn(&mut S) + Sync,
 {
-    let workers = workers.clamp(1, shards.len().max(1));
+    let workers = pool.workers().clamp(1, shards.len().max(1));
     if workers <= 1 {
         for shard in shards.iter_mut() {
             f(shard);
         }
         return;
     }
-    let mut buckets: Vec<Vec<&mut S>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, shard) in shards.iter_mut().enumerate() {
-        buckets[i % workers].push(shard);
+    // Hand each worker its contiguous chunk through a take-once slot; the
+    // chunks are disjoint `&mut` slices, so there is no aliasing to police
+    // beyond the one-time take.
+    let total = shards.len();
+    let mut chunks: Vec<Mutex<Option<&mut [S]>>> = Vec::with_capacity(workers);
+    let mut rest = shards;
+    for w in 0..workers {
+        let (start, end) = planned_range(total, workers, w);
+        let (chunk, tail) = rest.split_at_mut(end - start);
+        rest = tail;
+        chunks.push(Mutex::new(Some(chunk)));
     }
-    let f = &f;
-    std::thread::scope(|scope| {
-        for bucket in buckets {
-            scope.spawn(move || {
-                // Warm this worker's staging arena once per phase batch.
-                pss_core::staging::prewarm(2, 64);
-                for shard in bucket {
-                    f(shard);
-                }
-            });
+    pool.run(workers, &|w| {
+        let chunk = chunks[w]
+            .lock()
+            .expect("chunk slot never poisoned: taken before f runs")
+            .take()
+            .expect("each chunk is taken exactly once");
+        for shard in chunk.iter_mut() {
+            f(shard);
         }
     });
 }
@@ -452,9 +471,38 @@ mod tests {
     #[test]
     fn run_phase_covers_every_shard_at_any_worker_count() {
         for workers in [1, 2, 5, 8] {
+            let pool = WorkerPool::new(workers);
             let mut shards: Vec<u64> = vec![0; 5];
-            run_phase(&mut shards, workers, |s| *s += 1);
+            run_phase(&mut shards, &pool, |s| *s += 1);
             assert_eq!(shards, vec![1; 5], "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn run_phase_partition_is_contiguous_and_covers_exactly_once() {
+        // Tag each shard with the worker that ran it; the static partition
+        // must be contiguous ranges in shard order.
+        let pool = WorkerPool::new(3);
+        let mut shards: Vec<(usize, Mutex<usize>)> =
+            (0..7).map(|i| (i, Mutex::new(usize::MAX))).collect();
+        let worker_of = Mutex::new(std::collections::HashMap::new());
+        run_phase(&mut shards, &pool, |(index, tag)| {
+            let key = std::thread::current().id();
+            let mut map = worker_of.lock().unwrap();
+            let next = map.len();
+            let worker = *map.entry(key).or_insert(next);
+            *tag.get_mut().unwrap() = worker;
+            let _ = index;
+        });
+        let tags: Vec<usize> = shards.iter().map(|(_, t)| *t.lock().unwrap()).collect();
+        assert!(tags.iter().all(|&t| t != usize::MAX), "every shard ran");
+        // Contiguity: equal tags form runs (no interleaving).
+        let mut seen = Vec::new();
+        for &t in &tags {
+            if seen.last() != Some(&t) {
+                assert!(!seen.contains(&t), "partition must be contiguous: {tags:?}");
+                seen.push(t);
+            }
         }
     }
 }

@@ -49,7 +49,9 @@
 //! # Ok::<(), pss_core::ConfigError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one module that needs `unsafe` — the
+// persistent worker pool — can opt in locally with documented invariants.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod churn;
@@ -57,6 +59,7 @@ mod cycle;
 mod engine;
 mod event;
 mod exec;
+mod pool;
 mod population;
 mod shard;
 mod snapshot;
@@ -75,5 +78,5 @@ pub use event::{
 };
 pub use population::BoxedNode;
 pub use shard::{CycleReport, FailureMode, GrowthPlan, ShardedSimulation};
-pub use snapshot::{CsrSnapshot, Snapshot};
+pub use snapshot::{CsrSnapshot, Snapshot, StreamingMetrics};
 pub use workload::{Partition, Workload, WorkloadTarget};

@@ -13,9 +13,11 @@
 //!    queueing replies; replies are then drained the same way and absorbed
 //!    by their initiators.
 //!
-//! The shard partitioning, mailbox transposition and scoped-worker
-//! scaffolding live in [`crate::exec`], shared with the event-driven
-//! [`crate::ShardedEventSimulation`].
+//! The shard partitioning, mailbox transposition and the persistent
+//! worker-pool scaffolding live in [`crate::exec`] and [`crate::pool`],
+//! shared with the event-driven [`crate::ShardedEventSimulation`]. Each
+//! shard owns its staging [`Arena`]: recycled message capacity stays with
+//! the shard no matter which pool thread runs it.
 //!
 //! # Determinism contract
 //!
@@ -37,13 +39,15 @@
 //! touched.
 
 use pss_core::{
-    GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, ProtocolConfig, Reply, Request, View,
+    Arena, GossipNode, NodeDescriptor, NodeId, PeerSamplingNode, ProtocolConfig, Reply, Request,
+    View,
 };
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::exec::{self, lose, Directory, Mailboxes, SlotRef};
+use crate::pool::WorkerPool;
 use crate::population::{BoxedNode, Population};
 use crate::workload::Partition;
 use crate::Snapshot;
@@ -129,6 +133,10 @@ struct QueuedReply {
 struct Shard<N> {
     index: usize,
     pop: Population<N>,
+    /// Shard-owned staging arena: every protocol call on this shard's
+    /// nodes works out of it, so recycled buffers stay shard-local no
+    /// matter which pool thread runs the phase.
+    arena: Arena,
     /// Shard-local RNG: initiation order and message-loss draws.
     rng: SmallRng,
     /// Per-cycle initiation order (local slots), reused across cycles.
@@ -177,7 +185,8 @@ pub struct ShardedSimulation<N: GossipNode + Send = BoxedNode> {
     message_loss: f64,
     failure_mode: FailureMode,
     partition: Option<Partition>,
-    workers: usize,
+    /// Persistent phase executor: threads live as long as the simulation.
+    pool: WorkerPool,
     /// Per-cycle liveness snapshot buffer, reused across cycles.
     alive_snapshot: Vec<u64>,
 }
@@ -230,6 +239,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             .map(|index| Shard {
                 index,
                 pop: Population::new(),
+                arena: Arena::new(),
                 // Independent per-shard stream; offset so shard 0 does not
                 // alias the control RNG.
                 rng: SmallRng::seed_from_u64(exec::shard_seed(seed, index)),
@@ -250,7 +260,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             message_loss: 0.0,
             failure_mode: FailureMode::default(),
             partition: None,
-            workers: default_workers,
+            pool: WorkerPool::new(default_workers),
             alive_snapshot: Vec::new(),
         }
     }
@@ -263,14 +273,18 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
 
     /// Worker threads used per phase.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.pool.workers()
     }
 
-    /// Sets the worker-thread count (clamped to `1..=shard_count`).
-    /// Affects wall-clock time only; results are bit-identical for any
-    /// value.
+    /// Sets the worker-thread count (clamped to `1..=shard_count`),
+    /// rebuilding the persistent pool (the old threads are joined, the new
+    /// ones live until the next change or drop). Affects wall-clock time
+    /// only; results are bit-identical for any value.
     pub fn set_workers(&mut self, workers: usize) {
-        self.workers = workers.clamp(1, self.shards.len());
+        let workers = workers.clamp(1, self.shards.len());
+        if workers != self.pool.workers() {
+            self.pool = WorkerPool::new(workers);
+        }
     }
 
     /// Declares that the next `n` node ids will be bulk-added, mapping them
@@ -374,7 +388,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
         exec::bulk_build(
             &mut self.dir,
             &mut self.shards,
-            self.workers,
+            &self.pool,
             n,
             self.seed,
             self.factory.as_ref(),
@@ -423,7 +437,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             shards,
             dir,
             alive_snapshot,
-            workers,
+            pool,
             message_loss,
             failure_mode,
             partition,
@@ -437,11 +451,11 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             partition: *partition,
         };
 
-        exec::run_phase(shards, *workers, |shard| phase_initiate(shard, &ctx));
+        exec::run_phase(shards, pool, |shard| phase_initiate(shard, &ctx));
         exec::transpose(shards, |shard| &mut shard.requests);
-        exec::run_phase(shards, *workers, |shard| phase_respond(shard, &ctx));
+        exec::run_phase(shards, pool, |shard| phase_respond(shard, &ctx));
         exec::transpose(shards, |shard| &mut shard.replies);
-        exec::run_phase(shards, *workers, phase_absorb);
+        exec::run_phase(shards, pool, phase_absorb);
 
         let mut report = CycleReport::default();
         for shard in shards.iter_mut() {
@@ -620,6 +634,13 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             self.for_each_live_view(f)
         })
     }
+
+    /// Estimates overlay health by streaming view rows — the O(id-space)
+    /// alternative to materializing [`ShardedSimulation::csr_snapshot`]'s
+    /// edge arrays at very large N (see [`crate::StreamingMetrics`]).
+    pub fn streaming_metrics(&self) -> crate::StreamingMetrics {
+        crate::StreamingMetrics::from_views(self.dir.len(), |f| self.for_each_live_view(f))
+    }
 }
 
 impl<N: GossipNode + Send> std::fmt::Debug for ShardedSimulation<N> {
@@ -627,7 +648,7 @@ impl<N: GossipNode + Send> std::fmt::Debug for ShardedSimulation<N> {
         f.debug_struct("ShardedSimulation")
             .field("cycle", &self.cycle)
             .field("shards", &self.shards.len())
-            .field("workers", &self.workers)
+            .field("workers", &self.pool.workers())
             .field("nodes", &self.dir.len())
             .field("alive", &self.dir.alive_count())
             .field("growth", &self.growth)
@@ -643,6 +664,7 @@ fn phase_initiate<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>
     let Shard {
         index,
         pop,
+        arena,
         rng,
         order,
         requests,
@@ -661,8 +683,10 @@ fn phase_initiate<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>
         let initiator = entry.node.id();
         let had_view = !entry.node.view().is_empty();
         let exchange = match ctx.mode {
-            FailureMode::SkipDead => entry.node.initiate_filtered(&mut |peer| ctx.is_live(peer)),
-            FailureMode::AttemptAndLose => entry.node.initiate(),
+            FailureMode::SkipDead => entry
+                .node
+                .initiate_filtered(arena, &mut |peer| ctx.is_live(peer)),
+            FailureMode::AttemptAndLose => entry.node.initiate(arena),
         };
         let Some(exchange) = exchange else {
             if had_view {
@@ -692,16 +716,16 @@ fn phase_initiate<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>
         if dest.shard as usize == *index {
             // Local peer: the exchange completes inline and atomically,
             // exactly like the sequential engine.
-            let reply = pop
-                .slot_mut(dest.slot)
-                .node
-                .handle_request(initiator, exchange.request);
+            let reply =
+                pop.slot_mut(dest.slot)
+                    .node
+                    .handle_request(arena, initiator, exchange.request);
             if let Some(reply) = reply {
                 if lose(rng, ctx.loss) {
                     report.dropped_messages += 1;
                     continue;
                 }
-                pop.slot_mut(slot).node.handle_reply(peer, reply);
+                pop.slot_mut(slot).node.handle_reply(arena, peer, reply);
             }
             report.completed += 1;
         } else {
@@ -719,6 +743,7 @@ fn phase_initiate<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>
 fn phase_respond<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>) {
     let Shard {
         pop,
+        arena,
         rng,
         requests,
         replies,
@@ -731,7 +756,9 @@ fn phase_respond<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>)
         for queued in inbox.drain(..) {
             let responder = pop.slot_mut(queued.to_slot);
             let responder_id = responder.node.id();
-            let reply = responder.node.handle_request(queued.from, queued.request);
+            let reply = responder
+                .node
+                .handle_request(arena, queued.from, queued.request);
             match reply {
                 Some(reply) => {
                     if lose(rng, ctx.loss) {
@@ -757,6 +784,7 @@ fn phase_respond<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>)
 fn phase_absorb<N: GossipNode + Send>(shard: &mut Shard<N>) {
     let Shard {
         pop,
+        arena,
         replies,
         report,
         ..
@@ -765,7 +793,7 @@ fn phase_absorb<N: GossipNode + Send>(shard: &mut Shard<N>) {
         for queued in inbox.drain(..) {
             pop.slot_mut(queued.to_slot)
                 .node
-                .handle_reply(queued.from, queued.reply);
+                .handle_reply(arena, queued.from, queued.reply);
             report.completed += 1;
         }
     }

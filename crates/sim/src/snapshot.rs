@@ -168,6 +168,132 @@ impl CsrSnapshot {
     }
 }
 
+/// Overlay health estimated **by streaming** view rows — no edge array.
+///
+/// [`CsrSnapshot`] materializes every directed edge (~120 MB at N = 10⁶,
+/// c = 30) before anything can be measured. For the health numbers the
+/// large-scale drivers actually watch — is the overlay in one piece, how
+/// skewed is the in-degree distribution — that is pure overhead: both are
+/// computable in O(id-space) memory from a single-visit stream of
+/// `(id, view)` rows. This does exactly that: weak connectivity through a
+/// union–find keyed by raw node id, in-degrees through one counter per id.
+/// Per-edge state is never stored, so memory is ~13 MB at N = 10⁶
+/// regardless of `c`.
+///
+/// Semantics match the materialized path bit for bit (pinned by tests
+/// against [`CsrSnapshot`]): rows are live nodes, view targets without a
+/// row are dead links and are dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingMetrics {
+    /// Live nodes (rows streamed).
+    pub live_nodes: usize,
+    /// Live → live directed view edges (dead links excluded).
+    pub edge_count: u64,
+    /// Largest weakly-connected component over live nodes — equals
+    /// [`pss_graph::components::largest_weak_component`] of the CSR graph.
+    pub largest_component: usize,
+    /// `in_degree_histogram[d]` = number of live nodes with in-degree `d`
+    /// in the directed view graph — equals the histogram of the CSR
+    /// graph's `in_degrees()`.
+    pub in_degree_histogram: Vec<u64>,
+}
+
+impl StreamingMetrics {
+    /// Computes the metrics from a view-row stream: `for_each` must visit
+    /// every live `(id, view)` exactly once per call with every id below
+    /// `id_space`, and is called twice — once to learn which ids are live,
+    /// once to walk edges (the same contract as the engines'
+    /// `for_each_live_view`).
+    pub fn from_views(id_space: usize, for_each: impl Fn(&mut dyn FnMut(NodeId, &View))) -> Self {
+        let mut live = vec![false; id_space];
+        let mut live_nodes = 0usize;
+        for_each(&mut |id, _| {
+            live[id.as_index()] = true;
+            live_nodes += 1;
+        });
+
+        // Union–find over raw ids, path-halving find + union by size, so
+        // component sizes fall out of the roots at the end.
+        let mut parent: Vec<u32> = (0..id_space as u32).collect();
+        let mut size: Vec<u32> = vec![1; id_space];
+        fn find(parent: &mut [u32], mut v: u32) -> u32 {
+            while parent[v as usize] != v {
+                parent[v as usize] = parent[parent[v as usize] as usize];
+                v = parent[v as usize];
+            }
+            v
+        }
+
+        let mut in_degrees: Vec<u32> = vec![0; id_space];
+        let mut edge_count = 0u64;
+        for_each(&mut |id, view| {
+            for target in view.ids() {
+                let t = target.as_index();
+                if !live.get(t).copied().unwrap_or(false) {
+                    continue; // dead link: dropped, as in the CSR path
+                }
+                edge_count += 1;
+                in_degrees[t] += 1;
+                let a = find(&mut parent, id.as_index() as u32);
+                let b = find(&mut parent, t as u32);
+                if a != b {
+                    let (big, small) = if size[a as usize] >= size[b as usize] {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    };
+                    parent[small as usize] = big;
+                    size[big as usize] += size[small as usize];
+                }
+            }
+        });
+
+        let mut largest_component = 0usize;
+        let mut in_degree_histogram = Vec::new();
+        for id in 0..id_space {
+            if !live[id] {
+                continue;
+            }
+            let root = find(&mut parent, id as u32);
+            if root == id as u32 {
+                largest_component = largest_component.max(size[id] as usize);
+            }
+            let d = in_degrees[id] as usize;
+            if d >= in_degree_histogram.len() {
+                in_degree_histogram.resize(d + 1, 0);
+            }
+            in_degree_histogram[d] += 1;
+        }
+
+        StreamingMetrics {
+            live_nodes,
+            edge_count,
+            largest_component,
+            in_degree_histogram,
+        }
+    }
+
+    /// True if every live node sits in one weak component.
+    pub fn is_connected(&self) -> bool {
+        self.largest_component == self.live_nodes
+    }
+
+    /// Mean in-degree over live nodes (= mean out-degree = mean view fill).
+    pub fn mean_in_degree(&self) -> f64 {
+        if self.live_nodes == 0 {
+            0.0
+        } else {
+            self.edge_count as f64 / self.live_nodes as f64
+        }
+    }
+
+    /// Largest in-degree — the hub/hotspot indicator the audit layer
+    /// watches under attack.
+    pub fn max_in_degree(&self) -> usize {
+        self.in_degree_histogram.len().saturating_sub(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +375,42 @@ mod tests {
     fn csr_from_rows_rejects_unsorted_rows() {
         let rows = vec![(NodeId::new(2), vec![]), (NodeId::new(0), vec![])];
         let _ = CsrSnapshot::from_rows(3, &rows);
+    }
+
+    #[test]
+    fn streaming_metrics_match_hand_counts() {
+        // Live 0, 2, 5 (two components: {0, 2} via mutual edges, {5}
+        // isolated after its only target 1 turns out dead).
+        let v0 = view(&[2, 1]);
+        let v2 = view(&[0]);
+        let v5 = view(&[1]);
+        let rows = vec![
+            (NodeId::new(0), v0),
+            (NodeId::new(2), v2),
+            (NodeId::new(5), v5),
+        ];
+        let m = StreamingMetrics::from_views(6, |f| {
+            for (id, view) in &rows {
+                f(*id, view);
+            }
+        });
+        assert_eq!(m.live_nodes, 3);
+        assert_eq!(m.edge_count, 2); // both edges to dead 1 dropped
+        assert_eq!(m.largest_component, 2);
+        assert!(!m.is_connected());
+        // In-degrees: node 0 ← 2, node 2 ← 0, node 5 ← nothing.
+        assert_eq!(m.in_degree_histogram, vec![1, 2]);
+        assert_eq!(m.max_in_degree(), 1);
+    }
+
+    #[test]
+    fn streaming_metrics_of_empty_overlay() {
+        let m = StreamingMetrics::from_views(4, |_| {});
+        assert_eq!(m.live_nodes, 0);
+        assert_eq!(m.edge_count, 0);
+        assert_eq!(m.largest_component, 0);
+        assert!(m.is_connected());
+        assert_eq!(m.mean_in_degree(), 0.0);
     }
 
     #[test]

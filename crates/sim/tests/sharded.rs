@@ -90,18 +90,22 @@ fn worker_invariance_under_attempt_and_lose() {
 /// not an engine change (previous value: 11722229421366107334).
 #[test]
 fn pinned_digest_at_tiny_scale() {
-    let config = ProtocolConfig::new(PolicyTriple::newscast(), 15).expect("valid");
-    let mut sim = scenario::random_overlay_sharded(&config, 300, 20040601, 2);
-    sim.set_workers(2);
-    let mut digest = FNV_OFFSET;
-    for _ in 0..60 {
-        digest_report(&mut digest, &sim.run_cycle());
+    // The persistent worker pool must be invisible to results: the pinned
+    // value holds at every pool width, not just the historical 2.
+    for workers in [1, 2, 4] {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 15).expect("valid");
+        let mut sim = scenario::random_overlay_sharded(&config, 300, 20040601, 2);
+        sim.set_workers(workers);
+        let mut digest = FNV_OFFSET;
+        for _ in 0..60 {
+            digest_report(&mut digest, &sim.run_cycle());
+        }
+        fnv1a(&mut digest, view_digest(&sim));
+        assert_eq!(
+            digest, PINNED_TINY_DIGEST,
+            "tiny-scale 2-shard digest changed at {workers} workers: engine semantics moved"
+        );
     }
-    fnv1a(&mut digest, view_digest(&sim));
-    assert_eq!(
-        digest, PINNED_TINY_DIGEST,
-        "tiny-scale 2-shard digest changed: engine semantics moved"
-    );
 }
 
 /// See [`pinned_digest_at_tiny_scale`].
@@ -209,4 +213,33 @@ fn csr_snapshot_matches_vec_snapshot() {
     }
     assert_eq!(csr.index_of(csr.node_id(0)), Some(0));
     assert_eq!(csr.index_of(NodeId::new(u64::MAX >> 1)), None);
+}
+
+/// The streaming estimator must agree with the materialized CSR path on a
+/// mid-size overlay with dead links in play — same component size, same
+/// in-degree histogram, same edge count, without ever building the edge
+/// array.
+#[test]
+fn streaming_metrics_match_materialized_snapshot() {
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 12).expect("valid");
+    let mut sim = scenario::random_overlay_sharded(&config, 800, 97, 4);
+    sim.run_cycles(8);
+    sim.kill_random_fraction(0.15); // dead targets must be dropped by both
+    let streamed = sim.streaming_metrics();
+    let csr = sim.csr_snapshot();
+    assert_eq!(streamed.live_nodes, csr.node_count());
+    assert_eq!(streamed.edge_count, csr.graph().edge_count() as u64);
+    assert_eq!(
+        streamed.largest_component,
+        pss_graph::components::largest_weak_component(csr.graph())
+    );
+    let mut histogram = Vec::new();
+    for d in csr.graph().in_degrees() {
+        let d = d as usize;
+        if d >= histogram.len() {
+            histogram.resize(d + 1, 0u64);
+        }
+        histogram[d] += 1;
+    }
+    assert_eq!(streamed.in_degree_histogram, histogram);
 }

@@ -171,21 +171,30 @@ fn worker_count_never_changes_results() {
 /// broke determinism.
 #[test]
 fn pinned_digest_at_tiny_scale() {
-    let config = ProtocolConfig::new(PolicyTriple::newscast(), 15).expect("valid");
-    let mut sim =
-        scenario::event_random_overlay_sharded(&config, EventConfig::default(), 300, 20040601, 2)
-            .expect("valid");
-    sim.set_workers(2);
-    let mut digest = FNV_OFFSET;
-    for _ in 0..20 {
-        sim.run_for(1000);
-        digest_event_report(&mut digest, &sim.report());
+    // The persistent worker pool must be invisible to results: the pinned
+    // value holds at every pool width, not just the historical 2.
+    for workers in [1, 2, 4] {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 15).expect("valid");
+        let mut sim = scenario::event_random_overlay_sharded(
+            &config,
+            EventConfig::default(),
+            300,
+            20040601,
+            2,
+        )
+        .expect("valid");
+        sim.set_workers(workers);
+        let mut digest = FNV_OFFSET;
+        for _ in 0..20 {
+            sim.run_for(1000);
+            digest_event_report(&mut digest, &sim.report());
+        }
+        fnv1a(&mut digest, view_digest(|f| sim.for_each_live_view(f)));
+        assert_eq!(
+            digest, PINNED_TINY_EVENT_DIGEST,
+            "tiny-scale 2-shard event digest changed at {workers} workers: engine semantics moved"
+        );
     }
-    fnv1a(&mut digest, view_digest(|f| sim.for_each_live_view(f)));
-    assert_eq!(
-        digest, PINNED_TINY_EVENT_DIGEST,
-        "tiny-scale 2-shard event digest changed: engine semantics moved"
-    );
 }
 
 /// See [`pinned_digest_at_tiny_scale`].
@@ -337,6 +346,36 @@ fn event_csr_snapshot_matches_vec_snapshot() {
             "row {v} diverged"
         );
     }
+}
+
+/// See the cycle engine's `streaming_metrics_match_materialized_snapshot`:
+/// the event engine streams the same rows, so the estimator must agree
+/// with its materialized CSR too.
+#[test]
+fn event_streaming_metrics_match_materialized_snapshot() {
+    let config = ProtocolConfig::new(PolicyTriple::newscast(), 12).expect("valid");
+    let mut sim =
+        scenario::event_random_overlay_sharded(&config, EventConfig::default(), 500, 97, 4)
+            .expect("valid");
+    sim.run_for(8000);
+    sim.kill_random_fraction(0.15);
+    let streamed = sim.streaming_metrics();
+    let csr = sim.csr_snapshot();
+    assert_eq!(streamed.live_nodes, csr.node_count());
+    assert_eq!(streamed.edge_count, csr.graph().edge_count() as u64);
+    assert_eq!(
+        streamed.largest_component,
+        pss_graph::components::largest_weak_component(csr.graph())
+    );
+    let mut histogram = Vec::new();
+    for d in csr.graph().in_degrees() {
+        let d = d as usize;
+        if d >= histogram.len() {
+            histogram.resize(d + 1, 0u64);
+        }
+        histogram[d] += 1;
+    }
+    assert_eq!(streamed.in_degree_histogram, histogram);
 }
 
 #[test]
