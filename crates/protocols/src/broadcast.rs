@@ -5,6 +5,13 @@
 //! group in `O(log N)` rounds with high probability; with a gossip sampler
 //! the speed and final coverage depend on the overlay's properties — exactly
 //! the dependence the paper's evaluation quantifies.
+//!
+//! The run is membership-aware: each round re-reads the source's live set
+//! ([`SampleSource::live_ids`]), so coverage is always a fraction of who
+//! actually participates. Nodes that crash mid-run stop counting (and stop
+//! sending), joiners enter uninformed, and pushes that land on dead ids are
+//! tallied as [`wasted`](BroadcastReport::wasted) instead of silently
+//! succeeding.
 
 use pss_core::NodeId;
 
@@ -31,18 +38,29 @@ impl Default for BroadcastConfig {
     }
 }
 
-/// Result of a broadcast run.
+/// Result of a broadcast run. All per-round series index round 0 as the
+/// state before the first round.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BroadcastReport {
     informed_per_round: Vec<usize>,
-    population: usize,
+    live_per_round: Vec<usize>,
+    delivered: u64,
+    redundant: u64,
+    wasted: u64,
 }
 
 impl BroadcastReport {
-    /// Cumulative number of informed nodes after each round; index 0 is the
-    /// state before the first round (always 1, the origin).
+    /// Cumulative number of informed *live* nodes after each round; index 0
+    /// is the state before the first round (1 when the origin is live).
+    /// Informed nodes that die later drop back out of the count.
     pub fn informed_per_round(&self) -> &[usize] {
         &self.informed_per_round
+    }
+
+    /// Live population after each round, aligned with
+    /// [`informed_per_round`](Self::informed_per_round).
+    pub fn live_per_round(&self) -> &[usize] {
+        &self.live_per_round
     }
 
     /// Rounds actually executed.
@@ -50,27 +68,48 @@ impl BroadcastReport {
         self.informed_per_round.len().saturating_sub(1)
     }
 
-    /// Final fraction of the population informed, in `[0, 1]`.
+    /// Final fraction of the *live* population informed, in `[0, 1]`.
     pub fn coverage(&self) -> f64 {
-        if self.population == 0 {
+        let live = *self.live_per_round.last().unwrap_or(&0);
+        if live == 0 {
             return 0.0;
         }
-        *self.informed_per_round.last().unwrap_or(&0) as f64 / self.population as f64
+        *self.informed_per_round.last().unwrap_or(&0) as f64 / live as f64
     }
 
-    /// First round by which at least `fraction` of the population was
-    /// informed, if ever.
+    /// First round by which at least `fraction` of the then-live population
+    /// was informed, if ever.
     pub fn rounds_to_reach(&self, fraction: f64) -> Option<usize> {
-        let target = (fraction * self.population as f64).ceil() as usize;
-        self.informed_per_round.iter().position(|&i| i >= target)
+        self.informed_per_round
+            .iter()
+            .zip(&self.live_per_round)
+            .position(|(&informed, &live)| informed >= (fraction * live as f64).ceil() as usize)
+    }
+
+    /// Pushes that landed on a live node (first deliveries and redundant
+    /// ones alike).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Pushes that landed on an already-informed live node.
+    pub fn redundant(&self) -> u64 {
+        self.redundant
+    }
+
+    /// Pushes addressed to a node that was dead on arrival.
+    pub fn wasted(&self) -> u64 {
+        self.wasted
     }
 }
 
-/// Runs a push broadcast from `origin` over a population of `n` nodes
-/// (`NodeId` 0..n), drawing peers from `source`.
+/// Runs a push broadcast from `origin`, drawing peers from `source`.
 ///
-/// Each round: every currently informed node draws `config.fanout` peers and
-/// informs them; then the source's membership layer advances one round.
+/// `n` is the static id space used when the source exposes no membership
+/// (`live_ids() == None`); membership-tracking sources override it every
+/// round. Each round: every informed live node draws `config.fanout` peers
+/// and informs them; then the source's membership layer advances one round,
+/// which may kill informed nodes or admit uninformed joiners.
 ///
 /// # Examples
 ///
@@ -94,39 +133,77 @@ pub fn run(
     origin: NodeId,
     config: &BroadcastConfig,
 ) -> BroadcastReport {
-    let mut informed = vec![false; n];
-    let mut informed_count = 0usize;
-    if origin.as_index() < n {
-        informed[origin.as_index()] = true;
-        informed_count = 1;
+    // The live set a static source implies: exactly 0..n.
+    fn live_or_range(ids: Option<Vec<NodeId>>, n: usize) -> Vec<NodeId> {
+        ids.unwrap_or_else(|| (0..n as u64).map(NodeId::new).collect())
     }
-    let mut history = vec![informed_count];
+    // Refreshes the liveness bitmap, growing both it and `informed` to
+    // cover every live id (joiners can exceed the static id space).
+    fn mark_live(live: &[NodeId], bit: &mut Vec<bool>, informed: &mut Vec<bool>) {
+        let max = live.iter().map(|id| id.as_index() + 1).max().unwrap_or(0);
+        bit.clear();
+        bit.resize(max, false);
+        if informed.len() < max {
+            informed.resize(max, false);
+        }
+        for id in live {
+            bit[id.as_index()] = true;
+        }
+    }
+    fn count_informed(live: &[NodeId], informed: &[bool]) -> usize {
+        live.iter()
+            .filter(|id| informed.get(id.as_index()).copied().unwrap_or(false))
+            .count()
+    }
 
+    let mut informed: Vec<bool> = vec![false; n];
+    let mut live_bit: Vec<bool> = Vec::new();
+    let mut delivered = 0u64;
+    let mut redundant = 0u64;
+    let mut wasted = 0u64;
+
+    let mut live = live_or_range(source.live_ids(), n);
+    mark_live(&live, &mut live_bit, &mut informed);
+    if live_bit.get(origin.as_index()).copied().unwrap_or(false) {
+        informed[origin.as_index()] = true;
+    }
+    let mut history = vec![count_informed(&live, &informed)];
+    let mut live_history = vec![live.len()];
+
+    let mut senders: Vec<NodeId> = Vec::new();
     for _ in 0..config.max_rounds {
-        if informed_count == n {
+        if !live.is_empty() && history.last() == live_history.last() {
             break;
         }
-        let senders: Vec<NodeId> = informed
-            .iter()
-            .enumerate()
-            .filter(|(_, &inf)| inf)
-            .map(|(i, _)| NodeId::new(i as u64))
-            .collect();
+        senders.clear();
+        senders.extend(live.iter().copied().filter(|id| informed[id.as_index()]));
         let mut newly = 0usize;
-        for sender in senders {
+        for &sender in &senders {
             for _ in 0..config.fanout {
                 if let Some(peer) = source.sample_for(sender) {
                     let idx = peer.as_index();
-                    if idx < n && !informed[idx] {
+                    if !live_bit.get(idx).copied().unwrap_or(false) {
+                        wasted += 1;
+                        continue;
+                    }
+                    delivered += 1;
+                    if informed.len() <= idx {
+                        informed.resize(idx + 1, false);
+                    }
+                    if informed[idx] {
+                        redundant += 1;
+                    } else {
                         informed[idx] = true;
-                        informed_count += 1;
                         newly += 1;
                     }
                 }
             }
         }
         source.advance_round();
-        history.push(informed_count);
+        live = live_or_range(source.live_ids(), n);
+        mark_live(&live, &mut live_bit, &mut informed);
+        history.push(count_informed(&live, &informed));
+        live_history.push(live.len());
         if config.stop_when_quiescent && newly == 0 {
             break;
         }
@@ -134,16 +211,19 @@ pub fn run(
 
     BroadcastReport {
         informed_per_round: history,
-        population: n,
+        live_per_round: live_history,
+        delivered,
+        redundant,
+        wasted,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{OracleSource, SimSampleSource};
+    use crate::{EngineSampleSource, OracleSource, SimSampleSource};
     use pss_core::{PolicyTriple, ProtocolConfig};
-    use pss_sim::scenario;
+    use pss_sim::{scenario, Engine};
 
     #[test]
     fn oracle_broadcast_reaches_everyone() {
@@ -160,6 +240,9 @@ mod tests {
         // Monotone non-decreasing history starting at 1.
         assert_eq!(report.informed_per_round()[0], 1);
         assert!(report.informed_per_round().windows(2).all(|w| w[0] <= w[1]));
+        assert!(report.live_per_round().iter().all(|&l| l == 500));
+        assert_eq!(report.wasted(), 0);
+        assert!(report.delivered() >= report.redundant());
     }
 
     #[test]
@@ -174,6 +257,48 @@ mod tests {
             &BroadcastConfig::default(),
         );
         assert!(report.coverage() > 0.99, "coverage {}", report.coverage());
+    }
+
+    #[test]
+    fn coverage_counts_only_live_nodes_under_churn() {
+        // Regression for the static-denominator bug: kill a third of the
+        // overlay mid-run and the report must still be able to read 100 %
+        // of the *live* population, with rounds_to_reach(1.0) firing.
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 15).unwrap();
+        let mut sim = scenario::random_overlay(&config, 240, 6);
+        sim.run_cycles(10);
+        Engine::kill_random(&mut sim, 80);
+        sim.run_cycles(5); // let views heal a little
+        let mut src = EngineSampleSource::new(&mut sim, 3);
+        let origin = src.live_ids().unwrap()[0];
+        let report = run(&mut src, 240, origin, &BroadcastConfig::default());
+        assert_eq!(*report.live_per_round().last().unwrap(), 160);
+        assert!(
+            report.coverage() > 0.99,
+            "live coverage {}",
+            report.coverage()
+        );
+        assert!(
+            report.rounds_to_reach(1.0).is_some(),
+            "rounds_to_reach(1.0) never fired: {:?} / {:?}",
+            report.informed_per_round(),
+            report.live_per_round()
+        );
+    }
+
+    #[test]
+    fn dead_deliveries_count_as_wasted() {
+        // SimSampleSource hands out raw view entries, dead links included;
+        // right after a massacre the broadcast must observe wasted pushes.
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 15).unwrap();
+        let mut sim = scenario::random_overlay(&config, 200, 8);
+        sim.run_cycles(10);
+        Engine::kill_random(&mut sim, 100);
+        let origin = sim.alive_ids()[0];
+        let mut src = SimSampleSource::new(&mut sim);
+        let report = run(&mut src, 200, origin, &BroadcastConfig::default());
+        assert!(report.wasted() > 0, "no wasted pushes right after a kill");
+        assert!(*report.live_per_round().last().unwrap() <= 100);
     }
 
     #[test]
