@@ -31,8 +31,8 @@
 //! offset  size  field
 //! 0       4     payload length: bytes after this field (u32 LE)
 //! 4       4     magic "PSSW"
-//! 8       1     version (currently 1)
-//! 9       1     kind: 1 = request, 2 = reply
+//! 8       1     version (currently 2; decoders accept 1..=2)
+//! 9       1     kind: 1 = request, 2 = reply, 3 = app (version ≥ 2)
 //! 10      1     flags: bit 0 = wants_reply (requests only; else 0)
 //! 11      1     reserved (0)
 //! 12      8     source node id (u64 LE)
@@ -72,8 +72,13 @@ use crate::{NodeDescriptor, NodeId};
 /// Frame magic: the first four payload bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"PSSW";
 
-/// Current codec version.
-pub const VERSION: u8 = 1;
+/// Current codec version. Version 2 added the [`FrameKind::App`]
+/// application frame; headers are otherwise unchanged, so version-1 frames
+/// remain decodable ([`MIN_VERSION`]).
+pub const VERSION: u8 = 2;
+
+/// Oldest codec version decoders still accept.
+pub const MIN_VERSION: u8 = 1;
 
 /// Encoded size of a [`NetAddr`].
 pub const ADDR_LEN: usize = 19;
@@ -132,10 +137,16 @@ pub enum FrameKind {
     Request,
     /// A passive-thread reply ([`crate::Reply`]).
     Reply,
+    /// An application payload riding the gossip wire (codec version ≥ 2):
+    /// same length-prefixed header, and the descriptor region is free for
+    /// app use (the broadcast storm sends it empty — the frame itself is
+    /// the rumor). App frames never want a reply and carry zero flags.
+    App,
 }
 
 const KIND_REQUEST: u8 = 1;
 const KIND_REPLY: u8 = 2;
+const KIND_APP: u8 = 3;
 const FLAG_WANTS_REPLY: u8 = 0b0000_0001;
 
 /// Why a frame could not be encoded.
@@ -369,6 +380,7 @@ pub fn encode(
     buf.push(match kind {
         FrameKind::Request => KIND_REQUEST,
         FrameKind::Reply => KIND_REPLY,
+        FrameKind::App => KIND_APP,
     });
     buf.push(if wants_reply && kind == FrameKind::Request {
         FLAG_WANTS_REPLY
@@ -420,16 +432,20 @@ pub fn decode(bytes: &[u8]) -> Result<Frame<'_>, DecodeError> {
     if magic != MAGIC {
         return Err(DecodeError::BadMagic(magic));
     }
-    if bytes[8] != VERSION {
-        return Err(DecodeError::BadVersion(bytes[8]));
+    let version = bytes[8];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(DecodeError::BadVersion(version));
     }
     let kind = match bytes[9] {
         KIND_REQUEST => FrameKind::Request,
         KIND_REPLY => FrameKind::Reply,
+        // App frames entered the codec in version 2; a version-1 sender
+        // cannot legally have produced one.
+        KIND_APP if version >= 2 => FrameKind::App,
         k => return Err(DecodeError::BadKind(k)),
     };
     let flags = bytes[10];
-    if flags & !FLAG_WANTS_REPLY != 0 || (kind == FrameKind::Reply && flags != 0) {
+    if flags & !FLAG_WANTS_REPLY != 0 || (kind != FrameKind::Request && flags != 0) {
         return Err(DecodeError::BadFlags(flags));
     }
     let src = NodeId::new(get_u64(&bytes[12..20]));
@@ -644,6 +660,49 @@ mod tests {
         let frame = decode(&buf).unwrap();
         assert_eq!(frame.kind, FrameKind::Reply);
         assert!(!frame.wants_reply);
+    }
+
+    #[test]
+    fn app_frames_roundtrip_and_are_version_gated() {
+        let mut buf = Vec::new();
+        encode(
+            &mut buf,
+            FrameKind::App,
+            true, // ignored for app frames
+            NodeId::new(3),
+            NodeId::new(8),
+            v4(4100),
+            &[],
+            |_| Some(v4(1)),
+        )
+        .unwrap();
+        let frame = decode(&buf).unwrap();
+        assert_eq!(frame.kind, FrameKind::App);
+        assert!(!frame.wants_reply);
+        assert_eq!(frame.count, 0);
+
+        // A version-1 frame cannot carry the app kind…
+        let mut v1 = buf.clone();
+        v1[8] = 1;
+        assert_eq!(decode(&v1).unwrap_err(), DecodeError::BadKind(KIND_APP));
+        // …and app flags must be zero.
+        let mut flagged = buf.clone();
+        flagged[10] = FLAG_WANTS_REPLY;
+        assert!(matches!(decode(&flagged), Err(DecodeError::BadFlags(_))));
+    }
+
+    #[test]
+    fn version_1_request_frames_still_decode() {
+        let mut buf = sample_frame(&[NodeDescriptor::new(NodeId::new(1), 2)]);
+        buf[8] = 1;
+        let frame = decode(&buf).expect("v1 frames stay decodable");
+        assert_eq!(frame.kind, FrameKind::Request);
+        assert!(decode(&{
+            let mut b = buf.clone();
+            b[8] = 0;
+            b
+        })
+        .is_err());
     }
 
     #[test]

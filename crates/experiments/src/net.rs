@@ -137,6 +137,7 @@ pub fn run(config: &NetConfig) -> NetResult {
         seed: config.scale.seed,
         workload: None,
         honest_policy: None,
+        broadcast: None,
     };
     let report = cluster::run(&cluster_config).expect("loopback sockets available");
     NetResult {

@@ -76,6 +76,21 @@ pub struct ClusterConfig {
     /// view size governs the full-view metric. Attackers always mimic the
     /// skeleton at the same view size.
     pub honest_policy: Option<HonestPolicy>,
+    /// Optional broadcast application: every runtime enables the rumor app
+    /// and the report carries a per-period spread trace.
+    pub broadcast: Option<ClusterBroadcast>,
+}
+
+/// Broadcast app parameters for a cluster run ([`ClusterConfig::broadcast`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterBroadcast {
+    /// The node seeded with the rumor. Must be an initial id (`< nodes`).
+    pub origin: NodeId,
+    /// Rumor pushes per period per informed node.
+    pub fanout: usize,
+    /// 1-based period at whose boundary the rumor is planted (after that
+    /// boundary's membership events).
+    pub start_period: u64,
 }
 
 impl ClusterConfig {
@@ -92,6 +107,7 @@ impl ClusterConfig {
             seed: 20040601,
             workload: None,
             honest_policy: None,
+            broadcast: None,
         }
     }
 }
@@ -134,6 +150,9 @@ pub struct ClusterReport {
     /// Per-period attack observables, from the same rows; empty unless the
     /// workload placed adversaries.
     pub attack_records: Vec<AttackRecord>,
+    /// Per-period rumor spread; empty unless [`ClusterConfig::broadcast`]
+    /// was set.
+    pub broadcast: Vec<BroadcastPeriod>,
     /// First period at which ≥ 99% of nodes had full views.
     pub converged_at: Option<u64>,
     /// Runtime statistics summed across all runtimes (final).
@@ -154,6 +173,26 @@ impl ClusterReport {
     pub fn exchanges_per_sec(&self) -> f64 {
         self.stats.exchanges_completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
+
+    /// Final rumor coverage: informed live nodes over live nodes at the
+    /// last period (0.0 without a broadcast trace).
+    pub fn broadcast_coverage(&self) -> f64 {
+        match self.broadcast.last() {
+            Some(b) if b.live > 0 => b.informed as f64 / b.live as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// One period of cluster-wide rumor spread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastPeriod {
+    /// 1-based period index.
+    pub period: u64,
+    /// Live nodes at the snapshot.
+    pub live: usize,
+    /// Live nodes holding the rumor.
+    pub informed: usize,
 }
 
 /// The contiguous id range runtime `r` of `k` owns under `n` nodes — the
@@ -173,6 +212,8 @@ struct PeriodSnapshot {
     runtime: usize,
     period: u64,
     rows: Vec<(NodeId, Vec<NodeId>)>,
+    /// Live hosted nodes holding the rumor (empty when the app is off).
+    informed: Vec<NodeId>,
     stats: RuntimeStats,
 }
 
@@ -314,6 +355,9 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
             }
             rt.add_node(node, &introducers);
         }
+        if let Some(bcast) = config.broadcast {
+            rt.enable_broadcast(bcast.fanout);
+        }
         runtimes.push(rt);
     }
 
@@ -326,6 +370,8 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
     let period_ms = config.period_ms;
     let view_size = policy.view_size();
     let seed = config.seed;
+    let broadcast = config.broadcast;
+    let origin_runtime = broadcast.map(|b| placement(b.origin.as_index()));
 
     std::thread::scope(|scope| {
         for ((runtime_idx, mut rt), mut schedule) in
@@ -354,6 +400,13 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
                             RtOp::SetPartition(partition) => rt.set_partition(partition),
                         }
                     }
+                    // The rumor is planted after the boundary's membership
+                    // events, so a killed origin stays uninformed.
+                    if let Some(bcast) = broadcast {
+                        if p == bcast.start_period && origin_runtime == Some(runtime_idx) {
+                            rt.seed_rumor(bcast.origin);
+                        }
+                    }
                     let target = p * period_ms;
                     loop {
                         let elapsed = started.elapsed().as_millis() as u64;
@@ -367,10 +420,15 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
                     rt.for_each_live_view(|id, view| {
                         rows.push((id, view.ids().collect::<Vec<NodeId>>()));
                     });
+                    let mut informed = Vec::new();
+                    if broadcast.is_some() {
+                        rt.for_each_informed(|id| informed.push(id));
+                    }
                     let snapshot = PeriodSnapshot {
                         runtime: runtime_idx,
                         period: p,
                         rows,
+                        informed,
                         stats: rt.stats(),
                     };
                     if tx.send(snapshot).is_err() {
@@ -389,6 +447,7 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
         let mut period_stats: Vec<PeriodStats> = Vec::with_capacity(periods as usize);
         let mut records: Vec<PeriodRecord> = Vec::with_capacity(periods as usize);
         let mut attack_records: Vec<AttackRecord> = Vec::new();
+        let mut broadcast_trace: Vec<BroadcastPeriod> = Vec::new();
         let mut latest_stats: Vec<RuntimeStats> = vec![RuntimeStats::default(); config.runtimes];
         let mut pending: Vec<Vec<PeriodSnapshot>> = (0..periods).map(|_| Vec::new()).collect();
         let mut dead = vec![false; id_space];
@@ -404,6 +463,7 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
                     "period snapshots must complete in order (barrier contract)"
                 );
                 let batch = std::mem::take(&mut pending[p]);
+                let informed: usize = batch.iter().map(|s| s.informed.len()).sum();
                 let mut rows: Vec<(NodeId, Vec<NodeId>)> =
                     batch.into_iter().flat_map(|s| s.rows).collect();
                 // Joined ids land out of range order; sort globally.
@@ -438,6 +498,13 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
                     in_degree_mean: record.in_degree_mean,
                     in_degree_sd: record.in_degree_sd,
                 });
+                if broadcast.is_some() {
+                    broadcast_trace.push(BroadcastPeriod {
+                        period: record.period,
+                        live: record.live,
+                        informed,
+                    });
+                }
                 records.push(record);
             }
         }
@@ -455,6 +522,7 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
             periods: period_stats,
             records,
             attack_records,
+            broadcast: broadcast_trace,
             converged_at,
             stats,
             elapsed,

@@ -164,6 +164,14 @@ pub struct RuntimeStats {
     /// Zero in steady state on ring-backed transports; growth means the
     /// ring depth is too small for the frame rate.
     pub recv_ring_empty: u64,
+    /// App frames that informed a previously-uninformed live node
+    /// ([`NetRuntime::enable_broadcast`]).
+    pub app_delivered: u64,
+    /// App frames absorbed by an already-informed live node.
+    pub app_redundant: u64,
+    /// App frames addressed to a departed node — deliveries wasted on the
+    /// dead, the deployed twin of the protocol layer's `wasted` metric.
+    pub app_wasted: u64,
 }
 
 impl RuntimeStats {
@@ -193,6 +201,9 @@ impl RuntimeStats {
         self.timeouts += other.timeouts;
         self.empty_view += other.empty_view;
         self.recv_ring_empty += other.recv_ring_empty;
+        self.app_delivered += other.app_delivered;
+        self.app_redundant += other.app_redundant;
+        self.app_wasted += other.app_wasted;
     }
 }
 
@@ -202,6 +213,9 @@ struct Slot<N> {
     counters: NodeCounters,
     /// An outstanding pushpull exchange: `(peer, sent tick)`.
     pending_reply: Option<(NodeId, u64)>,
+    /// Holds the rumor when the broadcast app is enabled
+    /// ([`NetRuntime::enable_broadcast`]).
+    informed: bool,
 }
 
 /// See the [module docs](self) and the [crate example](crate).
@@ -240,6 +254,13 @@ pub struct NetRuntime<T: Transport, N: GossipNode = pss_core::PeerSamplingNode> 
     requests_in: u64,
     replies_in: u64,
     exchanges_completed: u64,
+    /// Broadcast app: push fanout per period, `None` = app disabled (the
+    /// default — a disabled app draws nothing from the runtime RNG, so
+    /// protocol-only runs stay bit-identical to earlier versions).
+    app_fanout: Option<usize>,
+    app_delivered: u64,
+    app_redundant: u64,
+    app_wasted: u64,
 }
 
 impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
@@ -280,6 +301,10 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             requests_in: 0,
             replies_in: 0,
             exchanges_completed: 0,
+            app_fanout: None,
+            app_delivered: 0,
+            app_redundant: 0,
+            app_wasted: 0,
         })
     }
 
@@ -338,6 +363,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             alive: true,
             counters: NodeCounters::default(),
             pending_reply: None,
+            informed: false,
         });
         self.index.insert(id.as_u64(), slot);
         let phase = self.rng.random_range(0..self.config.period);
@@ -374,6 +400,44 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
     /// traffic crosses in either direction.
     pub fn set_partition(&mut self, partition: Option<Partition>) {
         self.partition = partition;
+    }
+
+    /// Enables the SIR push-broadcast app: every period, each live hosted
+    /// node holding the rumor pushes it to `fanout` peers drawn from its
+    /// current view as [`FrameKind::App`] frames. The rumor is the frame
+    /// itself — app frames carry no descriptors and never teach the
+    /// address book. Nothing spreads until [`NetRuntime::seed_rumor`]
+    /// plants the rumor somewhere in the cluster.
+    pub fn enable_broadcast(&mut self, fanout: usize) {
+        self.app_fanout = Some(fanout);
+    }
+
+    /// Plants the rumor at a hosted live node; false if it is unknown or
+    /// departed.
+    pub fn seed_rumor(&mut self, id: NodeId) -> bool {
+        match self.index.get(&id.as_u64()) {
+            Some(&slot) if self.nodes[slot as usize].alive => {
+                self.nodes[slot as usize].informed = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True if a hosted live node holds the rumor.
+    pub fn is_informed(&self, id: NodeId) -> bool {
+        self.index.get(&id.as_u64()).is_some_and(|&slot| {
+            self.nodes[slot as usize].alive && self.nodes[slot as usize].informed
+        })
+    }
+
+    /// Visits every live hosted node holding the rumor, in add order.
+    pub fn for_each_informed(&self, mut f: impl FnMut(NodeId)) {
+        for slot in &self.nodes {
+            if slot.alive && slot.informed {
+                f(slot.node.id());
+            }
+        }
     }
 
     /// The view of a hosted, live node.
@@ -421,6 +485,9 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             replies_in: self.replies_in,
             exchanges_completed: self.exchanges_completed,
             recv_ring_empty: self.transport.recv_ring_empty(),
+            app_delivered: self.app_delivered,
+            app_redundant: self.app_redundant,
+            app_wasted: self.app_wasted,
             ..RuntimeStats::default()
         };
         for slot in &self.nodes {
@@ -483,15 +550,25 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
         let slot = &mut self.nodes[slot_idx as usize];
         if !slot.alive {
             self.dead_deliveries += 1;
+            if frame.kind == FrameKind::App {
+                // The deployed twin of the protocol layer's `wasted`
+                // metric: a rumor push spent on a departed node.
+                self.app_wasted += 1;
+            }
             return;
         }
         let mut payload = self.arena.take_buffer();
         let book = &mut self.book;
-        if wire::read_descriptors(&frame, &mut payload, &mut self.scratch, |id, addr| {
-            book.insert(id.as_u64(), addr);
-        })
-        .is_err()
-        {
+        let decoded = if frame.kind == FrameKind::App {
+            // App frames are opaque to the membership layer: whatever
+            // descriptor region a peer put there must not teach the book.
+            wire::read_descriptors(&frame, &mut payload, &mut self.scratch, |_, _| {})
+        } else {
+            wire::read_descriptors(&frame, &mut payload, &mut self.scratch, |id, addr| {
+                book.insert(id.as_u64(), addr);
+            })
+        };
+        if decoded.is_err() {
             slot.counters.decode_failures += 1;
             self.arena.put_buffer(payload);
             return;
@@ -536,6 +613,15 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                 );
                 self.exchanges_completed += 1;
             }
+            FrameKind::App => {
+                if slot.informed {
+                    self.app_redundant += 1;
+                } else {
+                    slot.informed = true;
+                    self.app_delivered += 1;
+                }
+                self.arena.put_buffer(payload);
+            }
         }
     }
 
@@ -576,8 +662,38 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                 t + self.config.period - self.config.jitter + jitter,
                 slot_idx,
             );
+            if let Some(fanout) = self.app_fanout {
+                self.push_rumor(slot_idx, fanout);
+            }
         }
         self.fired = fired;
+    }
+
+    /// One period's rumor pushes from a hosted node, if it holds one:
+    /// `fanout` peers drawn uniformly (with replacement) from the node's
+    /// current view, each sent a descriptor-free [`FrameKind::App`] frame.
+    fn push_rumor(&mut self, slot_idx: u32, fanout: usize) {
+        let slot = &self.nodes[slot_idx as usize];
+        if !slot.informed {
+            return;
+        }
+        let src = slot.node.id();
+        let view_len = slot.node.view().len();
+        if view_len == 0 || fanout == 0 {
+            return;
+        }
+        let mut targets = Vec::with_capacity(fanout);
+        for _ in 0..fanout {
+            let pick = self.rng.random_range(0..view_len);
+            targets.push(self.nodes[slot_idx as usize].node.view().descriptors()[pick].id());
+        }
+        for dst in targets {
+            let Some(to) = self.addr_of_or_local(dst) else {
+                self.missing_address += 1;
+                continue;
+            };
+            self.send_frame(FrameKind::App, false, src, dst, to, &[]);
+        }
     }
 
     /// Destination resolution: the book, with locally-hosted ids (live or
@@ -839,6 +955,52 @@ mod tests {
         // address — the documented transient; the immediate-after-leave
         // removal is pinned in tests/workload_net.rs.)
         assert_eq!(stats.missing_address, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn broadcast_app_floods_the_runtime_and_wastes_on_the_departed() {
+        // (rand,rand,pushpull): random view selection mixes the overlay
+        // fast and resists the clustering that head selection (newscast)
+        // shows at this scale — the rumor should reach every live node.
+        let net =
+            MemNetwork::new(77, LatencyModel::Uniform { min: 1, max: 10 }, 0.0).expect("valid");
+        let transport = net.endpoint();
+        let addr = transport.net_addr();
+        let mut rt = NetRuntime::new(transport, config(), 5).expect("valid");
+        let policy: PolicyTriple = "(rand,rand,pushpull)".parse().unwrap();
+        let proto = ProtocolConfig::new(policy, 8).unwrap();
+        for i in 0..30u64 {
+            let introducers: Vec<(NodeId, NetAddr)> = if i == 0 {
+                Vec::new()
+            } else {
+                vec![(NodeId::new(i - 1), addr)]
+            };
+            let node = PeerSamplingNode::with_seed(NodeId::new(i), proto.clone(), i * 31 + 5);
+            rt.add_node(node, &introducers);
+        }
+        rt.run_until(10 * 100); // let the overlay converge first
+        rt.enable_broadcast(2);
+        assert!(!rt.is_informed(NodeId::new(3)));
+        assert!(rt.seed_rumor(NodeId::new(3)));
+        assert!(rt.is_informed(NodeId::new(3)));
+        assert!(rt.leave(NodeId::new(7)));
+        rt.run_until(30 * 100);
+        let mut informed = 0;
+        rt.for_each_informed(|_| informed += 1);
+        assert_eq!(informed, 29, "every live node holds the rumor");
+        let stats = rt.stats();
+        // 29 live nodes minus the seeded origin were informed by frames.
+        assert_eq!(stats.app_delivered, 28);
+        assert!(stats.app_redundant > 0, "{stats:?}");
+        assert!(
+            stats.app_wasted > 0,
+            "pushes at the departed node never counted: {stats:?}"
+        );
+        assert_eq!(stats.decode_failures(), 0);
+        // Departed and unknown nodes cannot be seeded.
+        assert!(!rt.seed_rumor(NodeId::new(7)));
+        assert!(!rt.seed_rumor(NodeId::new(999)));
+        assert!(!rt.is_informed(NodeId::new(7)));
     }
 
     #[test]

@@ -148,6 +148,7 @@ fn loopback_cluster_hub_attack_skews_newscast_and_swapper_bounds_it() {
             seed: 20040601,
             workload: Some(Workload::parse("adv:hub@0.02,quiet:20", 7).unwrap()),
             honest_policy,
+            broadcast: None,
         };
         cluster::run(&config).expect("cluster runs")
     };

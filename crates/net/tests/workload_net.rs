@@ -64,6 +64,7 @@ fn acceptance_schedule_agrees_between_event_engine_and_udp_cluster() {
         seed: 20040601,
         workload: Some(workload),
         honest_policy: None,
+        broadcast: None,
     };
     let report = cluster::run(&config).expect("cluster runs");
     let net_records = &report.records;

@@ -86,6 +86,7 @@ fn main() -> ExitCode {
         seed: 20040601,
         workload,
         honest_policy: None,
+        broadcast: None,
     };
     println!(
         "loopback cluster: {nodes} nodes / {runtimes} runtimes, c = {view_size}, \
