@@ -42,6 +42,7 @@ pub mod fig7;
 pub mod hs_ablation;
 pub mod net;
 pub mod policies;
+pub mod protocols;
 pub mod report;
 pub mod scaling;
 pub mod table1;

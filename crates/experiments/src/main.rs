@@ -26,6 +26,10 @@
 //!   adversary Byzantine attack sweep: one adv: schedule across the honest
 //!            policy corners (newscast, blind, H&S healer, H&S swapper)
 //!            on both engines (--schedule "adv:hub@0.02,quiet:30")
+//!   protocols broadcast + aggregation under membership schedules: policy ×
+//!            sampler (overlay vs oracle) × engine per schedule, including
+//!            a Table-1-style partition schedule under application load
+//!            (--schedule overrides the schedule list)
 //!   all      everything above, in order
 //!
 //! options:
@@ -51,7 +55,7 @@ use std::time::Instant;
 use pss_experiments::report::Table;
 use pss_experiments::{
     adversary, apps, asynchrony, fig2, fig3, fig4, fig5, fig6, fig7, hs_ablation, net, policies,
-    scaling, table1, table2, workload, Scale,
+    protocols, scaling, table1, table2, workload, Scale,
 };
 
 /// Parsed command-line options.
@@ -373,6 +377,44 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 );
             }
         }
+        "protocols" => {
+            let mut app_scale = scale;
+            // Sixteen runs × two protocols per run: cap the population
+            // and say so, the workload/adversary convention.
+            app_scale.nodes = app_scale.nodes.min(10_000);
+            if app_scale.nodes < scale.nodes {
+                eprintln!(
+                    "   note: protocols caps the population at {} nodes ({} requested)",
+                    app_scale.nodes, scale.nodes
+                );
+            }
+            let mut config = protocols::ProtocolsConfig::at_scale(app_scale);
+            if let Some(schedule) = &opts.schedule {
+                config.schedules = vec![("custom".into(), schedule.clone())];
+            }
+            if let Some(shards) = &opts.shards {
+                config.shards = shards[0];
+            }
+            config.workers = opts.workers;
+            let result = protocols::run(&config)?;
+            emit(
+                opts,
+                "protocols",
+                &result.table(),
+                Some(&result.series_table()),
+            );
+            eprintln!(
+                "   {} nodes, {} runs: healthy = {}",
+                result.nodes,
+                result.runs.len(),
+                result.healthy()
+            );
+            if !result.healthy() {
+                return Err(
+                    "an application run missed delivery or left an unhealthy overlay".into(),
+                );
+            }
+        }
         "all" => {
             for c in [
                 "table1",
@@ -391,6 +433,7 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 "net",
                 "workload",
                 "adversary",
+                "protocols",
             ] {
                 run_command(opts, c)?;
             }
@@ -425,7 +468,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: experiments \
-       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|net|workload|adversary|all>
+       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|net|workload|adversary|protocols|all>
        [--scale paper|small|tiny|million] [--nodes N] [--cycles N] [--view-size C]
        [--runs R] [--shards LIST] [--workers N] [--schedule S] [--seed S] [--out DIR]";
 
