@@ -44,6 +44,10 @@ fn bench_event_cycles(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_scale");
     group.sample_size(10);
     group.throughput(Throughput::Elements(n as u64 * periods));
+    group
+        .meta("nodes", n)
+        .meta("periods", periods)
+        .meta("policy", "newscast");
     let config = scale.protocol(PolicyTriple::newscast());
     let worker_sweep: Option<Vec<usize>> = std::env::var("BENCH_WORKERS")
         .ok()
@@ -53,10 +57,12 @@ fn bench_event_cycles(c: &mut Criterion) {
         // worker count (`set_workers` rebuilds the persistent pool), so
         // the only variable is how many pool threads share the shards.
         let shards = 4;
+        group.meta("shards", shards);
         let mut sim = scenario::event_random_overlay_sharded(&config, event, n, scale.seed, shards)
             .expect("default event config is valid");
         sim.run_for(2 * event.period);
         for workers in worker_counts {
+            group.meta("workers", workers);
             sim.set_workers(workers);
             group.bench_with_input(
                 BenchmarkId::new("newscast-workers", workers),
@@ -73,6 +79,7 @@ fn bench_event_cycles(c: &mut Criterion) {
         return;
     }
     for shards in [1usize, 2, 4] {
+        group.meta("shards", shards).meta("workers", shards);
         // Warm a converged overlay once per shard count; each iteration
         // advances it further (steady-state gossip, not bootstrap).
         let mut sim = scenario::event_random_overlay_sharded(&config, event, n, scale.seed, shards)

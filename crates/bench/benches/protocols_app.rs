@@ -58,7 +58,13 @@ fn bench_protocols_app(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocols_app");
     group.sample_size(10);
     group.throughput(Throughput::Elements(scale.nodes as u64 * PERIODS));
+    group
+        .meta("nodes", scale.nodes)
+        .meta("shards", shards)
+        .meta("policy", "newscast")
+        .meta("schedule", SCHEDULE);
     for sampler in [Sampler::Oracle, Sampler::Overlay] {
+        group.meta("sampler", sampler.label());
         let app = AppConfig {
             fanout: 2,
             sampler,

@@ -26,8 +26,13 @@ fn bench_sharded_cycles(c: &mut Criterion) {
     let mut group = c.benchmark_group("sharded_throughput");
     group.sample_size(10);
     group.throughput(Throughput::Elements(n as u64 * cycles));
+    group
+        .meta("nodes", n)
+        .meta("cycles", cycles)
+        .meta("policy", "newscast");
     let config = scale.protocol(PolicyTriple::newscast());
     for shards in [1usize, 2, 4] {
+        group.meta("shards", shards).meta("workers", shards);
         // Warm a converged overlay once per shard count; each iteration
         // advances it further (steady-state gossip, not bootstrap).
         let mut sim = scenario::random_overlay_sharded(&config, n, scale.seed, shards);

@@ -35,10 +35,13 @@ fn bench_cycles_mono(c: &mut Criterion) {
     let scale = Scale::throughput_bench();
     let mut group = c.benchmark_group("throughput");
     group.sample_size(10);
+    group.meta("cycles", scale.cycles).meta("engine", "mono");
     for &n in &[scale.nodes / 10, scale.nodes] {
         // One element = one node-cycle.
         group.throughput(Throughput::Elements(n as u64 * scale.cycles));
+        group.meta("nodes", n);
         for (name, policy) in policies() {
+            group.meta("policy", name);
             let config = scale.protocol(policy);
             // Warm a converged overlay once; each iteration advances it
             // further, so the workload is steady-state gossip, not bootstrap.
@@ -60,9 +63,12 @@ fn bench_cycles_boxed(c: &mut Criterion) {
     let scale = Scale::throughput_bench();
     let mut group = c.benchmark_group("throughput_boxed");
     group.sample_size(10);
+    group.meta("cycles", scale.cycles).meta("engine", "boxed");
     for &n in &[scale.nodes / 10, scale.nodes] {
         group.throughput(Throughput::Elements(n as u64 * scale.cycles));
+        group.meta("nodes", n);
         for (name, policy) in policies() {
+            group.meta("policy", name);
             let config = scale.protocol(policy);
             let mut sim = scenario::random_overlay(&config, n, scale.seed);
             sim.run_cycles(10);

@@ -22,6 +22,7 @@
 //! | [`net`]      | extension      | live loopback UDP cluster: wire codec + runtimes end to end |
 //! | [`workload`] | extension      | membership-dynamics schedules (churn, catastrophe, flash crowd, partition) cross-engine |
 //! | [`adversary`] | extension     | Byzantine attack metrics per honest policy, cross-engine |
+//! | [`metrics`]  | extension      | telemetry registry exercised across every stack (phase/RTT histograms, flight recorder) |
 //!
 //! All experiments are deterministic given their seed and parallelize
 //! across protocols/runs with `std::thread::scope`.
@@ -40,6 +41,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod hs_ablation;
+pub mod metrics;
 pub mod net;
 pub mod policies;
 pub mod protocols;

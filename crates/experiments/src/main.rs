@@ -30,6 +30,9 @@
 //!            sampler (overlay vs oracle) × engine per schedule, including
 //!            a Table-1-style partition schedule under application load
 //!            (--schedule overrides the schedule list)
+//!   metrics  exercise the telemetry registry across every stack and print
+//!            the per-series quantile table plus the Prometheus exposition
+//!            (--out writes metrics.prom and metrics.json)
 //!   all      everything above, in order
 //!
 //! options:
@@ -54,9 +57,10 @@ use std::time::Instant;
 
 use pss_experiments::report::Table;
 use pss_experiments::{
-    adversary, apps, asynchrony, fig2, fig3, fig4, fig5, fig6, fig7, hs_ablation, net, policies,
-    protocols, scaling, table1, table2, workload, Scale,
+    adversary, apps, asynchrony, fig2, fig3, fig4, fig5, fig6, fig7, hs_ablation, metrics, net,
+    policies, protocols, scaling, table1, table2, workload, Scale,
 };
+use pss_telemetry::EventKind;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -185,6 +189,37 @@ fn emit(opts: &Options, name: &str, summary: &Table, series: Option<&Table>) {
             write("_series", series);
         }
     }
+    telemetry_footer(name);
+}
+
+/// One-line registry digest after every experiment's summary table:
+/// series count and total timed observations. Silent when telemetry is
+/// off (`PSS_TELEMETRY=0`) or nothing recorded yet.
+fn telemetry_footer(name: &str) {
+    if !pss_telemetry::enabled() {
+        return;
+    }
+    let rows = pss_telemetry::global().rows();
+    if rows.is_empty() {
+        return;
+    }
+    let observations: u64 = rows
+        .iter()
+        .filter(|r| r.kind == "histogram")
+        .map(|r| r.value)
+        .sum();
+    eprintln!(
+        "   [telemetry after {name}: {} series, {observations} timed observations — \
+         run `experiments metrics` for quantiles]",
+        rows.len()
+    );
+}
+
+/// Records a health-gate evaluation in the flight recorder and passes
+/// the verdict through (`a` = 1 pass / 0 fail).
+fn gate(name: &'static str, pass: bool) -> bool {
+    pss_telemetry::flight().record(EventKind::GateEval, name, u64::from(pass), 0);
+    pass
 }
 
 fn run_command(opts: &Options, command: &str) -> Result<(), String> {
@@ -306,7 +341,7 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 fmt_num(result.report.exchanges_per_sec()),
                 result.healthy()
             );
-            if !result.healthy() {
+            if !gate("net", result.healthy()) {
                 return Err("loopback cluster failed to converge cleanly".into());
             }
         }
@@ -339,7 +374,7 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 config.shards,
                 result.healthy()
             );
-            if !result.healthy() {
+            if !gate("workload", result.healthy()) {
                 return Err("workload left an unhealthy overlay".into());
             }
         }
@@ -371,7 +406,7 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 config.shards,
                 result.healthy()
             );
-            if !result.healthy() {
+            if !gate("adversary", result.healthy()) {
                 return Err(
                     "adversary sweep broke the honest overlay or the defense ordering".into(),
                 );
@@ -409,10 +444,42 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 result.runs.len(),
                 result.healthy()
             );
-            if !result.healthy() {
+            if !gate("protocols", result.healthy()) {
                 return Err(
                     "an application run missed delivery or left an unhealthy overlay".into(),
                 );
+            }
+        }
+        "metrics" => {
+            let mut config = metrics::MetricsConfig::at_scale(scale);
+            if let Some(shards) = &opts.shards {
+                config.shards = shards[0];
+            }
+            config.workers = opts.workers;
+            let result = metrics::run(&config)?;
+            emit(opts, "metrics", &result.table(), None);
+            print!("{}", result.prometheus);
+            if let Some(dir) = &opts.out {
+                for (suffix, body) in [("prom", &result.prometheus), ("json", &result.json)] {
+                    let path = dir.join(format!("metrics.{suffix}"));
+                    match std::fs::write(&path, body) {
+                        Ok(()) => println!("   wrote {}", path.display()),
+                        Err(e) => eprintln!("   failed to write {}: {e}", path.display()),
+                    }
+                }
+            }
+            eprintln!(
+                "   {} series, flight recorder {}/{} events buffered, healthy = {}",
+                result.rows.len(),
+                result.flight_len,
+                result.flight_recorded,
+                result.healthy()
+            );
+            if !gate("metrics", result.healthy()) {
+                return Err(format!(
+                    "telemetry exercise left metric families empty: {:?}",
+                    result.missing_families()
+                ));
             }
         }
         "all" => {
@@ -434,6 +501,8 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 "workload",
                 "adversary",
                 "protocols",
+                // Last: the telemetry exercise resets the global registry.
+                "metrics",
             ] {
                 run_command(opts, c)?;
             }
@@ -446,6 +515,7 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    pss_telemetry::install_panic_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
@@ -462,13 +532,23 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
+            // A failed health gate is exactly what the flight recorder
+            // is for: dump the event trail next to the error.
+            let flight = pss_telemetry::flight();
+            if !flight.is_empty() {
+                let path = pss_telemetry::dump_path();
+                match flight.dump_to_file(&path) {
+                    Ok(()) => eprintln!("flight recorder dumped to {}", path.display()),
+                    Err(e) => eprintln!("flight recorder dump failed: {e}"),
+                }
+            }
             ExitCode::FAILURE
         }
     }
 }
 
 const USAGE: &str = "usage: experiments \
-       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|net|workload|adversary|protocols|all>
+       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|net|workload|adversary|protocols|metrics|all>
        [--scale paper|small|tiny|million] [--nodes N] [--cycles N] [--view-size C]
        [--runs R] [--shards LIST] [--workers N] [--schedule S] [--seed S] [--out DIR]";
 

@@ -1,0 +1,221 @@
+//! **Extension X8** — the telemetry registry, end to end.
+//!
+//! Every stack in this workspace records into the global
+//! [`pss_telemetry`] registry: the sharded cycle engine and the sharded
+//! event engine time their phases and shard imbalance, the workload
+//! driver stamps per-period wall time and membership ops, the UDP
+//! runtime histograms exchange RTTs, timer-wheel lag and per-frame-kind
+//! decode latency, the cluster harness times periods, and the
+//! application layer times its rounds. This experiment exercises all of
+//! them in one deterministic pass — a churned workload on both
+//! simulation engines, a broadcast/aggregation run on top, and a tiny
+//! loopback UDP cluster — then reports the registry: one row per metric
+//! series with count, p50/p99 and max from the log2 histograms, plus
+//! the full Prometheus text exposition.
+//!
+//! The health gate checks that every required metric family is present
+//! and nonzero — the CI `obs-smoke` job scrapes exactly this. Telemetry
+//! never feeds back into protocol state: the pinned determinism digests
+//! hold with the registry recording (see `ROADMAP.md`).
+
+use pss_telemetry::MetricRow;
+
+use crate::report::Table;
+use crate::Scale;
+use crate::{net, protocols, workload};
+
+/// Metric families the cross-stack run must populate (the `obs-smoke`
+/// assertion list). Scalar families must be nonzero; histogram families
+/// must have observations.
+pub const REQUIRED_FAMILIES: &[&str] = &[
+    "pss_phase_ns",
+    "pss_cycles_total",
+    "pss_shard_work_ns",
+    "pss_workload_period_ns",
+    "pss_workload_ops_total",
+    "pss_app_round_ns",
+    "pss_net_rtt_ticks",
+    "pss_net_decode_ns",
+    "pss_cluster_period_ms",
+];
+
+/// Configuration of the telemetry exercise.
+#[derive(Debug, Clone)]
+pub struct MetricsConfig {
+    /// Population and seed (nodes are capped — this run measures the
+    /// telemetry plumbing, not the protocol at scale).
+    pub scale: Scale,
+    /// Shard count for both simulation engines.
+    pub shards: usize,
+    /// Worker-thread override (results are worker-invariant).
+    pub workers: Option<usize>,
+}
+
+impl MetricsConfig {
+    /// Defaults at the given scale: nodes capped at 600, 2 shards.
+    pub fn at_scale(scale: Scale) -> Self {
+        let mut scale = scale;
+        scale.nodes = scale.nodes.clamp(64, 600);
+        MetricsConfig {
+            scale,
+            shards: 2,
+            workers: None,
+        }
+    }
+}
+
+/// Result of the telemetry exercise: the registry contents after the
+/// cross-stack run.
+#[derive(Debug)]
+pub struct MetricsResult {
+    /// One row per registered metric series.
+    pub rows: Vec<MetricRow>,
+    /// Prometheus text exposition of the whole registry.
+    pub prometheus: String,
+    /// JSON exposition of the whole registry.
+    pub json: String,
+    /// Events currently buffered in the flight recorder.
+    pub flight_len: usize,
+    /// Total events ever recorded by the flight recorder (≥ `flight_len`).
+    pub flight_recorded: u64,
+    /// Population of the simulation runs.
+    pub nodes: usize,
+}
+
+impl MetricsResult {
+    /// Registry summary: one row per series with log2-histogram quantiles.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "metric", "labels", "kind", "count", "p50", "p99", "max",
+        ]);
+        for row in &self.rows {
+            let (count, p50, p99, max) = match &row.histogram {
+                Some(h) => (
+                    h.total().to_string(),
+                    h.p50().to_string(),
+                    h.p99().to_string(),
+                    h.max().to_string(),
+                ),
+                None => (row.value.to_string(), "-".into(), "-".into(), "-".into()),
+            };
+            table.row(vec![
+                row.name.clone(),
+                if row.labels.is_empty() {
+                    "-".into()
+                } else {
+                    row.labels.clone()
+                },
+                row.kind.to_string(),
+                count,
+                p50,
+                p99,
+                max,
+            ]);
+        }
+        table
+    }
+
+    /// Families from [`REQUIRED_FAMILIES`] that are missing or all-zero.
+    pub fn missing_families(&self) -> Vec<&'static str> {
+        REQUIRED_FAMILIES
+            .iter()
+            .filter(|family| {
+                !self
+                    .rows
+                    .iter()
+                    .any(|row| row.name == **family && row.value > 0)
+            })
+            .copied()
+            .collect()
+    }
+
+    /// True when every required metric family recorded at least one
+    /// nonzero observation and the flight recorder captured events.
+    pub fn healthy(&self) -> bool {
+        self.missing_families().is_empty() && self.flight_recorded > 0
+    }
+}
+
+/// Runs the cross-stack telemetry exercise.
+///
+/// Forces telemetry on for the process (overriding `PSS_TELEMETRY=0` —
+/// a metrics run with recording disabled would be vacuous), resets the
+/// global registry and flight recorder, then drives every instrumented
+/// stack once.
+///
+/// # Errors
+///
+/// Propagates schedule-parse or engine-construction errors verbatim.
+pub fn run(config: &MetricsConfig) -> Result<MetricsResult, String> {
+    pss_telemetry::set_enabled(true);
+    pss_telemetry::global().reset();
+    pss_telemetry::flight().clear();
+
+    // Both simulation engines under a churned schedule: phase timings,
+    // shard imbalance, workload period rows and membership-op events.
+    let mut wl = workload::WorkloadConfig::at_scale(config.scale);
+    wl.schedule = "quiet:4,kill:0.3,churn:0.02x8".into();
+    wl.shards = config.shards;
+    wl.workers = config.workers;
+    workload::run(&wl)?;
+
+    // The application layer on both engines: per-round timings.
+    let mut app_scale = config.scale;
+    app_scale.nodes = app_scale.nodes.min(200);
+    let mut apps = protocols::ProtocolsConfig::at_scale(app_scale);
+    apps.schedules = vec![("churn".into(), "quiet:3,kill:0.3,churn:0.02x5".into())];
+    apps.policies = vec![pss_core::PolicyTriple::newscast()];
+    apps.shards = config.shards;
+    apps.workers = config.workers;
+    protocols::run(&apps)?;
+
+    // A tiny loopback UDP cluster: RTTs, decode latency, period wall time.
+    let mut net_scale = config.scale;
+    net_scale.nodes = net_scale.nodes.min(48);
+    net_scale.cycles = net_scale.cycles.min(10);
+    let mut cluster = net::NetConfig::at_scale(net_scale);
+    cluster.runtimes = 2;
+    cluster.period_ms = 40;
+    cluster.jitter_ms = 10;
+    net::run(&cluster);
+
+    let registry = pss_telemetry::global();
+    Ok(MetricsResult {
+        rows: registry.rows(),
+        prometheus: registry.render_prometheus(),
+        json: registry.render_json(),
+        flight_len: pss_telemetry::flight().len(),
+        flight_recorded: pss_telemetry::flight().recorded(),
+        nodes: config.scale.nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_exercise_populates_every_family() {
+        let mut scale = Scale::tiny();
+        scale.nodes = 150;
+        let config = MetricsConfig::at_scale(scale);
+        let result = run(&config).expect("valid schedules");
+        assert!(
+            result.healthy(),
+            "missing families: {:?}",
+            result.missing_families()
+        );
+        assert!(!result.table().is_empty());
+        for family in REQUIRED_FAMILIES {
+            assert!(
+                result.prometheus.contains(family),
+                "{family} absent from Prometheus exposition"
+            );
+            assert!(
+                result.json.contains(family),
+                "{family} absent from JSON exposition"
+            );
+        }
+        assert!(result.flight_recorded > 0);
+    }
+}

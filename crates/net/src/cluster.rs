@@ -125,6 +125,9 @@ pub struct PeriodStats {
     pub in_degree_mean: f64,
     /// Standard deviation of the in-degree.
     pub in_degree_sd: f64,
+    /// Wall-clock milliseconds since cluster start when this period's
+    /// snapshots were fully assembled — the timing row of the period.
+    pub wall_ms: u64,
 }
 
 impl PeriodStats {
@@ -444,6 +447,10 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
         // metrics while the threads run the next period. The end-of-period
         // barrier guarantees periods complete in order, so the workload's
         // dead set can advance step by step.
+        let period_ms_hist = pss_telemetry::global().histogram(
+            "pss_cluster_period_ms",
+            "Wall time between consecutive assembled cluster periods, milliseconds",
+        );
         let mut period_stats: Vec<PeriodStats> = Vec::with_capacity(periods as usize);
         let mut records: Vec<PeriodRecord> = Vec::with_capacity(periods as usize);
         let mut attack_records: Vec<AttackRecord> = Vec::new();
@@ -491,12 +498,16 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
                 if let Some(roles) = &roles {
                     attack_records.push(audit_rows(roles, id_space, &rows, record.period));
                 }
+                let wall_ms = started.elapsed().as_millis() as u64;
+                let prev_wall = period_stats.last().map_or(0, |s: &PeriodStats| s.wall_ms);
+                period_ms_hist.record(wall_ms.saturating_sub(prev_wall));
                 period_stats.push(PeriodStats {
                     period: record.period,
                     full_views: record.full_views,
                     nodes: record.live,
                     in_degree_mean: record.in_degree_mean,
                     in_degree_sd: record.in_degree_sd,
+                    wall_ms,
                 });
                 if broadcast.is_some() {
                     broadcast_trace.push(BroadcastPeriod {

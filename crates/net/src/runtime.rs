@@ -182,28 +182,114 @@ impl RuntimeStats {
     }
 
     /// Field-wise sum, for aggregating across runtimes.
+    ///
+    /// `other` is destructured **without** a `..` rest pattern: adding a
+    /// counter to [`RuntimeStats`] without deciding how it merges is a
+    /// compile error here, not a silently dropped statistic.
     pub fn merge(&mut self, other: &RuntimeStats) {
-        self.frames_in += other.frames_in;
-        self.frames_out += other.frames_out;
-        self.header_decode_failures += other.header_decode_failures;
-        self.body_decode_failures += other.body_decode_failures;
-        self.unknown_destination += other.unknown_destination;
-        self.dead_deliveries += other.dead_deliveries;
-        self.send_failures += other.send_failures;
-        self.missing_address += other.missing_address;
-        self.addr_rebinds_rejected += other.addr_rebinds_rejected;
-        self.forged_replies_rejected += other.forged_replies_rejected;
-        self.partition_blocked += other.partition_blocked;
-        self.timers_fired += other.timers_fired;
-        self.requests_in += other.requests_in;
-        self.replies_in += other.replies_in;
-        self.exchanges_completed += other.exchanges_completed;
-        self.timeouts += other.timeouts;
-        self.empty_view += other.empty_view;
-        self.recv_ring_empty += other.recv_ring_empty;
-        self.app_delivered += other.app_delivered;
-        self.app_redundant += other.app_redundant;
-        self.app_wasted += other.app_wasted;
+        let RuntimeStats {
+            frames_in,
+            frames_out,
+            header_decode_failures,
+            body_decode_failures,
+            unknown_destination,
+            dead_deliveries,
+            send_failures,
+            missing_address,
+            addr_rebinds_rejected,
+            forged_replies_rejected,
+            partition_blocked,
+            timers_fired,
+            requests_in,
+            replies_in,
+            exchanges_completed,
+            timeouts,
+            empty_view,
+            recv_ring_empty,
+            app_delivered,
+            app_redundant,
+            app_wasted,
+        } = *other;
+        self.frames_in += frames_in;
+        self.frames_out += frames_out;
+        self.header_decode_failures += header_decode_failures;
+        self.body_decode_failures += body_decode_failures;
+        self.unknown_destination += unknown_destination;
+        self.dead_deliveries += dead_deliveries;
+        self.send_failures += send_failures;
+        self.missing_address += missing_address;
+        self.addr_rebinds_rejected += addr_rebinds_rejected;
+        self.forged_replies_rejected += forged_replies_rejected;
+        self.partition_blocked += partition_blocked;
+        self.timers_fired += timers_fired;
+        self.requests_in += requests_in;
+        self.replies_in += replies_in;
+        self.exchanges_completed += exchanges_completed;
+        self.timeouts += timeouts;
+        self.empty_view += empty_view;
+        self.recv_ring_empty += recv_ring_empty;
+        self.app_delivered += app_delivered;
+        self.app_redundant += app_redundant;
+        self.app_wasted += app_wasted;
+    }
+}
+
+/// Telemetry handles for the network runtime (`engine="net"` series in
+/// the global registry). Every runtime in the process shares the same
+/// cells — cluster-wide aggregates, exactly like a multi-threaded server
+/// exporting one series per family.
+struct NetTele {
+    /// Request→reply round trips, in virtual ticks.
+    rtt_ticks: pss_telemetry::Histogram,
+    /// How far behind `t` the timer wheel was when a batch fired.
+    wheel_lag_ticks: pss_telemetry::Histogram,
+    /// Wire decode latency (header + descriptors) per frame kind.
+    decode_request_ns: pss_telemetry::Histogram,
+    decode_reply_ns: pss_telemetry::Histogram,
+    decode_app_ns: pss_telemetry::Histogram,
+    /// Header- or body-level decode rejections.
+    decode_errors: pss_telemetry::Counter,
+    /// High-water mark of the transport's dry-ring refill counter.
+    ring_dry: pss_telemetry::Gauge,
+}
+
+impl NetTele {
+    fn new() -> Self {
+        let reg = pss_telemetry::global();
+        let hist = |phase: &str, help: &str| {
+            reg.histogram_with("pss_net_decode_ns", &[("kind", phase)], help)
+        };
+        Self {
+            rtt_ticks: reg.histogram_with(
+                "pss_net_rtt_ticks",
+                &[],
+                "Pushpull round-trip time (request sent to reply absorbed), virtual ticks",
+            ),
+            wheel_lag_ticks: reg.histogram_with(
+                "pss_net_wheel_lag_ticks",
+                &[],
+                "Ticks the timer wheel lagged behind runtime time when a batch fired",
+            ),
+            decode_request_ns: hist("request", "Wire decode latency per frame, nanoseconds"),
+            decode_reply_ns: hist("reply", "Wire decode latency per frame, nanoseconds"),
+            decode_app_ns: hist("app", "Wire decode latency per frame, nanoseconds"),
+            decode_errors: reg.counter(
+                "pss_net_decode_errors_total",
+                "Frames rejected at the header or descriptor level",
+            ),
+            ring_dry: reg.gauge(
+                "pss_net_recv_ring_empty",
+                "Receive-ring refills that had to allocate because the spent ring was dry",
+            ),
+        }
+    }
+
+    fn decode_hist(&self, kind: FrameKind) -> &pss_telemetry::Histogram {
+        match kind {
+            FrameKind::Request => &self.decode_request_ns,
+            FrameKind::Reply => &self.decode_reply_ns,
+            FrameKind::App => &self.decode_app_ns,
+        }
     }
 }
 
@@ -261,6 +347,8 @@ pub struct NetRuntime<T: Transport, N: GossipNode = pss_core::PeerSamplingNode> 
     app_delivered: u64,
     app_redundant: u64,
     app_wasted: u64,
+    /// Shared telemetry handles; purely observational.
+    tele: NetTele,
 }
 
 impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
@@ -305,6 +393,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             app_delivered: 0,
             app_redundant: 0,
             app_wasted: 0,
+            tele: NetTele::new(),
         })
     }
 
@@ -512,6 +601,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             self.fire_timers(t);
             self.now = t;
         }
+        self.tele.ring_dry.set_max(self.transport.recv_ring_empty());
     }
 
     /// One full gossip period from the current time.
@@ -521,10 +611,22 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
 
     fn process_frame(&mut self, _from: NetAddr) {
         self.frames_in += 1;
+        let decode_started = if pss_telemetry::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let frame = match wire::decode(&self.recv_buf) {
             Ok(frame) => frame,
             Err(_) => {
                 self.header_decode_failures += 1;
+                self.tele.decode_errors.inc();
+                pss_telemetry::flight().record(
+                    pss_telemetry::EventKind::DecodeError,
+                    "header",
+                    0,
+                    self.recv_buf.len() as u64,
+                );
                 return;
             }
         };
@@ -570,8 +672,24 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
         };
         if decoded.is_err() {
             slot.counters.decode_failures += 1;
+            self.tele.decode_errors.inc();
+            pss_telemetry::flight().record(
+                pss_telemetry::EventKind::DecodeError,
+                match frame.kind {
+                    FrameKind::Request => "request",
+                    FrameKind::Reply => "reply",
+                    FrameKind::App => "app",
+                },
+                frame.src.as_u64(),
+                self.recv_buf.len() as u64,
+            );
             self.arena.put_buffer(payload);
             return;
+        }
+        if let Some(started) = decode_started {
+            self.tele
+                .decode_hist(frame.kind)
+                .record(started.elapsed().as_nanos() as u64);
         }
         match frame.kind {
             FrameKind::Request => {
@@ -603,6 +721,13 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                 }
                 slot.counters.msgs_in += 1;
                 self.replies_in += 1;
+                if let Some((_, sent)) = slot.pending_reply {
+                    // Frames are processed while the runtime advances to
+                    // `now + 1`, so that is the absorb tick.
+                    self.tele
+                        .rtt_ticks
+                        .record((self.now + 1).saturating_sub(sent));
+                }
                 slot.pending_reply = None;
                 slot.node.handle_reply(
                     &mut self.arena,
@@ -631,7 +756,14 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
         // Catch the wheel up through tick `t` (tick 0 is only reachable on
         // the very first call; afterwards this loop runs exactly once).
         while self.wheel.next_tick() <= t {
-            self.wheel.due_at(self.wheel.next_tick(), &mut fired);
+            let tick = self.wheel.next_tick();
+            let before = fired.len();
+            self.wheel.due_at(tick, &mut fired);
+            if fired.len() > before {
+                // Only batches that actually fired something: empty
+                // catch-up ticks say nothing about scheduling lag.
+                self.tele.wheel_lag_ticks.record(t - tick);
+            }
         }
         for slot_idx in fired.drain(..) {
             let slot = &mut self.nodes[slot_idx as usize];
@@ -1109,5 +1241,106 @@ mod tests {
         rt.add_node(node(2, 8), &[(NodeId::new(0), addr)]);
         rt.run_until(1200);
         assert!(rt.view_of(NodeId::new(2)).is_some());
+    }
+
+    /// Every counter survives a two-runtime merge. The struct literal
+    /// below deliberately has no `..Default::default()` and the checks
+    /// destructure without `..`: adding a field to [`RuntimeStats`]
+    /// breaks this test at compile time until the merge (and this
+    /// inventory) account for it.
+    #[test]
+    fn merge_preserves_every_counter() {
+        let a = RuntimeStats {
+            frames_in: 1,
+            frames_out: 2,
+            header_decode_failures: 3,
+            body_decode_failures: 4,
+            unknown_destination: 5,
+            dead_deliveries: 6,
+            send_failures: 7,
+            missing_address: 8,
+            addr_rebinds_rejected: 9,
+            forged_replies_rejected: 10,
+            partition_blocked: 11,
+            timers_fired: 12,
+            requests_in: 13,
+            replies_in: 14,
+            exchanges_completed: 15,
+            timeouts: 16,
+            empty_view: 17,
+            recv_ring_empty: 18,
+            app_delivered: 19,
+            app_redundant: 20,
+            app_wasted: 21,
+        };
+        let b = RuntimeStats {
+            frames_in: 100,
+            frames_out: 200,
+            header_decode_failures: 300,
+            body_decode_failures: 400,
+            unknown_destination: 500,
+            dead_deliveries: 600,
+            send_failures: 700,
+            missing_address: 800,
+            addr_rebinds_rejected: 900,
+            forged_replies_rejected: 1000,
+            partition_blocked: 1100,
+            timers_fired: 1200,
+            requests_in: 1300,
+            replies_in: 1400,
+            exchanges_completed: 1500,
+            timeouts: 1600,
+            empty_view: 1700,
+            recv_ring_empty: 1800,
+            app_delivered: 1900,
+            app_redundant: 2000,
+            app_wasted: 2100,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        let RuntimeStats {
+            frames_in,
+            frames_out,
+            header_decode_failures,
+            body_decode_failures,
+            unknown_destination,
+            dead_deliveries,
+            send_failures,
+            missing_address,
+            addr_rebinds_rejected,
+            forged_replies_rejected,
+            partition_blocked,
+            timers_fired,
+            requests_in,
+            replies_in,
+            exchanges_completed,
+            timeouts,
+            empty_view,
+            recv_ring_empty,
+            app_delivered,
+            app_redundant,
+            app_wasted,
+        } = merged;
+        assert_eq!(frames_in, 101);
+        assert_eq!(frames_out, 202);
+        assert_eq!(header_decode_failures, 303);
+        assert_eq!(body_decode_failures, 404);
+        assert_eq!(unknown_destination, 505);
+        assert_eq!(dead_deliveries, 606);
+        assert_eq!(send_failures, 707);
+        assert_eq!(missing_address, 808);
+        assert_eq!(addr_rebinds_rejected, 909);
+        assert_eq!(forged_replies_rejected, 1010);
+        assert_eq!(partition_blocked, 1111);
+        assert_eq!(timers_fired, 1212);
+        assert_eq!(requests_in, 1313);
+        assert_eq!(replies_in, 1414);
+        assert_eq!(exchanges_completed, 1515);
+        assert_eq!(timeouts, 1616);
+        assert_eq!(empty_view, 1717);
+        assert_eq!(recv_ring_empty, 1818);
+        assert_eq!(app_delivered, 1919);
+        assert_eq!(app_redundant, 2020);
+        assert_eq!(app_wasted, 2121);
     }
 }

@@ -216,7 +216,12 @@ pub fn run_under_workload<T: WorkloadTarget>(
     let mut senders: Vec<usize> = Vec::new();
     let mut partition: Option<Partition> = None;
 
+    let app_round_ns = pss_telemetry::global().histogram(
+        "pss_app_round_ns",
+        "Wall time of one application round (broadcast + averaging) over a period's rows, nanoseconds",
+    );
     let records = run_workload_observed(target, compiled, view_size, &mut |period, rows, _| {
+        let round_started = std::time::Instant::now();
         // Mirror the partition the engine gossiped this period under: its
         // ops applied at the boundary, before the period ran.
         for op in &compiled.steps[period as usize - 1].ops {
@@ -353,6 +358,9 @@ pub fn run_under_workload<T: WorkloadTarget>(
             agg_wasted,
             variance,
         });
+        if pss_telemetry::enabled() {
+            app_round_ns.record(round_started.elapsed().as_nanos() as u64);
+        }
     });
 
     (

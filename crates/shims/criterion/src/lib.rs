@@ -88,12 +88,26 @@ pub struct Measurement {
     pub iterations: u64,
     /// Elements/second, when a [`Throughput`] was declared.
     pub elements_per_sec: Option<f64>,
+    /// Structured run metadata (`nodes`, `shards`, `workers`, `policy`, …)
+    /// declared via [`Criterion::meta`] / [`BenchmarkGroup::meta`] — emitted
+    /// as a `"meta"` object in the JSON so CI scripts read parameters as
+    /// fields instead of parsing them back out of `id`.
+    pub meta: Vec<(String, String)>,
 }
 
 /// The benchmark runner handed to `criterion_group!` functions.
 #[derive(Default)]
 pub struct Criterion {
     results: Vec<Measurement>,
+    meta: Vec<(String, String)>,
+}
+
+/// Replaces `key` in `meta` if present, else appends.
+fn upsert_meta(meta: &mut Vec<(String, String)>, key: String, value: String) {
+    match meta.iter_mut().find(|(k, _)| *k == key) {
+        Some(slot) => slot.1 = value,
+        None => meta.push((key, value)),
+    }
 }
 
 impl Criterion {
@@ -103,7 +117,16 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             throughput: None,
+            meta: Vec::new(),
         }
+    }
+
+    /// Declares a metadata field attached to every measurement recorded
+    /// from here on (group-level [`BenchmarkGroup::meta`] overrides it
+    /// key-by-key).
+    pub fn meta(&mut self, key: impl Into<String>, value: impl fmt::Display) -> &mut Self {
+        upsert_meta(&mut self.meta, key.into(), value.to_string());
+        self
     }
 
     /// Runs a single stand-alone benchmark.
@@ -113,7 +136,7 @@ impl Criterion {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        let m = run_bench(&id.label, None, |b| f(b));
+        let m = run_bench(&id.label, None, self.meta.clone(), |b| f(b));
         self.results.push(m);
         self
     }
@@ -123,7 +146,9 @@ impl Criterion {
         &self.results
     }
 
-    /// Serializes every recorded measurement as a JSON array.
+    /// Serializes every recorded measurement as a JSON array. Metadata
+    /// fields, when present, become a nested `"meta"` object; values that
+    /// parse as numbers are emitted unquoted.
     pub fn to_json(&self) -> String {
         let mut out = String::from("[\n");
         for (i, m) in self.results.iter().enumerate() {
@@ -135,9 +160,20 @@ impl Criterion {
                 None => "null".into(),
             };
             out.push_str(&format!(
-                "  {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}, \"elements_per_sec\": {}}}",
+                "  {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}, \"elements_per_sec\": {}",
                 m.id, m.ns_per_iter, m.iterations, eps
             ));
+            if !m.meta.is_empty() {
+                out.push_str(", \"meta\": {");
+                for (j, (k, v)) in m.meta.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\": {}", json_escape(k), json_value(v)));
+                }
+                out.push('}');
+            }
+            out.push('}');
         }
         out.push_str("\n]\n");
         out
@@ -162,11 +198,32 @@ impl Criterion {
     }
 }
 
-/// A group of benchmarks sharing a name prefix and throughput annotation.
+/// Escapes `\` and `"` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a metadata value: unquoted when it is a plain JSON number
+/// (integer or finite decimal), quoted-and-escaped otherwise.
+fn json_value(v: &str) -> String {
+    let numeric = !v.is_empty()
+        && v.parse::<f64>().is_ok_and(f64::is_finite)
+        && v.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'));
+    if numeric {
+        v.to_string()
+    } else {
+        format!("\"{}\"", json_escape(v))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, throughput annotation and
+/// metadata fields.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
+    meta: Vec<(String, String)>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -183,6 +240,22 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares a metadata field attached to subsequent measurements in
+    /// this group (set again to overwrite, e.g. per parameter sweep step).
+    pub fn meta(&mut self, key: impl Into<String>, value: impl fmt::Display) -> &mut Self {
+        upsert_meta(&mut self.meta, key.into(), value.to_string());
+        self
+    }
+
+    /// Global metadata overlaid with this group's fields.
+    fn merged_meta(&self) -> Vec<(String, String)> {
+        let mut merged = self.criterion.meta.clone();
+        for (k, v) in &self.meta {
+            upsert_meta(&mut merged, k.clone(), v.clone());
+        }
+        merged
+    }
+
     /// Runs one benchmark in this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
@@ -191,7 +264,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.label);
-        let m = run_bench(&full, self.throughput, |b| f(b));
+        let m = run_bench(&full, self.throughput, self.merged_meta(), |b| f(b));
         self.criterion.results.push(m);
         self
     }
@@ -204,7 +277,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.label);
-        let m = run_bench(&full, self.throughput, |b| f(b, input));
+        let m = run_bench(&full, self.throughput, self.merged_meta(), |b| f(b, input));
         self.criterion.results.push(m);
         self
     }
@@ -288,6 +361,7 @@ fn batch_size(iterations: u64, spent_ns: u128) -> u64 {
 fn run_bench(
     id: &str,
     throughput: Option<Throughput>,
+    meta: Vec<(String, String)>,
     mut f: impl FnMut(&mut Bencher),
 ) -> Measurement {
     let mut warm = Bencher {
@@ -315,6 +389,7 @@ fn run_bench(
         ns_per_iter,
         iterations,
         elements_per_sec,
+        meta,
     };
     match m.elements_per_sec {
         Some(eps) => println!(
@@ -400,6 +475,53 @@ mod tests {
         let m = &c.measurements()[0];
         assert_eq!(m.id, "grp/7");
         assert!(m.elements_per_sec.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn meta_fields_merge_and_serialize() {
+        let mut c = Criterion::default();
+        c.meta("host", "ci-runner").meta("nodes", 1000);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.meta("nodes", 10_000).meta("policy", "newscast");
+            g.bench_function("a", |b| b.iter(|| 1 + 1));
+            g.meta("policy", "lpbcast");
+            g.bench_function("b", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        let m = &c.measurements()[0];
+        // Group meta overrides the global key, global fields survive.
+        assert!(m.meta.contains(&("nodes".into(), "10000".into())));
+        assert!(m.meta.contains(&("host".into(), "ci-runner".into())));
+        assert!(m.meta.contains(&("policy".into(), "newscast".into())));
+        assert!(c.measurements()[1]
+            .meta
+            .contains(&("policy".into(), "lpbcast".into())));
+        let json = c.to_json();
+        // Numbers unquoted, strings quoted.
+        assert!(json.contains("\"nodes\": 10000"), "{json}");
+        assert!(json.contains("\"policy\": \"newscast\""), "{json}");
+        assert!(json.contains("\"meta\": {"), "{json}");
+    }
+
+    #[test]
+    fn meta_values_render_as_json_types() {
+        assert_eq!(json_value("123"), "123");
+        assert_eq!(json_value("-4.5"), "-4.5");
+        assert_eq!(json_value("1e9"), "1e9");
+        // `inf`/`nan` parse as f64 but are not JSON numbers.
+        assert_eq!(json_value("inf"), "\"inf\"");
+        assert_eq!(json_value("nan"), "\"nan\"");
+        assert_eq!(json_value("(rand,rand,push)"), "\"(rand,rand,push)\"");
+        assert_eq!(json_value("say \"hi\""), "\"say \\\"hi\\\"\"");
+        assert_eq!(json_value(""), "\"\"");
+    }
+
+    #[test]
+    fn measurements_without_meta_omit_the_field() {
+        let mut c = Criterion::default();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+        assert!(!c.to_json().contains("meta"));
     }
 
     #[test]

@@ -452,6 +452,8 @@ pub struct ShardedEventSimulation<N: GossipNode + Send = BoxedNode> {
     cycles: u64,
     /// Installed partition loss matrix, if any.
     partition: Option<Partition>,
+    /// Phase/imbalance telemetry (`engine="event"`); purely observational.
+    tele: crate::telemetry::EngineTele,
 }
 
 impl ShardedEventSimulation {
@@ -517,6 +519,7 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
     ) -> Result<Self, EventConfigError> {
         assert!(shards > 0, "need at least one shard");
         config.validate_sharded(shards)?;
+        let tele = crate::telemetry::EngineTele::new("event", &["process", "merge"], shards);
         let default_workers = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
@@ -550,6 +553,7 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
             pending_mail: false,
             cycles: 0,
             partition: None,
+            tele,
         })
     }
 
@@ -881,6 +885,7 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
             pool,
             pending_mail,
             partition,
+            tele,
             ..
         } = self;
         let ctx = EventCtx {
@@ -893,7 +898,7 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
             // Sequential special case: every message is local, the global
             // (time, seq) order is the schedule order, buckets are moot.
             if *frontier <= deadline {
-                process_until(&mut shards[0], deadline, &ctx);
+                tele.time_solo(0, || process_until(&mut shards[0], deadline, &ctx));
                 *frontier = deadline.saturating_add(1);
             }
             self.now = self.now.max(deadline);
@@ -932,7 +937,11 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
                 Some(end) if full => end - 1,
                 _ => deadline,
             };
-            exec::run_phase(shards, pool, |shard| {
+            // Per-bucket phases go to the histograms only (`trail: false`):
+            // buckets are far too frequent for the flight ring; the period
+            // driver records the trail events instead.
+            let index = |shard: &EventShard<N>| shard.index;
+            tele.run_phase(0, None, shards, pool, index, |shard| {
                 process_until(shard, limit, &ctx);
             });
             if full {
@@ -940,7 +949,9 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
                 // Bucket boundary: exchange mailboxes and merge, in fixed
                 // sender-shard order.
                 exec::transpose(shards, |shard| &mut shard.mail);
-                exec::run_phase(shards, pool, |shard| merge_inbox(shard, end));
+                tele.run_phase(1, None, shards, pool, index, |shard| {
+                    merge_inbox(shard, end)
+                });
                 *pending_mail = false;
                 *frontier = end;
             } else {
@@ -966,8 +977,26 @@ impl<N: GossipNode + Send> ShardedEventSimulation<N> {
     /// during it, projected onto the cycle engine's report shape.
     pub fn run_cycle(&mut self) -> CycleReport {
         let before = self.report();
-        self.run_for(self.config.period);
+        if pss_telemetry::enabled() {
+            pss_telemetry::flight().record(
+                pss_telemetry::EventKind::PhaseStart,
+                "event/period",
+                self.cycles + 1,
+                0,
+            );
+            let started = std::time::Instant::now();
+            self.run_for(self.config.period);
+            pss_telemetry::flight().record(
+                pss_telemetry::EventKind::PhaseEnd,
+                "event/period",
+                self.cycles + 1,
+                started.elapsed().as_nanos() as u64,
+            );
+        } else {
+            self.run_for(self.config.period);
+        }
         self.cycles += 1;
+        self.tele.cycle_done();
         self.report().since(&before).as_cycle_report()
     }
 

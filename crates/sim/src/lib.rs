@@ -63,6 +63,7 @@ mod pool;
 mod population;
 mod shard;
 mod snapshot;
+mod telemetry;
 
 pub mod audit;
 pub mod observe;

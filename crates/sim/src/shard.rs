@@ -189,6 +189,8 @@ pub struct ShardedSimulation<N: GossipNode + Send = BoxedNode> {
     pool: WorkerPool,
     /// Per-cycle liveness snapshot buffer, reused across cycles.
     alive_snapshot: Vec<u64>,
+    /// Phase/imbalance telemetry (`engine="cycle"`); purely observational.
+    tele: crate::telemetry::EngineTele,
 }
 
 impl ShardedSimulation {
@@ -231,6 +233,8 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
         factory: impl Fn(NodeId, u64) -> N + Send + Sync + 'static,
     ) -> Self {
         assert!(shards > 0, "need at least one shard");
+        let tele =
+            crate::telemetry::EngineTele::new("cycle", &["initiate", "respond", "absorb"], shards);
         let default_workers = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
@@ -262,6 +266,7 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             partition: None,
             pool: WorkerPool::new(default_workers),
             alive_snapshot: Vec::new(),
+            tele,
         }
     }
 
@@ -441,8 +446,11 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             message_loss,
             failure_mode,
             partition,
+            tele,
+            cycle,
             ..
         } = self;
+        let cycle = *cycle;
         let ctx = CycleCtx {
             directory: dir.slots(),
             alive: alive_snapshot.as_slice(),
@@ -451,11 +459,18 @@ impl<N: GossipNode + Send> ShardedSimulation<N> {
             partition: *partition,
         };
 
-        exec::run_phase(shards, pool, |shard| phase_initiate(shard, &ctx));
+        // Phase indices match the names registered in `with_factory`.
+        let index = |shard: &Shard<N>| shard.index;
+        tele.run_phase(0, Some(cycle), shards, pool, index, |shard| {
+            phase_initiate(shard, &ctx)
+        });
         exec::transpose(shards, |shard| &mut shard.requests);
-        exec::run_phase(shards, pool, |shard| phase_respond(shard, &ctx));
+        tele.run_phase(1, Some(cycle), shards, pool, index, |shard| {
+            phase_respond(shard, &ctx)
+        });
         exec::transpose(shards, |shard| &mut shard.replies);
-        exec::run_phase(shards, pool, phase_absorb);
+        tele.run_phase(2, Some(cycle), shards, pool, index, phase_absorb);
+        tele.cycle_done();
 
         let mut report = CycleReport::default();
         for shard in shards.iter_mut() {

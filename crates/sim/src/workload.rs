@@ -747,10 +747,35 @@ pub fn run_workload_observed<T: WorkloadTarget>(
     let mut partitioned = false;
     let mut rows: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
     let mut records = Vec::with_capacity(compiled.steps.len());
+    let period_ns = pss_telemetry::global().histogram(
+        "pss_workload_period_ns",
+        "Wall time of one workload-driver period (ops + run + snapshot), nanoseconds",
+    );
+    let ops_applied = pss_telemetry::global().counter(
+        "pss_workload_ops_total",
+        "Membership operations applied by the workload driver",
+    );
     for (i, step) in compiled.steps.iter().enumerate() {
+        let period_started = std::time::Instant::now();
+        let period = i as u64 + 1;
         let mut killed = 0;
         let mut joined = 0;
         for op in &step.ops {
+            if pss_telemetry::enabled() {
+                let (label, subject) = match op {
+                    Op::Kill(id) => ("kill", id.as_index() as u64),
+                    Op::Join { id, .. } => ("join", id.as_index() as u64),
+                    Op::SetPartition(Some(_)) => ("partition_on", 0),
+                    Op::SetPartition(None) => ("partition_off", 0),
+                };
+                pss_telemetry::flight().record(
+                    pss_telemetry::EventKind::MembershipOp,
+                    label,
+                    subject,
+                    period,
+                );
+                ops_applied.inc();
+            }
             match op {
                 Op::Kill(id) => {
                     // Compilation guarantees the victim is live; a false
@@ -786,6 +811,9 @@ pub fn run_workload_observed<T: WorkloadTarget>(
         record.partitioned = partitioned;
         observe(record.period, &rows, &|id| !dead.contains(&id));
         records.push(record);
+        if pss_telemetry::enabled() {
+            period_ns.record(period_started.elapsed().as_nanos() as u64);
+        }
     }
     records
 }

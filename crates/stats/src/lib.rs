@@ -11,6 +11,8 @@
 //!   band used in Figure 5.
 //! * [`Histogram`] and [`LogHistogram`] — linear and logarithmic binning for
 //!   the degree distributions of Figure 4.
+//! * [`Log2Histogram`] — power-of-two bucketed integer histogram with
+//!   p50/p99/max extraction, the snapshot format of the telemetry registry.
 //! * [`CountDistribution`] — exact integer frequency counts.
 //! * [`chi_square_uniform`] — Pearson goodness-of-fit against uniform, the
 //!   PeerSwap-style randomness audit of the adversarial suite.
@@ -34,6 +36,7 @@ mod autocorr;
 mod chi2;
 mod distribution;
 mod histogram;
+mod log2hist;
 mod quantiles;
 mod series;
 mod summary;
@@ -42,6 +45,7 @@ pub use autocorr::{autocorrelation, autocorrelation_at, white_noise_band, Autoco
 pub use chi2::{chi_square, chi_square_sf, chi_square_uniform, ChiSquare};
 pub use distribution::CountDistribution;
 pub use histogram::{Histogram, HistogramError, LogHistogram};
+pub use log2hist::{log2_bucket, log2_bucket_ceil, log2_bucket_floor, Log2Histogram, LOG2_BUCKETS};
 pub use quantiles::{median, quantile, QuantileError};
 pub use series::TimeSeries;
 pub use summary::Summary;

@@ -1,0 +1,334 @@
+//! Power-of-two log-bucketed integer histogram with quantile extraction.
+//!
+//! [`Log2Histogram`] is the HDR-style bucketing scheme the telemetry
+//! registry snapshots into: 65 buckets where bucket 0 holds exactly the
+//! value 0 and bucket *i* ≥ 1 covers the half-open power-of-two range
+//! `[2^(i-1), 2^i)` (bucket 64 is capped at `u64::MAX`). Bucketing a value
+//! is a single `leading_zeros`, so the recording side needs no floats, no
+//! division, and no branches beyond the array index — cheap enough to sit
+//! on a per-frame network path.
+//!
+//! The trade-off is resolution: a quantile is only known to within a
+//! factor of two. For latency telemetry (nanoseconds, virtual ticks) that
+//! is exactly the right contract — order-of-magnitude truth, constant
+//! memory, lossless merging across shards.
+//!
+//! All accumulators saturate instead of wrapping, which keeps
+//! [`Log2Histogram::merge`] associative and total even for adversarial
+//! `u64::MAX`-scale observations.
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// Bucket index for `value`: 0 for 0, else `64 - value.leading_zeros()`
+/// (the position of the highest set bit, 1-based).
+#[inline]
+#[must_use]
+pub fn log2_bucket(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Smallest value that lands in `bucket` (0 for bucket 0, else `2^(b-1)`).
+#[must_use]
+pub fn log2_bucket_floor(bucket: usize) -> u64 {
+    assert!(bucket < LOG2_BUCKETS, "bucket {bucket} out of range");
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+/// Largest value that lands in `bucket` (0 for bucket 0, `u64::MAX` for
+/// bucket 64, else `2^b - 1`).
+#[must_use]
+pub fn log2_bucket_ceil(bucket: usize) -> u64 {
+    assert!(bucket < LOG2_BUCKETS, "bucket {bucket} out of range");
+    if bucket == 0 {
+        0
+    } else if bucket == LOG2_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// Fixed-size log₂-bucketed histogram over `u64` observations.
+///
+/// Tracks per-bucket counts plus exact total count, saturating sum, and
+/// exact min/max. Quantiles are extracted from the bucket counts and
+/// clamped to the observed `[min, max]`, so `quantile(1.0)` is always the
+/// exact maximum and every quantile of an empty histogram is a
+/// well-defined 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; LOG2_BUCKETS],
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            counts: [0; LOG2_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical observations in one step (the shape a
+    /// snapshot of atomic bucket counters arrives in).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[log2_bucket(value)] = self.counts[log2_bucket(value)].saturating_add(n);
+        self.total = self.total.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one. Lossless on bucket counts;
+    /// saturating on `total`/`sum`, so merging is associative and
+    /// commutative in any shard order.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Overwrites the saturating sum and the raw min/max cells with
+    /// externally tracked values — the hook an atomic histogram snapshot
+    /// uses: bucket counts are rebuilt exactly via [`Self::record_n`]
+    /// (which can only approximate the sum from bucket bounds), then the
+    /// precise aggregates from dedicated atomic cells are patched in. A
+    /// `min` of `u64::MAX` is the "no observations" sentinel.
+    pub fn set_aggregates(&mut self, sum: u64, min: u64, max: u64) {
+        self.sum = sum;
+        self.min = min;
+        self.max = max;
+    }
+
+    /// Number of observations (saturating).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Saturating sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest observation; 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest observation; 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (from the saturating sum); 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The `p`-quantile (`p` clamped to `[0, 1]`) as the upper bound of the
+    /// bucket holding the rank-⌈p·total⌉ observation, clamped to the exact
+    /// observed `[min, max]`. Resolution is therefore a factor of two in
+    /// the interior, exact at both extremes, and 0 on an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; p = 0 maps to rank 1.
+        let rank = ((p * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(count);
+            if seen >= rank {
+                return log2_bucket_ceil(bucket).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`quantile(0.5)`).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile (`quantile(0.99)`).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Raw bucket counts, indexed by [`log2_bucket`].
+    #[must_use]
+    pub fn counts(&self) -> &[u64; LOG2_BUCKETS] {
+        &self.counts
+    }
+
+    /// Non-empty buckets as `(floor, ceil, count)` ranges, lowest first —
+    /// the shape the Prometheus renderer and the JSON emitter both walk.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(bucket, &count)| (log2_bucket_floor(bucket), log2_bucket_ceil(bucket), count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_round_trip() {
+        for bucket in 0..LOG2_BUCKETS {
+            assert_eq!(log2_bucket(log2_bucket_floor(bucket)), bucket);
+            assert_eq!(log2_bucket(log2_bucket_ceil(bucket)), bucket);
+        }
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_well_defined() {
+        let h = Log2Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_is_exact_at_every_quantile() {
+        let mut h = Log2Histogram::new();
+        h.record(777);
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), 777);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_bucket_upper_bounds() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        // Rank 500 lands in bucket [256, 511]; the estimate is its ceiling.
+        assert_eq!(h.p50(), 511);
+        // p99 → rank 990 → bucket [512, 1023], clamped to the max of 1000.
+        assert_eq!(h.p99(), 1000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn saturates_at_u64_max_scale() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.sum(), u64::MAX); // saturated, not wrapped
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        // record_n with a saturating count keeps the bucket pinned at MAX.
+        h.record_n(u64::MAX, u64::MAX);
+        h.record_n(u64::MAX, u64::MAX);
+        assert_eq!(h.total(), u64::MAX);
+        assert_eq!(h.counts()[64], u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_accumulates_counts_and_extremes() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(10);
+        a.record(20);
+        b.record(1);
+        b.record(4000);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 4000);
+        assert_eq!(a.sum(), 4031);
+        let mut whole = Log2Histogram::new();
+        for v in [10, 20, 1, 4000] {
+            whole.record(v);
+        }
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Log2Histogram::new();
+        h.record(42);
+        let snapshot = h.clone();
+        h.merge(&Log2Histogram::new());
+        assert_eq!(h, snapshot);
+        let mut e = Log2Histogram::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+}

@@ -1,0 +1,274 @@
+//! The three metric primitives: counter, gauge, log₂ histogram.
+//!
+//! Handles are cheap `Arc` clones of shared cells; the registry hands the
+//! same cell back for repeated registrations of the same name+labels, so
+//! engines constructed many times over a process lifetime (every test,
+//! every experiment run) accumulate into one series. All mutation is
+//! relaxed atomics — recording threads never contend on a lock and never
+//! allocate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pss_stats::{log2_bucket, Log2Histogram, LOG2_BUCKETS};
+
+use crate::enabled;
+
+/// Monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A detached counter (not in any registry); mostly for tests.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (saturating).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        // fetch_update would loop; plain fetch_add is fine — counters count
+        // events, and 2^64 events do not happen.
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A detached gauge (not in any registry); mostly for tests.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if larger (a high-water mark).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; LOG2_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log₂-bucketed histogram of `u64` observations (latencies in
+/// nanoseconds, virtual ticks, sizes). Recording is five relaxed atomic
+/// RMWs; quantiles come from [`Histogram::snapshot`], which folds the
+/// atomic cells into a [`pss_stats::Log2Histogram`].
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A detached histogram (not in any registry); mostly for tests.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        let core = &*self.core;
+        core.buckets[log2_bucket(value)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.min.fetch_min(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy with quantile extraction. Concurrent recording
+    /// makes the snapshot only approximately consistent (a racing record
+    /// may appear in `count` but not yet in its bucket); totals are taken
+    /// from the bucket counts so quantile ranks always add up.
+    #[must_use]
+    pub fn snapshot(&self) -> Log2Histogram {
+        let core = &*self.core;
+        let mut out = Log2Histogram::new();
+        // record_n would recompute the sum from bucket values; instead
+        // rebuild counts exactly and patch the saturating aggregates from
+        // the dedicated cells, clamped to the observed extremes.
+        let min = core.min.load(Ordering::Relaxed);
+        let max = core.max.load(Ordering::Relaxed);
+        for bucket in 0..LOG2_BUCKETS {
+            let n = core.buckets[bucket].load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            let representative = pss_stats::log2_bucket_ceil(bucket).clamp(min.min(max), max);
+            out.record_n(representative, n);
+        }
+        out.set_aggregates(
+            core.sum.load(Ordering::Relaxed),
+            if out.is_empty() { u64::MAX } else { min },
+            max,
+        );
+        out
+    }
+
+    /// Resets every cell to the empty state.
+    pub fn reset(&self) {
+        let core = &*self.core;
+        for b in &core.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        core.count.store(0, Ordering::Relaxed);
+        core.sum.store(0, Ordering::Relaxed);
+        core.min.store(u64::MAX, Ordering::Relaxed);
+        core.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let shared = c.clone();
+        shared.inc();
+        assert_eq!(c.get(), 6);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        g.set(9);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.set_max(2);
+        assert_eq!(g.get(), 3);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_snapshot_quantiles() {
+        let h = Histogram::new();
+        for v in [5u64, 5, 5, 900, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        let snap = h.snapshot();
+        assert_eq!(snap.total(), 5);
+        assert_eq!(snap.min(), 5);
+        assert_eq!(snap.max(), 1_000_000);
+        assert_eq!(snap.sum(), 1_000_915);
+        assert_eq!(snap.p50(), 7); // bucket [4,7], exact values were 5
+        assert_eq!(snap.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn histogram_reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(123);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        let snap = h.snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.p99(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().total(), 40_000);
+        assert_eq!(h.snapshot().max(), 39_999);
+    }
+}
