@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::PolicyTriple;
+use crate::{Freshness, PolicyTriple};
 
 /// Error returned when constructing an invalid [`ProtocolConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,8 @@ impl std::error::Error for ConfigError {}
 pub struct ProtocolConfig {
     policy: PolicyTriple,
     view_size: usize,
+    #[cfg_attr(feature = "serde", serde(default))]
+    freshness: Freshness,
 }
 
 impl ProtocolConfig {
@@ -56,7 +58,11 @@ impl ProtocolConfig {
         if view_size == 0 {
             return Err(ConfigError::ZeroViewSize);
         }
-        Ok(ProtocolConfig { policy, view_size })
+        Ok(ProtocolConfig {
+            policy,
+            view_size,
+            freshness: Freshness::HopCount,
+        })
     }
 
     /// The paper's configuration for a given policy: `c = 30`.
@@ -64,12 +70,27 @@ impl ProtocolConfig {
         ProtocolConfig {
             policy,
             view_size: Self::PAPER_VIEW_SIZE,
+            freshness: Freshness::HopCount,
         }
+    }
+
+    /// Selects the freshness dimension (default [`Freshness::HopCount`],
+    /// the generic skeleton's semantics; [`Freshness::Timestamp`] is the
+    /// Newscast instantiation's).
+    #[must_use]
+    pub fn with_freshness(mut self, freshness: Freshness) -> Self {
+        self.freshness = freshness;
+        self
     }
 
     /// The policy triple.
     pub fn policy(&self) -> PolicyTriple {
         self.policy
+    }
+
+    /// The freshness dimension.
+    pub fn freshness(&self) -> Freshness {
+        self.freshness
     }
 
     /// The maximal view size `c`.
@@ -80,7 +101,11 @@ impl ProtocolConfig {
 
 impl fmt::Display for ProtocolConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} c={}", self.policy, self.view_size)
+        write!(f, "{} c={}", self.policy, self.view_size)?;
+        if self.freshness != Freshness::HopCount {
+            write!(f, " freshness={}", self.freshness)?;
+        }
+        Ok(())
     }
 }
 

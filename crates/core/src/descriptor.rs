@@ -69,6 +69,18 @@ impl NodeDescriptor {
         }
     }
 
+    /// A copy with the age increased by `hops` (saturating): the bulk form
+    /// of [`NodeDescriptor::aged`]. `aged_by(0)` is the identity — used by
+    /// the timestamp freshness mode, where transfers carry the age through
+    /// unchanged ([`crate::Freshness::transfer_age`]).
+    #[must_use]
+    pub const fn aged_by(self, hops: u32) -> Self {
+        NodeDescriptor {
+            id: self.id,
+            hop_count: self.hop_count.saturating_add(hops),
+        }
+    }
+
     /// True if this descriptor is fresher (strictly lower hop count) than
     /// `other`. Only meaningful for descriptors of the same node.
     pub const fn is_fresher_than(self, other: NodeDescriptor) -> bool {

@@ -77,7 +77,9 @@ pub use descriptor::NodeDescriptor;
 pub use id::NodeId;
 pub use message::{Exchange, Reply, Request};
 pub use node::{GossipNode, PeerSamplingNode};
-pub use policy::{ParsePolicyError, PeerSelection, PolicyTriple, ViewPropagation, ViewSelection};
+pub use policy::{
+    Freshness, ParsePolicyError, PeerSelection, PolicyTriple, ViewPropagation, ViewSelection,
+};
 pub use service::{OracleSampler, PeerSampler};
 pub use staging::Arena;
 pub use view::{MergeScratch, View};

@@ -202,16 +202,23 @@ impl PeerSamplingNode {
     /// Runs the receive side of an exchange on `descriptors`:
     /// `view ← selectView(merge(increaseHopCount(view_p), view))`, using the
     /// arena's staging buffers (no steady-state allocation).
+    ///
+    /// Under [`crate::Freshness::Timestamp`] the `increaseHopCount` step
+    /// degenerates to the identity: ages are clock readings stamped by the
+    /// descriptor's owner, and transit does not advance the clock.
     fn absorb(&mut self, arena: &mut Arena, descriptors: Vec<NodeDescriptor>) {
         let policy = self.config.policy().view_selection;
         let c = self.config.view_size();
+        let transfer = self.config.freshness().transfer_age();
         // Fast path: protocol messages carry well-formed view content
         // (hop-sorted, one descriptor per node), absorbed straight off
         // the wire buffer. Malformed content (possible only through
         // hand-crafted requests) is rejected untouched and goes through
         // the general dedup path.
         arena.rx_buf.clear();
-        arena.rx_buf.extend(descriptors.iter().map(|d| d.aged()));
+        arena
+            .rx_buf
+            .extend(descriptors.iter().map(|d| d.aged_by(transfer)));
         let absorbed = self.view.merge_select_from_slice(
             &arena.rx_buf,
             Some(self.id),
@@ -223,7 +230,7 @@ impl PeerSamplingNode {
         if !absorbed {
             arena
                 .rx_view
-                .assign_aged(descriptors.iter().copied(), 1, &mut arena.scratch);
+                .assign_aged(descriptors.iter().copied(), transfer, &mut arena.scratch);
             self.view.merge_select_from(
                 &arena.rx_view,
                 Some(self.id),
@@ -619,6 +626,41 @@ mod tests {
         }
         let mut empty = node(5, "(rand,head,pushpull)", 30);
         assert!(empty.sample_peer().is_none());
+    }
+
+    /// The marooning fix is load-bearing: under [`Freshness::Timestamp`]
+    /// the transit step (`increaseHopCount` on receive) is the identity, so
+    /// a descriptor's age is its owner's clock reading no matter how many
+    /// hops it travelled. Under [`Freshness::HopCount`] every receive adds
+    /// one — circulating entries inflate, which is what evicts long-haul
+    /// (cross-partition) entries early and maroons healed overlays.
+    #[test]
+    fn timestamp_transfer_does_not_add_age() {
+        use crate::Freshness;
+        let mut arena = Arena::new();
+        for (freshness, expected) in [(Freshness::HopCount, 5), (Freshness::Timestamp, 4)] {
+            let config = ProtocolConfig::new("(rand,head,pushpull)".parse().unwrap(), 8)
+                .unwrap()
+                .with_freshness(freshness);
+            let mut n = PeerSamplingNode::with_seed(NodeId::new(0), config, 1);
+            n.init([NodeDescriptor::new(NodeId::new(1), 0)]);
+            let request = Request {
+                descriptors: vec![NodeDescriptor::new(NodeId::new(9), 4)],
+                wants_reply: false,
+            };
+            n.handle_request(&mut arena, NodeId::new(9), request);
+            let received = n
+                .view()
+                .iter()
+                .find(|d| d.id() == NodeId::new(9))
+                .expect("absorbed");
+            assert_eq!(
+                received.hop_count(),
+                expected,
+                "{freshness:?}: transfer age must be {}",
+                expected - 4
+            );
+        }
     }
 
     #[test]

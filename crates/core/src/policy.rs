@@ -3,6 +3,74 @@
 use core::fmt;
 use std::str::FromStr;
 
+/// Freshness dimension: what the descriptor age field measures.
+///
+/// The paper's generic skeleton tracks freshness as a **hop count**
+/// incremented by every receiver, while its Newscast instantiation uses
+/// **timestamps**: a descriptor is stamped when its owner creates it and
+/// its age is simply the elapsed time on the (virtual, engine-driven)
+/// clock — forwarding a descriptor does not make it look older.
+///
+/// The difference is invisible on a healthy overlay but decisive under
+/// degraded failure physics: hop-count age inflates every in-group entry
+/// during a network partition (entries keep circulating, gaining a hop per
+/// transfer), so the eviction horizon rises with it while unreachable
+/// cross-group entries age at the same clock rate — the marooned halves
+/// collapse onto self-reinforcing cliques and the overlay splits for good.
+/// Timestamp age keeps circulating entries young, the eviction horizon
+/// stays low and *stale cross-group descriptors survive at the view tail*
+/// long enough for a heal to re-merge the overlay. The workload
+/// conformance suite pins both outcomes on the identical schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Freshness {
+    /// Hop-count age: incremented once per cycle in the stored view *and*
+    /// once on every transfer (the paper's generic `increaseHopCount`).
+    #[default]
+    HopCount,
+    /// Timestamp age: advances once per cycle of the engine clock only;
+    /// transfers carry the age through unchanged (Newscast semantics).
+    Timestamp,
+}
+
+impl Freshness {
+    /// Age added to every received descriptor before merging: 1 hop for
+    /// [`Freshness::HopCount`], 0 for [`Freshness::Timestamp`] (the age is
+    /// a clock reading, not a path length).
+    pub const fn transfer_age(self) -> u32 {
+        match self {
+            Freshness::HopCount => 1,
+            Freshness::Timestamp => 0,
+        }
+    }
+
+    /// Both variants, hop count first.
+    pub const fn both() -> [Freshness; 2] {
+        [Freshness::HopCount, Freshness::Timestamp]
+    }
+}
+
+impl fmt::Display for Freshness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Freshness::HopCount => "hop",
+            Freshness::Timestamp => "timestamp",
+        })
+    }
+}
+
+impl FromStr for Freshness {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "hop" | "hops" | "hopcount" | "hop-count" => Ok(Freshness::HopCount),
+            "timestamp" | "ts" | "time" => Ok(Freshness::Timestamp),
+            other => Err(ParsePolicyError::new(other)),
+        }
+    }
+}
+
 /// Peer selection policy: which view entry to exchange views with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]

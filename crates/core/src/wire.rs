@@ -51,6 +51,13 @@
 //! 12      19    address
 //! ```
 //!
+//! The age field's *semantics* are version-gated: version-1 senders always
+//! wrote hop counts; version-2 frames carry whatever age dimension the
+//! deployment runs ([`crate::Freshness`] — hop counts by default,
+//! clock-derived timestamp ages under [`crate::Freshness::Timestamp`]).
+//! The bytes are identical either way; see [`Frame::version`] for the
+//! receiver-side rule.
+//!
 //! One address (19 bytes): a tag byte, 16 address bytes, and a port:
 //!
 //! ```text
@@ -260,6 +267,17 @@ impl std::error::Error for DecodeError {}
 /// [`read_descriptors`], which is the copying step.
 #[derive(Debug, Clone, Copy)]
 pub struct Frame<'a> {
+    /// Codec version the sender encoded with (`MIN_VERSION..=VERSION`).
+    ///
+    /// Version gates the *semantics* of the descriptor age field: a
+    /// version-1 sender can only have produced hop counts, while version-2
+    /// frames carry whatever the deployment's [`crate::Freshness`] mode
+    /// defines (hop counts by default, clock-derived timestamp ages under
+    /// [`crate::Freshness::Timestamp`]). Receivers running timestamp
+    /// freshness must therefore refuse version-1 protocol frames — mixing
+    /// hop counts into a timestamp-ordered view would corrupt its eviction
+    /// order silently.
+    pub version: u8,
     /// Request or reply.
     pub kind: FrameKind,
     /// For requests: must the receiver answer with its own view?
@@ -463,6 +481,7 @@ pub fn decode(bytes: &[u8]) -> Result<Frame<'_>, DecodeError> {
         });
     }
     Ok(Frame {
+        version,
         kind,
         wants_reply: flags & FLAG_WANTS_REPLY != 0,
         src,
@@ -693,10 +712,15 @@ mod tests {
 
     #[test]
     fn version_1_request_frames_still_decode() {
-        let mut buf = sample_frame(&[NodeDescriptor::new(NodeId::new(1), 2)]);
+        let buf2 = sample_frame(&[NodeDescriptor::new(NodeId::new(1), 2)]);
+        assert_eq!(decode(&buf2).unwrap().version, VERSION);
+        let mut buf = buf2;
         buf[8] = 1;
         let frame = decode(&buf).expect("v1 frames stay decodable");
         assert_eq!(frame.kind, FrameKind::Request);
+        // The sender's version is surfaced: receivers running timestamp
+        // freshness gate the age-field semantics on it.
+        assert_eq!(frame.version, 1);
         assert!(decode(&{
             let mut b = buf.clone();
             b[8] = 0;

@@ -21,8 +21,15 @@
 //!   net      live loopback UDP cluster: convergence + throughput through
 //!            the wire codec (--workers sets the runtime-thread count)
 //!   workload membership-dynamics schedule on the cycle AND event engines
-//!            (--schedule "quiet:10,kill:0.5,churn:0.01x20"; grammar also
-//!            has flash:N and part:GxP — see pss_sim::workload)
+//!            (--schedule "quiet:10,kill:0.5,churn:0.01x20"; the grammar
+//!            also has flash:N[herd], part:GxP@L lossy partitions, (…)xR
+//!            repetition — see pss_sim::workload); --freshness both runs
+//!            hop-count and timestamp age back to back and gates on the
+//!            freshness ordering under partition schedules
+//!   matrix   failure-physics scenario matrix: policy × freshness ×
+//!            failure family (churn, catastrophe, herd, lossy partition),
+//!            gated on timestamp freshness healing the lossy long
+//!            partition that hop-count leaves split
 //!   adversary Byzantine attack sweep: one adv: schedule across the honest
 //!            policy corners (newscast, blind, H&S healer, H&S swapper)
 //!            on both engines (--schedule "adv:hub@0.02,quiet:30")
@@ -47,6 +54,7 @@
 //!                              workload); set PSS_PIN_WORKERS=1 to pin pool
 //!                              threads to cores
 //!   --schedule S               workload schedule string (workload)
+//!   --freshness hop|timestamp|both  descriptor-age mode (workload)
 //!   --seed S                   override master seed
 //!   --out DIR                  also write CSV series under DIR
 //! ```
@@ -71,6 +79,7 @@ struct Options {
     shards: Option<Vec<usize>>,
     workers: Option<usize>,
     schedule: Option<String>,
+    freshness: workload::FreshnessChoice,
     out: Option<PathBuf>,
 }
 
@@ -85,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut shards = None;
     let mut workers = None;
     let mut schedule = None;
+    let mut freshness = workload::FreshnessChoice::default();
     let mut out = None;
 
     let mut it = args.iter();
@@ -127,6 +137,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 workers = Some(n);
             }
             "--schedule" => schedule = Some(grab("--schedule")?),
+            "--freshness" => freshness = workload::FreshnessChoice::parse(&grab("--freshness")?)?,
             "--out" => out = Some(PathBuf::from(grab("--out")?)),
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
@@ -162,6 +173,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         shards,
         workers,
         schedule,
+        freshness,
         out,
     })
 }
@@ -364,18 +376,63 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 config.shards = shards[0];
             }
             config.workers = opts.workers;
-            let result = workload::run(&config)?;
-            emit(opts, "workload", &result.table(), None);
+            config.freshness = opts.freshness;
+            let run = workload::run(&config)?;
+            for result in &run.results {
+                emit(opts, result.emit_name(), &result.table(), None);
+                eprintln!(
+                    "   {} nodes, schedule `{}`, {} shards, {} freshness: healthy = {} \
+                     (periods marked * ran under a partition)",
+                    result.nodes,
+                    config.schedule,
+                    config.shards,
+                    match result.freshness {
+                        pss_core::Freshness::HopCount => "hop-count",
+                        pss_core::Freshness::Timestamp => "timestamp",
+                    },
+                    result.healthy()
+                );
+            }
+            let verdict = run.verdict();
             eprintln!(
-                "   {} nodes, schedule `{}`, {} shards: healthy = {} \
-                 (periods marked * ran under a partition)",
-                result.nodes,
-                config.schedule,
-                config.shards,
-                result.healthy()
+                "   gate = {}{}",
+                if verdict.is_ok() { "pass" } else { "FAIL" },
+                if run.partitioned && run.results.len() == 2 {
+                    " (cross-mode freshness ordering asserted)"
+                } else {
+                    ""
+                }
             );
-            if !gate("workload", result.healthy()) {
-                return Err("workload left an unhealthy overlay".into());
+            if !gate("workload", verdict.is_ok()) {
+                return Err(format!("workload gate failed: {}", verdict.unwrap_err()));
+            }
+        }
+        "matrix" => {
+            let mut mx_scale = scale;
+            // Sixteen cross-engine runs: cap the population and say so.
+            mx_scale.nodes = mx_scale.nodes.min(2_000);
+            if mx_scale.nodes < scale.nodes {
+                eprintln!(
+                    "   note: matrix caps the population at {} nodes ({} requested)",
+                    mx_scale.nodes, scale.nodes
+                );
+            }
+            let mut config = workload::MatrixConfig::at_scale(mx_scale);
+            if let Some(shards) = &opts.shards {
+                config.shards = shards[0];
+            }
+            config.workers = opts.workers;
+            let result = workload::matrix(&config)?;
+            emit(opts, "matrix", &result.table(), None);
+            let verdict = result.verdict();
+            eprintln!(
+                "   {} nodes, {} cells: gate = {}",
+                result.nodes,
+                result.cells.len(),
+                if verdict.is_ok() { "pass" } else { "FAIL" }
+            );
+            if !gate("matrix", verdict.is_ok()) {
+                return Err(format!("matrix gate failed: {}", verdict.unwrap_err()));
             }
         }
         "adversary" => {
@@ -499,6 +556,7 @@ fn run_command(opts: &Options, command: &str) -> Result<(), String> {
                 "scaling",
                 "net",
                 "workload",
+                "matrix",
                 "adversary",
                 "protocols",
                 // Last: the telemetry exercise resets the global registry.
@@ -548,9 +606,10 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: experiments \
-       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|net|workload|adversary|protocols|metrics|all>
+       <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7|policies|async|apps|hs|scaling|net|workload|matrix|adversary|protocols|metrics|all>
        [--scale paper|small|tiny|million] [--nodes N] [--cycles N] [--view-size C]
-       [--runs R] [--shards LIST] [--workers N] [--schedule S] [--seed S] [--out DIR]";
+       [--runs R] [--shards LIST] [--workers N] [--schedule S]
+       [--freshness hop|timestamp|both] [--seed S] [--out DIR]";
 
 /// Human throughput formatting for the `net` summary line.
 fn fmt_num(x: f64) -> String {
@@ -609,6 +668,18 @@ mod tests {
         let o = parse_args(&args("workload --schedule quiet:5,kill:0.5 --shards 2")).unwrap();
         assert_eq!(o.schedule.as_deref(), Some("quiet:5,kill:0.5"));
         assert!(parse_args(&args("workload --schedule")).is_err());
+    }
+
+    #[test]
+    fn parses_freshness() {
+        let o = parse_args(&args("workload --freshness both")).unwrap();
+        assert_eq!(o.freshness, workload::FreshnessChoice::Both);
+        let o = parse_args(&args("workload --freshness timestamp")).unwrap();
+        assert_eq!(o.freshness, workload::FreshnessChoice::Timestamp);
+        let o = parse_args(&args("workload")).unwrap();
+        assert_eq!(o.freshness, workload::FreshnessChoice::Hop);
+        assert!(parse_args(&args("workload --freshness stale")).is_err());
+        assert!(parse_args(&args("workload --freshness")).is_err());
     }
 
     #[test]

@@ -8,12 +8,27 @@
 //! recovery trajectories side by side: live population, full-view
 //! fraction, in-degree mean, dead-link fraction, largest live component.
 //!
+//! The run covers one or both **freshness modes** ([`FreshnessChoice`]):
+//! hop-count age (the repo's historic default) and the paper's Newscast
+//! timestamp age. Under lossy partitions the two modes diverge — hop-count
+//! inflates trickle-delivered cross-partition descriptors one hop per
+//! transfer until view selection evicts them, timestamp age is owner-clock
+//! and survives relaying — so `--freshness both` on a partition schedule
+//! gates on the *ordering* (timestamp end-component ≥ hop-count's) instead
+//! of demanding that the hop-count overlay heal.
+//!
+//! [`matrix`] systematizes this into the failure-physics scenario matrix:
+//! policy × freshness × failure family (churn, catastrophe, thundering
+//! herd, lossy partition), one row per cell, gated on every non-partition
+//! cell staying healthy and on Newscast timestamp healing the lossy long
+//! partition that hop-count leaves split.
+//!
 //! This is the CLI face of the conformance suite: the same schedules that
 //! `tests/workload_conformance.rs` and the `pss-net` loopback harness pin
 //! are explorable at any scale with `--schedule`.
 
-use pss_core::{NodeDescriptor, NodeId, PolicyTriple, ProtocolConfig};
-use pss_sim::workload::{run_workload, PeriodRecord, Workload};
+use pss_core::{Freshness, NodeDescriptor, NodeId, PolicyTriple, ProtocolConfig};
+use pss_sim::workload::{run_workload, PeriodRecord, PhaseSpec, Workload};
 use pss_sim::{EventConfig, LatencyModel, ShardedEventSimulation, ShardedSimulation};
 
 use crate::report::{fmt_f64, fmt_percent, Table};
@@ -22,6 +37,53 @@ use crate::Scale;
 /// The default schedule: the conformance suite's headline — converge,
 /// kill half, churn at 1%/period through recovery.
 pub const DEFAULT_SCHEDULE: &str = "quiet:10,kill:0.5,churn:0.01x20";
+
+/// Which freshness modes a workload run covers (`--freshness`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FreshnessChoice {
+    /// Hop-count transfer age only (the historic default).
+    #[default]
+    Hop,
+    /// Timestamp (owner-clock) age only.
+    Timestamp,
+    /// Both modes, back to back, on identical compiled schedules.
+    Both,
+}
+
+impl FreshnessChoice {
+    /// Parses the `--freshness` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "hop" | "hopcount" => Ok(FreshnessChoice::Hop),
+            "timestamp" | "ts" => Ok(FreshnessChoice::Timestamp),
+            "both" => Ok(FreshnessChoice::Both),
+            other => Err(format!(
+                "unknown freshness `{other}` (expected hop, timestamp or both)"
+            )),
+        }
+    }
+
+    /// The concrete modes to run, in run order.
+    pub fn modes(self) -> &'static [Freshness] {
+        match self {
+            FreshnessChoice::Hop => &[Freshness::HopCount],
+            FreshnessChoice::Timestamp => &[Freshness::Timestamp],
+            FreshnessChoice::Both => &[Freshness::HopCount, Freshness::Timestamp],
+        }
+    }
+}
+
+/// Short table/CSV label for a freshness mode.
+fn mode_slug(freshness: Freshness) -> &'static str {
+    match freshness {
+        Freshness::HopCount => "hop",
+        Freshness::Timestamp => "timestamp",
+    }
+}
 
 /// Configuration of a cross-engine workload run.
 #[derive(Debug, Clone)]
@@ -35,25 +97,32 @@ pub struct WorkloadConfig {
     pub shards: usize,
     /// Worker-thread override (results are worker-invariant).
     pub workers: Option<usize>,
+    /// Freshness mode(s) to run.
+    pub freshness: FreshnessChoice,
 }
 
 impl WorkloadConfig {
-    /// Defaults at the given scale: the acceptance schedule, 2 shards.
+    /// Defaults at the given scale: the acceptance schedule, 2 shards,
+    /// hop-count freshness.
     pub fn at_scale(scale: Scale) -> Self {
         WorkloadConfig {
             scale,
             schedule: DEFAULT_SCHEDULE.to_owned(),
             shards: 2,
             workers: None,
+            freshness: FreshnessChoice::default(),
         }
     }
 }
 
-/// The two per-period trajectories of one schedule.
+/// The two per-period trajectories of one schedule under one freshness
+/// mode.
 #[derive(Debug)]
 pub struct WorkloadResult {
     /// The parsed schedule.
     pub workload: Workload,
+    /// The freshness mode this result ran under.
+    pub freshness: Freshness,
     /// Cycle-engine records.
     pub cycle: Vec<PeriodRecord>,
     /// Event-engine records.
@@ -92,6 +161,15 @@ impl WorkloadResult {
         table
     }
 
+    /// CSV/emit label: `workload` for hop-count (historic name),
+    /// `workload_timestamp` for timestamp mode.
+    pub fn emit_name(&self) -> &'static str {
+        match self.freshness {
+            Freshness::HopCount => "workload",
+            Freshness::Timestamp => "workload_timestamp",
+        }
+    }
+
     /// True when both engines end healthy: largest component ≥ 95% of the
     /// live population and dead links ≤ 10% of view entries.
     pub fn healthy(&self) -> bool {
@@ -100,19 +178,130 @@ impl WorkloadResult {
             .flatten()
             .all(|r| r.component_fraction() >= 0.95 && r.dead_link_fraction() <= 0.10)
     }
+
+    /// Worst end-of-run largest-component fraction across the two engines.
+    fn end_component(&self) -> f64 {
+        [self.cycle.last(), self.event.last()]
+            .into_iter()
+            .flatten()
+            .map(|r| r.component_fraction())
+            .fold(1.0, f64::min)
+    }
+
+    /// Worst end-of-run dead-link fraction across the two engines.
+    fn end_dead(&self) -> f64 {
+        [self.cycle.last(), self.event.last()]
+            .into_iter()
+            .flatten()
+            .map(|r| r.dead_link_fraction())
+            .fold(0.0, f64::max)
+    }
 }
 
-/// Runs the schedule on both engines.
+/// All freshness modes of one schedule, plus the health verdict inputs.
+#[derive(Debug)]
+pub struct WorkloadRun {
+    /// One result per requested mode, in [`FreshnessChoice::modes`] order.
+    pub results: Vec<WorkloadResult>,
+    /// True when the schedule contains a partition phase — the regime
+    /// where the freshness modes are *expected* to diverge.
+    pub partitioned: bool,
+}
+
+impl WorkloadRun {
+    /// The health gate across modes.
+    ///
+    /// A single-mode run keeps the historic full health gate
+    /// ([`WorkloadResult::healthy`]: one component *and* dead links
+    /// ≤ 10%). A `--freshness both` run gates each mode on connectivity
+    /// only — schedules that end on an instantaneous kill legitimately
+    /// leave fresh dead entries behind — with two exceptions on partition
+    /// schedules: the hop-count side is exempt entirely (leaving the
+    /// overlay split is its documented failure mode, not a harness bug),
+    /// and the timestamp side must *fully* heal, plus satisfy the
+    /// freshness *ordering* — on each engine its end component must be at
+    /// least hop-count's.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated gate.
+    pub fn verdict(&self) -> Result<(), String> {
+        let both = self.results.len() == 2;
+        for r in &self.results {
+            if self.partitioned && both && r.freshness == Freshness::HopCount {
+                continue;
+            }
+            let ok = if both && !(self.partitioned && r.freshness == Freshness::Timestamp) {
+                r.end_component() >= 0.95
+            } else {
+                r.healthy()
+            };
+            if !ok {
+                return Err(format!(
+                    "{} mode left an unhealthy overlay \
+                     (end component {:.2}, dead links {:.2})",
+                    mode_slug(r.freshness),
+                    r.end_component(),
+                    r.end_dead()
+                ));
+            }
+        }
+        if self.partitioned && both {
+            let hop = &self.results[0];
+            let ts = &self.results[1];
+            for (engine, h, t) in [
+                ("cycle", hop.cycle.last(), ts.cycle.last()),
+                ("event", hop.event.last(), ts.event.last()),
+            ] {
+                let (Some(h), Some(t)) = (h, t) else { continue };
+                if t.component_fraction() + 1e-9 < h.component_fraction() {
+                    return Err(format!(
+                        "freshness ordering violated on the {engine} engine: \
+                         timestamp ended at component {:.2} < hop-count {:.2}",
+                        t.component_fraction(),
+                        h.component_fraction()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the schedule on both engines under the configured freshness
+/// mode(s).
 ///
 /// # Errors
 ///
 /// Returns the schedule-parse error text verbatim.
-pub fn run(config: &WorkloadConfig) -> Result<WorkloadResult, String> {
+pub fn run(config: &WorkloadConfig) -> Result<WorkloadRun, String> {
     let workload =
         Workload::parse(&config.schedule, config.scale.seed).map_err(|e| e.to_string())?;
+    let partitioned = workload
+        .phases()
+        .iter()
+        .any(|p| matches!(p, PhaseSpec::Partition { .. }));
+    let mut results = Vec::new();
+    for &freshness in config.freshness.modes() {
+        results.push(run_mode(config, &workload, freshness)?);
+    }
+    Ok(WorkloadRun {
+        results,
+        partitioned,
+    })
+}
+
+/// Runs one freshness mode of the schedule on both engines.
+fn run_mode(
+    config: &WorkloadConfig,
+    workload: &Workload,
+    freshness: Freshness,
+) -> Result<WorkloadResult, String> {
     let compiled = workload.compile(config.scale.nodes);
     let c = config.scale.view_size;
-    let protocol = ProtocolConfig::new(PolicyTriple::newscast(), c).map_err(|e| e.to_string())?;
+    let protocol = ProtocolConfig::new(PolicyTriple::newscast(), c)
+        .map_err(|e| e.to_string())?
+        .with_freshness(freshness);
     let seeds = |i: u64| -> Vec<NodeDescriptor> {
         if i == 0 {
             Vec::new()
@@ -148,11 +337,307 @@ pub fn run(config: &WorkloadConfig) -> Result<WorkloadResult, String> {
     let event_records = run_workload(&mut event, &compiled, c);
 
     Ok(WorkloadResult {
-        workload,
+        workload: workload.clone(),
+        freshness,
         cycle: cycle_records,
         event: event_records,
         nodes: config.scale.nodes,
     })
+}
+
+/// Configuration of the failure-physics scenario matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Population, view size and engine seed.
+    pub scale: Scale,
+    /// Shard count for both engines.
+    pub shards: usize,
+    /// Worker-thread override (results are worker-invariant).
+    pub workers: Option<usize>,
+}
+
+impl MatrixConfig {
+    /// Defaults at the given scale, 2 shards.
+    pub fn at_scale(scale: Scale) -> Self {
+        MatrixConfig {
+            scale,
+            shards: 2,
+            workers: None,
+        }
+    }
+}
+
+/// One (failure family × policy × freshness) cell of the matrix.
+#[derive(Debug)]
+pub struct MatrixCell {
+    /// Failure-family label (`churn`, `catastrophe`, `herd`, `partition`).
+    pub family: &'static str,
+    /// The gossip policy under test.
+    pub policy: PolicyTriple,
+    /// The freshness mode under test.
+    pub freshness: Freshness,
+    /// End-of-run cycle-engine record.
+    pub cycle_end: PeriodRecord,
+    /// End-of-run event-engine record.
+    pub event_end: PeriodRecord,
+}
+
+impl MatrixCell {
+    /// Worst end-of-run largest-component fraction across the engines.
+    pub fn end_component(&self) -> f64 {
+        self.cycle_end
+            .component_fraction()
+            .min(self.event_end.component_fraction())
+    }
+
+    /// Worst end-of-run dead-link fraction across the engines.
+    pub fn end_dead(&self) -> f64 {
+        self.cycle_end
+            .dead_link_fraction()
+            .max(self.event_end.dead_link_fraction())
+    }
+}
+
+/// The full scenario matrix: one cell per (family, policy, freshness).
+#[derive(Debug)]
+pub struct MatrixResult {
+    /// All cells, grouped by family then policy then freshness.
+    pub cells: Vec<MatrixCell>,
+    /// Population every schedule was compiled for.
+    pub nodes: usize,
+}
+
+impl MatrixResult {
+    /// One row per cell: end-of-run state on both engines.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "family",
+            "policy",
+            "freshness",
+            "live",
+            "cyc comp",
+            "cyc dead",
+            "evt comp",
+            "evt dead",
+        ]);
+        for cell in &self.cells {
+            table.row(vec![
+                cell.family.to_owned(),
+                cell.policy.to_string(),
+                mode_slug(cell.freshness).to_owned(),
+                cell.cycle_end.live.to_string(),
+                fmt_percent(cell.cycle_end.component_fraction()),
+                fmt_percent(cell.cycle_end.dead_link_fraction()),
+                fmt_percent(cell.event_end.component_fraction()),
+                fmt_percent(cell.event_end.dead_link_fraction()),
+            ]);
+        }
+        table
+    }
+
+    /// The matrix gate.
+    ///
+    /// Every non-partition cell must keep one connected component
+    /// (≥ 95% of the live population) in both modes — churn, catastrophe
+    /// and thundering-herd recovery must not depend on the freshness
+    /// dimension. The dead-link bound (≤ 10%) applies only to Newscast
+    /// cells: head view selection is the paper's self-healing mechanism,
+    /// and the `(rand,rand,pushpull)` control column retains stale
+    /// entries by design. The partition family is the demonstration:
+    /// Newscast under timestamp freshness must re-merge (component
+    /// ≥ 98%, dead links ≤ 6%) while hop-count stays split below it —
+    /// the marooning defect this axis fixes. The control column heals in
+    /// both modes there (random view selection never age-evicts the
+    /// surviving cross-group entries), so it falls under the component
+    /// gate like any other cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated gate.
+    pub fn verdict(&self) -> Result<(), String> {
+        for cell in &self.cells {
+            let label = format!(
+                "{} × {} × {}",
+                cell.family,
+                cell.policy,
+                mode_slug(cell.freshness)
+            );
+            let is_newscast = cell.policy == PolicyTriple::newscast();
+            if cell.family != "partition" || !is_newscast {
+                if cell.end_component() < 0.95 {
+                    return Err(format!(
+                        "{label} ended split: component {:.2}",
+                        cell.end_component()
+                    ));
+                }
+                if is_newscast && cell.end_dead() > 0.10 {
+                    return Err(format!(
+                        "{label} failed to self-heal: dead {:.2}",
+                        cell.end_dead()
+                    ));
+                }
+            } else {
+                match cell.freshness {
+                    Freshness::Timestamp => {
+                        if cell.end_component() < 0.98 || cell.end_dead() > 0.06 {
+                            return Err(format!(
+                                "{label} failed to re-merge: component {:.2}, dead {:.2}",
+                                cell.end_component(),
+                                cell.end_dead()
+                            ));
+                        }
+                    }
+                    Freshness::HopCount => {
+                        let ts = self
+                            .cells
+                            .iter()
+                            .find(|c| {
+                                c.family == "partition"
+                                    && c.policy == cell.policy
+                                    && c.freshness == Freshness::Timestamp
+                            })
+                            .ok_or("partition family missing its timestamp cell")?;
+                        if cell.end_component() + 1e-9 >= ts.end_component() {
+                            return Err(format!(
+                                "{label} is not split below the timestamp cell: \
+                                 hop component {:.2} ≥ timestamp {:.2}",
+                                cell.end_component(),
+                                ts.end_component()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the scenario matrix: failure family × policy × freshness, each
+/// cell a full cross-engine workload run.
+///
+/// The churn, catastrophe and herd families run at the configured scale.
+/// The partition family replays the conformance suite's pinned regime
+/// **verbatim** — 200 nodes, view size 15, engine seed 7, workload seed
+/// 9, 2 shards — independent of the scale knobs: healing a loss-0.65
+/// partition is percolation-marginal (20/40 timestamp heals vs 4/40
+/// hop-count across a 20-seed sweep), so only the pinned point is a
+/// deterministic differential and a gate anywhere else would flip with
+/// (N, c, seed). All cells are bit-deterministic at any worker count, so
+/// the gate is reproducible.
+///
+/// # Errors
+///
+/// Propagates schedule-parse or engine-construction errors.
+pub fn matrix(config: &MatrixConfig) -> Result<MatrixResult, String> {
+    let n = config.scale.nodes;
+    let herd = (n / 2).max(1);
+    let herd_schedule = format!("quiet:6,flash:{herd}[herd],quiet:12");
+    // (family, schedule, workload seed, population, view size,
+    //  engine seed, shards)
+    type Family<'a> = (&'static str, &'a str, u64, usize, usize, u64, usize);
+    let families: [Family; 4] = [
+        (
+            "churn",
+            "quiet:6,(churn:0.02x5)x3",
+            config.scale.seed,
+            n,
+            config.scale.view_size,
+            config.scale.seed,
+            config.shards,
+        ),
+        // Churned recovery after the kill: the paper's self-healing result
+        // needs membership turnover to flush the dead half from views.
+        (
+            "catastrophe",
+            "quiet:6,kill:0.5,churn:0.01x12",
+            config.scale.seed,
+            n,
+            config.scale.view_size,
+            config.scale.seed,
+            config.shards,
+        ),
+        (
+            "herd",
+            &herd_schedule,
+            config.scale.seed,
+            n,
+            config.scale.view_size,
+            config.scale.seed,
+            config.shards,
+        ),
+        // The pinned demonstration regime (see the function docs).
+        (
+            "partition",
+            "quiet:6,part:2x20@0.65,quiet:15",
+            9,
+            200,
+            15,
+            7,
+            2,
+        ),
+    ];
+    let policies = [
+        PolicyTriple::newscast(),
+        "(rand,rand,pushpull)"
+            .parse::<PolicyTriple>()
+            .map_err(|e| e.to_string())?,
+    ];
+
+    let mut cells = Vec::new();
+    for (family, schedule, wl_seed, n, c, engine_seed, shards) in families {
+        let workload = Workload::parse(schedule, wl_seed).map_err(|e| e.to_string())?;
+        let compiled = workload.compile(n);
+        for policy in policies {
+            for freshness in [Freshness::HopCount, Freshness::Timestamp] {
+                let protocol = ProtocolConfig::new(policy, c)
+                    .map_err(|e| e.to_string())?
+                    .with_freshness(freshness);
+                let seeds = |i: u64| -> Vec<NodeDescriptor> {
+                    if i == 0 {
+                        Vec::new()
+                    } else {
+                        vec![NodeDescriptor::fresh(NodeId::new(i / 2))]
+                    }
+                };
+
+                let mut cycle = ShardedSimulation::new(protocol.clone(), engine_seed, shards);
+                for i in 0..n as u64 {
+                    cycle.add_node(seeds(i));
+                }
+                if let Some(w) = config.workers {
+                    cycle.set_workers(w);
+                }
+                let cycle_records = run_workload(&mut cycle, &compiled, c);
+
+                let event_config = EventConfig {
+                    period: 1000,
+                    jitter: 200,
+                    latency: LatencyModel::Uniform { min: 10, max: 200 },
+                    loss_probability: 0.01,
+                };
+                let mut event =
+                    ShardedEventSimulation::new(protocol, event_config, engine_seed, shards)
+                        .map_err(|e| e.to_string())?;
+                for i in 0..n as u64 {
+                    event.add_node(seeds(i));
+                }
+                if let Some(w) = config.workers {
+                    event.set_workers(w);
+                }
+                let event_records = run_workload(&mut event, &compiled, c);
+
+                cells.push(MatrixCell {
+                    family,
+                    policy,
+                    freshness,
+                    cycle_end: cycle_records.last().cloned().ok_or("empty schedule")?,
+                    event_end: event_records.last().cloned().ok_or("empty schedule")?,
+                });
+            }
+        }
+    }
+    Ok(MatrixResult { cells, nodes: n })
 }
 
 #[cfg(test)]
@@ -166,7 +651,11 @@ mod tests {
         scale.view_size = 12;
         let mut config = WorkloadConfig::at_scale(scale);
         config.schedule = "quiet:6,kill:0.5,churn:0.02x10".into();
-        let result = run(&config).expect("valid schedule");
+        let run = run(&config).expect("valid schedule");
+        assert!(!run.partitioned);
+        assert_eq!(run.results.len(), 1);
+        let result = &run.results[0];
+        assert_eq!(result.freshness, Freshness::HopCount);
         assert_eq!(result.cycle.len(), 16);
         assert_eq!(result.event.len(), 16);
         // Identical compiled membership on both engines.
@@ -175,6 +664,32 @@ mod tests {
         }
         assert!(result.healthy(), "{result:?}");
         assert_eq!(result.table().len(), 16);
+        run.verdict().expect("healthy run passes the gate");
+    }
+
+    #[test]
+    fn both_modes_run_and_gate_on_ordering() {
+        let mut scale = Scale::tiny();
+        scale.nodes = 150;
+        scale.view_size = 12;
+        let mut config = WorkloadConfig::at_scale(scale);
+        config.schedule = "quiet:6,(churn:0.02x3)x2".into();
+        config.freshness = FreshnessChoice::Both;
+        let run = run(&config).expect("valid schedule");
+        assert_eq!(run.results.len(), 2);
+        assert_eq!(run.results[0].freshness, Freshness::HopCount);
+        assert_eq!(run.results[1].freshness, Freshness::Timestamp);
+        assert_eq!(run.results[0].emit_name(), "workload");
+        assert_eq!(run.results[1].emit_name(), "workload_timestamp");
+        run.verdict().expect("both modes healthy under plain churn");
+    }
+
+    #[test]
+    fn freshness_flag_parses() {
+        assert_eq!(FreshnessChoice::parse("hop"), Ok(FreshnessChoice::Hop));
+        assert_eq!(FreshnessChoice::parse("ts"), Ok(FreshnessChoice::Timestamp));
+        assert_eq!(FreshnessChoice::parse("both"), Ok(FreshnessChoice::Both));
+        assert!(FreshnessChoice::parse("stale").is_err());
     }
 
     #[test]

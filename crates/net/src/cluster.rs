@@ -335,6 +335,9 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
     for (r, transport) in transports.into_iter().enumerate() {
         let mut rt = NetRuntime::new(transport, net_config, mix(config.seed ^ (r as u64 + 1)))
             .expect("validated above");
+        // The runtime enforces the age-semantics version gate for the
+        // freshness mode the cluster's protocol declares.
+        rt.set_freshness(config.protocol.freshness());
         let (start, end) = range_of(config.nodes, config.runtimes, r);
         for i in start..end {
             // The same (seed, id)-pure node seed workload joiners get, so
@@ -544,7 +547,7 @@ pub fn run(config: &ClusterConfig) -> std::io::Result<ClusterReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pss_core::PolicyTriple;
+    use pss_core::{Freshness, PolicyTriple};
 
     #[test]
     fn range_partition_covers_all_ids_in_order() {
@@ -586,5 +589,78 @@ mod tests {
         assert!(report.converged_at.is_some());
         assert!(report.frames_per_sec() > 0.0);
         assert!(report.exchanges_per_sec() > 0.0);
+    }
+
+    /// Timestamp freshness re-merges a 20-period lossy partition over real
+    /// loopback UDP. The deterministic hop-splits/timestamp-heals
+    /// differential is pinned in the sharded-sim conformance suite
+    /// (`timestamp_freshness_heals_the_lossy_long_partition`); the cluster
+    /// is wall-clock nondeterministic, so this test asserts only the
+    /// robust positive half at a loss (0.45) where the timestamp heal
+    /// succeeded in every probe run (8/8 across seeds, including three
+    /// repeats of the least favourable one).
+    #[test]
+    fn timestamp_freshness_heals_the_lossy_partition_over_udp() {
+        let protocol = ProtocolConfig::new(PolicyTriple::newscast(), 12)
+            .unwrap()
+            .with_freshness(Freshness::Timestamp);
+        let mut config = ClusterConfig::small(protocol);
+        config.nodes = 96;
+        config.runtimes = 2;
+        config.period_ms = 60;
+        config.jitter_ms = 12;
+        config.seed = 5;
+        config.workload = Some(Workload::parse("quiet:6,part:2x20@0.45,quiet:15", 9).unwrap());
+        let report = run(&config).expect("cluster runs");
+        assert_eq!(report.records.len(), 41);
+        // The overlay actually splits while the loss matrix is in force...
+        assert!(report.records[25].partitioned);
+        // ...and the timestamp-mode overlay re-merges once it lifts.
+        let last = report.records.last().unwrap();
+        assert!(
+            last.component_fraction() >= 0.98,
+            "largest component only {:.2} of {} live nodes",
+            last.component_fraction(),
+            last.live
+        );
+        assert!(
+            last.dead_link_fraction() <= 0.06,
+            "dead links {:.3}",
+            last.dead_link_fraction()
+        );
+        // Every frame on the wire is v2, so the timestamp-mode age gate
+        // never fires against our own traffic.
+        assert_eq!(report.stats.v1_ages_rejected, 0, "{:?}", report.stats);
+        assert_eq!(report.stats.decode_failures(), 0, "{:?}", report.stats);
+    }
+
+    /// A thundering herd of joiners — every one aimed at the same
+    /// introducer by the `[herd]` override — all integrate over UDP: the
+    /// bootstrap retry/backoff path means overload delays joiners instead
+    /// of silently dropping them.
+    #[test]
+    fn flash_herd_joins_without_starvation_over_udp() {
+        let protocol = ProtocolConfig::new(PolicyTriple::newscast(), 12).unwrap();
+        let mut config = ClusterConfig::small(protocol);
+        config.nodes = 64;
+        config.runtimes = 2;
+        config.period_ms = 60;
+        config.jitter_ms = 12;
+        config.seed = 11;
+        config.workload = Some(Workload::parse("quiet:8,flash:64[herd],quiet:12", 9).unwrap());
+        let report = run(&config).expect("cluster runs");
+        let last = report.records.last().unwrap();
+        assert_eq!(last.live, 128, "a joiner was lost");
+        assert!(
+            last.component_fraction() >= 0.99,
+            "largest component only {:.2}",
+            last.component_fraction()
+        );
+        assert!(
+            last.full_fraction() >= 0.95,
+            "only {:.2} full views",
+            last.full_fraction()
+        );
+        assert_eq!(report.stats.decode_failures(), 0, "{:?}", report.stats);
     }
 }

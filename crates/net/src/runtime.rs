@@ -29,7 +29,9 @@
 use std::collections::HashMap;
 
 use pss_core::wire::{self, DecodeScratch, EncodeError, FrameKind, NetAddr};
-use pss_core::{Arena, Exchange, GossipNode, NodeDescriptor, NodeId, Reply, Request, View};
+use pss_core::{
+    Arena, Exchange, Freshness, GossipNode, NodeDescriptor, NodeId, Reply, Request, View,
+};
 use pss_sim::{workload::Partition, EventConfig, EventConfigError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -95,6 +97,11 @@ impl NetConfig {
     }
 }
 
+/// Longest exchange backoff, in periods: after repeated consecutive
+/// timeouts a node re-arms at most this many periods out (see
+/// [`NodeCounters::backoffs`]).
+const MAX_BACKOFF_STRETCH: u64 = 8;
+
 /// Per-node accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeCounters {
@@ -110,6 +117,13 @@ pub struct NodeCounters {
     pub timeouts: u64,
     /// Timer fires that could not initiate (empty view).
     pub empty_view: u64,
+    /// Timer re-arms stretched by the bootstrap backoff: a joining node
+    /// whose exchanges keep timing out before it has absorbed any protocol
+    /// message initiates less often (up to 8× the period) instead of
+    /// hammering its overloaded introducer in lockstep — the
+    /// thundering-herd fix. The first absorbed protocol message ends the
+    /// bootstrap phase and restores the full gossip rate.
+    pub backoffs: u64,
 }
 
 /// Aggregated runtime statistics: runtime-level counters plus the sums of
@@ -159,6 +173,14 @@ pub struct RuntimeStats {
     pub timeouts: u64,
     /// Summed [`NodeCounters::empty_view`].
     pub empty_view: u64,
+    /// Summed [`NodeCounters::backoffs`].
+    pub backoffs: u64,
+    /// Protocol frames from version-1 senders refused because this runtime
+    /// runs [`Freshness::Timestamp`]: a v1 age field is a hop count by
+    /// definition, and mixing hop counts into a timestamp-ordered view
+    /// would silently corrupt its eviction order
+    /// ([`NetRuntime::set_freshness`]).
+    pub v1_ages_rejected: u64,
     /// Receive-ring refills that had to allocate because the transport's
     /// spent ring was dry ([`crate::transport::Transport::recv_ring_empty`]).
     /// Zero in steady state on ring-backed transports; growth means the
@@ -205,6 +227,8 @@ impl RuntimeStats {
             exchanges_completed,
             timeouts,
             empty_view,
+            backoffs,
+            v1_ages_rejected,
             recv_ring_empty,
             app_delivered,
             app_redundant,
@@ -227,6 +251,8 @@ impl RuntimeStats {
         self.exchanges_completed += exchanges_completed;
         self.timeouts += timeouts;
         self.empty_view += empty_view;
+        self.backoffs += backoffs;
+        self.v1_ages_rejected += v1_ages_rejected;
         self.recv_ring_empty += recv_ring_empty;
         self.app_delivered += app_delivered;
         self.app_redundant += app_redundant;
@@ -299,6 +325,9 @@ struct Slot<N> {
     counters: NodeCounters,
     /// An outstanding pushpull exchange: `(peer, sent tick)`.
     pending_reply: Option<(NodeId, u64)>,
+    /// Consecutive reply timeouts with no absorbed reply in between —
+    /// drives the exchange backoff (see [`NodeCounters::backoffs`]).
+    consecutive_timeouts: u32,
     /// Holds the rumor when the broadcast app is enabled
     /// ([`NetRuntime::enable_broadcast`]).
     informed: bool,
@@ -318,6 +347,9 @@ pub struct NetRuntime<T: Transport, N: GossipNode = pss_core::PeerSamplingNode> 
     now: u64,
     /// Installed partition loss matrix, if any (egress-side blocking).
     partition: Option<Partition>,
+    /// Age semantics of the hosted nodes ([`NetRuntime::set_freshness`]).
+    freshness: Freshness,
+    v1_ages_rejected: u64,
     /// Recycled message buffers for the decode → node → encode path.
     arena: Arena,
     // Reused buffers: the steady-state-allocation-free receive/send path.
@@ -366,10 +398,14 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             nodes: Vec::new(),
             index: HashMap::new(),
             book: HashMap::new(),
-            wheel: TimerWheel::new(config.period + 2 * config.jitter + 1),
+            // Horizon covers the fully backed-off re-arm distance
+            // (`MAX_BACKOFF_STRETCH` periods + jitter), not just one period.
+            wheel: TimerWheel::new(MAX_BACKOFF_STRETCH * config.period + 2 * config.jitter + 1),
             rng: SmallRng::seed_from_u64(seed),
             now: 0,
             partition: None,
+            freshness: Freshness::HopCount,
+            v1_ages_rejected: 0,
             arena: Arena::new(),
             recv_buf: Vec::new(),
             encode_buf: Vec::new(),
@@ -452,6 +488,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             alive: true,
             counters: NodeCounters::default(),
             pending_reply: None,
+            consecutive_timeouts: 0,
             informed: false,
         });
         self.index.insert(id.as_u64(), slot);
@@ -479,6 +516,21 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             }
             _ => false,
         }
+    }
+
+    /// Declares the age semantics the hosted nodes run (their
+    /// [`pss_core::ProtocolConfig`]'s [`Freshness`] — the runtime cannot
+    /// see it through the [`GossipNode`] trait, so the builder states it).
+    ///
+    /// Under [`Freshness::Timestamp`], incoming *protocol* frames from
+    /// version-1 senders are refused and counted
+    /// ([`RuntimeStats::v1_ages_rejected`]): a v1 age field carries hop
+    /// counts by definition, and absorbing hop counts into a
+    /// timestamp-ordered view would silently corrupt its eviction order.
+    /// Version-2 frames carry the deployment's age dimension verbatim —
+    /// the encoder never rewrites ages, so the gate is purely receive-side.
+    pub fn set_freshness(&mut self, freshness: Freshness) {
+        self.freshness = freshness;
     }
 
     /// Installs (`Some`) or lifts (`None`) a partition loss matrix
@@ -573,6 +625,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             requests_in: self.requests_in,
             replies_in: self.replies_in,
             exchanges_completed: self.exchanges_completed,
+            v1_ages_rejected: self.v1_ages_rejected,
             recv_ring_empty: self.transport.recv_ring_empty(),
             app_delivered: self.app_delivered,
             app_redundant: self.app_redundant,
@@ -583,6 +636,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             stats.body_decode_failures += slot.counters.decode_failures;
             stats.timeouts += slot.counters.timeouts;
             stats.empty_view += slot.counters.empty_view;
+            stats.backoffs += slot.counters.backoffs;
         }
         stats
     }
@@ -644,6 +698,16 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                     self.addr_rebinds_rejected += 1;
                 }
             }
+        }
+        // Version gate on age semantics: a timestamp-mode runtime must not
+        // absorb v1 protocol content — those ages are hop counts. App
+        // frames carry no ages and pass (they are v2-only anyway).
+        if self.freshness == Freshness::Timestamp
+            && frame.version < 2
+            && frame.kind != FrameKind::App
+        {
+            self.v1_ages_rejected += 1;
+            return;
         }
         let Some(&slot_idx) = self.index.get(&frame.dst.as_u64()) else {
             self.unknown_destination += 1;
@@ -729,6 +793,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                         .record((self.now + 1).saturating_sub(sent));
                 }
                 slot.pending_reply = None;
+                slot.consecutive_timeouts = 0; // responsive again: no backoff
                 slot.node.handle_reply(
                     &mut self.arena,
                     frame.src,
@@ -775,6 +840,7 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
             if let Some((_, sent)) = slot.pending_reply {
                 if t.saturating_sub(sent) >= self.config.reply_timeout {
                     slot.counters.timeouts += 1;
+                    slot.consecutive_timeouts += 1;
                     slot.pending_reply = None;
                 }
             }
@@ -784,14 +850,37 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
                     self.nodes[slot_idx as usize].counters.empty_view += 1;
                 }
             }
-            // Re-arm with jitter, the event engine's formula.
+            // Re-arm with jitter, the event engine's formula — stretched
+            // exponentially (capped at 8×) for a *bootstrapping* node
+            // whose exchanges keep timing out. A flash herd of joiners all
+            // introduced to one node would otherwise hammer it in lockstep
+            // every period while it is too overloaded to answer any of
+            // them: the first timeout retries at full rate, repeat
+            // offenders space out, and the first absorbed protocol message
+            // snaps the node back to the period. Every retry still happens
+            // and is counted — no joiner is silently dropped. Integrated
+            // nodes (any protocol message absorbed) never back off:
+            // post-catastrophe timeouts on dead peers must not slow the
+            // self-healing gossip rate.
+            let slot = &mut self.nodes[slot_idx as usize];
+            let stretch = if slot.counters.msgs_in == 0 {
+                1u64 << slot
+                    .consecutive_timeouts
+                    .saturating_sub(1)
+                    .min(MAX_BACKOFF_STRETCH.trailing_zeros())
+            } else {
+                1
+            };
+            if stretch > 1 {
+                slot.counters.backoffs += 1;
+            }
             let jitter = if self.config.jitter == 0 {
                 0
             } else {
                 self.rng.random_range(0..=2 * self.config.jitter)
             };
             self.wheel.schedule(
-                t + self.config.period - self.config.jitter + jitter,
+                t + stretch * self.config.period - self.config.jitter + jitter,
                 slot_idx,
             );
             if let Some(fanout) = self.app_fanout {
@@ -898,7 +987,14 @@ impl<T: Transport, N: GossipNode> NetRuntime<T, N> {
         to: NetAddr,
         descriptors: &[NodeDescriptor],
     ) -> bool {
-        if self.partition.is_some_and(|p| p.blocks(src, dst)) {
+        // Group-pair loss matrix: total blackouts drop deterministically,
+        // lossy/asymmetric matrices draw from the runtime's RNG per
+        // cross-group frame (requests and replies both pass through here,
+        // so each direction gets its own loss).
+        if self
+            .partition
+            .is_some_and(|p| p.drops(src, dst, &mut self.rng))
+        {
             self.partition_blocked += 1;
             return false;
         }
@@ -1233,6 +1329,88 @@ mod tests {
     }
 
     #[test]
+    fn timestamp_mode_rejects_version_1_protocol_frames() {
+        let net = MemNetwork::new(3, LatencyModel::Zero, 0.0).expect("valid");
+        let mut raw = net.endpoint();
+        let transport = net.endpoint();
+        let addr = transport.net_addr();
+        let mut rt: NetRuntime<MemTransport> =
+            NetRuntime::new(transport, config(), 8).expect("valid");
+        rt.set_freshness(pss_core::Freshness::Timestamp);
+        rt.add_node(node(0, 8), &[]);
+        let mut buf = Vec::new();
+        wire::encode(
+            &mut buf,
+            FrameKind::Request,
+            false,
+            NodeId::new(9),
+            NodeId::new(0),
+            NetAddr::Virtual(0),
+            &[NodeDescriptor::new(NodeId::new(9), 3)],
+            |_| Some(NetAddr::Virtual(0)),
+        )
+        .unwrap();
+        // The same content as a v1 frame: its age field is a hop count by
+        // definition, so a timestamp-mode runtime must refuse it.
+        let mut v1 = buf.clone();
+        v1[8] = 1;
+        raw.send(addr, &v1);
+        raw.send(addr, &buf);
+        rt.run_until(5);
+        let stats = rt.stats();
+        assert_eq!(stats.v1_ages_rejected, 1, "{stats:?}");
+        assert_eq!(stats.requests_in, 1, "the v2 twin is absorbed");
+        assert!(rt.view_of(NodeId::new(0)).unwrap().contains(NodeId::new(9)));
+
+        // A hop-count runtime absorbs both: v1 ages *are* hop counts.
+        let net = MemNetwork::new(3, LatencyModel::Zero, 0.0).expect("valid");
+        let transport = net.endpoint();
+        let addr = transport.net_addr();
+        let mut raw = net.endpoint();
+        let mut hop_rt: NetRuntime<MemTransport> =
+            NetRuntime::new(transport, config(), 8).expect("valid");
+        hop_rt.add_node(node(0, 8), &[]);
+        raw.send(addr, &v1);
+        raw.send(addr, &buf);
+        hop_rt.run_until(5);
+        let stats = hop_rt.stats();
+        assert_eq!(stats.v1_ages_rejected, 0, "{stats:?}");
+        assert_eq!(stats.requests_in, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn starved_joiners_back_off_until_first_contact() {
+        // One introducer that never answers (total loss models an
+        // overloaded socket dropping everything): a joiner bootstrapped
+        // off it must keep retrying — counted, backed off — instead of
+        // hammering every period forever.
+        let (_net, mut rt) = mesh_runtime(1, LatencyModel::Zero, 1.0);
+        let addr = rt.local_addr();
+        rt.add_node(node(1, 8), &[(NodeId::new(0), addr)]);
+        rt.run_until(40 * 100); // 40 periods under total loss
+        let c = rt.node_counters(NodeId::new(1)).unwrap();
+        assert!(c.timeouts > 0, "{c:?}");
+        assert!(c.backoffs > 0, "{c:?}");
+        // Fully backed off, the joiner initiates every 8th period instead
+        // of every period — plus the full-rate rampdown at the start.
+        assert!(
+            c.msgs_out < 15,
+            "a starved joiner must not hammer at full rate: {c:?}"
+        );
+        assert!(c.msgs_in == 0);
+
+        // Same topology without loss: bootstrap completes in the first
+        // few exchanges, so the backoff never engages.
+        let (_net, mut rt) = mesh_runtime(1, LatencyModel::Zero, 0.0);
+        let addr = rt.local_addr();
+        rt.add_node(node(1, 8), &[(NodeId::new(0), addr)]);
+        rt.run_until(40 * 100);
+        let c = rt.node_counters(NodeId::new(1)).unwrap();
+        assert_eq!(c.backoffs, 0, "{c:?}");
+        assert!(c.msgs_out >= 35, "{c:?}");
+    }
+
+    #[test]
     fn join_after_a_run_clamps_the_timer_phase() {
         let (_net, mut rt) = mesh_runtime(2, LatencyModel::Uniform { min: 1, max: 3 }, 0.0);
         rt.run_until(1000);
@@ -1268,6 +1446,8 @@ mod tests {
             exchanges_completed: 15,
             timeouts: 16,
             empty_view: 17,
+            backoffs: 22,
+            v1_ages_rejected: 23,
             recv_ring_empty: 18,
             app_delivered: 19,
             app_redundant: 20,
@@ -1291,6 +1471,8 @@ mod tests {
             exchanges_completed: 1500,
             timeouts: 1600,
             empty_view: 1700,
+            backoffs: 2200,
+            v1_ages_rejected: 2300,
             recv_ring_empty: 1800,
             app_delivered: 1900,
             app_redundant: 2000,
@@ -1316,6 +1498,8 @@ mod tests {
             exchanges_completed,
             timeouts,
             empty_view,
+            backoffs,
+            v1_ages_rejected,
             recv_ring_empty,
             app_delivered,
             app_redundant,
@@ -1338,6 +1522,8 @@ mod tests {
         assert_eq!(exchanges_completed, 1515);
         assert_eq!(timeouts, 1616);
         assert_eq!(empty_view, 1717);
+        assert_eq!(backoffs, 2222);
+        assert_eq!(v1_ages_rejected, 2323);
         assert_eq!(recv_ring_empty, 1818);
         assert_eq!(app_delivered, 1919);
         assert_eq!(app_redundant, 2020);

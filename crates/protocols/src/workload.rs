@@ -229,8 +229,10 @@ pub fn run_under_workload<T: WorkloadTarget>(
                 partition = *p;
             }
         }
-        let blocks = |a: usize, b: usize| {
-            partition.is_some_and(|p| p.blocks(NodeId::new(a as u64), NodeId::new(b as u64)))
+        // Lossy matrices draw from the app RNG per cross-group message;
+        // total blackouts and same-group traffic consume no randomness.
+        let blocks = |a: usize, b: usize, rng: &mut SmallRng| {
+            partition.is_some_and(|p| p.drops(NodeId::new(a as u64), NodeId::new(b as u64), rng))
         };
         // Admit joiners: first appearance in the live rows, uninformed and
         // holding the configured starting value.
@@ -293,7 +295,7 @@ pub fn run_under_workload<T: WorkloadTarget>(
                     Sampler::Oracle => oracle_pick(&mut rng, rows, sender),
                 };
                 let Some(peer) = peer else { continue };
-                if blocks(sender, peer) {
+                if blocks(sender, peer, &mut rng) {
                     blocked += 1;
                     continue;
                 }
@@ -325,7 +327,7 @@ pub fn run_under_workload<T: WorkloadTarget>(
                 Sampler::Oracle => oracle_pick(&mut rng, rows, i),
             };
             let Some(j) = peer else { continue };
-            if blocks(i, j) {
+            if blocks(i, j, &mut rng) {
                 blocked += 1;
                 continue;
             }

@@ -1173,9 +1173,16 @@ fn send<N: GossipNode + Send>(
     to: NodeId,
     msg: WireMsg,
 ) {
-    // Partition loss matrix: blocked before the latency draw, so a
-    // partitioned run consumes no RNG for traffic that never leaves.
-    if ctx.partition.is_some_and(|p| p.blocks(from, to)) {
+    // Partition loss matrix: decided before the latency draw, so a
+    // totally-partitioned run consumes no RNG for traffic that never
+    // leaves (lossy matrices draw once per cross-group message, from the
+    // sender shard's stream — still worker-count invariant). Requests and
+    // replies both pass through here, so asymmetric matrices apply their
+    // per-direction loss naturally.
+    if ctx
+        .partition
+        .is_some_and(|p| p.drops(from, to, &mut shard.rng))
+    {
         shard.report.dropped_messages += 1;
         return;
     }

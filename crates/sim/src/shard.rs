@@ -716,10 +716,11 @@ fn phase_initiate<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>
             report.failed_dead_peer += 1;
             continue;
         }
-        // Partition loss matrix: the request never reaches the other
-        // group, so the whole exchange is lost. The reply path needs no
-        // check — a delivered request proves both endpoints share a group.
-        if ctx.partition.is_some_and(|p| p.blocks(initiator, peer)) {
+        // Partition loss matrix: a dropped request loses the whole
+        // exchange. Replies cross back in the other direction, so under a
+        // lossy/asymmetric matrix they get their own directional check —
+        // only a total blackout makes the reply check unreachable.
+        if ctx.partition.is_some_and(|p| p.drops(initiator, peer, rng)) {
             report.dropped_messages += 1;
             continue;
         }
@@ -736,7 +737,9 @@ fn phase_initiate<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>
                     .node
                     .handle_request(arena, initiator, exchange.request);
             if let Some(reply) = reply {
-                if lose(rng, ctx.loss) {
+                if ctx.partition.is_some_and(|p| p.drops(peer, initiator, rng))
+                    || lose(rng, ctx.loss)
+                {
                     report.dropped_messages += 1;
                     continue;
                 }
@@ -776,7 +779,14 @@ fn phase_respond<N: GossipNode + Send>(shard: &mut Shard<N>, ctx: &CycleCtx<'_>)
                 .handle_request(arena, queued.from, queued.request);
             match reply {
                 Some(reply) => {
-                    if lose(rng, ctx.loss) {
+                    // The reply crosses back: apply the matrix's reverse
+                    // direction (relevant only for lossy partitions — a
+                    // total one never lets the request through).
+                    if ctx
+                        .partition
+                        .is_some_and(|p| p.drops(responder_id, queued.from, rng))
+                        || lose(rng, ctx.loss)
+                    {
                         report.dropped_messages += 1;
                         continue;
                     }

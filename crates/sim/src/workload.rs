@@ -49,12 +49,22 @@
 //! churn:L/JxP      independent leave rate L and join rate J
 //! kill:F           catastrophic kill of fraction F (instantaneous)
 //! flash:N          flash crowd: N simultaneous joins (instantaneous)
-//! part:GxP         partition into G groups for P periods, then heal
+//! part:GxP         total partition into G groups for P periods, heal
+//! part:GxP@L       lossy partition: cross-group loss probability L
+//! part:GxP@L1/L2   asymmetric: lower→higher group loss L1, reverse L2
 //! adv:K@F          fraction F of the initial ids run attack K
 //!                  (hub | liar | forge); at most one adv item
 //! adv:eclipse@F>victims:N   eclipse attack against the N smallest
 //!                  honest ids
+//! ( … )xR          repeat a group of phases R times (no nesting)
+//! phase[k=v,…]     per-phase overrides: churn:0.01x5[contacts=7],
+//!                  flash:40[herd] (thundering herd: all N joiners
+//!                  hammer one shared introducer)
 //! ```
+//!
+//! Phases that would silently compile to nothing — `quiet:0`, churn with
+//! both rates zero, a `@0` lossless partition — are typed parse errors
+//! ([`ScheduleErrorKind`]), not accepted no-ops.
 //!
 //! Adversary placement is not a phase: it declares which initial ids are
 //! Byzantine ([`pss_core::adversary`]) for the whole run. Roles compile to
@@ -79,23 +89,74 @@ use rand::SeedableRng;
 use crate::churn::RateAccumulator;
 use crate::CsrSnapshot;
 
-/// A loss-matrix partition of the id space into `groups` groups: node `i`
-/// is in group `i mod groups`, and traffic between different groups is
-/// blocked while the partition is installed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A group-pair loss matrix over the id space: node `i` belongs to group
+/// `i mod groups`, and while the partition is installed, cross-group
+/// traffic is dropped with the configured loss probability — `1.0` is the
+/// classic total blackout, anything below it a degraded (lossy) partition
+/// where rare crossings still succeed. The two directions can differ
+/// ([`Partition::asymmetric`]): `fwd` applies to messages from a lower-
+/// numbered group to a higher one, `bwd` to the reverse, modelling
+/// asymmetric-route failures where one direction degrades harder.
+///
+/// Loss probabilities are quantized to permille (1/1000) so a partition
+/// stays a compact `Copy + Eq` value and the schedule grammar round-trips
+/// exactly. At exactly `0.0` or `1.0` the drop decision is made without
+/// consuming engine randomness, which keeps total-blackout schedules
+/// byte-identical to the historic boolean egress block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Partition {
     groups: u32,
+    /// Permille loss for lower-group → higher-group traffic.
+    fwd_permille: u16,
+    /// Permille loss for higher-group → lower-group traffic.
+    bwd_permille: u16,
+}
+
+/// Quantizes a loss probability to permille, asserting it is a valid
+/// probability.
+fn loss_permille(loss: f64) -> u16 {
+    assert!(
+        (0.0..=1.0).contains(&loss),
+        "loss probability must be within [0, 1], got {loss}"
+    );
+    (loss * 1000.0).round() as u16
 }
 
 impl Partition {
-    /// A partition into `groups` groups.
+    /// A total partition into `groups` groups: all cross-group traffic is
+    /// dropped.
     ///
     /// # Panics
     ///
     /// Panics if `groups < 2` (one group blocks nothing).
     pub fn new(groups: u32) -> Self {
+        Partition::asymmetric(groups, 1.0, 1.0)
+    }
+
+    /// A lossy partition: cross-group traffic is dropped with probability
+    /// `loss` in both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups < 2` or `loss` is outside `[0, 1]`.
+    pub fn lossy(groups: u32, loss: f64) -> Self {
+        Partition::asymmetric(groups, loss, loss)
+    }
+
+    /// An asymmetric lossy partition: messages from a lower-numbered group
+    /// to a higher one are dropped with probability `fwd`, the reverse
+    /// direction with probability `bwd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups < 2` or either loss is outside `[0, 1]`.
+    pub fn asymmetric(groups: u32, fwd: f64, bwd: f64) -> Self {
         assert!(groups >= 2, "a partition needs at least two groups");
-        Partition { groups }
+        Partition {
+            groups,
+            fwd_permille: loss_permille(fwd),
+            bwd_permille: loss_permille(bwd),
+        }
     }
 
     /// Number of groups.
@@ -108,9 +169,80 @@ impl Partition {
         (id.as_u64() % u64::from(self.groups)) as u32
     }
 
-    /// True if traffic between `a` and `b` is blocked (different groups).
+    /// True if every cross-group direction is a total blackout.
+    pub fn is_total(&self) -> bool {
+        self.fwd_permille == 1000 && self.bwd_permille == 1000
+    }
+
+    /// The loss probability the matrix applies to a message from `from` to
+    /// `to`: `0.0` within a group, the directional cross-group loss
+    /// otherwise.
+    pub fn loss_toward(&self, from: NodeId, to: NodeId) -> f64 {
+        let (fg, tg) = (self.group_of(from), self.group_of(to));
+        if fg == tg {
+            0.0
+        } else if fg < tg {
+            f64::from(self.fwd_permille) / 1000.0
+        } else {
+            f64::from(self.bwd_permille) / 1000.0
+        }
+    }
+
+    /// True if traffic from `a` to `b` is deterministically blocked
+    /// (different groups and that direction's loss is `1.0`).
     pub fn blocks(&self, a: NodeId, b: NodeId) -> bool {
-        self.group_of(a) != self.group_of(b)
+        let (ag, bg) = (self.group_of(a), self.group_of(b));
+        if ag == bg {
+            return false;
+        }
+        let permille = if ag < bg {
+            self.fwd_permille
+        } else {
+            self.bwd_permille
+        };
+        permille == 1000
+    }
+
+    /// Decides whether the matrix drops a message from `from` to `to`.
+    /// Consumes one RNG draw only for genuinely probabilistic losses:
+    /// same-group traffic, loss `0.0` and loss `1.0` all short-circuit, so
+    /// total-blackout schedules consume no randomness (the historic
+    /// behavior the pinned digests cover).
+    pub fn drops<R: rand::Rng>(&self, from: NodeId, to: NodeId, rng: &mut R) -> bool {
+        let (fg, tg) = (self.group_of(from), self.group_of(to));
+        if fg == tg {
+            return false;
+        }
+        let permille = if fg < tg {
+            self.fwd_permille
+        } else {
+            self.bwd_permille
+        };
+        match permille {
+            0 => false,
+            1000 => true,
+            p => rng.random::<f64>() < f64::from(p) / 1000.0,
+        }
+    }
+
+    /// Formats the grammar suffix for this matrix: empty for a total
+    /// partition, `@L` for a symmetric lossy one, `@L1/L2` when the
+    /// directions differ.
+    fn loss_suffix(&self) -> String {
+        fn permille_str(p: u16) -> String {
+            format!("{}", f64::from(p) / 1000.0)
+        }
+        if self.is_total() {
+            String::new()
+        } else if self.fwd_permille == self.bwd_permille {
+            format!("@{}", permille_str(self.fwd_permille))
+        } else {
+            format!(
+                "@{}/{}",
+                permille_str(self.fwd_permille),
+                permille_str(self.bwd_permille)
+            )
+        }
     }
 }
 
@@ -131,6 +263,8 @@ pub enum PhaseSpec {
         leave_rate: f64,
         /// Per-period arrival rate.
         join_rate: f64,
+        /// Per-phase override of the workload's contacts-per-join.
+        contacts: Option<usize>,
     },
     /// Instantaneous catastrophic kill of `fraction` of the live
     /// population, at the next period boundary.
@@ -139,19 +273,55 @@ pub enum PhaseSpec {
         fraction: f64,
     },
     /// Instantaneous flash crowd: `joins` nodes join at the next period
-    /// boundary, each bootstrapping off random live contacts.
+    /// boundary, each bootstrapping off random live contacts — or, in the
+    /// thundering-herd variant, all hammering one shared introducer.
     FlashCrowd {
         /// Number of simultaneous joins.
         joins: usize,
+        /// Per-phase override of the workload's contacts-per-join.
+        contacts: Option<usize>,
+        /// Thundering herd: every joiner bootstraps off the *same* single
+        /// introducer, picked once from the live population.
+        herd: bool,
     },
-    /// Network partition into `groups` groups for `periods` periods; the
-    /// loss matrix lifts (heals) at the boundary after the last period.
+    /// Network partition (a group-pair loss matrix) for `periods`
+    /// periods; the matrix lifts (heals) at the boundary after the last
+    /// period.
     Partition {
-        /// Number of groups (≥ 2).
-        groups: u32,
+        /// The loss matrix to install.
+        partition: Partition,
         /// Length in periods.
         periods: u64,
     },
+}
+
+/// The family of grammar defect a [`ScheduleParseError`] reports — typed
+/// so callers (and tests) can distinguish a syntax typo from a phase that
+/// would silently do nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleErrorKind {
+    /// The item does not match the grammar's shape (`kind:spec`, missing
+    /// separators, unparsable numbers).
+    Syntax,
+    /// An unknown phase kind.
+    UnknownKind,
+    /// A phase spanning zero periods (or a flash of zero joins): it would
+    /// compile to nothing and silently vanish from the schedule.
+    ZeroLength,
+    /// A rate or loss of zero that would make the phase a disguised quiet
+    /// phase (churn with both rates 0, a lossless partition, kill of
+    /// fraction 0).
+    ZeroRate,
+    /// A value outside its legal range (fractions beyond `[0, 1]`, fewer
+    /// than two partition groups).
+    OutOfRange,
+    /// An unknown `adv:` kind, or a malformed adversary placement.
+    Adversary,
+    /// A malformed or unsupported `[k=v]` phase override.
+    Override,
+    /// A malformed `( … )xR` repetition group.
+    Repetition,
 }
 
 /// Why a schedule string failed to parse.
@@ -161,6 +331,8 @@ pub struct ScheduleParseError {
     pub item: String,
     /// What was wrong with it.
     pub reason: String,
+    /// The typed defect family.
+    pub kind: ScheduleErrorKind,
 }
 
 impl std::fmt::Display for ScheduleParseError {
@@ -206,6 +378,12 @@ impl Workload {
         self
     }
 
+    /// Appends an arbitrary phase spec verbatim.
+    pub fn phase(mut self, spec: PhaseSpec) -> Self {
+        self.phases.push(spec);
+        self
+    }
+
     /// Appends a balanced churn phase (equal leave and join rates).
     pub fn churn(self, rate: f64, periods: u64) -> Self {
         self.churn_rates(rate, rate, periods)
@@ -229,6 +407,7 @@ impl Workload {
             periods,
             leave_rate,
             join_rate,
+            contacts: None,
         });
         self
     }
@@ -244,19 +423,45 @@ impl Workload {
 
     /// Appends an instantaneous flash crowd of `joins` joins.
     pub fn flash_crowd(mut self, joins: usize) -> Self {
-        self.phases.push(PhaseSpec::FlashCrowd { joins });
+        self.phases.push(PhaseSpec::FlashCrowd {
+            joins,
+            contacts: None,
+            herd: false,
+        });
         self
     }
 
-    /// Appends a partition into `groups` groups for `periods` periods,
-    /// healed afterwards.
+    /// Appends a thundering-herd flash crowd: `joins` simultaneous joins
+    /// that all bootstrap off the *same* single introducer (picked once,
+    /// deterministically, from the live population at compile time).
+    pub fn flash_herd(mut self, joins: usize) -> Self {
+        self.phases.push(PhaseSpec::FlashCrowd {
+            joins,
+            contacts: None,
+            herd: true,
+        });
+        self
+    }
+
+    /// Appends a total partition into `groups` groups for `periods`
+    /// periods, healed afterwards.
     ///
     /// # Panics
     ///
     /// Panics if `groups < 2`.
     pub fn partition(mut self, groups: u32, periods: u64) -> Self {
-        let _ = Partition::new(groups); // validate
-        self.phases.push(PhaseSpec::Partition { groups, periods });
+        self.phases.push(PhaseSpec::Partition {
+            partition: Partition::new(groups),
+            periods,
+        });
+        self
+    }
+
+    /// Appends an arbitrary partition loss matrix for `periods` periods,
+    /// healed afterwards.
+    pub fn partition_matrix(mut self, partition: Partition, periods: u64) -> Self {
+        self.phases
+            .push(PhaseSpec::Partition { partition, periods });
         self
     }
 
@@ -288,98 +493,66 @@ impl Workload {
     ///
     /// # Errors
     ///
-    /// [`ScheduleParseError`] naming the first malformed item.
+    /// [`ScheduleParseError`] naming the first malformed item, with a
+    /// typed [`ScheduleErrorKind`]. Phases that would silently compile to
+    /// nothing — zero-length phases, churn with both rates zero, lossless
+    /// partitions — are rejected rather than swallowed.
     pub fn parse(schedule: &str, seed: u64) -> Result<Self, ScheduleParseError> {
         let mut workload = Workload::new(seed);
-        for item in schedule.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-            let bad = |reason: &str| ScheduleParseError {
-                item: item.to_owned(),
-                reason: reason.to_owned(),
-            };
-            let (kind, spec) = item
-                .split_once(':')
-                .ok_or_else(|| bad("expected `kind:spec`"))?;
-            match kind {
-                "quiet" => {
-                    let periods = spec.parse().map_err(|_| bad("bad period count"))?;
-                    workload = workload.quiet(periods);
-                }
-                "churn" => {
-                    let (rates, periods) = spec
-                        .split_once('x')
-                        .ok_or_else(|| bad("expected `churn:RxP`"))?;
-                    let periods = periods.parse().map_err(|_| bad("bad period count"))?;
-                    let (leave, join) = match rates.split_once('/') {
-                        Some((l, j)) => (
-                            l.parse().map_err(|_| bad("bad leave rate"))?,
-                            j.parse().map_err(|_| bad("bad join rate"))?,
-                        ),
-                        None => {
-                            let r: f64 = rates.parse().map_err(|_| bad("bad rate"))?;
-                            (r, r)
-                        }
+        for item in split_items(schedule) {
+            let item = item.map_err(|reason| ScheduleParseError {
+                item: schedule.trim().to_owned(),
+                reason,
+                kind: ScheduleErrorKind::Repetition,
+            })?;
+            match item {
+                ScheduleItem::Single(text) => parse_item(&mut workload, text)?,
+                ScheduleItem::Group { body, repeats } => {
+                    let bad = |reason: &str, kind| ScheduleParseError {
+                        item: format!("({body})x{repeats}"),
+                        reason: reason.to_owned(),
+                        kind,
                     };
-                    if !(leave >= 0.0 && leave.is_finite() && join >= 0.0 && join.is_finite()) {
-                        return Err(bad("rates must be non-negative finite numbers"));
+                    if repeats == 0 {
+                        return Err(bad(
+                            "a repetition of zero would erase the group",
+                            ScheduleErrorKind::ZeroLength,
+                        ));
                     }
-                    workload = workload.churn_rates(leave, join, periods);
-                }
-                "kill" => {
-                    let fraction: f64 = spec.parse().map_err(|_| bad("bad fraction"))?;
-                    if !(0.0..=1.0).contains(&fraction) {
-                        return Err(bad("fraction must be within [0, 1]"));
-                    }
-                    workload = workload.catastrophe(fraction);
-                }
-                "flash" => {
-                    let joins = spec.parse().map_err(|_| bad("bad join count"))?;
-                    workload = workload.flash_crowd(joins);
-                }
-                "part" => {
-                    let (groups, periods) = spec
-                        .split_once('x')
-                        .ok_or_else(|| bad("expected `part:GxP`"))?;
-                    let groups: u32 = groups.parse().map_err(|_| bad("bad group count"))?;
-                    if groups < 2 {
-                        return Err(bad("need at least two groups"));
-                    }
-                    let periods = periods.parse().map_err(|_| bad("bad period count"))?;
-                    workload = workload.partition(groups, periods);
-                }
-                "adv" => {
-                    let (kind, rest) = spec
-                        .split_once('@')
-                        .ok_or_else(|| bad("expected `adv:kind@fraction`"))?;
-                    let kind: AdversaryKind = kind.parse().map_err(|e| bad(&format!("{e}")))?;
-                    let (fraction, victims) = match rest.split_once('>') {
-                        Some((f, extra)) => {
-                            let victims = extra
-                                .strip_prefix("victims:")
-                                .ok_or_else(|| bad("expected `>victims:N`"))?;
-                            let victims: u64 =
-                                victims.parse().map_err(|_| bad("bad victim count"))?;
-                            (f, Some(victims))
+                    let start = workload.phases.len();
+                    let had_adversary = workload.adversary.is_some();
+                    for inner in split_items(body) {
+                        match inner {
+                            Ok(ScheduleItem::Single(text)) => parse_item(&mut workload, text)?,
+                            Ok(ScheduleItem::Group { .. }) => {
+                                return Err(bad(
+                                    "repetition groups do not nest",
+                                    ScheduleErrorKind::Repetition,
+                                ))
+                            }
+                            Err(reason) => {
+                                return Err(ScheduleParseError {
+                                    item: body.to_owned(),
+                                    reason,
+                                    kind: ScheduleErrorKind::Repetition,
+                                })
+                            }
                         }
-                        None => (rest, None),
-                    };
-                    let fraction: f64 = fraction.parse().map_err(|_| bad("bad fraction"))?;
-                    let adversary = match (kind, victims) {
-                        (AdversaryKind::Eclipse, Some(victims)) => {
-                            AdversarySpec::eclipse(fraction, victims)
-                        }
-                        (AdversaryKind::Eclipse, None) => {
-                            return Err(bad("eclipse needs `>victims:N`"))
-                        }
-                        (_, Some(_)) => return Err(bad("only eclipse takes a victim set")),
-                        (kind, None) => AdversarySpec::new(kind, fraction),
                     }
-                    .map_err(|e| bad(&format!("{e}")))?;
-                    if workload.adversary.is_some() {
-                        return Err(bad("at most one adv item per schedule"));
+                    if workload.adversary.is_some() && !had_adversary {
+                        return Err(bad(
+                            "adversary placement is global and cannot repeat",
+                            ScheduleErrorKind::Repetition,
+                        ));
                     }
-                    workload = workload.adversary(adversary);
+                    if workload.phases.len() == start {
+                        return Err(bad("empty repetition group", ScheduleErrorKind::ZeroLength));
+                    }
+                    let body_phases = workload.phases[start..].to_vec();
+                    for _ in 1..repeats {
+                        workload.phases.extend(body_phases.iter().copied());
+                    }
                 }
-                other => return Err(bad(&format!("unknown phase kind `{other}`"))),
             }
         }
         Ok(workload)
@@ -438,7 +611,9 @@ impl Workload {
                     periods,
                     leave_rate,
                     join_rate,
+                    contacts,
                 } => {
+                    let contacts = contacts.unwrap_or(self.contacts_per_join);
                     let mut leaves = RateAccumulator::new();
                     let mut joins = RateAccumulator::new();
                     for _ in 0..periods {
@@ -450,7 +625,7 @@ impl Workload {
                             &mut live,
                             &mut next_id,
                             joins.step(n * join_rate),
-                            self.contacts_per_join,
+                            contacts,
                             &mut rng,
                         );
                         steps.push(Step { ops });
@@ -460,18 +635,38 @@ impl Workload {
                     let count = (live.len() as f64 * fraction).round() as usize;
                     kill_into(&mut pending, &mut live, count, &mut rng);
                 }
-                PhaseSpec::FlashCrowd { joins } => {
-                    join_into(
-                        &mut pending,
-                        &mut live,
-                        &mut next_id,
-                        joins,
-                        self.contacts_per_join,
-                        &mut rng,
-                    );
+                PhaseSpec::FlashCrowd {
+                    joins,
+                    contacts,
+                    herd,
+                } => {
+                    if herd && !live.is_empty() {
+                        // Thundering herd: one introducer, picked once,
+                        // shared by every joiner in the flash.
+                        let pick = rand::Rng::random_range(&mut rng, 0..live.len());
+                        let introducer = live[pick];
+                        for _ in 0..joins {
+                            let id = NodeId::new(next_id);
+                            next_id += 1;
+                            live.push(id);
+                            pending.push(Op::Join {
+                                id,
+                                contacts: vec![introducer],
+                            });
+                        }
+                    } else {
+                        join_into(
+                            &mut pending,
+                            &mut live,
+                            &mut next_id,
+                            joins,
+                            contacts.unwrap_or(self.contacts_per_join),
+                            &mut rng,
+                        );
+                    }
                 }
-                PhaseSpec::Partition { groups, periods } => {
-                    pending.push(Op::SetPartition(Some(Partition::new(groups))));
+                PhaseSpec::Partition { partition, periods } => {
+                    pending.push(Op::SetPartition(Some(partition)));
                     for _ in 0..periods {
                         steps.push(Step {
                             ops: std::mem::take(&mut pending),
@@ -494,6 +689,398 @@ impl Workload {
                 .adversary
                 .map(|spec| AdversaryRoles::new(spec, initial_nodes as u64)),
         }
+    }
+}
+
+/// One lexed top-level schedule item: a plain `kind:spec` phrase or a
+/// `( … )xR` repetition group.
+enum ScheduleItem<'a> {
+    Single(&'a str),
+    Group { body: &'a str, repeats: u64 },
+}
+
+/// Lexes a schedule string into top-level items: splits on commas that are
+/// not inside parentheses or brackets, and recognizes `( … )xR` groups.
+/// Yields `Err(reason)` items for unbalanced delimiters or malformed group
+/// suffixes.
+fn split_items(schedule: &str) -> impl Iterator<Item = Result<ScheduleItem<'_>, String>> {
+    let mut rest = schedule;
+    let mut failed = false;
+    std::iter::from_fn(move || loop {
+        if failed || rest.is_empty() {
+            return None;
+        }
+        let mut depth = 0u32;
+        let mut split = rest.len();
+        for (i, ch) in rest.char_indices() {
+            match ch {
+                '(' | '[' => depth += 1,
+                ')' | ']' => {
+                    if depth == 0 {
+                        failed = true;
+                        return Some(Err(format!("unbalanced `{ch}`")));
+                    }
+                    depth -= 1;
+                }
+                ',' if depth == 0 => {
+                    split = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if depth != 0 && split == rest.len() {
+            failed = true;
+            return Some(Err("unbalanced `(`".to_owned()));
+        }
+        let item = rest[..split].trim();
+        rest = rest.get(split + 1..).unwrap_or("");
+        if item.is_empty() {
+            continue;
+        }
+        if let Some(after_open) = item.strip_prefix('(') {
+            let Some(close) = after_open.rfind(')') else {
+                failed = true;
+                return Some(Err("unbalanced `(`".to_owned()));
+            };
+            let body = &after_open[..close];
+            let suffix = after_open[close + 1..].trim();
+            let Some(repeats) = suffix
+                .strip_prefix('x')
+                .and_then(|r| r.trim().parse::<u64>().ok())
+            else {
+                failed = true;
+                return Some(Err(format!(
+                    "expected `( … )xR` repetition suffix, got `{suffix}`"
+                )));
+            };
+            return Some(Ok(ScheduleItem::Group { body, repeats }));
+        }
+        return Some(Ok(ScheduleItem::Single(item)));
+    })
+}
+
+/// Parsed `[k=v, …]` override suffix of one schedule item.
+#[derive(Default)]
+struct PhaseOverrides {
+    contacts: Option<usize>,
+    herd: bool,
+}
+
+/// Splits `spec[k=v,…]` into the bare spec and its overrides. `allow`
+/// names the overrides this phase kind accepts.
+fn parse_overrides<'a>(
+    spec: &'a str,
+    allow_contacts: bool,
+    allow_herd: bool,
+    bad: &impl Fn(&str, ScheduleErrorKind) -> ScheduleParseError,
+) -> Result<(&'a str, PhaseOverrides), ScheduleParseError> {
+    let Some(open) = spec.find('[') else {
+        return Ok((spec, PhaseOverrides::default()));
+    };
+    let Some(rest) = spec[open..]
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+    else {
+        return Err(bad(
+            "overrides must be a trailing `[k=v,…]` suffix",
+            ScheduleErrorKind::Override,
+        ));
+    };
+    let mut overrides = PhaseOverrides::default();
+    for entry in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match entry.split_once('=') {
+            Some(("contacts", v)) if allow_contacts => {
+                let contacts: usize = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad contacts count", ScheduleErrorKind::Override))?;
+                if contacts == 0 {
+                    return Err(bad(
+                        "contacts must be at least 1 — zero-contact joiners are marooned",
+                        ScheduleErrorKind::Override,
+                    ));
+                }
+                overrides.contacts = Some(contacts);
+            }
+            None if entry == "herd" && allow_herd => overrides.herd = true,
+            _ => {
+                return Err(bad(
+                    &format!("unsupported override `{entry}` for this phase"),
+                    ScheduleErrorKind::Override,
+                ))
+            }
+        }
+    }
+    if overrides.herd && overrides.contacts.is_some() {
+        return Err(bad(
+            "herd implies a single shared introducer; contacts cannot be overridden",
+            ScheduleErrorKind::Override,
+        ));
+    }
+    Ok((&spec[..open], overrides))
+}
+
+/// Parses one `kind:spec` item into `workload`.
+fn parse_item(workload: &mut Workload, item: &str) -> Result<(), ScheduleParseError> {
+    let bad = |reason: &str, kind: ScheduleErrorKind| ScheduleParseError {
+        item: item.to_owned(),
+        reason: reason.to_owned(),
+        kind,
+    };
+    let syntax = |reason: &str| bad(reason, ScheduleErrorKind::Syntax);
+    let (kind, spec) = item
+        .split_once(':')
+        .ok_or_else(|| syntax("expected `kind:spec`"))?;
+    match kind {
+        "quiet" => {
+            let (spec, _) = parse_overrides(spec, false, false, &bad)?;
+            let periods: u64 = spec.parse().map_err(|_| syntax("bad period count"))?;
+            if periods == 0 {
+                return Err(bad(
+                    "a zero-length phase would silently vanish",
+                    ScheduleErrorKind::ZeroLength,
+                ));
+            }
+            workload.phases.push(PhaseSpec::Quiet { periods });
+        }
+        "churn" => {
+            let (spec, overrides) = parse_overrides(spec, true, false, &bad)?;
+            let (rates, periods) = spec
+                .split_once('x')
+                .ok_or_else(|| syntax("expected `churn:RxP`"))?;
+            let periods: u64 = periods.parse().map_err(|_| syntax("bad period count"))?;
+            let (leave, join): (f64, f64) = match rates.split_once('/') {
+                Some((l, j)) => (
+                    l.parse().map_err(|_| syntax("bad leave rate"))?,
+                    j.parse().map_err(|_| syntax("bad join rate"))?,
+                ),
+                None => {
+                    let r: f64 = rates.parse().map_err(|_| syntax("bad rate"))?;
+                    (r, r)
+                }
+            };
+            if !(leave >= 0.0 && leave.is_finite() && join >= 0.0 && join.is_finite()) {
+                return Err(bad(
+                    "rates must be non-negative finite numbers",
+                    ScheduleErrorKind::OutOfRange,
+                ));
+            }
+            if periods == 0 {
+                return Err(bad(
+                    "a zero-length phase would silently vanish",
+                    ScheduleErrorKind::ZeroLength,
+                ));
+            }
+            if leave == 0.0 && join == 0.0 {
+                return Err(bad(
+                    "churn with both rates zero is a disguised quiet phase — say quiet:P",
+                    ScheduleErrorKind::ZeroRate,
+                ));
+            }
+            workload.phases.push(PhaseSpec::Churn {
+                periods,
+                leave_rate: leave,
+                join_rate: join,
+                contacts: overrides.contacts,
+            });
+        }
+        "kill" => {
+            let (spec, _) = parse_overrides(spec, false, false, &bad)?;
+            let fraction: f64 = spec.parse().map_err(|_| syntax("bad fraction"))?;
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(bad(
+                    "fraction must be within [0, 1]",
+                    ScheduleErrorKind::OutOfRange,
+                ));
+            }
+            if fraction == 0.0 {
+                return Err(bad(
+                    "a kill of fraction 0 does nothing",
+                    ScheduleErrorKind::ZeroRate,
+                ));
+            }
+            workload.phases.push(PhaseSpec::Catastrophe { fraction });
+        }
+        "flash" => {
+            let (spec, overrides) = parse_overrides(spec, true, true, &bad)?;
+            let joins: usize = spec.parse().map_err(|_| syntax("bad join count"))?;
+            if joins == 0 {
+                return Err(bad(
+                    "a flash crowd of zero joins does nothing",
+                    ScheduleErrorKind::ZeroLength,
+                ));
+            }
+            workload.phases.push(PhaseSpec::FlashCrowd {
+                joins,
+                contacts: overrides.contacts,
+                herd: overrides.herd,
+            });
+        }
+        "part" => {
+            let (spec, _) = parse_overrides(spec, false, false, &bad)?;
+            let (shape, loss) = match spec.split_once('@') {
+                Some((shape, loss)) => (shape, Some(loss)),
+                None => (spec, None),
+            };
+            let (groups, periods) = shape
+                .split_once('x')
+                .ok_or_else(|| syntax("expected `part:GxP[@L[/L2]]`"))?;
+            let groups: u32 = groups.parse().map_err(|_| syntax("bad group count"))?;
+            if groups < 2 {
+                return Err(bad(
+                    "need at least two groups",
+                    ScheduleErrorKind::OutOfRange,
+                ));
+            }
+            let periods: u64 = periods.parse().map_err(|_| syntax("bad period count"))?;
+            if periods == 0 {
+                return Err(bad(
+                    "a zero-length phase would silently vanish",
+                    ScheduleErrorKind::ZeroLength,
+                ));
+            }
+            let (fwd, bwd): (f64, f64) = match loss {
+                None => (1.0, 1.0),
+                Some(loss) => match loss.split_once('/') {
+                    Some((f, b)) => (
+                        f.parse().map_err(|_| syntax("bad forward loss"))?,
+                        b.parse().map_err(|_| syntax("bad backward loss"))?,
+                    ),
+                    None => {
+                        let l: f64 = loss.parse().map_err(|_| syntax("bad loss"))?;
+                        (l, l)
+                    }
+                },
+            };
+            if !((0.0..=1.0).contains(&fwd) && (0.0..=1.0).contains(&bwd)) {
+                return Err(bad(
+                    "loss probabilities must be within [0, 1]",
+                    ScheduleErrorKind::OutOfRange,
+                ));
+            }
+            let partition = Partition::asymmetric(groups, fwd, bwd);
+            if partition.fwd_permille == 0 && partition.bwd_permille == 0 {
+                return Err(bad(
+                    "a lossless partition blocks nothing — say quiet:P",
+                    ScheduleErrorKind::ZeroRate,
+                ));
+            }
+            workload
+                .phases
+                .push(PhaseSpec::Partition { partition, periods });
+        }
+        "adv" => {
+            let advbad = |reason: &str| bad(reason, ScheduleErrorKind::Adversary);
+            let (kind, rest) = spec
+                .split_once('@')
+                .ok_or_else(|| advbad("expected `adv:kind@fraction`"))?;
+            let kind: AdversaryKind = kind
+                .parse()
+                .map_err(|e| bad(&format!("{e}"), ScheduleErrorKind::UnknownKind))?;
+            let (fraction, victims) = match rest.split_once('>') {
+                Some((f, extra)) => {
+                    let victims = extra
+                        .strip_prefix("victims:")
+                        .ok_or_else(|| advbad("expected `>victims:N`"))?;
+                    let victims: u64 = victims.parse().map_err(|_| advbad("bad victim count"))?;
+                    (f, Some(victims))
+                }
+                None => (rest, None),
+            };
+            let fraction: f64 = fraction.parse().map_err(|_| advbad("bad fraction"))?;
+            let adversary = match (kind, victims) {
+                (AdversaryKind::Eclipse, Some(victims)) => {
+                    AdversarySpec::eclipse(fraction, victims)
+                }
+                (AdversaryKind::Eclipse, None) => return Err(advbad("eclipse needs `>victims:N`")),
+                (_, Some(_)) => return Err(advbad("only eclipse takes a victim set")),
+                (kind, None) => AdversarySpec::new(kind, fraction),
+            }
+            .map_err(|e| advbad(&format!("{e}")))?;
+            if workload.adversary.is_some() {
+                return Err(advbad("at most one adv item per schedule"));
+            }
+            workload.adversary = Some(adversary);
+        }
+        other => {
+            return Err(bad(
+                &format!("unknown phase kind `{other}`"),
+                ScheduleErrorKind::UnknownKind,
+            ))
+        }
+    }
+    Ok(())
+}
+
+impl std::fmt::Display for PhaseSpec {
+    /// The phase in schedule-grammar form; [`Workload::parse`] accepts the
+    /// output verbatim.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PhaseSpec::Quiet { periods } => write!(f, "quiet:{periods}"),
+            PhaseSpec::Churn {
+                periods,
+                leave_rate,
+                join_rate,
+                contacts,
+            } => {
+                if leave_rate == join_rate {
+                    write!(f, "churn:{leave_rate}x{periods}")?;
+                } else {
+                    write!(f, "churn:{leave_rate}/{join_rate}x{periods}")?;
+                }
+                if let Some(contacts) = contacts {
+                    write!(f, "[contacts={contacts}]")?;
+                }
+                Ok(())
+            }
+            PhaseSpec::Catastrophe { fraction } => write!(f, "kill:{fraction}"),
+            PhaseSpec::FlashCrowd {
+                joins,
+                contacts,
+                herd,
+            } => {
+                write!(f, "flash:{joins}")?;
+                if herd {
+                    write!(f, "[herd]")?;
+                } else if let Some(contacts) = contacts {
+                    write!(f, "[contacts={contacts}]")?;
+                }
+                Ok(())
+            }
+            PhaseSpec::Partition { partition, periods } => {
+                write!(
+                    f,
+                    "part:{}x{}{}",
+                    partition.groups(),
+                    periods,
+                    partition.loss_suffix()
+                )
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    /// The canonical (flattened) schedule string: repetition groups are
+    /// expanded and overrides normalized, and `Workload::parse(s, seed)`
+    /// of the output reproduces the workload exactly — the grammar
+    /// round-trip the proptests pin.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut sep = "";
+        if let Some(adv) = &self.adversary {
+            write!(f, "adv:{}@{}", adv.kind().token(), adv.fraction())?;
+            if adv.kind() == AdversaryKind::Eclipse {
+                write!(f, ">victims:{}", adv.victims())?;
+            }
+            sep = ",";
+        }
+        for phase in &self.phases {
+            write!(f, "{sep}{phase}")?;
+            sep = ",";
+        }
+        Ok(())
     }
 }
 
@@ -855,16 +1442,186 @@ mod tests {
                 PhaseSpec::Churn {
                     periods: 5,
                     leave_rate: 0.02,
-                    join_rate: 0.03
+                    join_rate: 0.03,
+                    contacts: None,
                 },
-                PhaseSpec::FlashCrowd { joins: 40 },
+                PhaseSpec::FlashCrowd {
+                    joins: 40,
+                    contacts: None,
+                    herd: false,
+                },
                 PhaseSpec::Partition {
-                    groups: 2,
+                    partition: Partition::new(2),
                     periods: 3
                 },
                 PhaseSpec::Quiet { periods: 1 },
             ]
         );
+    }
+
+    #[test]
+    fn parse_extended_grammar() {
+        // Repetition groups expand in place, preserving order.
+        let repeated = Workload::parse("(churn:0.01x5,kill:0.3)x2,quiet:1", 3).unwrap();
+        assert_eq!(
+            repeated.phases(),
+            Workload::parse("churn:0.01x5,kill:0.3,churn:0.01x5,kill:0.3,quiet:1", 3)
+                .unwrap()
+                .phases()
+        );
+
+        // Per-phase overrides and the herd variant.
+        let overridden = Workload::parse("churn:0.01x5[contacts=7],flash:40[herd]", 1).unwrap();
+        assert_eq!(
+            overridden.phases(),
+            &[
+                PhaseSpec::Churn {
+                    periods: 5,
+                    leave_rate: 0.01,
+                    join_rate: 0.01,
+                    contacts: Some(7),
+                },
+                PhaseSpec::FlashCrowd {
+                    joins: 40,
+                    contacts: None,
+                    herd: true,
+                },
+            ]
+        );
+
+        // Lossy and asymmetric partitions.
+        let lossy = Workload::parse("part:2x20@0.98,part:3x4@0.9/0.5", 1).unwrap();
+        assert_eq!(
+            lossy.phases(),
+            &[
+                PhaseSpec::Partition {
+                    partition: Partition::lossy(2, 0.98),
+                    periods: 20
+                },
+                PhaseSpec::Partition {
+                    partition: Partition::asymmetric(3, 0.9, 0.5),
+                    periods: 4
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn lossy_partition_semantics() {
+        use rand::SeedableRng;
+        let total = Partition::new(2);
+        assert!(total.is_total());
+        assert!(total.blocks(NodeId::new(0), NodeId::new(1)));
+
+        let lossy = Partition::lossy(2, 0.5);
+        assert!(!lossy.is_total());
+        assert!(!lossy.blocks(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(lossy.loss_toward(NodeId::new(0), NodeId::new(1)), 0.5);
+        assert_eq!(lossy.loss_toward(NodeId::new(0), NodeId::new(2)), 0.0);
+
+        let asym = Partition::asymmetric(2, 1.0, 0.25);
+        // Group 0 → group 1 is a blackout; the reverse is only degraded.
+        assert!(asym.blocks(NodeId::new(0), NodeId::new(1)));
+        assert!(!asym.blocks(NodeId::new(1), NodeId::new(0)));
+        assert_eq!(asym.loss_toward(NodeId::new(1), NodeId::new(0)), 0.25);
+
+        // Extremes consume no randomness: identical rng state afterwards.
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        assert!(total.drops(NodeId::new(0), NodeId::new(1), &mut a));
+        assert!(!total.drops(NodeId::new(0), NodeId::new(2), &mut a));
+        assert_eq!(
+            rand::Rng::random::<u64>(&mut a),
+            rand::Rng::random::<u64>(&mut b)
+        );
+        // Intermediate losses do draw: the rng advances past its twin.
+        let mut c = SmallRng::seed_from_u64(1);
+        let mut d = SmallRng::seed_from_u64(1);
+        let _ = lossy.drops(NodeId::new(0), NodeId::new(1), &mut c);
+        assert_ne!(
+            rand::Rng::random::<u64>(&mut c),
+            rand::Rng::random::<u64>(&mut d)
+        );
+    }
+
+    #[test]
+    fn herd_flash_shares_one_introducer() {
+        let compiled = Workload::new(5).flash_herd(20).compile(50);
+        let mut introducers: Vec<NodeId> = compiled.steps[0]
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::Join { contacts, .. } => {
+                    assert_eq!(contacts.len(), 1, "herd joiners have one contact");
+                    contacts[0]
+                }
+                other => panic!("expected joins, got {other:?}"),
+            })
+            .collect();
+        introducers.dedup();
+        assert_eq!(
+            introducers.len(),
+            1,
+            "all herd joiners share the introducer"
+        );
+        assert!(
+            introducers[0].as_u64() < 50,
+            "introducer is an initial node"
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for schedule in [
+            "quiet:10,kill:0.5,churn:0.01x20",
+            "churn:0.02/0.03x5[contacts=2],flash:40[herd],part:2x3@0.95,quiet:1",
+            "adv:eclipse@0.05>victims:8,quiet:3,part:3x4@0.9/0.5",
+            "(churn:0.01x5,kill:0.3)x2,flash:7[contacts=1]",
+        ] {
+            let parsed = Workload::parse(schedule, 11).unwrap();
+            let shown = parsed.to_string();
+            let reparsed = Workload::parse(&shown, 11)
+                .unwrap_or_else(|e| panic!("display output `{shown}` must reparse: {e}"));
+            assert_eq!(parsed, reparsed, "round-trip of `{schedule}` via `{shown}`");
+        }
+    }
+
+    #[test]
+    fn zero_phases_are_typed_errors() {
+        for (schedule, kind) in [
+            ("quiet:0", ScheduleErrorKind::ZeroLength),
+            ("churn:0.01x0", ScheduleErrorKind::ZeroLength),
+            ("part:2x0", ScheduleErrorKind::ZeroLength),
+            ("flash:0", ScheduleErrorKind::ZeroLength),
+            ("(quiet:5)x0", ScheduleErrorKind::ZeroLength),
+            ("()x3", ScheduleErrorKind::ZeroLength),
+            ("churn:0x5", ScheduleErrorKind::ZeroRate),
+            ("churn:0/0x5", ScheduleErrorKind::ZeroRate),
+            ("kill:0", ScheduleErrorKind::ZeroRate),
+            ("part:2x5@0", ScheduleErrorKind::ZeroRate),
+            ("kill:1.5", ScheduleErrorKind::OutOfRange),
+            ("part:1x5", ScheduleErrorKind::OutOfRange),
+            ("part:2x5@1.5", ScheduleErrorKind::OutOfRange),
+            ("churn:-0.1x5", ScheduleErrorKind::OutOfRange),
+            ("bogus:1", ScheduleErrorKind::UnknownKind),
+            ("adv:gremlin@0.1", ScheduleErrorKind::UnknownKind),
+            ("adv:hub@0.9", ScheduleErrorKind::Adversary),
+            ("quiet:5[contacts=3]", ScheduleErrorKind::Override),
+            ("flash:9[contacts=0]", ScheduleErrorKind::Override),
+            ("flash:9[herd,contacts=2]", ScheduleErrorKind::Override),
+            ("churn:0.01x5[turbo=1]", ScheduleErrorKind::Override),
+            ("(quiet:5", ScheduleErrorKind::Repetition),
+            ("quiet:5)x2", ScheduleErrorKind::Repetition),
+            ("((quiet:5)x2)x2", ScheduleErrorKind::Repetition),
+            ("(adv:hub@0.1)x2", ScheduleErrorKind::Repetition),
+            ("(quiet:5)y2", ScheduleErrorKind::Repetition),
+            ("quiet", ScheduleErrorKind::Syntax),
+            ("quiet:x", ScheduleErrorKind::Syntax),
+            ("churn:ax5", ScheduleErrorKind::Syntax),
+        ] {
+            let err = Workload::parse(schedule, 0).unwrap_err();
+            assert_eq!(err.kind, kind, "`{schedule}` → {err}");
+        }
     }
 
     #[test]

@@ -2,10 +2,52 @@
 
 use proptest::prelude::*;
 use pss_core::{NodeDescriptor, NodeId, PolicyTriple, ProtocolConfig};
+use pss_sim::workload::{Partition, PhaseSpec, Workload};
 use pss_sim::{
     scenario, ChurnProcess, EventConfig, EventSimulation, FailureMode, LatencyModel,
     RateAccumulator,
 };
+
+/// Builds one grammar-expressible phase from raw draws. Rates and losses
+/// are permille-quantized — exactly the precision the grammar round-trips.
+fn build_phase(kind: usize, periods: u64, a: usize, b: usize, k: usize) -> PhaseSpec {
+    match kind {
+        0 => PhaseSpec::Quiet { periods },
+        1 => PhaseSpec::Churn {
+            periods,
+            // At least one rate nonzero, or the parser (rightly) rejects
+            // the phase as a disguised quiet phase.
+            leave_rate: (a % 1000) as f64 / 1000.0,
+            join_rate: (b % 999 + 1) as f64 / 1000.0,
+            contacts: if k.is_multiple_of(2) { None } else { Some(k) },
+        },
+        2 => PhaseSpec::Catastrophe {
+            fraction: (a % 999 + 1) as f64 / 1000.0,
+        },
+        3 => PhaseSpec::FlashCrowd {
+            joins: k,
+            contacts: if b.is_multiple_of(3) {
+                Some(1 + a % 5)
+            } else {
+                None
+            },
+            herd: b % 3 == 1,
+        },
+        _ => {
+            let groups = 2 + (k as u32 % 3);
+            let (fwd, bwd) = (a % 1001, b % 1001);
+            let (fwd, bwd) = if fwd == 0 && bwd == 0 {
+                (1000, 1000)
+            } else {
+                (fwd, bwd)
+            };
+            PhaseSpec::Partition {
+                partition: Partition::asymmetric(groups, fwd as f64 / 1000.0, bwd as f64 / 1000.0),
+                periods,
+            }
+        }
+    }
+}
 
 fn policies() -> impl Strategy<Value = PolicyTriple> {
     prop::sample::select(PolicyTriple::paper_eight().to_vec())
@@ -353,5 +395,44 @@ proptest! {
             previous = sim.node_count();
         }
         prop_assert_eq!(sim.node_count(), target);
+    }
+
+    #[test]
+    fn schedule_grammar_round_trips_display_and_parse(
+        phases in prop::collection::vec(
+            (0usize..5, 1u64..25, 0usize..2000, 0usize..2000, 1usize..8),
+            1..10,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let mut workload = Workload::new(seed);
+        for (kind, periods, a, b, k) in phases {
+            workload = workload.phase(build_phase(kind, periods, a, b, k));
+        }
+        let shown = workload.to_string();
+        let reparsed = Workload::parse(&shown, seed);
+        prop_assert!(reparsed.is_ok(), "display output `{}` failed to reparse: {:?}", shown, reparsed);
+        prop_assert_eq!(workload, reparsed.unwrap(), "via `{}`", shown);
+    }
+
+    #[test]
+    fn malformed_schedules_error_instead_of_panicking(
+        schedule in prop::collection::vec(0usize..256, 0..40),
+        seed in 0u64..100,
+    ) {
+        // Arbitrary byte soup must parse cleanly or return a typed error —
+        // never panic, never silently compile phases that aren't there.
+        let text: String = schedule
+            .iter()
+            .map(|&b| char::from_u32(b as u32).unwrap_or('?'))
+            .collect();
+        match Workload::parse(&text, seed) {
+            Ok(w) => {
+                // Whatever parsed must survive compilation and round-trip.
+                let _ = w.compile(50);
+                prop_assert_eq!(&Workload::parse(&w.to_string(), seed).unwrap(), &w);
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
     }
 }

@@ -111,6 +111,36 @@ fn pinned_digest_at_tiny_scale() {
 /// See [`pinned_digest_at_tiny_scale`].
 const PINNED_TINY_DIGEST: u64 = 17857917930071933123;
 
+/// The timestamp freshness axis obeys the same determinism contract as the
+/// default hop-count mode: for a fixed `(seed, shard_count)` the digest is
+/// identical at every worker count. (The hop-count digest above pins that
+/// adding the axis changed nothing for existing configs; this pins that
+/// the new mode is itself worker-invariant.)
+#[test]
+fn timestamp_freshness_is_worker_invariant() {
+    use pss_core::Freshness;
+    let run = |workers: usize| {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 15)
+            .expect("valid")
+            .with_freshness(Freshness::Timestamp);
+        let mut sim = scenario::random_overlay_sharded(&config, 300, 20040601, 2);
+        sim.set_workers(workers);
+        let mut digest = FNV_OFFSET;
+        for _ in 0..60 {
+            digest_report(&mut digest, &sim.run_cycle());
+        }
+        fnv1a(&mut digest, view_digest(&sim));
+        digest
+    };
+    let one = run(1);
+    assert_eq!(one, run(2), "1 vs 2 workers diverged under Timestamp");
+    assert_eq!(one, run(4), "1 vs 4 workers diverged under Timestamp");
+    assert_ne!(
+        one, PINNED_TINY_DIGEST,
+        "timestamp mode must actually change the trajectory"
+    );
+}
+
 #[test]
 fn one_shard_matches_sequential_for_headline_policies() {
     let policies: [(&str, PolicyTriple); 3] = [

@@ -200,6 +200,43 @@ fn pinned_digest_at_tiny_scale() {
 /// See [`pinned_digest_at_tiny_scale`].
 const PINNED_TINY_EVENT_DIGEST: u64 = 3724866096535109322;
 
+/// The timestamp freshness axis obeys the same determinism contract as the
+/// default hop-count mode on the event engine: fixed `(seed, shard_count)`
+/// digests are identical at every worker count, and differ from the
+/// hop-count pin (the mode is load-bearing).
+#[test]
+fn timestamp_freshness_is_worker_invariant() {
+    use pss_core::Freshness;
+    let run = |workers: usize| {
+        let config = ProtocolConfig::new(PolicyTriple::newscast(), 15)
+            .expect("valid")
+            .with_freshness(Freshness::Timestamp);
+        let mut sim = scenario::event_random_overlay_sharded(
+            &config,
+            EventConfig::default(),
+            300,
+            20040601,
+            2,
+        )
+        .expect("valid");
+        sim.set_workers(workers);
+        let mut digest = FNV_OFFSET;
+        for _ in 0..20 {
+            sim.run_for(1000);
+            digest_event_report(&mut digest, &sim.report());
+        }
+        fnv1a(&mut digest, view_digest(|f| sim.for_each_live_view(f)));
+        digest
+    };
+    let one = run(1);
+    assert_eq!(one, run(2), "1 vs 2 workers diverged under Timestamp");
+    assert_eq!(one, run(4), "1 vs 4 workers diverged under Timestamp");
+    assert_ne!(
+        one, PINNED_TINY_EVENT_DIGEST,
+        "timestamp mode must actually change the trajectory"
+    );
+}
+
 #[test]
 fn chunked_runs_are_bit_identical() {
     // Cross-shard mail parks in its fixed-order lanes across mid-bucket
